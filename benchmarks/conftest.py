@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures or one of the
+classical experiments its survey rests on (see DESIGN.md's
+per-experiment index).  Because ``pytest --benchmark-only`` captures
+stdout, each bench also writes its table to
+``benchmarks/results/<name>.txt`` so the regenerated figures survive the
+run as artifacts; EXPERIMENTS.md records the paper-vs-measured reading.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_artifact(name, text):
+    """Write a regenerated table/figure to benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w") as handle:
+        handle.write(text if text.endswith("\n") else text + "\n")
+    return path
+
+
+def format_table(header, rows):
+    """Plain-text table with aligned columns."""
+    rendered = [tuple(str(v) for v in row) for row in rows]
+    header = tuple(str(h) for h in header)
+    widths = [
+        max(len(header[i]), max((len(r[i]) for r in rendered), default=0))
+        for i in range(len(header))
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Acyclic-join bench: Yannakakis vs the naive join plan.
+
+The universal-relation era's flagship positive result (filed under
+"relational theory" in Figure 3): joins over alpha-acyclic schemes are
+computable in input+output-polynomial time via the full-reducer semijoin
+program.  The baseline folds natural joins with no reduction and can
+build intermediate results that dwarf the output.
+
+Workload: chain schemes whose middle relations are dense (every pair of
+consecutive relations joins richly) but whose final relation keeps only
+one tuple — so the naive plan's intermediates grow geometrically before
+collapsing, while the full reducer propagates the collapse backward
+first.  This is the classical dangling-tuple blowup.
+
+Paper claim (shape): Yannakakis wins, increasingly with chain length;
+after reduction the inputs shrink to the join support.  Table in
+results/acyclic_joins.txt.
+"""
+
+import time
+
+from repro.acyclic import (
+    chain_scheme,
+    full_reducer,
+    naive_join,
+    semijoin_program_size,
+    yannakakis_join,
+)
+from repro.relational import Database, Relation, RelationSchema
+
+from .conftest import format_table, write_artifact
+
+CHAIN_LENGTHS = (3, 4, 5)
+FANOUT = 8  # each middle relation is the complete FANOUT x FANOUT bipartite
+
+
+def dangling_chain_db(length):
+    """Dense chain with a selective tail.
+
+    Relations R0..R(length-2) are complete bipartite over a FANOUT-value
+    domain (every tuple joins with FANOUT tuples of the next relation,
+    so the unreduced left-to-right join grows by a factor of FANOUT per
+    step); the final relation holds a single tuple, so almost everything
+    eventually dangles.
+    """
+    db = Database()
+    hypergraph = chain_scheme(length)
+    names = hypergraph.names()
+    for index, name in enumerate(names):
+        attrs = sorted(hypergraph[name])
+        if index == len(names) - 1:
+            rows = {(0, 0)}
+        else:
+            rows = {
+                (a, b) for a in range(FANOUT) for b in range(FANOUT)
+            }
+        db.add(Relation(RelationSchema(name, attrs), rows))
+    return hypergraph, db
+
+
+def timed(fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    return time.perf_counter() - start, result
+
+
+def run_sweep():
+    rows = []
+    for length in CHAIN_LENGTHS:
+        hypergraph, db = dangling_chain_db(length)
+        input_size = db.total_tuples()
+        fast_s, fast = timed(yannakakis_join, hypergraph, db)
+        slow_s, slow = timed(naive_join, hypergraph, db)
+        assert fast == slow
+        reduced, _tree = full_reducer(hypergraph, db)
+        reduced_size = sum(len(r) for r in reduced.values())
+        rows.append(
+            (
+                length,
+                input_size,
+                len(fast),
+                reduced_size,
+                semijoin_program_size(hypergraph),
+                round(slow_s * 1000, 2),
+                round(fast_s * 1000, 2),
+                round(slow_s / max(fast_s, 1e-9), 1),
+            )
+        )
+    return rows
+
+
+def test_acyclic_joins(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    # Shape: the reducer strips dangling tuples down to the join support.
+    for row in rows:
+        length, input_size, output_size, reduced_size = row[:4]
+        assert reduced_size <= input_size
+        assert reduced_size < input_size  # dangling tuples removed
+    # Shape: Yannakakis wins and the advantage does not shrink with size.
+    speedups = [row[7] for row in rows]
+    assert speedups[-1] > 1.0, rows
+
+    table = format_table(
+        (
+            "chain",
+            "input_tuples",
+            "output_tuples",
+            "after_reduction",
+            "semijoins",
+            "naive_ms",
+            "yannakakis_ms",
+            "speedup",
+        ),
+        rows,
+    )
+    write_artifact("acyclic_joins.txt", table)

@@ -1,0 +1,123 @@
+"""Cook/Fagin bench: the metatheorems, executed.
+
+§3 calls Cook's Theorem "positive as a metatheorem" — it reduces the
+complexity "of the mathematical landscape".  We execute the landscape:
+
+* **Cook**: NTM bounded acceptance -> CNF -> DPLL, round-tripped against
+  the configuration-BFS oracle, with reduction sizes (the polynomial
+  blowup) tabulated;
+* **Fagin**: 3-colorability as an ESO sentence vs direct backtracking;
+* **data vs combined complexity** (Vardi's taxonomy): fixed query /
+  growing data vs fixed data / growing query, on the k-path FO query.
+
+Paper claims (shape): the reductions agree with the semantics
+everywhere; the combined-complexity curve blows up qualitatively faster
+than the data-complexity curve.  Tables in results/cook_fagin.txt.
+"""
+
+import itertools
+
+from repro.complexity import (
+    accepts,
+    accepts_via_sat,
+    combined_complexity_curve,
+    cook_reduction,
+    data_complexity_curve,
+    growth_ratio,
+    is_three_colorable,
+    machine_guess_equal_ends,
+    solve,
+    three_colorable_via_fagin,
+)
+
+from .conftest import format_table, write_artifact
+
+
+def cook_rows():
+    machine = machine_guess_equal_ends()
+    rows = []
+    agreements = 0
+    total = 0
+    for length in (1, 2, 3):
+        for bits in itertools.product("01", repeat=length):
+            word = "".join(bits)
+            bound = length + 2
+            total += 1
+            if accepts(machine, word, bound) == accepts_via_sat(
+                machine, word, bound
+            ):
+                agreements += 1
+    for bound in (3, 5, 7):
+        reduction = cook_reduction(machine, "010", bound)
+        variables, clauses, literals = reduction.cnf.stats()
+        result = solve(reduction.cnf)
+        rows.append(
+            (bound, variables, clauses, literals, result.satisfiable)
+        )
+    return rows, agreements, total
+
+
+def fagin_rows():
+    graphs = {
+        "triangle": [(1, 2), (2, 3), (1, 3)],
+        "k4": [(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)],
+        "path4": [(1, 2), (2, 3), (3, 4)],
+        "odd_cycle5": [(1, 2), (2, 3), (3, 4), (4, 5), (5, 1)],
+    }
+    rows = []
+    for name, edges in graphs.items():
+        via_logic = three_colorable_via_fagin(edges)
+        via_search = is_three_colorable(edges)
+        rows.append((name, len(edges), via_logic, via_search))
+    return rows
+
+
+def test_cook_fagin_connection(benchmark):
+    (cook_table, agreements, total) = benchmark.pedantic(
+        cook_rows, rounds=1, iterations=1
+    )
+    fagin_table = fagin_rows()
+    data_curve = data_complexity_curve([6, 12, 24], k=3)
+    combined_curve = combined_complexity_curve([1, 2, 3, 4], n=10)
+
+    # Shape: the Cook reduction agrees with the oracle on every word.
+    assert agreements == total
+    # Shape: reduction size grows polynomially with the time bound.
+    variables = [row[1] for row in cook_table]
+    assert variables == sorted(variables)
+    assert variables[-1] < variables[0] * 16  # no exponential blowup
+    # Shape: logic and search agree on 3-colorability.
+    assert all(row[2] == row[3] for row in fagin_table)
+    # Shape: combined complexity blows up faster than data complexity.
+    assert growth_ratio(combined_curve) > growth_ratio(data_curve)
+
+    sections = [
+        "cook reduction round-trip: %d/%d words agree with the BFS oracle"
+        % (agreements, total),
+        "",
+        format_table(
+            ("time_bound", "variables", "clauses", "literals", "sat"),
+            cook_table,
+        ),
+        "",
+        "fagin: 3-colorability, ESO model checking vs backtracking",
+        format_table(
+            ("graph", "edges", "via_eso", "via_search"), fagin_table
+        ),
+        "",
+        "data complexity (k=3 fixed, database grows)",
+        format_table(
+            ("n", "seconds", "answers"),
+            [(n, "%.5f" % s, a) for n, s, a in data_curve],
+        ),
+        "",
+        "combined complexity (n=10 fixed, query grows)",
+        format_table(
+            ("k", "seconds", "answers"),
+            [(k, "%.5f" % s, a) for k, s, a in combined_curve],
+        ),
+        "",
+        "growth ratios: data %.1fx vs combined %.1fx"
+        % (growth_ratio(data_curve), growth_ratio(combined_curve)),
+    ]
+    write_artifact("cook_fagin.txt", "\n".join(sections))

@@ -1,0 +1,111 @@
+"""Figure 2 bench: normal applied science vs applied science in crisis.
+
+Regenerates the paper's two research-graph snapshots at *matched average
+degree* and measures the global statistics the figure contrasts:
+
+* healthy: "a giant component (in fact, one with reasonably small
+  diameter) that spans most of the practical-theoretical spectrum …
+  most of theory is within a few hops from practice";
+* crisis: "although the local situation seems unchanged (say, the
+  average degree is the same as before), connectivity is low …
+  the little connectivity that exists is via long paths".
+
+Measured shape: giant fraction high in both here (crisis keeps a big
+band-component), but diameter and theory->practice distance blow up and
+introversion rises in the crisis regime — which is exactly the figure's
+visual claim.  Table in results/fig2_research_graph.txt.
+"""
+
+from repro.metascience import figure2_comparison
+
+from .conftest import format_table, write_artifact
+
+N = 400
+DEGREE = 4.0
+
+METRICS = (
+    "units",
+    "average_degree",
+    "giant_fraction",
+    "giant_diameter",
+    "theory_practice_median_distance",
+    "theory_practice_unreachable",
+    "introversion_index",
+)
+
+
+def test_fig2_research_graph(benchmark):
+    reports = benchmark.pedantic(
+        figure2_comparison,
+        kwargs={"n": N, "average_degree": DEGREE, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    healthy = reports["healthy"]
+    crisis = reports["crisis"]
+
+    # Matched local statistics.
+    assert abs(healthy["average_degree"] - crisis["average_degree"]) < 1.0
+    # Global statistics diverge exactly as the figure shows.
+    assert healthy["giant_fraction"] > 0.9
+    assert crisis["giant_diameter"] > healthy["giant_diameter"]
+    assert (
+        crisis["theory_practice_median_distance"]
+        > healthy["theory_practice_median_distance"]
+    )
+    assert crisis["introversion_index"] >= healthy["introversion_index"]
+    assert healthy["theory_practice_median_distance"] <= 3  # "a few hops"
+
+    table = format_table(
+        ("metric", "healthy", "crisis"),
+        [(m, healthy[m], crisis[m]) for m in METRICS],
+    )
+    write_artifact("fig2_research_graph.txt", table)
+
+
+def test_fig2_crisis_onset_sweep(benchmark):
+    """Ablation: how narrow must mixing get before the field is 'in crisis'?
+
+    Sweeps the crisis band width from open (0.5) to introverted (0.05)
+    at fixed degree, measuring when the theory->practice distance and
+    diameter take off — the model's 'onset of crisis' curve.
+    """
+    from repro.metascience import ResearchGraph
+
+    def sweep():
+        rows = []
+        for band in (0.5, 0.3, 0.2, 0.12, 0.05):
+            graph = ResearchGraph.generate(
+                n=N, average_degree=DEGREE, regime="crisis", band=band,
+                seed=1,
+            )
+            report = graph.health_report()
+            rows.append(
+                (
+                    band,
+                    report["giant_fraction"],
+                    report["giant_diameter"],
+                    report["theory_practice_median_distance"],
+                    report["introversion_index"],
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    distances = [row[3] for row in rows]
+    # Shape: narrowing the band lengthens the theory->practice path.
+    assert distances[-1] > distances[0]
+    diameters = [row[2] for row in rows]
+    assert diameters[-1] > diameters[0]
+
+    table = format_table(
+        (
+            "band",
+            "giant_fraction",
+            "diameter",
+            "theory_practice_dist",
+            "introversion",
+        ),
+        rows,
+    )
+    write_artifact("fig2_crisis_onset.txt", table)

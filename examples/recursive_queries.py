@@ -1,0 +1,131 @@
+"""Recursive queries: the "beautiful ideas" on a flight network.
+
+§6's lament made concrete: reachability over a hub-and-spoke flight
+network, evaluated naively, semi-naively, with magic sets, and top-down
+— with wall-clock numbers, derived-fact counts, and the magic-sets
+rewriting shown in full.
+
+Run:  python examples/recursive_queries.py
+"""
+
+import time
+
+from repro.datalog import (
+    DatalogEngine,
+    FactStore,
+    magic_transform,
+    parse_program,
+    parse_query,
+    seminaive_evaluate,
+    stratify,
+)
+
+
+def flight_network(hubs=4, spokes_per_hub=12):
+    """A layered hub network (eastbound only, so queries are selective).
+
+    Hubs form a one-way chain hub0 -> hub1 -> ...; each hub serves its
+    spoke cities with outbound flights, and spokes feed their own hub.
+    Reachability from a westerly city covers only airports to its east —
+    which is what makes goal-directed evaluation worthwhile.
+    """
+    flights = []
+    for hub in range(hubs):
+        if hub + 1 < hubs:
+            flights.append(("hub%d" % hub, "hub%d" % (hub + 1)))
+        for spoke in range(spokes_per_hub):
+            city = "city_%d_%d" % (hub, spoke)
+            flights.append((city, "hub%d" % hub))
+            flights.append(("hub%d" % hub, city))
+    return flights
+
+
+PROGRAM_TEXT = """
+    reachable(X, Y) :- flight(X, Y).
+    reachable(X, Z) :- flight(X, Y), reachable(Y, Z).
+    connected(X, Y) :- reachable(X, Y), reachable(Y, X).
+    stranded(X, Y) :- airport(X), airport(Y), not reachable(X, Y).
+"""
+
+
+def main():
+    flights = flight_network()
+    airports = sorted({a for f in flights for a in f})
+    edb = FactStore(
+        {"flight": flights, "airport": [(a,) for a in airports]}
+    )
+    program, _ = parse_program(PROGRAM_TEXT)
+
+    print("=== The program ===")
+    print(PROGRAM_TEXT.strip())
+    print(
+        "\n%d airports, %d flights; strata: %s"
+        % (len(airports), len(flights), stratify(program))
+    )
+
+    print("\n=== Full evaluation: naive vs semi-naive ===")
+    engine = DatalogEngine(program, edb)
+    for strategy in ("naive", "seminaive"):
+        start = time.perf_counter()
+        model = engine.evaluate(strategy) if strategy != "naive" else None
+        # naive is not cached together with seminaive; call directly:
+        if strategy == "naive":
+            from repro.datalog import naive_evaluate
+
+            model = naive_evaluate(program, edb)
+        elapsed = time.perf_counter() - start
+        print(
+            "%-10s %6.1f ms   reachable=%d connected=%d stranded=%d"
+            % (
+                strategy,
+                elapsed * 1000,
+                model.count("reachable"),
+                model.count("connected"),
+                model.count("stranded"),
+            )
+        )
+
+    print("\n=== A bound query: where can easterly city_3_0 fly? ===")
+    positive_program, _ = parse_program(
+        """
+        reachable(X, Y) :- flight(X, Y).
+        reachable(X, Z) :- flight(X, Y), reachable(Y, Z).
+        """
+    )
+    query = parse_query("reachable(city_3_0, X)")
+    pos_engine = DatalogEngine(positive_program, edb)
+    for strategy in ("seminaive", "magic", "topdown"):
+        start = time.perf_counter()
+        answers = pos_engine.query(query, strategy=strategy)
+        elapsed = time.perf_counter() - start
+        print(
+            "%-10s %6.1f ms   %d destinations"
+            % (strategy, elapsed * 1000, len(answers))
+        )
+
+    print("\n=== The magic-sets rewriting, in full ===")
+    transform = magic_transform(positive_program, query)
+    print(transform.program)
+    print(
+        "\n(%d adorned rules, %d magic rules; answers live in %s)"
+        % (
+            transform.adorned_rule_count,
+            transform.magic_rule_count,
+            transform.query_predicate,
+        )
+    )
+
+    print("\n=== How much work did magic save? ===")
+    full_model = seminaive_evaluate(positive_program, edb)
+    magic_model = seminaive_evaluate(transform.program, edb)
+    print(
+        "facts derived: full evaluation %d, magic evaluation %d"
+        % (
+            full_model.count("reachable"),
+            magic_model.count(transform.query_predicate),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

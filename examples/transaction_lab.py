@@ -1,0 +1,112 @@
+"""Transaction lab: the "simplest solutions" on a banking workload.
+
+The transaction-processing tradition in one session: hand-built
+schedules through the serializability and recoverability tests, then the
+three classical schedulers racing on a contended transfer workload —
+the experiment behind §6's observation that products adopted 2PL.
+
+Run:  python examples/transaction_lab.py
+"""
+
+from repro.transactions import (
+    WorkloadConfig,
+    equivalent_serial_schedule,
+    generate_schedule,
+    is_conflict_serializable,
+    is_view_serializable,
+    optimistic,
+    parse_schedule,
+    precedence_graph,
+    recovery_class,
+    timestamp_order,
+    two_phase_lock,
+)
+
+
+def main():
+    print("=== Anatomy of a schedule ===")
+    transfer = parse_schedule(
+        "r1(checking) r2(savings) w1(checking) r1(savings) "
+        "w2(savings) w1(savings) c1 c2"
+    )
+    print("history:     ", transfer)
+    print("precedence:  ", {
+        t: sorted(s) for t, s in precedence_graph(transfer).items()
+    })
+    print("conflict serializable:", is_conflict_serializable(transfer))
+    if is_conflict_serializable(transfer):
+        print("equivalent serial:", equivalent_serial_schedule(transfer))
+    print("recovery class:", recovery_class(transfer))
+
+    print("\n=== The classical separating examples ===")
+    examples = {
+        "lost update (not CSR)": "r1(x) r2(x) w1(x) w2(x) c1 c2",
+        "VSR but not CSR (blind writes)":
+            "w1(x) w2(x) w2(y) c2 w1(y) w3(x) w3(y) c3 c1",
+        "dirty read, unrecoverable": "w1(x) r2(x) c2 c1",
+        "cascading but recoverable": "w1(x) r2(x) c1 c2",
+        "strict": "w1(x) c1 r2(x) c2",
+    }
+    for label, text in examples.items():
+        schedule = parse_schedule(text)
+        print(
+            "%-32s CSR=%-5s VSR=%-5s recovery=%s"
+            % (
+                label,
+                is_conflict_serializable(schedule),
+                is_view_serializable(schedule),
+                recovery_class(schedule),
+            )
+        )
+
+    print("\n=== Scheduler race on a contended transfer workload ===")
+    print(
+        "%6s  %12s %12s %12s"
+        % ("hot%", "2PL c/a/w", "TO c/a", "OCC c/a")
+    )
+    for contention in (0.0, 0.3, 0.6, 0.9):
+        totals = {"2pl": [0, 0, 0], "to": [0, 0], "occ": [0, 0]}
+        for seed in range(5):
+            config = WorkloadConfig(
+                num_transactions=12,
+                ops_per_transaction=4,
+                num_items=20,
+                write_ratio=0.6,
+                hot_fraction=0.1,
+                hot_access_probability=contention,
+                seed=seed,
+            )
+            schedule = generate_schedule(config)
+            out, stats = two_phase_lock(schedule)
+            assert is_conflict_serializable(out)
+            totals["2pl"][0] += len(out.committed())
+            totals["2pl"][1] += len(stats["aborted"])
+            totals["2pl"][2] += stats["wait_events"]
+            out, stats = timestamp_order(schedule)
+            totals["to"][0] += len(out.committed())
+            totals["to"][1] += len(stats["aborted"])
+            out, stats = optimistic(schedule)
+            totals["occ"][0] += len(out.committed())
+            totals["occ"][1] += len(stats["aborted"])
+        print(
+            "%6.1f  %4d/%2d/%3d  %6d/%2d  %7d/%2d"
+            % (
+                contention * 100,
+                totals["2pl"][0],
+                totals["2pl"][1],
+                totals["2pl"][2],
+                totals["to"][0],
+                totals["to"][1],
+                totals["occ"][0],
+                totals["occ"][1],
+            )
+        )
+    print(
+        "\nReading: 2PL converts contention into waiting and keeps"
+        "\ncommitting; the abort-based schemes shed work instead —"
+        "\nwhy 'most database products adopted the simplest solutions'."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Acyclic schemes: GYO, join trees, Yannakakis' algorithm."""
+
+from .gyo import ear_decomposition, gyo_reduce, is_alpha_acyclic
+from .hypergraph import Hypergraph, chain_scheme, cycle_scheme, star_scheme
+from .jointree import JoinTree
+from .yannakakis import (
+    full_reducer,
+    naive_join,
+    semijoin_program_size,
+    yannakakis_join,
+)
+
+__all__ = [
+    "Hypergraph",
+    "JoinTree",
+    "chain_scheme",
+    "cycle_scheme",
+    "ear_decomposition",
+    "full_reducer",
+    "gyo_reduce",
+    "is_alpha_acyclic",
+    "naive_join",
+    "semijoin_program_size",
+    "star_scheme",
+    "yannakakis_join",
+]

@@ -1,0 +1,94 @@
+"""GYO reduction: the classical alpha-acyclicity test.
+
+Graham / Yu–Ozsoyoglu reduction repeatedly applies two operations until
+neither applies:
+
+* delete an attribute occurring in exactly one hyperedge (an *isolated*
+  attribute);
+* delete a hyperedge contained in another (an *ear* in the reduced sense).
+
+The scheme is **alpha-acyclic** iff the reduction empties the hypergraph.
+The ear-removal order doubles as the construction order for a join tree
+(``repro.acyclic.jointree``) and the reverse order drives Yannakakis'
+semijoin sweeps.
+"""
+
+from __future__ import annotations
+
+
+def gyo_reduce(hypergraph):
+    """Run the GYO reduction.
+
+    Returns:
+        ``(residual, ears)`` where ``residual`` is the final
+        :class:`~repro.acyclic.hypergraph.Hypergraph` (empty iff acyclic)
+        and ``ears`` is the removal order as a list of
+        ``(edge_name, parent_name_or_None)`` pairs: when an edge was
+        removed because it was contained in another, the container is its
+        *parent* (the join-tree attachment point).
+    """
+    current = hypergraph
+    ears = []
+    changed = True
+    while changed and len(current):
+        changed = False
+        # Operation 1: remove isolated attributes.
+        counts = {}
+        for attributes in current.edges.values():
+            for attribute in attributes:
+                counts[attribute] = counts.get(attribute, 0) + 1
+        isolated = {a for a, c in counts.items() if c == 1}
+        if isolated:
+            for name in list(current.names()):
+                remaining = current[name] - isolated
+                if remaining != current[name]:
+                    if remaining:
+                        current = current.restrict_edge(name, remaining)
+                        changed = True
+                    else:
+                        # Entire edge dissolved: it is an ear with no parent
+                        # (or attaches to any edge; None marks "free").
+                        current = current.remove(name)
+                        ears.append((name, None))
+                        changed = True
+        # Operation 2: remove contained edges.
+        names = current.names()
+        for name in names:
+            if name not in current:
+                continue
+            container = None
+            for other in names:
+                if other == name or other not in current:
+                    continue
+                if current[name] <= current[other]:
+                    container = other
+                    break
+            if container is not None:
+                current = current.remove(name)
+                ears.append((name, container))
+                changed = True
+    return current, ears
+
+
+def is_alpha_acyclic(hypergraph):
+    """Alpha-acyclicity via GYO: reduction empties the hypergraph."""
+    residual, _ = gyo_reduce(hypergraph)
+    return len(residual) == 0
+
+
+def ear_decomposition(hypergraph):
+    """The full ear order of an acyclic hypergraph.
+
+    Returns:
+        The ears list from :func:`gyo_reduce`, with edge *shrinking*
+        resolved: every original edge appears exactly once.
+
+    Raises:
+        ValueError: if the hypergraph is cyclic.
+    """
+    residual, ears = gyo_reduce(hypergraph)
+    if len(residual):
+        raise ValueError(
+            "hypergraph is cyclic; GYO residual: %r" % (residual,)
+        )
+    return ears

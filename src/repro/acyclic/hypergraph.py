@@ -1,0 +1,133 @@
+"""Schema hypergraphs.
+
+A database scheme is a hypergraph: vertices are attributes, hyperedges are
+relation schemes.  Acyclicity of this hypergraph is the property behind
+the universal-relation-era results the paper's Figure 3 files under
+"relational theory" — and behind Yannakakis' algorithm, which makes joins
+over acyclic schemes polynomial.
+"""
+
+from __future__ import annotations
+
+from ..errors import HypergraphError
+
+
+class Hypergraph:
+    """A named-hyperedge hypergraph over attribute vertices.
+
+    Args:
+        edges: mapping ``name -> iterable of attributes``, or an iterable
+            of attribute iterables (auto-named ``R0, R1, ...``).
+    """
+
+    __slots__ = ("edges",)
+
+    def __init__(self, edges):
+        self.edges = {}
+        if isinstance(edges, dict):
+            items = edges.items()
+        else:
+            items = (("R%d" % i, e) for i, e in enumerate(edges))
+        for name, attributes in items:
+            attributes = frozenset(attributes)
+            if not attributes:
+                raise HypergraphError("empty hyperedge %r" % (name,))
+            if name in self.edges:
+                raise HypergraphError("duplicate hyperedge name %r" % (name,))
+            self.edges[name] = attributes
+
+    @classmethod
+    def from_schema(cls, db_schema):
+        """Build from a :class:`~repro.relational.schema.DatabaseSchema`."""
+        return cls(
+            {name: schema.attributes for name, schema in db_schema.items()}
+        )
+
+    def vertices(self):
+        """All attributes."""
+        out = set()
+        for attributes in self.edges.values():
+            out |= attributes
+        return frozenset(out)
+
+    def names(self):
+        return sorted(self.edges)
+
+    def __len__(self):
+        return len(self.edges)
+
+    def __getitem__(self, name):
+        try:
+            return self.edges[name]
+        except KeyError:
+            raise HypergraphError("no hyperedge named %r" % (name,)) from None
+
+    def __contains__(self, name):
+        return name in self.edges
+
+    def incident_edges(self, attribute):
+        """Names of hyperedges containing an attribute."""
+        return sorted(
+            name
+            for name, attributes in self.edges.items()
+            if attribute in attributes
+        )
+
+    def remove(self, name):
+        """A copy without the named hyperedge."""
+        if name not in self.edges:
+            raise HypergraphError("no hyperedge named %r" % (name,))
+        remaining = {k: v for k, v in self.edges.items() if k != name}
+        graph = Hypergraph.__new__(Hypergraph)
+        graph.edges = remaining
+        return graph
+
+    def restrict_edge(self, name, attributes):
+        """A copy with one hyperedge shrunk to ``attributes``."""
+        attributes = frozenset(attributes)
+        if not attributes:
+            return self.remove(name)
+        updated = dict(self.edges)
+        updated[name] = attributes
+        graph = Hypergraph.__new__(Hypergraph)
+        graph.edges = updated
+        return graph
+
+    def __repr__(self):
+        parts = [
+            "%s{%s}" % (name, ",".join(sorted(attributes)))
+            for name, attributes in sorted(self.edges.items())
+        ]
+        return "Hypergraph(%s)" % ", ".join(parts)
+
+
+def chain_scheme(length, prefix="R"):
+    """The acyclic chain scheme R0(a0,a1), R1(a1,a2), ... (bench workload)."""
+    return Hypergraph(
+        {
+            "%s%d" % (prefix, i): ("a%d" % i, "a%d" % (i + 1))
+            for i in range(length)
+        }
+    )
+
+
+def star_scheme(rays, prefix="R"):
+    """The acyclic star scheme R_i(center, a_i) (bench workload)."""
+    return Hypergraph(
+        {"%s%d" % (prefix, i): ("center", "a%d" % i) for i in range(rays)}
+    )
+
+
+def cycle_scheme(length, prefix="R"):
+    """The canonical *cyclic* scheme: a ring of binary edges."""
+    if length < 3:
+        raise HypergraphError("a cycle scheme needs length >= 3")
+    return Hypergraph(
+        {
+            "%s%d" % (prefix, i): (
+                "a%d" % i,
+                "a%d" % ((i + 1) % length),
+            )
+            for i in range(length)
+        }
+    )

@@ -1,0 +1,119 @@
+"""Join trees and the running intersection property.
+
+A **join tree** of a scheme hypergraph is a tree over its hyperedges such
+that for every attribute, the edges containing it form a connected
+subtree (the *running intersection property*, RIP).  The classical
+equivalence: a scheme has a join tree iff it is alpha-acyclic — and the
+GYO ear order constructs one.
+"""
+
+from __future__ import annotations
+
+from .gyo import ear_decomposition
+
+
+class JoinTree:
+    """A join forest over hyperedge names.
+
+    Attributes:
+        hypergraph: the underlying scheme hypergraph.
+        parent: mapping ``edge name -> parent name`` (roots map to None).
+    """
+
+    __slots__ = ("hypergraph", "parent")
+
+    def __init__(self, hypergraph, parent):
+        self.hypergraph = hypergraph
+        self.parent = dict(parent)
+
+    @classmethod
+    def build(cls, hypergraph):
+        """Construct a join tree from the GYO ear decomposition.
+
+        Raises:
+            ValueError: if the hypergraph is cyclic.
+        """
+        ears = ear_decomposition(hypergraph)
+        parent = {}
+        survivors = []  # edges whose ear had no parent
+        for name, container in ears:
+            if container is not None:
+                parent[name] = container
+            else:
+                parent[name] = None
+                survivors.append(name)
+        # Edges dissolved with no parent are roots of their components.
+        return cls(hypergraph, parent)
+
+    def roots(self):
+        return sorted(n for n, p in self.parent.items() if p is None)
+
+    def children(self, name):
+        return sorted(n for n, p in self.parent.items() if p == name)
+
+    def edges(self):
+        """Tree edges as (child, parent) pairs."""
+        return sorted(
+            (n, p) for n, p in self.parent.items() if p is not None
+        )
+
+    def postorder(self):
+        """Nodes in leaves-first order (children before parents)."""
+        order = []
+        visited = set()
+
+        def visit(node):
+            if node in visited:
+                return
+            visited.add(node)
+            for child in self.children(node):
+                visit(child)
+            order.append(node)
+
+        for root in self.roots():
+            visit(root)
+        # Defensive: include any node unreachable from a root (cannot
+        # happen for GYO output, but keeps the invariant total).
+        for node in sorted(self.parent):
+            visit(node)
+        return order
+
+    def preorder(self):
+        """Nodes in roots-first order (parents before children)."""
+        return list(reversed(self.postorder()))
+
+    def satisfies_rip(self):
+        """Check the running intersection property directly.
+
+        For every attribute, the set of tree nodes containing it must be
+        connected in the forest.
+        """
+        for attribute in self.hypergraph.vertices():
+            holders = {
+                name
+                for name in self.parent
+                if attribute in self.hypergraph[name]
+            }
+            if len(holders) <= 1:
+                continue
+            # Connectivity within the forest, restricted to holders.
+            start = next(iter(holders))
+            seen = {start}
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                neighbors = set(self.children(node))
+                if self.parent[node] is not None:
+                    neighbors.add(self.parent[node])
+                for neighbor in neighbors:
+                    if neighbor in holders and neighbor not in seen:
+                        seen.add(neighbor)
+                        frontier.append(neighbor)
+            if seen != holders:
+                return False
+        return True
+
+    def __repr__(self):
+        return "JoinTree(%s)" % ", ".join(
+            "%s->%s" % (n, p or "ROOT") for n, p in sorted(self.parent.items())
+        )

@@ -1,0 +1,60 @@
+"""The Cook/Fagin connection: SAT, NTMs, ESO, and complexity measures."""
+
+from .boolean import CNF, random_3sat
+from .cook import CookReduction, accepts_via_sat, cook_reduction
+from .fagin import (
+    ESOSentence,
+    check,
+    graph_database,
+    is_three_colorable,
+    three_colorability_sentence,
+    three_colorable_via_fagin,
+)
+from .machines import (
+    BLANK,
+    LEFT,
+    NTM,
+    RIGHT,
+    STAY,
+    accepts,
+    machine_contains_one,
+    machine_guess_equal_ends,
+)
+from .measures import (
+    chain_database,
+    combined_complexity_curve,
+    data_complexity_curve,
+    growth_ratio,
+    kpath_query,
+)
+from .sat import DPLLResult, is_satisfiable, solve
+
+__all__ = [
+    "BLANK",
+    "CNF",
+    "CookReduction",
+    "DPLLResult",
+    "ESOSentence",
+    "LEFT",
+    "NTM",
+    "RIGHT",
+    "STAY",
+    "accepts",
+    "accepts_via_sat",
+    "chain_database",
+    "check",
+    "combined_complexity_curve",
+    "cook_reduction",
+    "data_complexity_curve",
+    "graph_database",
+    "growth_ratio",
+    "is_satisfiable",
+    "is_three_colorable",
+    "kpath_query",
+    "machine_contains_one",
+    "machine_guess_equal_ends",
+    "random_3sat",
+    "solve",
+    "three_colorability_sentence",
+    "three_colorable_via_fagin",
+]

@@ -1,0 +1,113 @@
+"""CNF formulas.
+
+Literals are nonzero ints (DIMACS convention): ``+v`` asserts variable
+``v``, ``-v`` negates it.  A clause is a frozenset of literals; a CNF is a
+list of clauses.  This is the target language of Cook's reduction and the
+input language of the DPLL solver.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..errors import ComplexityError
+
+
+class CNF:
+    """A CNF formula with a variable counter and clause list."""
+
+    __slots__ = ("clauses", "num_vars")
+
+    def __init__(self, clauses=(), num_vars=0):
+        self.clauses = []
+        self.num_vars = num_vars
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def new_var(self):
+        """Allocate a fresh variable; returns its (positive) index."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, literals):
+        """Add a clause; tautologies are dropped, empty clauses rejected."""
+        clause = frozenset(int(l) for l in literals)
+        if 0 in clause:
+            raise ComplexityError("0 is not a literal")
+        if any(-l in clause for l in clause):
+            return  # tautology: x or not x
+        if not clause:
+            raise ComplexityError(
+                "explicit empty clause; the formula is trivially UNSAT"
+            )
+        self.num_vars = max(
+            self.num_vars, max(abs(l) for l in clause)
+        )
+        self.clauses.append(clause)
+
+    def add_exactly_one(self, variables):
+        """Clauses encoding "exactly one of ``variables`` is true"."""
+        variables = list(variables)
+        if not variables:
+            raise ComplexityError("exactly-one over no variables")
+        self.add_clause(variables)  # at least one
+        for a, b in itertools.combinations(variables, 2):
+            self.add_clause([-a, -b])  # at most one
+
+    def add_implication(self, antecedents, consequent):
+        """Clause for ``(a1 and ... and ak) -> c``."""
+        self.add_clause([-a for a in antecedents] + [consequent])
+
+    def evaluate(self, assignment):
+        """Truth under a total assignment ``{var: bool}``."""
+        for clause in self.clauses:
+            if not any(
+                assignment[abs(l)] == (l > 0) for l in clause
+            ):
+                return False
+        return True
+
+    def brute_force_satisfiable(self, limit_vars=22):
+        """Exhaustive satisfiability (the oracle for solver tests)."""
+        if self.num_vars > limit_vars:
+            raise ComplexityError(
+                "brute force over %d variables refused (limit %d)"
+                % (self.num_vars, limit_vars)
+            )
+        variables = range(1, self.num_vars + 1)
+        for bits in itertools.product((False, True), repeat=self.num_vars):
+            assignment = dict(zip(variables, bits))
+            if self.evaluate(assignment):
+                return assignment
+        return None
+
+    def stats(self):
+        """(variables, clauses, total literals) — reduction-size metrics."""
+        return (
+            self.num_vars,
+            len(self.clauses),
+            sum(len(c) for c in self.clauses),
+        )
+
+    def __len__(self):
+        return len(self.clauses)
+
+    def __repr__(self):
+        return "CNF(%d vars, %d clauses)" % (self.num_vars, len(self.clauses))
+
+
+def random_3sat(num_vars, num_clauses, seed=0):
+    """Uniform random 3-SAT (benchmark workload near/away from threshold)."""
+    import random
+
+    rng = random.Random(seed)
+    cnf = CNF(num_vars=num_vars)
+    produced = 0
+    while produced < num_clauses:
+        chosen = rng.sample(range(1, num_vars + 1), 3)
+        clause = [v if rng.random() < 0.5 else -v for v in chosen]
+        before = len(cnf.clauses)
+        cnf.add_clause(clause)
+        if len(cnf.clauses) > before:
+            produced += 1
+    return cnf

@@ -1,0 +1,163 @@
+"""Cook's Theorem, constructively: bounded NTM acceptance -> SAT.
+
+The paper calls Cook's Theorem "positive as a metatheorem, in that it
+reduces the complexity not of the artifact, but of the mathematical
+landscape".  This module builds the landscape bridge explicitly: given an
+NTM, an input, and a step bound T, it emits a CNF that is satisfiable iff
+the machine accepts within T steps.  The ``test_cook_fagin`` benchmark
+round-trips the construction against the BFS acceptance oracle and the
+DPLL solver.
+
+Encoding (the standard computation-tableau one):
+
+* ``C[t][i][s]`` — at time t, tape cell i holds symbol s;
+* ``H[t][i]``   — at time t, the head is on cell i;
+* ``Q[t][q]``   — at time t, the machine is in state q;
+
+with exactly-one constraints per group, initial-configuration unit
+clauses, frame axioms (cells away from the head persist), Tseitin-encoded
+transition choices, and the acceptance clause ``Q[T][accept]`` (the
+accepting state is absorbing in the machines we reduce, so reaching it
+earlier also satisfies the formula via the added accept self-loops).
+"""
+
+from __future__ import annotations
+
+from ..errors import ComplexityError
+from .boolean import CNF
+from .machines import BLANK
+
+
+class CookReduction:
+    """The CNF for one (machine, word, bound) triple, plus its var maps."""
+
+    __slots__ = ("machine", "word", "bound", "cnf", "cell", "head", "state")
+
+    def __init__(self, machine, word, bound):
+        self.machine = machine
+        self.word = tuple(word)
+        self.bound = bound
+        self.cnf = CNF()
+        self.cell = {}
+        self.head = {}
+        self.state = {}
+        self._build()
+
+    # -- variable allocation -------------------------------------------------
+
+    def _cell_var(self, t, i, s):
+        key = (t, i, s)
+        if key not in self.cell:
+            self.cell[key] = self.cnf.new_var()
+        return self.cell[key]
+
+    def _head_var(self, t, i):
+        key = (t, i)
+        if key not in self.head:
+            self.head[key] = self.cnf.new_var()
+        return self.head[key]
+
+    def _state_var(self, t, q):
+        key = (t, q)
+        if key not in self.state:
+            self.state[key] = self.cnf.new_var()
+        return self.state[key]
+
+    # -- construction -----------------------------------------------------------
+
+    def _build(self):
+        machine, word, T = self.machine, self.word, self.bound
+        tape_len = max(len(word), 1) + T + 1
+        cells = range(tape_len)
+        symbols = machine.tape_alphabet
+        states = machine.states
+
+        # Exactly-one structure at every time step.
+        for t in range(T + 1):
+            for i in cells:
+                self.cnf.add_exactly_one(
+                    [self._cell_var(t, i, s) for s in symbols]
+                )
+            self.cnf.add_exactly_one([self._head_var(t, i) for i in cells])
+            self.cnf.add_exactly_one([self._state_var(t, q) for q in states])
+
+        # Initial configuration.
+        for i in cells:
+            symbol = word[i] if i < len(word) else BLANK
+            self.cnf.add_clause([self._cell_var(0, i, symbol)])
+        self.cnf.add_clause([self._head_var(0, 0)])
+        self.cnf.add_clause([self._state_var(0, machine.start)])
+
+        # Frame axioms: unvisited cells persist.
+        for t in range(T):
+            for i in cells:
+                for s in symbols:
+                    self.cnf.add_clause(
+                        [
+                            -self._cell_var(t, i, s),
+                            self._head_var(t, i),
+                            self._cell_var(t + 1, i, s),
+                        ]
+                    )
+
+        # Transitions, Tseitin-encoded choice per (t, i, q, s).
+        for t in range(T):
+            for i in cells:
+                for q in states:
+                    for s in symbols:
+                        self._encode_step(t, i, q, s, tape_len)
+
+        # Acceptance at the horizon.
+        self.cnf.add_clause([self._state_var(T, machine.accept)])
+
+    def _encode_step(self, t, i, q, s, tape_len):
+        """If head@i, state q, reading s at time t: some choice fires."""
+        premise = [
+            self._head_var(t, i),
+            self._state_var(t, q),
+            self._cell_var(t, i, s),
+        ]
+        choices = self.machine.choices(q, s)
+        if not choices:
+            # Halting (rejecting) configuration: forbid it before accept.
+            self.cnf.add_clause([-v for v in premise])
+            return
+        selectors = []
+        for next_state, write, move in choices:
+            selector = self.cnf.new_var()
+            selectors.append(selector)
+            new_head = min(max(i + move, 0), tape_len - 1)
+            self.cnf.add_clause(
+                [-selector, self._state_var(t + 1, next_state)]
+            )
+            self.cnf.add_clause([-selector, self._cell_var(t + 1, i, write)])
+            self.cnf.add_clause([-selector, self._head_var(t + 1, new_head)])
+        self.cnf.add_clause([-v for v in premise] + selectors)
+
+
+def cook_reduction(machine, word, bound):
+    """Build the Cook CNF; requires an absorbing accepting state.
+
+    Raises:
+        ComplexityError: if the accept state can halt with no move (the
+            encoding needs accept self-loops so "accepted earlier" can
+            persist to the horizon).
+    """
+    for s in machine.tape_alphabet:
+        if not machine.choices(machine.accept, s):
+            raise ComplexityError(
+                "accept state must be absorbing (add self-loops on %r)" % (s,)
+            )
+    return CookReduction(machine, word, bound)
+
+
+def accepts_via_sat(machine, word, bound):
+    """Decide bounded acceptance by reduction + DPLL.
+
+    The round-trip asserted by the tests:
+    ``accepts_via_sat == machines.accepts`` on every (machine, word, T).
+    """
+    from .sat import solve
+
+    reduction = cook_reduction(machine, word, bound)
+    return solve(reduction.cnf).satisfiable

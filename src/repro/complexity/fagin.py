@@ -1,0 +1,206 @@
+"""Fagin's Theorem, executably: existential second-order logic and NP.
+
+Fagin "makes such a connection between computation and logic even more
+directly" (§3): a property of finite structures is NP iff it is definable
+in existential second-order logic.  This module implements the logic side
+over the library's own relational substrate:
+
+* an :class:`ESOSentence` — guessed relation symbols with arities plus a
+  first-order matrix (a :mod:`repro.relational.calculus` formula);
+* :func:`check` — model checking by enumerating guessed relations
+  (exponential, as NP-hardness demands of an exact checker) and deferring
+  to the calculus evaluator for the FO matrix;
+* the canonical example: **3-colorability** as an ESO sentence, tested
+  against a direct backtracking colorer on random graphs.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..errors import ComplexityError
+from ..relational.calculus import constants_of, satisfies
+from ..relational.database import Database
+from ..relational.relation import Relation
+from ..relational.schema import RelationSchema
+
+
+class ESOSentence:
+    """``exists S1 ... Sk . phi`` over finite structures.
+
+    Args:
+        guessed: ``{relation_name: arity}`` for the second-order
+            existentials.
+        matrix: a sentence (no free variables) from
+            :mod:`repro.relational.calculus`, which may mention both the
+            structure's relations and the guessed ones.
+    """
+
+    __slots__ = ("guessed", "matrix")
+
+    def __init__(self, guessed, matrix):
+        self.guessed = dict(guessed)
+        if matrix.free_variables():
+            raise ComplexityError(
+                "the FO matrix must be a sentence; free: %s"
+                % sorted(matrix.free_variables())
+            )
+        self.matrix = matrix
+
+    def __repr__(self):
+        quantifier = " ".join(
+            "%s/%d" % (name, arity)
+            for name, arity in sorted(self.guessed.items())
+        )
+        return "ESOSentence(exists %s . %s)" % (quantifier, self.matrix)
+
+
+def _all_relations(name, arity, domain):
+    """Every relation of the given arity over ``domain`` (2^(n^k) many)."""
+    universe = list(itertools.product(domain, repeat=arity))
+    schema = RelationSchema(name, tuple("c%d" % i for i in range(arity)))
+    for bits in itertools.product((False, True), repeat=len(universe)):
+        tuples = [tup for tup, bit in zip(universe, bits) if bit]
+        yield Relation(schema, tuples, validate=False)
+
+
+def check(sentence, db, domain=None, witness=False):
+    """Model-check an ESO sentence on a finite structure.
+
+    Args:
+        sentence: the :class:`ESOSentence`.
+        db: the structure, as a :class:`~repro.relational.database.Database`.
+        domain: the structure's universe (defaults to active domain plus
+            the sentence's constants).
+        witness: also return the guessed relations on success.
+
+    Returns:
+        bool, or ``(bool, {name: Relation} | None)`` when ``witness``.
+
+    The enumeration over guessed relations is doubly exponential-feeling
+    and proudly so — Fagin's Theorem is precisely why no cheap exact
+    shortcut exists.
+    """
+    if domain is None:
+        domain = db.active_domain() | constants_of(sentence.matrix)
+    domain = sorted(domain, key=repr)
+    names = sorted(sentence.guessed)
+    generators = [
+        _all_relations(name, sentence.guessed[name], domain) for name in names
+    ]
+    for relations in itertools.product(*generators):
+        extended = db.copy()
+        for relation in relations:
+            extended.replace(relation)
+        if satisfies(sentence.matrix, {}, extended, set(domain)):
+            if witness:
+                return True, dict(zip(names, relations))
+            return True
+    if witness:
+        return False, None
+    return False
+
+
+# ---------------------------------------------------------------------------
+# The canonical NP property: 3-colorability
+# ---------------------------------------------------------------------------
+
+
+def three_colorability_sentence():
+    """3-colorability of a graph ``edge(x, y)``, as an ESO sentence.
+
+    exists R, G, B:
+      every vertex has a color, colors are exclusive, and no edge is
+      monochromatic.  Vertices are read off the edge relation, so the
+      sentence applies to any loop-free graph structure.
+    """
+    from ..relational.calculus import (
+        AndF,
+        Exists,
+        Forall,
+        Implies,
+        NotF,
+        OrF,
+        RelAtom,
+        Var,
+    )
+
+    def vertex(var):
+        return OrF(
+            Exists("w1", RelAtom("edge", [Var(var), Var("w1")])),
+            Exists("w2", RelAtom("edge", [Var("w2"), Var(var)])),
+        )
+
+    colored = Forall(
+        "x",
+        Implies(
+            vertex("x"),
+            OrF(
+                RelAtom("R", [Var("x")]),
+                RelAtom("G", [Var("x")]),
+                RelAtom("B", [Var("x")]),
+            ),
+        ),
+    )
+    exclusive = Forall(
+        "x",
+        AndF(
+            NotF(AndF(RelAtom("R", [Var("x")]), RelAtom("G", [Var("x")]))),
+            NotF(AndF(RelAtom("R", [Var("x")]), RelAtom("B", [Var("x")]))),
+            NotF(AndF(RelAtom("G", [Var("x")]), RelAtom("B", [Var("x")]))),
+        ),
+    )
+    proper = Forall(
+        ("x", "y"),
+        Implies(
+            RelAtom("edge", [Var("x"), Var("y")]),
+            AndF(
+                NotF(AndF(RelAtom("R", [Var("x")]), RelAtom("R", [Var("y")]))),
+                NotF(AndF(RelAtom("G", [Var("x")]), RelAtom("G", [Var("y")]))),
+                NotF(AndF(RelAtom("B", [Var("x")]), RelAtom("B", [Var("y")]))),
+            ),
+        ),
+    )
+    return ESOSentence(
+        {"R": 1, "G": 1, "B": 1}, AndF(colored, exclusive, proper)
+    )
+
+
+def graph_database(edges, name="edge"):
+    """A graph as a structure: one binary ``edge`` relation."""
+    schema = RelationSchema(name, ("src", "dst"))
+    return Database([Relation(schema, [tuple(e) for e in edges])])
+
+
+def is_three_colorable(edges):
+    """Direct backtracking 3-coloring (the algorithmic comparator)."""
+    vertices = sorted({v for e in edges for v in e}, key=repr)
+    adjacency = {v: set() for v in vertices}
+    for a, b in edges:
+        if a == b:
+            return False
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    coloring = {}
+
+    def assign(index):
+        if index == len(vertices):
+            return True
+        vertex = vertices[index]
+        for color in (0, 1, 2):
+            if all(
+                coloring.get(neighbor) != color
+                for neighbor in adjacency[vertex]
+            ):
+                coloring[vertex] = color
+                if assign(index + 1):
+                    return True
+                del coloring[vertex]
+        return False
+
+    return assign(0)
+
+
+def three_colorable_via_fagin(edges):
+    """3-colorability decided by ESO model checking (tiny graphs only)."""
+    return check(three_colorability_sentence(), graph_database(edges))

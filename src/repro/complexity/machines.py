@@ -1,0 +1,181 @@
+"""Nondeterministic Turing machines (the substrate of Cook's Theorem).
+
+A one-tape NTM with a left-bounded tape.  The transition function maps
+``(state, symbol)`` to a *set* of ``(state, symbol, move)`` choices; the
+machine accepts an input iff some computation path reaches the accepting
+state within the step bound.
+
+:func:`accepts` decides bounded acceptance by breadth-first search over
+configurations — the semantic oracle that the Cook reduction is verified
+against.
+"""
+
+from __future__ import annotations
+
+from ..errors import ComplexityError
+
+#: Head movement directions.
+LEFT, RIGHT, STAY = -1, 1, 0
+
+#: The blank tape symbol.
+BLANK = "_"
+
+
+class NTM:
+    """A nondeterministic Turing machine.
+
+    Args:
+        states: iterable of state names.
+        input_alphabet: symbols inputs may use.
+        tape_alphabet: superset of the input alphabet, containing BLANK.
+        transitions: ``{(state, symbol): [(state, symbol, move), ...]}``.
+        start: initial state.
+        accept: accepting state (absorbing: the reduction and the
+            semantics both treat reaching it as final).
+    """
+
+    __slots__ = (
+        "states",
+        "input_alphabet",
+        "tape_alphabet",
+        "transitions",
+        "start",
+        "accept",
+    )
+
+    def __init__(
+        self, states, input_alphabet, tape_alphabet, transitions, start, accept
+    ):
+        self.states = tuple(states)
+        self.input_alphabet = tuple(input_alphabet)
+        self.tape_alphabet = tuple(tape_alphabet)
+        if BLANK not in self.tape_alphabet:
+            raise ComplexityError("tape alphabet must contain the blank %r" % BLANK)
+        if start not in self.states or accept not in self.states:
+            raise ComplexityError("start/accept must be states")
+        self.start = start
+        self.accept = accept
+        self.transitions = {}
+        for (state, symbol), choices in transitions.items():
+            if state not in self.states:
+                raise ComplexityError("unknown state %r" % (state,))
+            if symbol not in self.tape_alphabet:
+                raise ComplexityError("unknown symbol %r" % (symbol,))
+            checked = []
+            for next_state, write, move in choices:
+                if next_state not in self.states:
+                    raise ComplexityError("unknown state %r" % (next_state,))
+                if write not in self.tape_alphabet:
+                    raise ComplexityError("unknown symbol %r" % (write,))
+                if move not in (LEFT, RIGHT, STAY):
+                    raise ComplexityError("move must be -1, 0, or 1")
+                checked.append((next_state, write, move))
+            self.transitions[(state, symbol)] = tuple(checked)
+
+    def choices(self, state, symbol):
+        """Available transitions (empty tuple = halt-reject branch)."""
+        return self.transitions.get((state, symbol), ())
+
+    def is_deterministic(self):
+        return all(len(c) <= 1 for c in self.transitions.values())
+
+
+def accepts(machine, word, max_steps):
+    """Bounded nondeterministic acceptance, by configuration BFS.
+
+    Args:
+        machine: the NTM.
+        word: input as a string or symbol sequence.
+        max_steps: step bound (Cook's T).
+
+    Returns:
+        True iff some path accepts within ``max_steps`` steps.
+    """
+    word = tuple(word)
+    for symbol in word:
+        if symbol not in machine.input_alphabet:
+            raise ComplexityError("input symbol %r not in alphabet" % (symbol,))
+    tape_len = max(len(word), 1) + max_steps + 1
+    initial_tape = word + (BLANK,) * (tape_len - len(word))
+    start = (machine.start, 0, initial_tape)
+    frontier = {start}
+    seen = {start}
+    for _ in range(max_steps + 1):
+        for state, head, tape in frontier:
+            if state == machine.accept:
+                return True
+        next_frontier = set()
+        for state, head, tape in frontier:
+            if state == machine.accept:
+                continue
+            for next_state, write, move in machine.choices(state, tape[head]):
+                new_tape = tape
+                if write != tape[head]:
+                    new_tape = tape[:head] + (write,) + tape[head + 1:]
+                new_head = min(max(head + move, 0), tape_len - 1)
+                config = (next_state, new_head, new_tape)
+                if config not in seen:
+                    seen.add(config)
+                    next_frontier.add(config)
+        frontier = next_frontier
+        if not frontier:
+            return False
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Example machines (used by tests and the Cook benchmark)
+# ---------------------------------------------------------------------------
+
+
+def machine_contains_one():
+    """NTM accepting binary strings containing at least one '1'.
+
+    Deterministic scanner — the simplest sanity machine.
+    """
+    return NTM(
+        states=("scan", "yes"),
+        input_alphabet=("0", "1"),
+        tape_alphabet=("0", "1", BLANK),
+        transitions={
+            ("scan", "0"): [("scan", "0", RIGHT)],
+            ("scan", "1"): [("yes", "1", STAY)],
+            ("yes", "0"): [("yes", "0", STAY)],
+            ("yes", "1"): [("yes", "1", STAY)],
+            ("yes", BLANK): [("yes", BLANK, STAY)],
+        },
+        start="scan",
+        accept="yes",
+    )
+
+
+def machine_guess_equal_ends():
+    """NTM accepting strings whose first and last symbols are equal.
+
+    Genuinely nondeterministic: at the start it *guesses* the first
+    symbol's value by branching, then verifies at the end — the guess-and-
+    check shape Cook's reduction exists to capture.
+    """
+    return NTM(
+        states=("start", "saw0", "saw1", "at_end0", "at_end1", "yes"),
+        input_alphabet=("0", "1"),
+        tape_alphabet=("0", "1", BLANK),
+        transitions={
+            # The first symbol may itself be the last (length-1 words).
+            ("start", "0"): [("saw0", "0", RIGHT), ("at_end0", "0", RIGHT)],
+            ("start", "1"): [("saw1", "1", RIGHT), ("at_end1", "1", RIGHT)],
+            # Scan right; nondeterministically decide "this is the last".
+            ("saw0", "0"): [("saw0", "0", RIGHT), ("at_end0", "0", RIGHT)],
+            ("saw0", "1"): [("saw0", "1", RIGHT)],
+            ("saw1", "1"): [("saw1", "1", RIGHT), ("at_end1", "1", RIGHT)],
+            ("saw1", "0"): [("saw1", "0", RIGHT)],
+            # Verify the guess: next cell must be blank.
+            ("at_end0", BLANK): [("yes", BLANK, STAY)],
+            ("at_end1", BLANK): [("yes", BLANK, STAY)],
+            ("yes", BLANK): [("yes", BLANK, STAY)],
+            ("yes", "0"): [("yes", "0", STAY)],
+            ("yes", "1"): [("yes", "1", STAY)],
+        },
+        start="start",
+        accept="yes",
+    )

@@ -1,0 +1,105 @@
+"""Data vs combined complexity: the measurement harness.
+
+Vardi's classical taxonomy (firmly part of the "metatheory" the paper
+surveys): fix the query and grow the database (**data complexity** —
+polynomial for FO and Datalog), or grow the query too (**combined
+complexity** — PSPACE-hard for FO).  This harness produces the empirical
+curves; the ``test_cook_fagin`` benchmark prints them, and a test asserts
+the qualitative separation (combined growth ratio dwarfs data growth
+ratio on matched sweeps).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..relational.calculus import Exists, RelAtom, Query, AndF, Var
+from ..relational.database import Database
+from ..relational.relation import Relation
+from ..relational.schema import RelationSchema
+
+
+def chain_database(length, fanout=1, name="edge"):
+    """A path graph (optionally with parallel edges) as a database."""
+    edges = []
+    for i in range(length):
+        for j in range(fanout):
+            edges.append((i, i + 1))
+    schema = RelationSchema(name, ("src", "dst"))
+    return Database([Relation(schema, set(edges))])
+
+
+def kpath_query(k, relation="edge"):
+    """The FO query "there is a path of length k from x to y".
+
+    Query size grows with k — the combined-complexity knob.
+    """
+    variables = ["x"] + ["m%d" % i for i in range(1, k)] + ["y"]
+    atoms = [
+        RelAtom(relation, [Var(variables[i]), Var(variables[i + 1])])
+        for i in range(k)
+    ]
+    inner = AndF(*atoms) if len(atoms) > 1 else atoms[0]
+    middles = variables[1:-1]
+    formula = Exists(middles, inner) if middles else inner
+    return Query(["x", "y"], formula)
+
+
+def timed(callable_, *args, repeat=1):
+    """Best-of-``repeat`` wall-clock timing; returns (seconds, result)."""
+    best = None
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = callable_(*args)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def data_complexity_curve(sizes, k=3, evaluator=None):
+    """Fixed query (k-path), growing database.
+
+    Returns:
+        List of ``(n, seconds, answers)`` rows.
+    """
+    from ..relational.codd import calculus_to_algebra
+    from ..relational.algebra import evaluate
+
+    query = kpath_query(k)
+    rows = []
+    for n in sizes:
+        db = chain_database(n)
+        if evaluator is None:
+            expr = calculus_to_algebra(query, db.schema())
+            seconds, result = timed(evaluate, expr, db)
+        else:
+            seconds, result = timed(evaluator, query, db)
+        rows.append((n, seconds, len(result)))
+    return rows
+
+
+def combined_complexity_curve(ks, n=12, evaluator=None):
+    """Fixed database, growing query (k-path for k in ``ks``).
+
+    Returns:
+        List of ``(k, seconds, answers)`` rows.
+    """
+    from ..relational.calculus import evaluate_query
+
+    db = chain_database(n)
+    rows = []
+    for k in ks:
+        query = kpath_query(k)
+        if evaluator is None:
+            seconds, result = timed(evaluate_query, query, db)
+        else:
+            seconds, result = timed(evaluator, query, db)
+        rows.append((k, seconds, len(result)))
+    return rows
+
+
+def growth_ratio(rows):
+    """Last/first timing ratio of a curve (the qualitative summary)."""
+    first = max(rows[0][1], 1e-9)
+    return rows[-1][1] / first

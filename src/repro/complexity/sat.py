@@ -1,0 +1,128 @@
+"""A DPLL SAT solver.
+
+Cook's Theorem, "seen as a result in the study of algorithms for
+satisfiability, is a definite setback" — but SAT still gets solved.  This
+is the classical Davis–Putnam–Logemann–Loveland procedure with unit
+propagation and pure-literal elimination, sufficient to discharge the
+Cook-reduction instances of the benchmarks and to solve modest random
+3-SAT.
+"""
+
+from __future__ import annotations
+
+
+class DPLLResult:
+    """Outcome of a solver run.
+
+    Attributes:
+        assignment: ``{var: bool}`` model, or None when UNSAT.
+        decisions: number of branching decisions made.
+        propagations: number of unit propagations performed.
+    """
+
+    __slots__ = ("assignment", "decisions", "propagations")
+
+    def __init__(self, assignment, decisions, propagations):
+        self.assignment = assignment
+        self.decisions = decisions
+        self.propagations = propagations
+
+    @property
+    def satisfiable(self):
+        return self.assignment is not None
+
+    def __repr__(self):
+        return "DPLLResult(sat=%s, decisions=%d, propagations=%d)" % (
+            self.satisfiable,
+            self.decisions,
+            self.propagations,
+        )
+
+
+def solve(cnf):
+    """Run DPLL on a :class:`~repro.complexity.boolean.CNF`.
+
+    Returns:
+        A :class:`DPLLResult`; when satisfiable, the assignment is total
+        (unconstrained variables default to False).
+    """
+    stats = {"decisions": 0, "propagations": 0}
+    clauses = [frozenset(c) for c in cnf.clauses]
+    model = _dpll(clauses, {}, stats)
+    if model is None:
+        return DPLLResult(None, stats["decisions"], stats["propagations"])
+    assignment = {v: model.get(v, False) for v in range(1, cnf.num_vars + 1)}
+    return DPLLResult(assignment, stats["decisions"], stats["propagations"])
+
+
+def _simplify(clauses, literal):
+    """Assign a literal true: drop satisfied clauses, shrink the rest.
+
+    Returns None on an empty (falsified) clause.
+    """
+    out = []
+    for clause in clauses:
+        if literal in clause:
+            continue
+        if -literal in clause:
+            reduced = clause - {-literal}
+            if not reduced:
+                return None
+            out.append(reduced)
+        else:
+            out.append(clause)
+    return out
+
+
+def _dpll(clauses, assignment, stats):
+    # Unit propagation.
+    while True:
+        unit = next((c for c in clauses if len(c) == 1), None)
+        if unit is None:
+            break
+        literal = next(iter(unit))
+        stats["propagations"] += 1
+        assignment = dict(assignment)
+        assignment[abs(literal)] = literal > 0
+        clauses = _simplify(clauses, literal)
+        if clauses is None:
+            return None
+    # Pure literal elimination.
+    polarity = {}
+    for clause in clauses:
+        for literal in clause:
+            var = abs(literal)
+            polarity[var] = (
+                literal if var not in polarity
+                else (polarity[var] if polarity[var] == literal else 0)
+            )
+    pures = [lit for lit in polarity.values() if lit != 0]
+    if pures:
+        assignment = dict(assignment)
+        for literal in pures:
+            assignment[abs(literal)] = literal > 0
+            simplified = _simplify(clauses, literal)
+            if simplified is None:  # cannot happen for pure literals
+                return None
+            clauses = simplified
+    if not clauses:
+        return assignment
+    # Branch on the first literal of the shortest clause.
+    stats["decisions"] += 1
+    shortest = min(clauses, key=len)
+    literal = next(iter(shortest))
+    for choice in (literal, -literal):
+        simplified = _simplify(clauses, choice)
+        if simplified is None:
+            continue
+        extended = dict(assignment)
+        extended[abs(choice)] = choice > 0
+        model = _dpll(simplified, extended, stats)
+        if model is not None:
+            return model
+    return None
+
+
+def is_satisfiable(cnf):
+    """Convenience: just the boolean answer."""
+    return solve(cnf).satisfiable

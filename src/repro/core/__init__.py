@@ -1,0 +1,51 @@
+"""The unified workbench and the empirical-equivalence harness."""
+
+from .equivalence import (
+    ExperimentReport,
+    chase_vs_armstrong,
+    codd_experiment,
+    datalog_experiment,
+    optimizer_experiment,
+    random_safe_query,
+    run_all,
+)
+from .random_instances import (
+    chain_edges,
+    cycle_edges,
+    edge_database,
+    edge_store,
+    random_database,
+    random_edb,
+    random_fds,
+    random_graph_edges,
+    random_positive_program,
+    same_generation_program,
+    same_generation_store,
+    transitive_closure_program,
+    tree_edges,
+)
+from .workbench import MetatheoryWorkbench
+
+__all__ = [
+    "ExperimentReport",
+    "MetatheoryWorkbench",
+    "chain_edges",
+    "chase_vs_armstrong",
+    "codd_experiment",
+    "cycle_edges",
+    "datalog_experiment",
+    "edge_database",
+    "edge_store",
+    "optimizer_experiment",
+    "random_database",
+    "random_edb",
+    "random_fds",
+    "random_graph_edges",
+    "random_positive_program",
+    "random_safe_query",
+    "run_all",
+    "same_generation_program",
+    "same_generation_store",
+    "transitive_closure_program",
+    "tree_edges",
+]

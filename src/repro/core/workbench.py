@@ -1,0 +1,131 @@
+"""The MetatheoryWorkbench: one facade over the whole corpus.
+
+The library's front door.  A workbench holds one relational database and
+offers every query language and analysis the paper surveys:
+
+* SQL, relational algebra, safe relational calculus (with Codd
+  translation between the latter two);
+* Datalog over the same data, under any of the four strategies;
+* schema analysis: dependencies, keys, normal forms, decompositions,
+  acyclicity, Yannakakis joins;
+* the metascience models, as static methods (they need no data).
+
+See ``examples/quickstart.py`` for the guided tour.
+"""
+
+from __future__ import annotations
+
+from ..acyclic.gyo import is_alpha_acyclic
+from ..acyclic.hypergraph import Hypergraph
+from ..acyclic.yannakakis import naive_join, yannakakis_join
+from ..datalog.engine import DatalogEngine
+from ..datalog.facts import FactStore
+from ..datalog.parser import parse_program
+from ..dependencies.design import DesignTool
+from ..relational.algebra import evaluate
+from ..relational.calculus import evaluate_query
+from ..relational.codd import (
+    algebra_to_calculus,
+    calculus_to_algebra,
+    check_codd_equivalence,
+)
+from ..relational.database import Database
+from ..relational.optimizer import optimize
+from ..relational.sql_frontend import parse_sql
+
+
+class MetatheoryWorkbench:
+    """A database plus every classical way of querying and analyzing it."""
+
+    def __init__(self, db=None):
+        self.db = db if db is not None else Database()
+
+    @classmethod
+    def from_dict(cls, data):
+        """Build from ``{name: (attributes, rows)}`` (see Database)."""
+        return cls(Database.from_dict(data))
+
+    # -- querying ------------------------------------------------------------
+
+    def sql(self, text, optimized=True):
+        """Run a SQL statement; returns a Relation."""
+        expr = parse_sql(text)
+        if optimized:
+            expr = optimize(expr, self.db)
+        return evaluate(expr, self.db)
+
+    def algebra(self, expr, optimized=False):
+        """Evaluate a relational-algebra expression."""
+        if optimized:
+            expr = optimize(expr, self.db)
+        return evaluate(expr, self.db)
+
+    def calculus(self, query, via="algebra"):
+        """Evaluate a safe calculus query.
+
+        Args:
+            query: a :class:`~repro.relational.calculus.Query` or query
+                text like ``"{(x) | person(x)}"``.
+            via: "algebra" compiles through Codd's translation (the
+                production path); "direct" uses active-domain enumeration
+                (the semantics oracle).
+        """
+        if isinstance(query, str):
+            from ..relational.calculus_parser import parse_calculus
+
+            query = parse_calculus(query)
+        if via == "direct":
+            return evaluate_query(query, self.db)
+        expr = calculus_to_algebra(query, self.db.schema())
+        return evaluate(expr, self.db)
+
+    def codd_check(self, query):
+        """Run :func:`~repro.relational.codd.check_codd_equivalence`.
+
+        Accepts a Query object or calculus text.
+        """
+        if isinstance(query, str):
+            from ..relational.calculus_parser import parse_calculus
+
+            query = parse_calculus(query)
+        return check_codd_equivalence(query, self.db)
+
+    def to_calculus(self, expr):
+        """Translate an algebra expression to an equivalent calculus query."""
+        return algebra_to_calculus(expr, self.db.schema())
+
+    # -- Datalog ------------------------------------------------------------------
+
+    def datalog(self, source):
+        """A Datalog engine whose EDB is this workbench's database.
+
+        Any ``?-`` queries in the source are ignored here; use the
+        returned engine's ``.query``.
+        """
+        program, _queries = parse_program(source)
+        return DatalogEngine(program, FactStore.from_database(self.db))
+
+    # -- schema analysis ----------------------------------------------------------
+
+    def design(self, scheme, fds):
+        """A :class:`~repro.dependencies.design.DesignTool` for a scheme."""
+        return DesignTool(scheme, fds)
+
+    def schema_hypergraph(self):
+        """The database schema as a hypergraph."""
+        return Hypergraph.from_schema(self.db.schema())
+
+    def is_acyclic(self):
+        """Alpha-acyclicity of the schema."""
+        return is_alpha_acyclic(self.schema_hypergraph())
+
+    def full_join(self, method="yannakakis"):
+        """Natural join of all relations (acyclic schemas only for
+        "yannakakis"; "naive" works on anything join-connected)."""
+        hypergraph = self.schema_hypergraph()
+        if method == "yannakakis":
+            return yannakakis_join(hypergraph, self.db)
+        return naive_join(hypergraph, self.db)
+
+    def __repr__(self):
+        return "MetatheoryWorkbench(%r)" % (self.db,)

@@ -1,0 +1,157 @@
+"""Fact stores: the runtime extensional/intensional databases.
+
+Engines operate on a :class:`FactStore` — a mapping from predicate name to
+a set of ground tuples.  Bridges to the relational substrate
+(:meth:`FactStore.from_database`, :meth:`FactStore.to_database`) keep the
+Datalog world interoperable with the algebra/calculus world, mirroring how
+deductive databases sat on top of relational storage.
+"""
+
+from __future__ import annotations
+
+from ..errors import DatalogError
+
+
+class FactStore:
+    """A mutable map ``predicate -> set of ground tuples``."""
+
+    __slots__ = ("_facts",)
+
+    def __init__(self, facts=None):
+        self._facts = {}
+        if facts:
+            for predicate, tuples in facts.items():
+                for tup in tuples:
+                    self.add(predicate, tup)
+
+    # -- mutation -------------------------------------------------------
+
+    def add(self, predicate, values):
+        """Insert one ground tuple; returns True if it was new."""
+        values = tuple(values)
+        existing = self._facts.setdefault(predicate, set())
+        if values in existing:
+            return False
+        if existing:
+            sample = next(iter(existing))
+            if len(sample) != len(values):
+                raise DatalogError(
+                    "predicate %r used with arities %d and %d"
+                    % (predicate, len(sample), len(values))
+                )
+        existing.add(values)
+        return True
+
+    def add_all(self, predicate, tuples):
+        """Insert many tuples; returns the number actually new."""
+        added = 0
+        for tup in tuples:
+            if self.add(predicate, tup):
+                added += 1
+        return added
+
+    def merge(self, other):
+        """Union another store into this one; returns tuples added."""
+        added = 0
+        for predicate in other.predicates():
+            added += self.add_all(predicate, other.get(predicate))
+        return added
+
+    # -- queries -----------------------------------------------------------
+
+    def get(self, predicate):
+        """The (possibly empty) set of tuples for ``predicate``."""
+        return self._facts.get(predicate, frozenset())
+
+    def contains(self, predicate, values):
+        return tuple(values) in self._facts.get(predicate, ())
+
+    def predicates(self):
+        return sorted(self._facts)
+
+    def arity(self, predicate):
+        """Arity of a predicate with at least one fact, else None."""
+        tuples = self._facts.get(predicate)
+        if not tuples:
+            return None
+        return len(next(iter(tuples)))
+
+    def count(self, predicate=None):
+        """Number of facts for one predicate, or in total."""
+        if predicate is not None:
+            return len(self._facts.get(predicate, ()))
+        return sum(len(s) for s in self._facts.values())
+
+    def copy(self):
+        store = FactStore()
+        store._facts = {p: set(s) for p, s in self._facts.items()}
+        return store
+
+    def restrict(self, predicates):
+        """A copy containing only the given predicates."""
+        store = FactStore()
+        for predicate in predicates:
+            if predicate in self._facts:
+                store._facts[predicate] = set(self._facts[predicate])
+        return store
+
+    def active_domain(self):
+        values = set()
+        for tuples in self._facts.values():
+            for tup in tuples:
+                values.update(tup)
+        return values
+
+    # -- relational bridge ---------------------------------------------------
+
+    @classmethod
+    def from_database(cls, db):
+        """Ingest a :class:`~repro.relational.database.Database`."""
+        store = cls()
+        for name in db.names():
+            store._facts[name] = set(db[name].tuples)
+        return store
+
+    def to_database(self, attribute_names=None):
+        """Export as a relational Database.
+
+        Args:
+            attribute_names: optional ``{predicate: (attr, ...)}``;
+                defaults to ``c0, c1, ...`` per predicate.
+        """
+        from ..relational.database import Database
+        from ..relational.relation import Relation
+        from ..relational.schema import RelationSchema
+
+        attribute_names = attribute_names or {}
+        db = Database()
+        for predicate in self.predicates():
+            tuples = self._facts[predicate]
+            arity = len(next(iter(tuples))) if tuples else 0
+            attrs = attribute_names.get(
+                predicate, tuple("c%d" % i for i in range(arity))
+            )
+            schema = RelationSchema(predicate, attrs)
+            db.add(Relation(schema, tuples, validate=False))
+        return db
+
+    # -- dunder -----------------------------------------------------------------
+
+    def __contains__(self, predicate):
+        return predicate in self._facts
+
+    def __eq__(self, other):
+        if not isinstance(other, FactStore):
+            return NotImplemented
+        mine = {p: s for p, s in self._facts.items() if s}
+        theirs = {p: s for p, s in other._facts.items() if s}
+        return mine == theirs
+
+    def __len__(self):
+        return self.count()
+
+    def __repr__(self):
+        parts = [
+            "%s:%d" % (p, len(self._facts[p])) for p in self.predicates()
+        ]
+        return "FactStore(%s)" % ", ".join(parts)

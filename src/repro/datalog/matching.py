@@ -1,0 +1,200 @@
+"""Rule-body matching: the physical layer shared by all Datalog engines.
+
+Rule evaluation is a pipeline of hash joins over binding lists: each
+positive literal indexes its fact set on the currently-bound positions and
+probes it with every binding; comparisons and negated literals filter as
+soon as their variables are bound (safety guarantees they eventually are).
+
+Both the naive and semi-naive engines call :func:`evaluate_rule`; the
+semi-naive engine additionally designates one body position to read from a
+*delta* store (the differential trick that gives it its edge — see the
+``test_datalog_strategies`` benchmark).
+"""
+
+from __future__ import annotations
+
+from ..errors import DatalogError
+from .ast import Comparison, Constant, Literal, Variable
+
+
+def extend_bindings(bindings, atom, tuples):
+    """Hash-join a binding list with the facts for one positive literal.
+
+    Args:
+        bindings: list of dicts (variable name -> value); all dicts bind
+            the same variable set (an invariant of left-to-right rule
+            evaluation).
+        atom: the literal's atom.
+        tuples: the fact set for the literal's predicate.
+
+    Returns:
+        The extended binding list.
+    """
+    if not bindings:
+        return []
+    bound_vars = set(bindings[0])
+    key_specs = []  # (position, kind, payload): kind in const|var|dup
+    out_specs = []  # (position, variable name) for newly bound variables
+    first_position = {}
+    for i, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            key_specs.append((i, "const", term.value))
+        elif term.name in bound_vars:
+            key_specs.append((i, "var", term.name))
+        elif term.name in first_position:
+            key_specs.append((i, "dup", first_position[term.name]))
+        else:
+            first_position[term.name] = i
+            out_specs.append((i, term.name))
+
+    var_names = [payload for _, kind, payload in key_specs if kind == "var"]
+    index = {}
+    for tup in tuples:
+        admissible = True
+        for position, kind, payload in key_specs:
+            if kind == "const" and tup[position] != payload:
+                admissible = False
+                break
+            if kind == "dup" and tup[position] != tup[payload]:
+                admissible = False
+                break
+        if not admissible:
+            continue
+        key = tuple(
+            tup[position]
+            for position, kind, _ in key_specs
+            if kind == "var"
+        )
+        index.setdefault(key, []).append(tup)
+
+    extended = []
+    for binding in bindings:
+        key = tuple(binding[name] for name in var_names)
+        for tup in index.get(key, ()):
+            new_binding = dict(binding)
+            for position, name in out_specs:
+                new_binding[name] = tup[position]
+            extended.append(new_binding)
+    return extended
+
+
+def _filter_negative(bindings, atom, tuples):
+    """Keep bindings under which the (fully bound) atom is absent."""
+    kept = []
+    for binding in bindings:
+        if atom.ground_tuple(binding) not in tuples:
+            kept.append(binding)
+    return kept
+
+
+def _filter_comparison(bindings, comparison):
+    return [b for b in bindings if comparison.evaluate(b)]
+
+
+def evaluate_rule(rule, lookup, delta_lookup=None, delta_at=None):
+    """All head tuples derivable by one rule against the given fact views.
+
+    Args:
+        rule: the rule to fire.
+        lookup: callable ``predicate -> set of tuples`` (the full store).
+        delta_lookup: optional callable for the differential store.
+        delta_at: index into ``rule.body``; that positive literal reads
+            from ``delta_lookup`` instead of ``lookup`` (semi-naive mode).
+
+    Returns:
+        A set of ground head tuples.
+    """
+    bindings = [{}]
+    pending = []  # comparisons / negative literals awaiting their variables
+
+    def flush_pending():
+        nonlocal bindings, pending
+        still = []
+        bound = set(bindings[0]) if bindings else set()
+        for item in pending:
+            if not bindings:
+                return
+            if item.variables() <= bound:
+                if isinstance(item, Comparison):
+                    bindings = _filter_comparison(bindings, item)
+                else:
+                    bindings = _filter_negative(
+                        bindings, item.atom, lookup(item.atom.predicate)
+                    )
+            else:
+                still.append(item)
+        pending = still
+
+    for i, item in enumerate(rule.body):
+        if not bindings:
+            return set()
+        if isinstance(item, Literal) and item.positive:
+            source = (
+                delta_lookup
+                if delta_at is not None and i == delta_at
+                else lookup
+            )
+            bindings = extend_bindings(
+                bindings, item.atom, source(item.atom.predicate)
+            )
+            flush_pending()
+        elif isinstance(item, Comparison):
+            bound = set(bindings[0]) if bindings else set()
+            if item.variables() <= bound:
+                bindings = _filter_comparison(bindings, item)
+            elif item.op == "=" and _binds_fresh(item, bound):
+                bindings = _apply_binding_equality(bindings, item)
+            else:
+                pending.append(item)
+        elif isinstance(item, Literal):
+            bound = set(bindings[0]) if bindings else set()
+            if item.variables() <= bound:
+                bindings = _filter_negative(
+                    bindings, item.atom, lookup(item.atom.predicate)
+                )
+            else:
+                pending.append(item)
+        else:
+            raise DatalogError("unknown body item %r" % (item,))
+
+    flush_pending()
+    if pending:
+        raise DatalogError(
+            "rule %s left unbound body items %s (safety bug)"
+            % (rule, "; ".join(map(str, pending)))
+        )
+    return {rule.head.ground_tuple(b) for b in bindings}
+
+
+def _binds_fresh(comparison, bound):
+    """Is this an ``X = c`` (or ``c = X``) that can bind a fresh variable?"""
+    left, right = comparison.left, comparison.right
+    if isinstance(left, Variable) and left.name not in bound:
+        return isinstance(right, Constant) or (
+            isinstance(right, Variable) and right.name in bound
+        )
+    if isinstance(right, Variable) and right.name not in bound:
+        return isinstance(left, Constant) or (
+            isinstance(left, Variable) and left.name in bound
+        )
+    return False
+
+
+def _apply_binding_equality(bindings, comparison):
+    """Extend bindings through an ``X = value`` equality."""
+    left, right = comparison.left, comparison.right
+    bound = set(bindings[0]) if bindings else set()
+    if isinstance(left, Variable) and left.name not in bound:
+        fresh, other = left, right
+    else:
+        fresh, other = right, left
+    extended = []
+    for binding in bindings:
+        if isinstance(other, Constant):
+            value = other.value
+        else:
+            value = binding[other.name]
+        new_binding = dict(binding)
+        new_binding[fresh.name] = value
+        extended.append(new_binding)
+    return extended

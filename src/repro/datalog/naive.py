@@ -1,0 +1,81 @@
+"""Naive bottom-up Datalog evaluation.
+
+The textbook fixpoint: fire every rule against the *entire* current store,
+repeat until nothing new appears.  Simple, obviously correct, and — as the
+``test_datalog_strategies`` benchmark shows — increasingly wasteful as the
+database grows, because round k re-derives everything rounds 1..k-1
+already produced.  It exists here as the semantics oracle and the baseline
+the paper-era optimizations (semi-naive, magic sets) are measured against.
+
+Stratified negation is supported: strata are evaluated in order, so
+negated predicates are complete before any rule reads them.
+"""
+
+from __future__ import annotations
+
+from .analysis import rules_by_stratum
+from .facts import FactStore
+from .matching import evaluate_rule
+
+
+def naive_evaluate(program, edb=None, max_iterations=None):
+    """Compute the (stratified) minimal model of ``program`` over ``edb``.
+
+    Args:
+        program: a :class:`~repro.datalog.ast.Program`.
+        edb: a :class:`~repro.datalog.facts.FactStore` of extensional
+            facts (program-text facts are added on top).
+        max_iterations: optional safety cap per stratum; the fixpoint of a
+            Datalog program always terminates, so this is only a guard for
+            debugging engine changes.
+
+    Returns:
+        A :class:`FactStore` holding EDB and all derived IDB facts.
+    """
+    store = edb.copy() if edb is not None else FactStore()
+    for predicate, values in program.facts():
+        store.add(predicate, values)
+
+    for stratum_rules in rules_by_stratum(program):
+        if not stratum_rules:
+            continue
+        iterations = 0
+        changed = True
+        while changed:
+            changed = False
+            iterations += 1
+            if max_iterations is not None and iterations > max_iterations:
+                raise RuntimeError(
+                    "naive evaluation exceeded %d iterations" % max_iterations
+                )
+            for rule in stratum_rules:
+                derived = evaluate_rule(rule, store.get)
+                if store.add_all(rule.head.predicate, derived):
+                    changed = True
+    return store
+
+
+def naive_iterations(program, edb=None):
+    """Like :func:`naive_evaluate` but also count fixpoint rounds.
+
+    Returns:
+        ``(store, rounds)`` where ``rounds`` sums the per-stratum rounds
+        (including each stratum's final no-change round).  Used by the
+        benchmarks to report work alongside wall-clock time.
+    """
+    store = edb.copy() if edb is not None else FactStore()
+    for predicate, values in program.facts():
+        store.add(predicate, values)
+    rounds = 0
+    for stratum_rules in rules_by_stratum(program):
+        if not stratum_rules:
+            continue
+        changed = True
+        while changed:
+            changed = False
+            rounds += 1
+            for rule in stratum_rules:
+                derived = evaluate_rule(rule, store.get)
+                if store.add_all(rule.head.predicate, derived):
+                    changed = True
+    return store, rounds

@@ -1,0 +1,121 @@
+"""Stratified negation: the semantics layer over the evaluation engines.
+
+"DATALOG, and its two main issues of query optimization and negation,
+took the field by storm" — this module is the negation half.  The
+evaluation machinery for stratified programs lives in the engines (they
+all consume :func:`~repro.datalog.analysis.rules_by_stratum`); what lives
+here is the *semantics*: the perfect (stratified) model, tools to inspect
+it, and the classical closed-world reading of negative facts.
+"""
+
+from __future__ import annotations
+
+from .analysis import stratify
+from .ast import Atom, Constant
+from .facts import FactStore
+from .seminaive import seminaive_evaluate
+
+
+def perfect_model(program, edb=None):
+    """The stratified ("perfect") model of a program.
+
+    For stratifiable programs this is the standard semantics: evaluate
+    strata bottom-up, treating negation on lower strata as set difference.
+    Raises :class:`~repro.errors.StratificationError` otherwise.
+    """
+    stratify(program)  # raises if not stratifiable
+    return seminaive_evaluate(program, edb)
+
+
+def holds(store, atom):
+    """Truth of a ground atom in a model, under the closed-world assumption.
+
+    Args:
+        store: a model (a :class:`~repro.datalog.facts.FactStore`).
+        atom: a ground :class:`~repro.datalog.ast.Atom`.
+
+    Returns:
+        True if the fact is in the model; False otherwise — absence *is*
+        falsity under CWA, which is exactly the reading that turned null
+        values and incomplete information into deductive databases
+        (the paper's §6 lineage).
+    """
+    values = tuple(
+        t.value if isinstance(t, Constant) else _reject_variable(t)
+        for t in atom.terms
+    )
+    return store.contains(atom.predicate, values)
+
+
+def _reject_variable(term):
+    from ..errors import DatalogError
+
+    raise DatalogError("holds() needs a ground atom, found variable %s" % term)
+
+
+def negative_facts(store, predicate, domain=None):
+    """The CWA-negative facts of a predicate: domain^arity minus the model.
+
+    Args:
+        store: the model.
+        predicate: predicate name (must have at least one positive fact,
+            otherwise pass ``domain`` and the arity cannot be inferred).
+        domain: iterable of domain values; defaults to the store's active
+            domain.
+
+    Returns:
+        The set of tuples *not* in the predicate — the explicit content of
+        the closed-world assumption.  Exponential in arity by nature; meant
+        for the small universes of tests and teaching examples.
+    """
+    import itertools
+
+    arity = store.arity(predicate)
+    if arity is None:
+        raise ValueError(
+            "cannot infer arity of %r (no positive facts)" % (predicate,)
+        )
+    if domain is None:
+        domain = store.active_domain()
+    universe = itertools.product(sorted(domain, key=repr), repeat=arity)
+    present = store.get(predicate)
+    return {tup for tup in universe if tup not in present}
+
+
+def complement_program(program, predicate, complement_name, domain_predicate):
+    """Rules materializing the CWA complement of a predicate.
+
+    Produces ``complement(X1..Xn) :- dom(X1), ..., dom(Xn), not p(X1..Xn)``
+    — the standard encoding that turns the closed-world assumption into a
+    stratified program.  Returns the extended program.
+    """
+    from .ast import Literal, Rule, Variable
+
+    arities = {}
+    for rule in program:
+        arities[rule.head.predicate] = rule.head.arity
+        for item in rule.body:
+            if hasattr(item, "atom"):
+                arities[item.atom.predicate] = item.atom.arity
+    if predicate not in arities:
+        raise ValueError("predicate %r not used in program" % (predicate,))
+    arity = arities[predicate]
+    variables = [Variable("X%d" % i) for i in range(arity)]
+    body = [Literal(Atom(domain_predicate, [v])) for v in variables]
+    body.append(Literal(Atom(predicate, variables), positive=False))
+    rule = Rule(Atom(complement_name, variables), body)
+    return program.extend([rule])
+
+
+def model_difference(left, right):
+    """Facts in ``left`` but not in ``right`` (per predicate).
+
+    Handy for comparing the perfect model against alternative semantics
+    or engine outputs in tests.
+    """
+    out = FactStore()
+    for predicate in left.predicates():
+        for tup in left.get(predicate):
+            if not right.contains(predicate, tup):
+                out.add(predicate, tup)
+    return out

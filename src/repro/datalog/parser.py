@@ -1,0 +1,228 @@
+"""Concrete syntax for Datalog programs.
+
+The grammar is the textbook one::
+
+    program   := (rule | fact | query)*
+    rule      := atom ":-" body "."
+    body      := bodyitem ("," bodyitem)*
+    bodyitem  := "not" atom | atom | term cmp term
+    fact      := atom "."
+    query     := "?-" atom "."
+    atom      := predicate "(" term ("," term)* ")" | predicate
+    term      := Variable | constant
+    cmp       := "=" | "!=" | "<" | "<=" | ">" | ">="
+
+Identifiers starting with an uppercase letter or ``_`` are variables;
+lowercase identifiers are symbolic constants (kept as Python strings);
+integers, floats, and double-quoted strings are literal constants.
+``%`` starts a comment running to end of line.
+
+Example::
+
+    program, queries = parse_program('''
+        % transitive closure
+        path(X, Y) :- edge(X, Y).
+        path(X, Z) :- path(X, Y), edge(Y, Z).
+        ?- path(a, X).
+    ''')
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ParseError
+from .ast import Atom, Comparison, Constant, Literal, Program, Rule, Variable
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>%[^\n]*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<implies>:-)
+  | (?P<query>\?-)
+  | (?P<op><=|>=|!=|=|<|>|\(|\)|,|\.)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<space>\s+)
+  | (?P<bad>.)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text):
+    tokens = []
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup
+        if kind in ("space", "comment"):
+            continue
+        if kind == "bad":
+            raise ParseError(
+                "unexpected character %r" % match.group(),
+                position=match.start(),
+                text=text,
+            )
+        value = match.group()
+        if kind == "number":
+            value = float(value) if "." in value else int(value)
+        elif kind == "string":
+            value = value[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+        tokens.append((kind, value, match.start()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens, text):
+        self.tokens = tokens
+        self.text = text
+        self.index = 0
+
+    def peek(self):
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def next(self):
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of program", text=self.text)
+        self.index += 1
+        return token
+
+    def expect(self, kind, value=None):
+        token = self.next()
+        if token[0] != kind or (value is not None and token[1] != value):
+            raise ParseError(
+                "expected %s%s, got %r"
+                % (kind, " %r" % value if value else "", token[1]),
+                position=token[2],
+                text=self.text,
+            )
+        return token
+
+    def accept(self, kind, value=None):
+        token = self.peek()
+        if token and token[0] == kind and (value is None or token[1] == value):
+            self.index += 1
+            return token
+        return None
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse(self):
+        rules = []
+        queries = []
+        while self.peek() is not None:
+            if self.accept("query"):
+                queries.append(self.parse_atom())
+                self.expect("op", ".")
+            else:
+                rules.append(self.parse_clause())
+        return Program(rules), queries
+
+    def parse_clause(self):
+        head = self.parse_atom()
+        body = []
+        if self.accept("implies"):
+            body.append(self.parse_body_item())
+            while self.accept("op", ","):
+                body.append(self.parse_body_item())
+        self.expect("op", ".")
+        return Rule(head, body)
+
+    _CMP_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+    def parse_body_item(self):
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of rule body", text=self.text)
+        if token[0] == "name" and token[1] == "not":
+            self.next()
+            return Literal(self.parse_atom(), positive=False)
+        if token[0] == "name":
+            # One-token lookahead decides atom vs comparison.
+            after = (
+                self.tokens[self.index + 1]
+                if self.index + 1 < len(self.tokens)
+                else None
+            )
+            if after and after[0] == "op" and after[1] in self._CMP_OPS:
+                left = self.parse_term()
+                op = self.next()[1]
+                right = self.parse_term()
+                return Comparison(left, op, right)
+            return Literal(self.parse_atom(), positive=True)
+        # Literal constants can only start a comparison.
+        left = self.parse_term()
+        op_token = self.next()
+        if op_token[0] != "op" or op_token[1] not in self._CMP_OPS:
+            raise ParseError(
+                "expected a comparison operator after constant, got %r"
+                % (op_token[1],),
+                position=op_token[2],
+                text=self.text,
+            )
+        right = self.parse_term()
+        return Comparison(left, op_token[1], right)
+
+    def parse_atom(self):
+        name = self.expect("name")[1]
+        if name == "not":
+            raise ParseError(
+                "'not' is a keyword, not a predicate", text=self.text
+            )
+        terms = []
+        if self.accept("op", "("):
+            terms.append(self.parse_term())
+            while self.accept("op", ","):
+                terms.append(self.parse_term())
+            self.expect("op", ")")
+        return Atom(name, terms)
+
+    def parse_term(self):
+        token = self.next()
+        kind, value, position = token
+        if kind in ("number", "string"):
+            return Constant(value)
+        if kind == "name":
+            if value[0].isupper() or value[0] == "_":
+                return Variable(value)
+            return Constant(value)
+        raise ParseError(
+            "expected a term, got %r" % (value,), position=position, text=self.text
+        )
+
+
+def parse_program(text):
+    """Parse Datalog text into a program and its queries.
+
+    Returns:
+        ``(program, queries)`` — the :class:`~repro.datalog.ast.Program`
+        and a list of query :class:`~repro.datalog.ast.Atom` objects from
+        ``?-`` lines (possibly empty).
+
+    Raises:
+        ParseError: on malformed input.
+        DatalogError: if a parsed rule is unsafe.
+    """
+    tokens = _tokenize(text)
+    return _Parser(tokens, text).parse()
+
+
+def parse_rule(text):
+    """Parse a single rule or fact (with trailing period)."""
+    program, queries = parse_program(text)
+    if queries or len(program.rules) != 1:
+        raise ParseError("expected exactly one rule, got %r" % (text,))
+    return program.rules[0]
+
+
+def parse_query(text):
+    """Parse a single ``?- atom.`` query (the ``?-`` is optional)."""
+    stripped = text.strip()
+    if not stripped.startswith("?-"):
+        stripped = "?- " + stripped
+    if not stripped.rstrip().endswith("."):
+        stripped = stripped.rstrip() + "."
+    program, queries = parse_program(stripped)
+    if program.rules or len(queries) != 1:
+        raise ParseError("expected exactly one query, got %r" % (text,))
+    return queries[0]

@@ -1,0 +1,222 @@
+"""Top-down Datalog evaluation with tabling (QSQ style).
+
+The Prolog-style alternative to bottom-up evaluation: resolve the query
+goal against rule heads, recursively solving subgoals — but with
+*memoization tables* keyed by (predicate, binding pattern, bound values),
+so recursion terminates and each subgoal is solved once.  This is the
+query-subquery (QSQ) family of methods; magic sets is its bottom-up
+simulation, and a classical result says the two explore the same relevant
+facts.
+
+The implementation runs a worklist fixpoint over the table of subgoals:
+each pass re-resolves every discovered subgoal against the current answer
+tables, which is the simplest terminating formulation of tabling (answers
+grow monotonically, so the fixpoint is the correct minimal model restricted
+to relevant subgoals).
+
+Scope: positive programs, like the magic module (and for the same
+classical reasons).
+"""
+
+from __future__ import annotations
+
+from ..errors import DatalogError
+from .ast import Comparison, Constant
+from .magic import match_query
+
+
+class _Subgoal:
+    """A call pattern: predicate plus per-position bound values (or None)."""
+
+    __slots__ = ("predicate", "pattern")
+
+    def __init__(self, predicate, pattern):
+        self.predicate = predicate
+        self.pattern = tuple(pattern)
+
+    def key(self):
+        return (self.predicate, self.pattern)
+
+    def matches(self, values):
+        return all(
+            p is None or p == v for p, v in zip(self.pattern, values)
+        )
+
+    def __repr__(self):
+        rendered = ",".join(
+            "_" if p is None else repr(p) for p in self.pattern
+        )
+        return "%s(%s)" % (self.predicate, rendered)
+
+
+class TopDownEngine:
+    """Tabled top-down evaluation of one program over one EDB.
+
+    The engine is reusable across queries; tables persist and accumulate
+    (sound, since Datalog is monotone).
+    """
+
+    def __init__(self, program, edb):
+        if program.has_negation():
+            raise DatalogError(
+                "top-down tabling is implemented for positive programs"
+            )
+        self.program = program
+        self.edb = edb
+        self.idb = program.idb_predicates()
+        self.tables = {}  # subgoal key -> set of answer tuples
+        self.subgoals = {}  # subgoal key -> _Subgoal
+        self._new_subgoals = False
+        self._program_facts = {}
+        for predicate, values in program.facts():
+            self._program_facts.setdefault(predicate, set()).add(values)
+
+    # -- public API ------------------------------------------------------
+
+    def query(self, query_atom):
+        """All ground tuples of the query predicate matching the atom."""
+        subgoal = self._subgoal_for(query_atom)
+        if query_atom.predicate not in self.idb:
+            facts = self._edb_facts(query_atom.predicate)
+            return {t for t in facts if subgoal.matches(t)}
+        self._register(subgoal)
+        self._fixpoint()
+        answers = self.tables[subgoal.key()]
+        # Repeated variables in the query still need filtering.
+        pseudo = match_query(_StoreView(query_atom.predicate, answers), query_atom)
+        return pseudo
+
+    def table_count(self):
+        """Number of distinct subgoals tabled so far (work measure)."""
+        return len(self.tables)
+
+    # -- internals -------------------------------------------------------------
+
+    def _edb_facts(self, predicate):
+        base = set(self.edb.get(predicate))
+        base |= self._program_facts.get(predicate, set())
+        return base
+
+    def _subgoal_for(self, atom, binding=None):
+        binding = binding or {}
+        pattern = []
+        for term in atom.terms:
+            if isinstance(term, Constant):
+                pattern.append(term.value)
+            elif term.name in binding:
+                pattern.append(binding[term.name])
+            else:
+                pattern.append(None)
+        return _Subgoal(atom.predicate, pattern)
+
+    def _register(self, subgoal):
+        key = subgoal.key()
+        if key not in self.tables:
+            self.tables[key] = set()
+            self.subgoals[key] = subgoal
+            self._new_subgoals = True
+            return True
+        return False
+
+    def _fixpoint(self):
+        changed = True
+        while changed:
+            changed = False
+            self._new_subgoals = False
+            # Iterate over a snapshot: resolution can add subgoals.
+            for key in list(self.tables):
+                subgoal = self.subgoals[key]
+                before = len(self.tables[key])
+                self._resolve(subgoal)
+                if len(self.tables[key]) != before:
+                    changed = True
+            # A freshly discovered subgoal needs at least one resolution
+            # pass even if no table grew this round.
+            changed = changed or self._new_subgoals
+
+    def _resolve(self, subgoal):
+        for rule in self.program.rules_for(subgoal.predicate):
+            bindings = self._unify_head(rule.head, subgoal)
+            if bindings is None:
+                continue
+            bindings = [bindings]
+            for item in rule.body:
+                if not bindings:
+                    break
+                if isinstance(item, Comparison):
+                    bindings = [b for b in bindings if item.evaluate(b)]
+                    continue
+                bindings = self._solve_literal(item, bindings)
+            for binding in bindings:
+                self.tables[subgoal.key()].add(
+                    rule.head.ground_tuple(binding)
+                )
+
+    def _unify_head(self, head, subgoal):
+        """Unify the head with the call pattern; None on clash."""
+        binding = {}
+        for term, bound in zip(head.terms, subgoal.pattern):
+            if bound is None:
+                continue
+            if isinstance(term, Constant):
+                if term.value != bound:
+                    return None
+            else:
+                if binding.setdefault(term.name, bound) != bound:
+                    return None
+        return binding
+
+    def _solve_literal(self, literal, bindings):
+        atom = literal.atom
+        out = []
+        if atom.predicate in self.idb:
+            # Group bindings by call pattern so each subgoal is registered
+            # once; consume current table contents (the fixpoint loop
+            # re-resolves until stable).
+            for binding in bindings:
+                subgoal = self._subgoal_for(atom, binding)
+                self._register(subgoal)
+                answers = self.tables[subgoal.key()]
+                out.extend(self._extend(binding, atom, answers))
+        else:
+            facts = self._edb_facts(atom.predicate)
+            for binding in bindings:
+                out.extend(self._extend(binding, atom, facts))
+        return out
+
+    @staticmethod
+    def _extend(binding, atom, tuples):
+        for tup in tuples:
+            new_binding = dict(binding)
+            ok = True
+            for term, value in zip(atom.terms, tup):
+                if isinstance(term, Constant):
+                    if term.value != value:
+                        ok = False
+                        break
+                else:
+                    if new_binding.setdefault(term.name, value) != value:
+                        ok = False
+                        break
+            if ok:
+                yield new_binding
+
+
+class _StoreView:
+    """Minimal FactStore-like view over one predicate's tuple set."""
+
+    __slots__ = ("predicate", "tuples")
+
+    def __init__(self, predicate, tuples):
+        self.predicate = predicate
+        self.tuples = tuples
+
+    def get(self, predicate):
+        if predicate == self.predicate:
+            return self.tuples
+        return frozenset()
+
+
+def topdown_query(program, edb, query_atom):
+    """One-shot top-down query (fresh tables)."""
+    return TopDownEngine(program, edb).query(query_atom)

@@ -1,0 +1,292 @@
+"""The chase: tableau reasoning for dependencies.
+
+The chase is dependency theory's universal tool — it decides losslessness
+of decompositions, implication of FDs and MVDs (and join dependencies),
+and underlies the universal-relation results of the era the paper's
+Figure 3 charts as "relational theory".
+
+A **tableau** is a relation of variables: *distinguished* variables (one
+per attribute, shared across rows) and *nondistinguished* ones (unique per
+cell unless equated).  Chasing applies dependencies as rewrite rules:
+
+* an FD ``X -> Y`` equates the Y-variables of rows agreeing on X
+  (preferring distinguished variables as representatives);
+* an MVD ``X ->> Y`` adds the "swapped" row for rows agreeing on X.
+
+For FDs alone the chase terminates and is confluent; with MVDs it still
+terminates over the tableau's finite variable population (the classical
+argument), which the implementation relies on.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..errors import ChaseError
+from .fd import FD, attrset
+
+# Variables are small tuples: ("d", attribute) for distinguished,
+# ("n", counter) for nondistinguished.
+
+
+def distinguished(attribute):
+    """The distinguished variable for an attribute."""
+    return ("d", attribute)
+
+
+def is_distinguished(variable):
+    return variable[0] == "d"
+
+
+class Tableau:
+    """A tableau over an ordered attribute tuple."""
+
+    __slots__ = ("attributes", "rows", "_counter")
+
+    def __init__(self, attributes, rows=None):
+        self.attributes = tuple(attributes)
+        self.rows = [tuple(row) for row in rows or []]
+        self._counter = itertools.count()
+
+    @classmethod
+    def for_decomposition(cls, scheme, fragments):
+        """The lossless-join tableau: one row per fragment.
+
+        Row i has the distinguished variable in the columns of fragment i
+        and fresh nondistinguished variables elsewhere (Aho–Beeri–Ullman).
+        """
+        scheme = tuple(sorted(attrset(scheme)))
+        tableau = cls(scheme)
+        for i, fragment in enumerate(fragments):
+            fragment = attrset(fragment)
+            if not fragment <= frozenset(scheme):
+                raise ChaseError(
+                    "fragment %r not contained in scheme %r"
+                    % (sorted(fragment), list(scheme))
+                )
+            row = tuple(
+                distinguished(a) if a in fragment else tableau.fresh()
+                for a in scheme
+            )
+            tableau.rows.append(row)
+        return tableau
+
+    def fresh(self):
+        return ("n", next(self._counter))
+
+    def position(self, attribute):
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise ChaseError(
+                "attribute %r not in tableau %r" % (attribute, self.attributes)
+            ) from None
+
+    def has_distinguished_row(self):
+        """Does some row consist entirely of distinguished variables?"""
+        return any(
+            all(is_distinguished(v) for v in row) for row in self.rows
+        )
+
+    def copy(self):
+        dup = Tableau(self.attributes, self.rows)
+        dup._counter = itertools.count(
+            max(
+                (v[1] + 1 for row in self.rows for v in row if v[0] == "n"),
+                default=0,
+            )
+        )
+        return dup
+
+    def __repr__(self):
+        return "Tableau(%d cols, %d rows)" % (len(self.attributes), len(self.rows))
+
+    def pretty(self):
+        def cell(v):
+            return v[1] if is_distinguished(v) else "n%d" % v[1]
+
+        header = " | ".join(self.attributes)
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            lines.append(" | ".join(cell(v) for v in row))
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Chase steps
+# ---------------------------------------------------------------------------
+
+
+def _apply_fd(tableau, fd):
+    """One FD chase round; returns True if anything changed."""
+    lhs_pos = [tableau.position(a) for a in sorted(fd.lhs)]
+    rhs_pos = [tableau.position(a) for a in sorted(fd.rhs)]
+    changed = False
+    groups = {}
+    for row in tableau.rows:
+        groups.setdefault(tuple(row[p] for p in lhs_pos), []).append(row)
+    substitution = {}
+    for rows in groups.values():
+        if len(rows) < 2:
+            continue
+        for p in rhs_pos:
+            variables = {_find(substitution, row[p]) for row in rows}
+            if len(variables) > 1:
+                representative = _choose_representative(variables)
+                for variable in variables:
+                    if variable != representative:
+                        substitution[variable] = representative
+                changed = True
+    if changed:
+        tableau.rows = [
+            tuple(_find(substitution, v) for v in row) for row in tableau.rows
+        ]
+        tableau.rows = _dedupe(tableau.rows)
+    return changed
+
+
+def _find(substitution, variable):
+    while variable in substitution:
+        variable = substitution[variable]
+    return variable
+
+
+def _choose_representative(variables):
+    """Prefer distinguished variables; break ties deterministically."""
+    return min(
+        variables, key=lambda v: (0 if is_distinguished(v) else 1, repr(v))
+    )
+
+
+def _apply_mvd(tableau, mvd):
+    """One MVD chase round (tuple-generating); True if rows were added."""
+    lhs_pos = [tableau.position(a) for a in sorted(mvd.lhs)]
+    scheme = frozenset(tableau.attributes)
+    y = mvd.rhs & scheme
+    swap_pos = [tableau.position(a) for a in sorted(y - mvd.lhs)]
+    existing = set(tableau.rows)
+    added = False
+    groups = {}
+    for row in tableau.rows:
+        groups.setdefault(tuple(row[p] for p in lhs_pos), []).append(row)
+    for rows in groups.values():
+        for r1 in rows:
+            for r2 in rows:
+                if r1 is r2:
+                    continue
+                new_row = list(r1)
+                for p in swap_pos:
+                    new_row[p] = r2[p]
+                new_row = tuple(new_row)
+                if new_row not in existing:
+                    existing.add(new_row)
+                    tableau.rows.append(new_row)
+                    added = True
+    return added
+
+
+def _dedupe(rows):
+    seen = set()
+    out = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            out.append(row)
+    return out
+
+
+def chase(tableau, dependencies, max_rounds=10000):
+    """Chase a tableau to fixpoint under FDs and MVDs (in place).
+
+    Returns the tableau.  ``max_rounds`` guards against implementation
+    bugs; the chase itself terminates on these dependency classes.
+    """
+    from .mvd import MVD
+
+    for _ in range(max_rounds):
+        changed = False
+        for dependency in dependencies:
+            if isinstance(dependency, FD):
+                changed |= _apply_fd(tableau, dependency)
+            elif isinstance(dependency, MVD):
+                changed |= _apply_mvd(tableau, dependency)
+            else:
+                raise ChaseError(
+                    "chase handles FDs and MVDs, got %r" % (dependency,)
+                )
+        if not changed:
+            return tableau
+    raise ChaseError("chase did not terminate in %d rounds" % max_rounds)
+
+
+# ---------------------------------------------------------------------------
+# Classical chase applications
+# ---------------------------------------------------------------------------
+
+
+def is_lossless_join(scheme, fragments, dependencies):
+    """Aho–Beeri–Ullman test: does the decomposition have a lossless join?
+
+    Chase the decomposition tableau; lossless iff a fully-distinguished
+    row appears.
+    """
+    tableau = Tableau.for_decomposition(scheme, fragments)
+    chase(tableau, dependencies)
+    return tableau.has_distinguished_row()
+
+
+def chase_implies_fd(dependencies, fd, scheme=None):
+    """Does a set of FDs/MVDs imply an FD?  (Two-row tableau chase.)
+
+    Build two rows agreeing exactly on lhs; chase; implied iff the rhs
+    variables have been equated.
+    """
+    scheme = _infer_scheme(dependencies, fd, scheme)
+    tableau = Tableau(scheme)
+    row1 = tuple(distinguished(a) for a in scheme)
+    row2 = tuple(
+        distinguished(a) if a in fd.lhs else tableau.fresh() for a in scheme
+    )
+    tableau.rows = [row1, row2]
+    chase(tableau, dependencies)
+    rhs_pos = [tableau.position(a) for a in sorted(fd.rhs)]
+    for r1 in tableau.rows:
+        for r2 in tableau.rows:
+            lhs_pos = [tableau.position(a) for a in sorted(fd.lhs)]
+            if all(r1[p] == r2[p] for p in lhs_pos):
+                if not all(r1[p] == r2[p] for p in rhs_pos):
+                    return False
+    return True
+
+
+def chase_implies_mvd(dependencies, mvd, scheme=None):
+    """Does a set of FDs/MVDs imply an MVD?  (Two-row tableau chase.)
+
+    Implied iff the chased tableau contains the "swapped" target row.
+    """
+    scheme = _infer_scheme(dependencies, mvd, scheme)
+    tableau = Tableau(scheme)
+    row1 = tuple(distinguished(a) for a in scheme)
+    fresh = {a: tableau.fresh() for a in scheme}
+    row2 = tuple(
+        distinguished(a) if a in mvd.lhs else fresh[a] for a in scheme
+    )
+    tableau.rows = [row1, row2]
+    chase(tableau, dependencies)
+    y = (mvd.rhs & frozenset(scheme)) - mvd.lhs
+    target = tuple(
+        distinguished(a)
+        if a in mvd.lhs or a in y
+        else fresh[a]
+        for a in scheme
+    )
+    return target in set(tableau.rows)
+
+
+def _infer_scheme(dependencies, dependency, scheme):
+    if scheme is not None:
+        return tuple(sorted(attrset(scheme)))
+    attributes = set(dependency.attributes())
+    for d in dependencies:
+        attributes |= d.attributes()
+    return tuple(sorted(attributes))

@@ -1,0 +1,104 @@
+"""Minimal covers of FD sets.
+
+A *minimal (canonical) cover* of F is an equivalent FD set in which every
+right side is a single attribute, no left side has a redundant attribute,
+and no FD is redundant.  Design algorithms (3NF synthesis in particular)
+start from a minimal cover, and the classical theorem says one always
+exists.
+"""
+
+from __future__ import annotations
+
+from .armstrong import attribute_closure, equivalent, implies
+from .fd import FD
+
+
+def split_rhs(fds):
+    """Replace each FD by its single-attribute-rhs decomposition."""
+    out = []
+    for fd in fds:
+        out.extend(fd.decompose())
+    return out
+
+
+def remove_extraneous_lhs(fds):
+    """Drop attributes from left sides that the rest of F can supply.
+
+    An attribute A in X of ``X -> B`` is extraneous when
+    ``(X - A)+ ⊇ {B}`` under F.
+    """
+    fds = list(fds)
+    changed = True
+    while changed:
+        changed = False
+        for i, fd in enumerate(fds):
+            if len(fd.lhs) <= 1:
+                continue
+            for attribute in sorted(fd.lhs):
+                reduced = fd.lhs - {attribute}
+                if fd.rhs <= attribute_closure(reduced, fds):
+                    fds[i] = FD(reduced, fd.rhs)
+                    changed = True
+                    break
+            if changed:
+                break
+    return fds
+
+
+def remove_redundant_fds(fds):
+    """Drop FDs implied by the others."""
+    fds = list(fds)
+    i = 0
+    while i < len(fds):
+        candidate = fds[i]
+        rest = fds[:i] + fds[i + 1:]
+        if implies(rest, candidate):
+            fds = rest
+        else:
+            i += 1
+    return fds
+
+
+def minimal_cover(fds):
+    """A minimal cover of F (single-attribute right sides).
+
+    The classical three-phase algorithm: split right sides, minimize left
+    sides, drop redundant FDs.  The result is equivalent to F (asserted by
+    a property test) and deterministic given the input order.
+    """
+    out = split_rhs(fds)
+    out = remove_extraneous_lhs(out)
+    out = remove_redundant_fds(out)
+    return out
+
+
+def canonical_cover(fds):
+    """A minimal cover with same-lhs FDs merged back together.
+
+    Some texts call this the canonical form; 3NF synthesis uses it so that
+    each left side yields a single scheme.
+    """
+    minimal = minimal_cover(fds)
+    grouped = {}
+    for fd in minimal:
+        grouped.setdefault(fd.lhs, set()).update(fd.rhs)
+    return [
+        FD(lhs, rhs)
+        for lhs, rhs in sorted(
+            grouped.items(), key=lambda kv: (sorted(kv[0]), sorted(kv[1]))
+        )
+    ]
+
+
+def is_minimal(fds):
+    """Check the three minimality conditions directly."""
+    if any(len(fd.rhs) != 1 for fd in fds):
+        return False
+    if remove_extraneous_lhs(list(fds)) != list(fds):
+        return False
+    return len(remove_redundant_fds(list(fds))) == len(list(fds))
+
+
+def cover_is_equivalent(original, cover):
+    """Sanity helper: is ``cover`` equivalent to ``original``?"""
+    return equivalent(list(original), list(cover))

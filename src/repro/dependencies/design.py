@@ -1,0 +1,141 @@
+"""The database design toolkit: the "twenty design tools" facade.
+
+The paper counts normalization as the theory that demonstrably reached
+practice: "[BCN] mentions more than twenty database design tools that do
+some form of normalization".  :class:`DesignTool` is one of those tools as
+a library object — feed it a scheme and its dependencies, get back the
+full design report: keys, normal-form diagnosis, both classical
+decompositions, and quality guarantees for each.
+"""
+
+from __future__ import annotations
+
+from .armstrong import attribute_closure
+from .cover import canonical_cover, minimal_cover
+from .fd import attrset, parse_fds, render_attrset
+from .keys import candidate_keys, prime_attributes
+from .normal_forms import (
+    bcnf_decompose,
+    decomposition_report,
+    normal_form_level,
+    synthesize_3nf,
+)
+
+
+class DesignTool:
+    """A relational schema design assistant.
+
+    Args:
+        scheme: the universal scheme's attributes (any
+            :func:`~repro.dependencies.fd.attrset` input form).
+        fds: an iterable of :class:`~repro.dependencies.fd.FD` or a text
+            block parseable by :func:`~repro.dependencies.fd.parse_fds`.
+
+    Example::
+
+        tool = DesignTool("A B C D", "A -> B; B -> C")
+        tool.normal_form()          # "1NF"
+        tool.bcnf()                 # lossless BCNF decomposition + report
+        tool.third_normal_form()    # lossless, preserving 3NF synthesis
+    """
+
+    def __init__(self, scheme, fds):
+        self.scheme = attrset(scheme)
+        if isinstance(fds, str):
+            fds = parse_fds(fds)
+        self.fds = list(fds)
+        for fd in self.fds:
+            if not fd.attributes() <= self.scheme:
+                raise ValueError(
+                    "FD %s mentions attributes outside the scheme %s"
+                    % (fd, render_attrset(self.scheme))
+                )
+
+    # -- analysis ----------------------------------------------------------
+
+    def keys(self):
+        """All candidate keys of the scheme."""
+        return candidate_keys(self.scheme, self.fds)
+
+    def primes(self):
+        """The prime attributes."""
+        return prime_attributes(self.scheme, self.fds)
+
+    def closure_of(self, attributes):
+        """X+ for any attribute set."""
+        return attribute_closure(attributes, self.fds)
+
+    def normal_form(self):
+        """The scheme's normal-form level: "1NF".."BCNF"."""
+        return normal_form_level(self.scheme, self.fds)
+
+    def minimal_cover(self):
+        """A minimal cover of the FDs."""
+        return minimal_cover(self.fds)
+
+    def canonical_cover(self):
+        """Minimal cover with merged left sides."""
+        return canonical_cover(self.fds)
+
+    # -- decompositions ----------------------------------------------------
+
+    def bcnf(self):
+        """BCNF decomposition with its quality report.
+
+        Returns:
+            A report dict: ``fragments`` (list of frozensets),
+            ``lossless`` (always True for this algorithm — asserted, not
+            assumed), ``dependency_preserving`` (may be False: the
+            classical trade-off), ``fragment_normal_forms``.
+        """
+        fragments = bcnf_decompose(self.scheme, self.fds)
+        return decomposition_report(self.scheme, fragments, self.fds)
+
+    def third_normal_form(self):
+        """3NF synthesis with its quality report (lossless + preserving)."""
+        fragments = synthesize_3nf(self.scheme, self.fds)
+        return decomposition_report(self.scheme, fragments, self.fds)
+
+    # -- presentation ------------------------------------------------------------
+
+    def report(self):
+        """The full design report as a formatted string."""
+        lines = []
+        lines.append("Scheme: %s" % render_attrset(self.scheme))
+        lines.append(
+            "FDs: %s" % "; ".join(str(fd) for fd in self.fds)
+        )
+        lines.append(
+            "Candidate keys: %s"
+            % ", ".join(render_attrset(k) for k in self.keys())
+        )
+        lines.append("Prime attributes: %s" % render_attrset(self.primes()))
+        lines.append("Normal form: %s" % self.normal_form())
+        for title, report in (
+            ("BCNF decomposition", self.bcnf()),
+            ("3NF synthesis", self.third_normal_form()),
+        ):
+            lines.append("%s:" % title)
+            lines.append(
+                "  fragments: %s"
+                % ", ".join(
+                    render_attrset(f) for f in report["fragments"]
+                )
+            )
+            lines.append("  lossless join: %s" % report["lossless"])
+            lines.append(
+                "  dependency preserving: %s"
+                % report["dependency_preserving"]
+            )
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "DesignTool(%s, %d FDs)" % (
+            render_attrset(self.scheme),
+            len(self.fds),
+        )
+
+
+def design(scheme, fds):
+    """Shorthand: build a :class:`DesignTool` and return its report text."""
+    return DesignTool(scheme, fds).report()

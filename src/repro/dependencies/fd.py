@@ -1,0 +1,127 @@
+"""Functional dependencies and attribute-set utilities.
+
+The raw material of "the need and importance of normalization in
+relational databases, and the role played by dependencies in it" (§2(c)).
+An FD ``X -> Y`` over a relation scheme says: tuples agreeing on X agree
+on Y.  Attribute sets are frozensets of attribute names throughout the
+package.
+"""
+
+from __future__ import annotations
+
+from ..errors import DependencyError
+
+
+def attrset(attributes):
+    """Normalize to a frozenset of attribute names.
+
+    Accepts an iterable of names, a whitespace/comma-separated string
+    (``"A B"`` or ``"A,B"``), or a single name.
+    """
+    if isinstance(attributes, str):
+        parts = attributes.replace(",", " ").split()
+        return frozenset(parts)
+    return frozenset(attributes)
+
+
+def render_attrset(attributes):
+    """Deterministic display form of an attribute set."""
+    return "".join(sorted(attributes)) if attributes else "{}"
+
+
+class FD:
+    """A functional dependency ``lhs -> rhs``.
+
+    Both sides are attribute sets; the right side may not be empty
+    (trivially empty FDs carry no information and only complicate
+    algorithms).
+    """
+
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs, rhs):
+        self.lhs = attrset(lhs)
+        self.rhs = attrset(rhs)
+        if not self.rhs:
+            raise DependencyError("FD with empty right-hand side")
+
+    @classmethod
+    def parse(cls, text):
+        """Parse ``"A B -> C"`` / ``"AB→C"`` style FD text."""
+        arrow = "->" if "->" in text else ("→" if "→" in text else None)
+        if arrow is None:
+            raise DependencyError("FD text needs an arrow: %r" % (text,))
+        left, right = text.split(arrow, 1)
+        return cls(attrset(left), attrset(right))
+
+    def is_trivial(self):
+        """Trivial iff rhs ⊆ lhs (holds in every relation)."""
+        return self.rhs <= self.lhs
+
+    def attributes(self):
+        return self.lhs | self.rhs
+
+    def decompose(self):
+        """Split into single-attribute-rhs FDs (Armstrong decomposition)."""
+        return [FD(self.lhs, {a}) for a in sorted(self.rhs)]
+
+    def holds_in(self, relation):
+        """Check the FD against a concrete relation instance."""
+        positions_lhs = [relation.schema.position(a) for a in sorted(self.lhs)]
+        positions_rhs = [relation.schema.position(a) for a in sorted(self.rhs)]
+        seen = {}
+        for tup in relation.tuples:
+            key = tuple(tup[p] for p in positions_lhs)
+            image = tuple(tup[p] for p in positions_rhs)
+            if seen.setdefault(key, image) != image:
+                return False
+        return True
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, FD)
+            and other.lhs == self.lhs
+            and other.rhs == self.rhs
+        )
+
+    def __hash__(self):
+        return hash(("FD", self.lhs, self.rhs))
+
+    def __repr__(self):
+        return "FD(%r, %r)" % (sorted(self.lhs), sorted(self.rhs))
+
+    def __str__(self):
+        return "%s -> %s" % (render_attrset(self.lhs), render_attrset(self.rhs))
+
+
+def parse_fds(text):
+    """Parse semicolon- or newline-separated FDs.
+
+    Example::
+
+        parse_fds("A -> B; B -> C")
+    """
+    fds = []
+    for chunk in text.replace(";", "\n").splitlines():
+        chunk = chunk.strip()
+        if chunk:
+            fds.append(FD.parse(chunk))
+    return fds
+
+
+def fds_attributes(fds):
+    """All attributes mentioned by a collection of FDs."""
+    out = set()
+    for fd in fds:
+        out |= fd.attributes()
+    return frozenset(out)
+
+
+def satisfies_all(relation, fds):
+    """Does the relation satisfy every FD?"""
+    return all(fd.holds_in(relation) for fd in fds)
+
+
+def violations(relation, fds):
+    """The FDs the relation violates (for design-tool reporting)."""
+    return [fd for fd in fds if not fd.holds_in(relation)]

@@ -1,0 +1,169 @@
+"""Join dependencies and fifth normal form (PJ/NF).
+
+The last rung of the classical dependency ladder: a join dependency
+``*(R1, ..., Rk)`` over scheme R asserts that R decomposes losslessly
+into the components — equivalently, every instance equals the join of
+its projections.  MVDs are exactly the binary JDs; the chase decides JD
+implication (the decomposition tableau again), and **fifth normal form**
+(projection-join normal form) says every implied nontrivial JD should
+follow from the keys alone.
+"""
+
+from __future__ import annotations
+
+from ..errors import DependencyError
+from .chase import Tableau, chase
+from .fd import FD, attrset, render_attrset
+from .keys import candidate_keys
+
+
+class JD:
+    """A join dependency ``*(component_1, ..., component_k)``."""
+
+    __slots__ = ("components",)
+
+    def __init__(self, components):
+        self.components = tuple(attrset(c) for c in components)
+        if len(self.components) < 2:
+            raise DependencyError("a JD needs at least two components")
+        for component in self.components:
+            if not component:
+                raise DependencyError("JD with an empty component")
+
+    def scheme(self):
+        """The union of the components."""
+        out = frozenset()
+        for component in self.components:
+            out |= component
+        return out
+
+    def attributes(self):
+        return self.scheme()
+
+    def is_trivial(self, scheme=None):
+        """Trivial iff some component covers the whole scheme."""
+        scheme = attrset(scheme) if scheme is not None else self.scheme()
+        return any(scheme <= component for component in self.components)
+
+    def holds_in(self, relation):
+        """Does the instance equal the join of its projections?
+
+        The spurious-tuple test, run literally.
+        """
+        projections = [
+            relation.project(tuple(sorted(component)))
+            for component in self.components
+        ]
+        joined = projections[0]
+        for projection in projections[1:]:
+            joined = joined.natural_join(projection)
+        joined = joined.project(relation.schema.attributes)
+        return joined.tuples == relation.tuples
+
+    @classmethod
+    def from_mvd(cls, mvd, scheme):
+        """The binary JD equivalent to an MVD over ``scheme``."""
+        scheme = attrset(scheme)
+        y = (mvd.rhs & scheme) - mvd.lhs
+        rest = scheme - y
+        return cls([mvd.lhs | y, rest])
+
+    def __eq__(self, other):
+        return isinstance(other, JD) and set(other.components) == set(
+            self.components
+        )
+
+    def __hash__(self):
+        return hash(("JD", frozenset(self.components)))
+
+    def __repr__(self):
+        return "JD(%r)" % ([sorted(c) for c in self.components],)
+
+    def __str__(self):
+        return "*(%s)" % ", ".join(
+            render_attrset(c) for c in self.components
+        )
+
+
+def chase_implies_jd(dependencies, jd, scheme=None):
+    """Do the FDs/MVDs imply the JD?  (Decomposition-tableau chase.)
+
+    Implied iff chasing the tableau with one row per component produces
+    a fully distinguished row — Aho–Beeri–Ullman, verbatim.
+    """
+    scheme = attrset(scheme) if scheme is not None else jd.scheme()
+    if not jd.scheme() <= scheme:
+        raise DependencyError(
+            "JD %s escapes the scheme %s" % (jd, render_attrset(scheme))
+        )
+    tableau = Tableau.for_decomposition(scheme, jd.components)
+    chase(tableau, list(dependencies))
+    return tableau.has_distinguished_row()
+
+
+def key_fds(scheme, fds):
+    """The FDs contributed by the candidate keys: key -> scheme."""
+    scheme = attrset(scheme)
+    return [
+        FD(key, scheme - key)
+        for key in candidate_keys(scheme, fds)
+        if scheme - key
+    ]
+
+
+def is_5nf(scheme, fds, jds):
+    """Fifth normal form over a *declared* set of JDs.
+
+    A scheme is in 5NF (PJ/NF) w.r.t. its FDs and JDs when every
+    declared nontrivial JD is already implied by the candidate keys.
+    (The fully general definition quantifies over all implied JDs; the
+    declared-set check is the practical criterion design texts use.)
+    """
+    scheme = attrset(scheme)
+    keys = key_fds(scheme, fds)
+    for jd in jds:
+        if jd.is_trivial(scheme):
+            continue
+        if not chase_implies_jd(keys, jd, scheme=scheme):
+            return False
+    return True
+
+
+def decompose_5nf(scheme, fds, jds):
+    """Split along declared JDs that violate 5NF.
+
+    Each violating JD's components become fragments (lossless by the
+    JD's own semantics); fragments are then checked recursively against
+    the JDs projected onto them (a JD projects onto a fragment as the
+    components intersected with it, when at least two stay nonempty).
+    """
+    scheme = attrset(scheme)
+    worklist = [scheme]
+    result = []
+    while worklist:
+        fragment = worklist.pop()
+        violating = None
+        for jd in jds:
+            restricted = _project_jd(jd, fragment)
+            if restricted is None or restricted.is_trivial(fragment):
+                continue
+            keys = key_fds(fragment, fds)
+            if not chase_implies_jd(keys, restricted, scheme=fragment):
+                violating = restricted
+                break
+        if violating is None:
+            result.append(fragment)
+            continue
+        for component in violating.components:
+            if component != fragment:
+                worklist.append(component)
+    return sorted(set(result), key=lambda f: (len(f), sorted(f)))
+
+
+def _project_jd(jd, fragment):
+    components = [c & fragment for c in jd.components]
+    components = [c for c in components if c]
+    covered = frozenset().union(*components) if components else frozenset()
+    if len(components) < 2 or covered != fragment:
+        return None
+    return JD(components)

@@ -1,0 +1,85 @@
+"""Candidate keys and prime attributes.
+
+A key of scheme R under F is a minimal attribute set whose closure is all
+of R.  Key enumeration is the gateway test for every normal form, and is
+NP-hard in general — the implementation uses the standard pruning (seeds
+from attributes missing from all right sides) and is comfortably fast on
+design-sized schemes.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from .armstrong import attribute_closure
+from .fd import attrset, fds_attributes
+
+
+def is_superkey(attributes, scheme, fds):
+    """Does ``attributes`` functionally determine the whole scheme?"""
+    return attrset(scheme) <= attribute_closure(attributes, fds)
+
+
+def is_candidate_key(attributes, scheme, fds):
+    """Superkey with no proper superkey subset."""
+    attributes = attrset(attributes)
+    if not is_superkey(attributes, scheme, fds):
+        return False
+    return all(
+        not is_superkey(attributes - {a}, scheme, fds) for a in attributes
+    )
+
+
+def candidate_keys(scheme, fds):
+    """All candidate keys of ``scheme`` under ``fds``.
+
+    Every key must contain the attributes that appear in no FD right side
+    (nothing else can derive them); the search enumerates extensions of
+    that core by subset size, pruning supersets of found keys.
+
+    Returns:
+        A list of frozensets, sorted by (size, lexicographic).
+    """
+    scheme = attrset(scheme)
+    in_rhs = set()
+    for fd in fds:
+        in_rhs |= fd.rhs & scheme
+    core = scheme - in_rhs  # attributes derivable only from themselves
+    candidates = []
+    others = sorted(scheme - core)
+    if is_superkey(core, scheme, fds):
+        return [frozenset(core)]
+    for r in range(1, len(others) + 1):
+        for extra in itertools.combinations(others, r):
+            candidate = core | frozenset(extra)
+            if any(key <= candidate for key in candidates):
+                continue
+            if is_superkey(candidate, scheme, fds):
+                candidates.append(frozenset(candidate))
+    return sorted(candidates, key=lambda k: (len(k), sorted(k)))
+
+
+def prime_attributes(scheme, fds):
+    """Attributes belonging to at least one candidate key."""
+    out = set()
+    for key in candidate_keys(scheme, fds):
+        out |= key
+    return frozenset(out)
+
+
+def key_of(fds, scheme=None):
+    """One (arbitrary but deterministic) candidate key.
+
+    The classical shrink algorithm: start from the full scheme, drop
+    attributes while the rest remains a superkey.  Linear number of
+    closure computations — used where any key will do (e.g. the 3NF
+    synthesis "ensure a key scheme" step).
+    """
+    if scheme is None:
+        scheme = fds_attributes(fds)
+    scheme = attrset(scheme)
+    key = set(scheme)
+    for attribute in sorted(scheme):
+        if is_superkey(key - {attribute}, scheme, fds):
+            key.discard(attribute)
+    return frozenset(key)

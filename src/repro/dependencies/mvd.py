@@ -1,0 +1,185 @@
+"""Multivalued dependencies and fourth normal form.
+
+An MVD ``X ->> Y`` over scheme R holds when, fixing X, the Y-values and
+the (R - X - Y)-values vary independently — equivalently, R decomposes
+losslessly into XY and X(R-Y).  MVDs are the dependencies of the
+"non-flat data" boundary: they are exactly what join dependencies of two
+components look like, and 4NF is BCNF's analogue for them.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..errors import DependencyError
+from .fd import attrset, render_attrset
+
+
+class MVD:
+    """A multivalued dependency ``lhs ->> rhs``."""
+
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs, rhs):
+        self.lhs = attrset(lhs)
+        self.rhs = attrset(rhs)
+        if not self.rhs:
+            raise DependencyError("MVD with empty right-hand side")
+
+    @classmethod
+    def parse(cls, text):
+        """Parse ``"A ->> B C"`` style MVD text."""
+        if "->>" not in text:
+            raise DependencyError("MVD text needs '->>': %r" % (text,))
+        left, right = text.split("->>", 1)
+        return cls(attrset(left), attrset(right))
+
+    def attributes(self):
+        return self.lhs | self.rhs
+
+    def is_trivial(self, scheme):
+        """Trivial iff Y ⊆ X or X ∪ Y = R."""
+        scheme = attrset(scheme)
+        y = self.rhs & scheme
+        return y <= self.lhs or (self.lhs | y) == scheme
+
+    def holds_in(self, relation):
+        """Check the MVD against a concrete relation instance.
+
+        Uses the exchange definition: for tuples t1, t2 agreeing on X,
+        the tuple taking Y from t1 and the rest from t2 must be present.
+        """
+        schema = relation.schema
+        scheme = frozenset(schema.attributes)
+        y = (self.rhs & scheme) - self.lhs
+        lhs_pos = [schema.position(a) for a in sorted(self.lhs)]
+        y_pos = [schema.position(a) for a in sorted(y)]
+        groups = {}
+        for tup in relation.tuples:
+            groups.setdefault(tuple(tup[p] for p in lhs_pos), []).append(tup)
+        present = relation.tuples
+        for rows in groups.values():
+            for t1, t2 in itertools.product(rows, repeat=2):
+                swapped = list(t2)
+                for p in y_pos:
+                    swapped[p] = t1[p]
+                if tuple(swapped) not in present:
+                    return False
+        return True
+
+    def complement(self, scheme):
+        """The complementation-rule partner ``X ->> R - X - Y``."""
+        scheme = attrset(scheme)
+        rest = scheme - self.lhs - self.rhs
+        if not rest:
+            raise DependencyError(
+                "complement of %s over %s is empty" % (self, sorted(scheme))
+            )
+        return MVD(self.lhs, rest)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, MVD)
+            and other.lhs == self.lhs
+            and other.rhs == self.rhs
+        )
+
+    def __hash__(self):
+        return hash(("MVD", self.lhs, self.rhs))
+
+    def __repr__(self):
+        return "MVD(%r, %r)" % (sorted(self.lhs), sorted(self.rhs))
+
+    def __str__(self):
+        return "%s ->> %s" % (
+            render_attrset(self.lhs),
+            render_attrset(self.rhs),
+        )
+
+
+def fd_as_mvd(fd):
+    """Every FD is an MVD (the classical inclusion)."""
+    return MVD(fd.lhs, fd.rhs)
+
+
+def is_4nf(scheme, dependencies):
+    """Is the scheme in fourth normal form?
+
+    4NF: for every implied non-trivial MVD ``X ->> Y`` (with XY ⊆ R), X is
+    a superkey.  Implication is decided by the chase over the FDs and MVDs
+    given; candidate MVDs are enumerated over the scheme (exponential, as
+    the definition demands — design-sized schemes only).
+    """
+    from .chase import chase_implies_mvd
+    from .fd import FD
+    from .keys import is_superkey
+
+    scheme = attrset(scheme)
+    fds = [d for d in dependencies if isinstance(d, FD)]
+    members = sorted(scheme)
+    for r in range(0, len(members)):
+        for lhs in itertools.combinations(members, r):
+            lhs_set = frozenset(lhs)
+            for r2 in range(1, len(members) + 1):
+                for rhs in itertools.combinations(members, r2):
+                    mvd = MVD(lhs_set or frozenset(), frozenset(rhs))
+                    if not mvd.lhs:
+                        continue
+                    if mvd.is_trivial(scheme):
+                        continue
+                    if not chase_implies_mvd(
+                        dependencies, mvd, scheme=scheme
+                    ):
+                        continue
+                    if not is_superkey(mvd.lhs, scheme, fds):
+                        return False
+    return True
+
+
+def violating_mvd(scheme, dependencies):
+    """A non-trivial implied MVD whose lhs is not a superkey, or None."""
+    from .chase import chase_implies_mvd
+    from .fd import FD
+    from .keys import is_superkey
+
+    scheme = attrset(scheme)
+    fds = [d for d in dependencies if isinstance(d, FD)]
+    members = sorted(scheme)
+    for r in range(1, len(members)):
+        for lhs in itertools.combinations(members, r):
+            lhs_set = frozenset(lhs)
+            if is_superkey(lhs_set, scheme, fds):
+                continue
+            for r2 in range(1, len(members) + 1):
+                for rhs in itertools.combinations(members, r2):
+                    mvd = MVD(lhs_set, frozenset(rhs))
+                    if mvd.is_trivial(scheme):
+                        continue
+                    if chase_implies_mvd(dependencies, mvd, scheme=scheme):
+                        return mvd
+    return None
+
+
+def decompose_4nf(scheme, dependencies):
+    """Decompose a scheme into 4NF fragments (lossless by construction).
+
+    The BCNF-style loop: while some fragment violates 4NF via MVD
+    ``X ->> Y``, split it into XY and X(R - Y).
+    """
+    worklist = [attrset(scheme)]
+    result = []
+    while worklist:
+        fragment = worklist.pop()
+        mvd = violating_mvd(fragment, dependencies)
+        if mvd is None:
+            result.append(fragment)
+            continue
+        y = (mvd.rhs & fragment) - mvd.lhs
+        left = mvd.lhs | y
+        right = fragment - y
+        if left == fragment or right == fragment:
+            result.append(fragment)  # degenerate split; fragment is final
+            continue
+        worklist.append(left)
+        worklist.append(right)
+    return sorted(result, key=lambda f: (len(f), sorted(f)))

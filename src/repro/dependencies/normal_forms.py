@@ -1,0 +1,246 @@
+"""Normal forms: tests, BCNF decomposition, and 3NF synthesis.
+
+"Normalization and dependency theory, for all its innumerable tangents,
+has reached practice in the form of database design tools" (§6) — these
+are the algorithms those tools run:
+
+* normal-form *tests* for 2NF, 3NF, and BCNF;
+* the classical **BCNF decomposition** loop (lossless, not always
+  dependency preserving);
+* the classical **3NF synthesis** from a canonical cover (lossless *and*
+  dependency preserving — the textbook trade-off, which the tests assert
+  on random schemas).
+"""
+
+from __future__ import annotations
+
+from ..errors import NormalizationError
+from .armstrong import attribute_closure, project
+from .chase import is_lossless_join
+from .cover import canonical_cover
+from .fd import FD, attrset
+from .keys import candidate_keys, is_superkey, key_of, prime_attributes
+
+# ---------------------------------------------------------------------------
+# Tests
+# ---------------------------------------------------------------------------
+
+
+def violates_bcnf(scheme, fds):
+    """A non-trivial FD (over the scheme) whose lhs is not a superkey.
+
+    Checks the *projected* dependencies via attribute closures, so it is
+    correct for fragments of a decomposition, not only whole schemes.
+    Returns the violating FD (with maximal rhs) or None.
+    """
+    scheme = attrset(scheme)
+    import itertools
+
+    members = sorted(scheme)
+    for r in range(1, len(members)):
+        for lhs in itertools.combinations(members, r):
+            lhs_set = frozenset(lhs)
+            closed = attribute_closure(lhs_set, fds) & scheme
+            rhs = closed - lhs_set
+            if rhs and not scheme <= attribute_closure(lhs_set, fds):
+                return FD(lhs_set, rhs)
+    return None
+
+
+def is_bcnf(scheme, fds):
+    """Boyce–Codd normal form: every determinant is a superkey."""
+    return violates_bcnf(scheme, fds) is None
+
+
+def is_3nf(scheme, fds):
+    """Third normal form: lhs superkey or rhs attributes prime.
+
+    Checked over the projection of F onto the scheme.
+    """
+    scheme = attrset(scheme)
+    prime = prime_attributes(scheme, list(project(fds, scheme)))
+    for fd in project(fds, scheme):
+        if fd.is_trivial():
+            continue
+        if is_superkey(fd.lhs, scheme, fds):
+            continue
+        if not (fd.rhs - fd.lhs) <= prime:
+            return False
+    return True
+
+
+def is_2nf(scheme, fds):
+    """Second normal form: no partial dependency of a non-prime attribute.
+
+    A non-prime attribute may not depend on a *proper subset* of a
+    candidate key.
+    """
+    scheme = attrset(scheme)
+    projected = list(project(fds, scheme))
+    keys = candidate_keys(scheme, projected)
+    prime = prime_attributes(scheme, projected)
+    non_prime = scheme - prime
+    import itertools
+
+    for key in keys:
+        if len(key) < 2:
+            continue
+        for r in range(1, len(key)):
+            for part in itertools.combinations(sorted(key), r):
+                closed = attribute_closure(part, projected) & scheme
+                if (closed - frozenset(part)) & non_prime:
+                    return False
+    return True
+
+
+def normal_form_level(scheme, fds):
+    """Highest classical normal form satisfied: "1NF", "2NF", "3NF", "BCNF".
+
+    (1NF is free in the relational model — attributes are atomic by
+    construction.)
+    """
+    if is_bcnf(scheme, fds):
+        return "BCNF"
+    if is_3nf(scheme, fds):
+        return "3NF"
+    if is_2nf(scheme, fds):
+        return "2NF"
+    return "1NF"
+
+
+# ---------------------------------------------------------------------------
+# BCNF decomposition
+# ---------------------------------------------------------------------------
+
+
+def bcnf_decompose(scheme, fds):
+    """Lossless BCNF decomposition by the classical splitting loop.
+
+    While a fragment has a violating FD ``X -> Y``, replace it by
+    ``X ∪ (closure(X) ∩ fragment)`` and ``fragment - (closure - X)``.
+    Lossless at every step (each split is along an FD); dependency
+    preservation is *not* guaranteed — :func:`preserves_dependencies`
+    reports whether it happened to hold, as a design tool would.
+    """
+    worklist = [attrset(scheme)]
+    result = []
+    while worklist:
+        fragment = worklist.pop()
+        if len(fragment) <= 2:
+            result.append(fragment)
+            continue
+        violation = violates_bcnf(fragment, fds)
+        if violation is None:
+            result.append(fragment)
+            continue
+        closed = attribute_closure(violation.lhs, fds) & fragment
+        left = closed
+        right = (fragment - closed) | violation.lhs
+        if left == fragment or right == fragment:
+            result.append(fragment)
+            continue
+        worklist.append(left)
+        worklist.append(right)
+    return sorted(set(result), key=lambda f: (len(f), sorted(f)))
+
+
+# ---------------------------------------------------------------------------
+# 3NF synthesis
+# ---------------------------------------------------------------------------
+
+
+def synthesize_3nf(scheme, fds):
+    """The 3NF synthesis algorithm (Bernstein): lossless and preserving.
+
+    1. Compute a canonical cover.
+    2. One scheme per distinct left side (lhs ∪ rhs).
+    3. If no scheme contains a candidate key, add one.
+    4. Drop schemes contained in others.
+    """
+    scheme = attrset(scheme)
+    cover = canonical_cover(fds)
+    fragments = []
+    for fd in cover:
+        fragment = (fd.lhs | fd.rhs) & scheme
+        if fragment:
+            fragments.append(frozenset(fragment))
+    # Attributes not touched by any FD must still be stored somewhere.
+    covered = frozenset().union(*fragments) if fragments else frozenset()
+    orphans = scheme - covered
+    if orphans:
+        fragments.append(frozenset(orphans))
+    if not any(is_superkey(f, scheme, fds) for f in fragments):
+        fragments.append(key_of(fds, scheme))
+    # Remove subsumed fragments.
+    fragments = sorted(set(fragments), key=len, reverse=True)
+    kept = []
+    for fragment in fragments:
+        if not any(fragment < other for other in kept):
+            kept.append(fragment)
+    return sorted(kept, key=lambda f: (len(f), sorted(f)))
+
+
+# ---------------------------------------------------------------------------
+# Decomposition quality
+# ---------------------------------------------------------------------------
+
+
+def preserves_dependencies(scheme, fragments, fds):
+    """Is the union of projected FDs equivalent to F?
+
+    Uses the polynomial membership test (closure under the projected
+    union) rather than materializing the projections' closures.
+    """
+    scheme = attrset(scheme)
+    for fd in fds:
+        # Iteratively close fd.lhs under the projections.
+        current = set(fd.lhs)
+        changed = True
+        while changed:
+            changed = False
+            for fragment in fragments:
+                fragment = attrset(fragment)
+                gain = (
+                    attribute_closure(current & fragment, fds) & fragment
+                )
+                if not gain <= current:
+                    current |= gain
+                    changed = True
+        if not fd.rhs <= current:
+            return False
+    return True
+
+
+def decomposition_report(scheme, fragments, fds):
+    """Summary dict a design tool would print for a proposed decomposition."""
+    scheme = attrset(scheme)
+    return {
+        "fragments": [frozenset(f) for f in fragments],
+        "lossless": is_lossless_join(scheme, fragments, fds),
+        "dependency_preserving": preserves_dependencies(
+            scheme, fragments, fds
+        ),
+        "fragment_normal_forms": {
+            frozenset(f): normal_form_level(f, list(project(fds, attrset(f))))
+            for f in fragments
+        },
+    }
+
+
+def check_decomposition(scheme, fragments):
+    """Structural sanity: fragments cover the scheme exactly."""
+    scheme = attrset(scheme)
+    union = frozenset()
+    for fragment in fragments:
+        fragment = attrset(fragment)
+        if not fragment <= scheme:
+            raise NormalizationError(
+                "fragment %r escapes scheme %r"
+                % (sorted(fragment), sorted(scheme))
+            )
+        union |= fragment
+    if union != scheme:
+        raise NormalizationError(
+            "fragments lose attributes: missing %r" % sorted(scheme - union)
+        )
+    return True

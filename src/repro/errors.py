@@ -1,0 +1,100 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed or two schemas are incompatible."""
+
+
+class RelationError(ReproError):
+    """A relation instance violates its schema (arity, attribute names)."""
+
+
+class AlgebraError(ReproError):
+    """A relational-algebra expression is ill-typed or cannot be evaluated."""
+
+
+class CalculusError(ReproError):
+    """A relational-calculus formula is unsafe, ill-typed, or malformed."""
+
+
+class TranslationError(ReproError):
+    """A calculus<->algebra translation step failed (Codd's Theorem code)."""
+
+
+class ParseError(ReproError):
+    """Input text could not be parsed (Datalog or the SQL frontend).
+
+    Carries the position of the offending token when available.
+    """
+
+    def __init__(self, message, position=None, text=None):
+        super().__init__(message)
+        self.position = position
+        self.text = text
+
+
+class DatalogError(ReproError):
+    """A Datalog program is malformed (unsafe rule, bad arity, etc.)."""
+
+
+class StratificationError(DatalogError):
+    """A Datalog program with negation admits no stratification."""
+
+
+class DependencyError(ReproError):
+    """A functional/multivalued dependency is malformed for its schema."""
+
+
+class NormalizationError(ReproError):
+    """A normalization operation (decomposition, synthesis) failed."""
+
+
+class ChaseError(ReproError):
+    """The chase procedure was applied to inconsistent input."""
+
+
+class HypergraphError(ReproError):
+    """A schema hypergraph operation failed (e.g. join tree of cyclic scheme)."""
+
+
+class TransactionError(ReproError):
+    """A schedule or transaction is malformed."""
+
+
+class SchedulerError(TransactionError):
+    """A scheduler rejected or could not process an operation stream."""
+
+
+class DeadlockError(SchedulerError):
+    """A locking scheduler detected a deadlock.
+
+    Attributes:
+        victims: transaction ids chosen for abort to break the cycle.
+    """
+
+    def __init__(self, message, victims=()):
+        super().__init__(message)
+        self.victims = tuple(victims)
+
+
+class IncompleteInformationError(ReproError):
+    """An operation on tables with nulls was applied outside its scope."""
+
+
+class ComplexityError(ReproError):
+    """A complexity-theory object (machine, formula) is malformed."""
+
+
+class MetascienceError(ReproError):
+    """A metascience model was configured with invalid parameters."""

@@ -1,0 +1,24 @@
+"""Incomplete information: nulls, tables, certain answers, CWA."""
+
+from .certain import (
+    brute_force_certain_answers,
+    brute_force_possible_answers,
+    is_positive,
+    naive_certain_answers,
+)
+from .cwa import DisjunctiveDatabase, cwa_negations, disjunctive_fact
+from .tables import Null, Table, TableDatabase, fresh_null
+
+__all__ = [
+    "DisjunctiveDatabase",
+    "Null",
+    "Table",
+    "TableDatabase",
+    "brute_force_certain_answers",
+    "brute_force_possible_answers",
+    "cwa_negations",
+    "disjunctive_fact",
+    "fresh_null",
+    "is_positive",
+    "naive_certain_answers",
+]

@@ -1,0 +1,137 @@
+"""Certain and possible answers over tables with nulls.
+
+The classical semantics of querying incomplete information: the *certain*
+answers are the tuples in the query's answer in **every** possible world;
+the *possible* answers appear in **some** world.
+
+The classical positive result (Imielinski–Lipski): for *positive*
+relational algebra (select/project/join/union — no difference) over naive
+tables, certain answers are computed by **naive evaluation** — run the
+query with nulls as ordinary values, keep the null-free answers.  This
+module implements both that fast path and the brute-force possible-worlds
+oracle the tests compare it against.
+"""
+
+from __future__ import annotations
+
+from ..errors import IncompleteInformationError
+from ..relational import algebra as ra
+from ..relational.algebra import evaluate
+from .tables import Null
+
+
+def is_positive(expr):
+    """Is the algebra expression in the positive fragment?
+
+    Positive: relation refs, selections with equality-only conditions (no
+    negation, no inequality on nulls' behalf), projections, renames,
+    products, natural/theta joins, unions, intersections.  Difference,
+    antijoin, and division are not.
+    """
+    if isinstance(expr, (ra.Difference, ra.Antijoin, ra.Division)):
+        return False
+    if isinstance(expr, ra.Selection) and not _positive_condition(
+        expr.condition
+    ):
+        return False
+    if isinstance(expr, ra.ThetaJoin) and not _positive_condition(
+        expr.condition
+    ):
+        return False
+    return all(is_positive(child) for child in expr.children())
+
+
+def _positive_condition(condition):
+    if isinstance(condition, ra.Comparison):
+        return condition.op == "="
+    if isinstance(condition, (ra.And, ra.Or)):
+        return all(_positive_condition(p) for p in condition.parts)
+    return False  # Not, or anything unknown
+
+
+def naive_certain_answers(expr, table_db):
+    """Certain answers by naive evaluation (positive queries only).
+
+    Run the query over the tables with nulls as constants; the null-free
+    result tuples are exactly the certain answers (Imielinski–Lipski).
+
+    Raises:
+        IncompleteInformationError: if the query is not positive — naive
+            evaluation is unsound there, and the library refuses to guess.
+    """
+    if not is_positive(expr):
+        raise IncompleteInformationError(
+            "naive evaluation computes certain answers only for positive "
+            "queries; use brute_force_certain_answers for this one"
+        )
+    db = table_db.as_database_with_null_constants()
+    result = evaluate(expr, db)
+    certain = {
+        tup
+        for tup in result.tuples
+        if not any(isinstance(v, Null) for v in tup)
+    }
+    from ..relational.relation import Relation
+
+    return Relation(result.schema, certain, validate=False)
+
+
+def brute_force_certain_answers(expr, table_db, domain=None):
+    """Certain answers by possible-worlds intersection (the oracle).
+
+    Args:
+        domain: substitution domain for nulls; defaults to the tables'
+            constants plus one fresh value per null (sufficient for
+            generic queries, and what makes the oracle finite).
+    """
+    if domain is None:
+        domain = _default_domain(table_db)
+    answer = None
+    schema = None
+    for world in table_db.possible_worlds(domain):
+        result = evaluate(expr, world)
+        schema = result.schema
+        answer = (
+            set(result.tuples)
+            if answer is None
+            else answer & set(result.tuples)
+        )
+        if not answer:
+            break
+    from ..relational.relation import Relation
+
+    if schema is None:
+        raise IncompleteInformationError("table database has no worlds")
+    return Relation(schema, answer or set(), validate=False)
+
+
+def brute_force_possible_answers(expr, table_db, domain=None):
+    """Possible answers by possible-worlds union."""
+    if domain is None:
+        domain = _default_domain(table_db)
+    answer = set()
+    schema = None
+    for world in table_db.possible_worlds(domain):
+        result = evaluate(expr, world)
+        schema = result.schema
+        answer |= set(result.tuples)
+    from ..relational.relation import Relation
+
+    if schema is None:
+        raise IncompleteInformationError("table database has no worlds")
+    return Relation(schema, answer, validate=False)
+
+
+def _default_domain(table_db):
+    constants = set(table_db.constants())
+    # One fresh value per null lets unknowns be mutually distinct and
+    # distinct from every known constant, and one *extra* fresh value
+    # keeps the domain from degenerating: with exactly as many values as
+    # nulls (worst case: a single null, singleton domain) every world
+    # would force the same coincidences and the intersection would
+    # manufacture spurious "certain" answers the infinite-domain
+    # semantics rejects.
+    fresh_needed = len(table_db.nulls()) + 1
+    for i in range(max(fresh_needed, 2)):
+        constants.add("fresh#%d" % i)
+    return constants

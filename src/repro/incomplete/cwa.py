@@ -1,0 +1,129 @@
+"""The closed-world assumption (Reiter) and its classical failure mode.
+
+CWA: what a (definite) database does not say is false.  For complete
+relational databases this is unproblematic and is exactly the semantics
+the calculus/algebra evaluators implement.  The classical observation this
+module demonstrates executably: under *disjunctive* (incomplete)
+information the CWA becomes inconsistent — asserting ``p or q`` while
+concluding ``not p`` and ``not q`` from the absence of each.
+
+Disjunctive databases are modeled as what they denote: finite sets of
+possible worlds.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..errors import IncompleteInformationError
+
+
+def cwa_negations(facts, predicate, arity, domain):
+    """The CWA-negative literals of a predicate over a finite domain.
+
+    Args:
+        facts: set of ground tuples asserted for ``predicate``.
+        predicate: name (used only in the output).
+        arity: tuple width.
+        domain: finite active domain.
+
+    Returns:
+        Set of ``("not", predicate, tuple)`` triples.
+    """
+    out = set()
+    for values in itertools.product(sorted(domain, key=repr), repeat=arity):
+        if values not in facts:
+            out.add(("not", predicate, values))
+    return out
+
+
+class DisjunctiveDatabase:
+    """A finite set of possible worlds (each: ``{predicate: set(tuples)}``).
+
+    The denotation of a disjunctive database such as ``p(a) or p(b)``:
+    two worlds, one with each fact.
+    """
+
+    __slots__ = ("worlds",)
+
+    def __init__(self, worlds):
+        self.worlds = [dict(w) for w in worlds]
+        if not self.worlds:
+            raise IncompleteInformationError(
+                "a disjunctive database needs at least one world"
+            )
+
+    def certainly_holds(self, predicate, values):
+        """True in every world."""
+        values = tuple(values)
+        return all(
+            values in world.get(predicate, set()) for world in self.worlds
+        )
+
+    def possibly_holds(self, predicate, values):
+        """True in some world."""
+        values = tuple(values)
+        return any(
+            values in world.get(predicate, set()) for world in self.worlds
+        )
+
+    def facts(self):
+        """All (predicate, tuple) pairs appearing in some world."""
+        out = set()
+        for world in self.worlds:
+            for predicate, tuples in world.items():
+                out.update((predicate, tup) for tup in tuples)
+        return out
+
+    def cwa_consequences(self):
+        """Positive certain facts + CWA negations of non-certain facts."""
+        positive = {
+            (predicate, tup)
+            for predicate, tup in self.facts()
+            if self.certainly_holds(predicate, tup)
+        }
+        negative = {
+            ("not", predicate, tup)
+            for predicate, tup in self.facts()
+            if not self.certainly_holds(predicate, tup)
+        }
+        return positive, negative
+
+    def cwa_is_consistent(self):
+        """Reiter's observation, executably.
+
+        The CWA is consistent iff some world satisfies all CWA
+        consequences: every certain positive fact, and *none* of the
+        CWA-negated facts.  For a definite database (one world) this
+        always holds; for genuinely disjunctive information it fails.
+        """
+        positive, negative = self.cwa_consequences()
+        for world in self.worlds:
+            world_facts = {
+                (predicate, tup)
+                for predicate, tuples in world.items()
+                for tup in tuples
+            }
+            if not positive <= world_facts:
+                continue
+            if any(
+                (predicate, tup) in world_facts
+                for _not, predicate, tup in negative
+            ):
+                continue
+            return True
+        return False
+
+    def is_definite(self):
+        """Exactly one world (a plain database)."""
+        return len(self.worlds) == 1
+
+    def __repr__(self):
+        return "DisjunctiveDatabase(%d worlds)" % len(self.worlds)
+
+
+def disjunctive_fact(predicate, alternatives):
+    """The denotation of ``predicate(a1) or predicate(a2) or ...``."""
+    return DisjunctiveDatabase(
+        [{predicate: {tuple(alt)}} for alt in alternatives]
+    )

@@ -1,0 +1,225 @@
+"""Tables with nulls: Codd tables and naive tables.
+
+The paper's §6 traces a lineage: "incomplete information (basically null
+values, and then disjunctive databases and closed-world assumptions,
+which later developed into deductive databases and DATALOG)".  This
+package is the start of that lineage.
+
+A **naive table** is a relation whose cells may contain *labelled nulls*
+(variables); the same null may repeat, expressing equality between
+unknowns.  A **Codd table** restricts every null to a single occurrence
+(the SQL ``NULL`` picture).  A table *represents* the set of complete
+relations obtained by substituting constants for nulls — its possible
+worlds.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..errors import IncompleteInformationError
+from ..relational.relation import Relation
+
+
+class Null:
+    """A labelled null (marked variable).  Identity is the label."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label):
+        self.label = label
+
+    def __eq__(self, other):
+        return isinstance(other, Null) and other.label == self.label
+
+    def __hash__(self):
+        return hash(("Null", self.label))
+
+    def __repr__(self):
+        return "Null(%r)" % (self.label,)
+
+    def __str__(self):
+        return "_%s" % self.label
+
+
+_fresh_counter = itertools.count()
+
+
+def fresh_null():
+    """A new null with a globally fresh label."""
+    return Null("n%d" % next(_fresh_counter))
+
+
+class Table:
+    """A naive table: a Relation whose tuples may contain Null cells."""
+
+    __slots__ = ("relation",)
+
+    def __init__(self, relation):
+        if not isinstance(relation, Relation):
+            raise IncompleteInformationError(
+                "Table wraps a Relation, got %r" % (relation,)
+            )
+        self.relation = relation
+
+    @property
+    def schema(self):
+        return self.relation.schema
+
+    def nulls(self):
+        """All distinct nulls occurring in the table."""
+        out = set()
+        for tup in self.relation.tuples:
+            out.update(v for v in tup if isinstance(v, Null))
+        return out
+
+    def is_codd_table(self):
+        """Codd table: every null occurs exactly once."""
+        seen = set()
+        for tup in self.relation.tuples:
+            for value in tup:
+                if isinstance(value, Null):
+                    if value in seen:
+                        return False
+                    seen.add(value)
+        return True
+
+    def is_complete(self):
+        """No nulls at all."""
+        return not self.nulls()
+
+    def constants(self):
+        """Non-null values occurring in the table."""
+        out = set()
+        for tup in self.relation.tuples:
+            out.update(v for v in tup if not isinstance(v, Null))
+        return out
+
+    def apply_valuation(self, valuation):
+        """Substitute constants for nulls; returns a complete Relation.
+
+        Args:
+            valuation: ``{Null: constant}`` covering every null.
+        """
+        missing = self.nulls() - set(valuation)
+        if missing:
+            raise IncompleteInformationError(
+                "valuation misses nulls: %s"
+                % ", ".join(sorted(str(n) for n in missing))
+            )
+        tuples = []
+        for tup in self.relation.tuples:
+            tuples.append(
+                tuple(
+                    valuation[v] if isinstance(v, Null) else v for v in tup
+                )
+            )
+        return Relation(self.schema, tuples, validate=False)
+
+    def possible_worlds(self, domain):
+        """All complete relations the table represents over ``domain``.
+
+        Exponential in the number of nulls — the oracle for tests, not a
+        production path (that is what certain-answer evaluation is for).
+        """
+        nulls = sorted(self.nulls(), key=lambda n: str(n.label))
+        domain = sorted(domain, key=repr)
+        if not nulls:
+            yield self.apply_valuation({})
+            return
+        for assignment in itertools.product(domain, repeat=len(nulls)):
+            yield self.apply_valuation(dict(zip(nulls, assignment)))
+
+    def null_free_tuples(self):
+        """Tuples containing no nulls (the "sure" rows)."""
+        return {
+            tup
+            for tup in self.relation.tuples
+            if not any(isinstance(v, Null) for v in tup)
+        }
+
+    def __len__(self):
+        return len(self.relation)
+
+    def __repr__(self):
+        return "Table(%s, %d rows, %d nulls)" % (
+            self.schema.name,
+            len(self.relation),
+            len(self.nulls()),
+        )
+
+
+class TableDatabase:
+    """A database whose relations are (possibly incomplete) tables."""
+
+    __slots__ = ("tables",)
+
+    def __init__(self, tables=()):
+        self.tables = {}
+        for table in tables:
+            name = table.schema.name
+            if name in self.tables:
+                raise IncompleteInformationError(
+                    "duplicate table name %r" % (name,)
+                )
+            self.tables[name] = table
+
+    def __getitem__(self, name):
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise IncompleteInformationError(
+                "no table named %r" % (name,)
+            ) from None
+
+    def names(self):
+        return sorted(self.tables)
+
+    def nulls(self):
+        out = set()
+        for table in self.tables.values():
+            out |= table.nulls()
+        return out
+
+    def constants(self):
+        out = set()
+        for table in self.tables.values():
+            out |= table.constants()
+        return out
+
+    def as_database_with_null_constants(self):
+        """View nulls as plain (distinct) constants — "naive evaluation".
+
+        Nulls are hashable, so they simply ride along as values in an
+        ordinary :class:`~repro.relational.database.Database`.
+        """
+        from ..relational.database import Database
+
+        db = Database()
+        for name in self.names():
+            db.add(self.tables[name].relation)
+        return db
+
+    def possible_worlds(self, domain):
+        """All complete databases represented, over ``domain``.
+
+        Nulls shared across tables are substituted consistently.
+        """
+        from ..relational.database import Database
+
+        nulls = sorted(self.nulls(), key=lambda n: str(n.label))
+        domain = sorted(domain, key=repr)
+        assignments = (
+            itertools.product(domain, repeat=len(nulls))
+            if nulls
+            else [()]
+        )
+        for assignment in assignments:
+            valuation = dict(zip(nulls, assignment))
+            db = Database()
+            for name in self.names():
+                db.add(self.tables[name].apply_valuation(valuation))
+            yield db
+
+    def __repr__(self):
+        return "TableDatabase(%s)" % ", ".join(self.names())

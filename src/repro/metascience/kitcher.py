@@ -1,0 +1,124 @@
+"""Kitcher's diversity model (footnote 11).
+
+"Natural scientists are known to hold on to paradigms even after they
+have been undeniably falsified; Philip Kitcher uses a simple population
+genetics model to argue that such diversity is beneficial and
+inevitable."
+
+The model: a community of researchers distributes itself over competing
+research traditions.  Each tradition's *payoff to a member* decreases
+with how crowded it is (credit is shared), so the community equilibrates
+at a mixed distribution even when one tradition is intrinsically better —
+diversity is the *rational* outcome, not a failure of rationality.
+
+Implemented as discrete replicator dynamics; the tests check the two
+regime results:
+
+* frequency-dependent payoffs (``sharing > 0``) -> interior equilibrium,
+  diversity persists;
+* frequency-independent payoffs (``sharing = 0``) -> the best tradition
+  absorbs everyone, diversity collapses.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import MetascienceError
+
+
+def payoff(quality, share, sharing=1.0):
+    """Per-member payoff of a tradition: quality diluted by crowding.
+
+    ``quality * share**(-sharing)`` in spirit; implemented as
+    ``quality / (share ** sharing)`` with a floor to avoid division blowup.
+    ``sharing=0`` turns dilution off (winner-takes-all regime).
+    """
+    share = max(share, 1e-9)
+    return quality / (share ** sharing)
+
+
+def replicator_step(shares, qualities, sharing=1.0, rate=0.5):
+    """One discrete replicator update.
+
+    Shares grow in proportion to payoff advantage over the mean:
+    s_i' = s_i * (1 + rate * (p_i - mean) / mean), renormalized.
+    """
+    payoffs = [
+        payoff(q, s, sharing) for q, s in zip(qualities, shares)
+    ]
+    mean = sum(p * s for p, s in zip(payoffs, shares))
+    if mean <= 0:
+        raise MetascienceError("degenerate payoffs")
+    updated = [
+        max(s * (1.0 + rate * (p - mean) / mean), 0.0)
+        for s, p in zip(shares, payoffs)
+    ]
+    total = sum(updated)
+    return [u / total for u in updated]
+
+
+def equilibrate(qualities, sharing=1.0, rate=0.5, steps=2000, initial=None):
+    """Run the dynamics to (near) equilibrium.
+
+    Returns:
+        The final share vector.
+    """
+    n = len(qualities)
+    if n < 2:
+        raise MetascienceError("need at least two traditions")
+    shares = list(initial) if initial is not None else [1.0 / n] * n
+    if abs(sum(shares) - 1.0) > 1e-9:
+        raise MetascienceError("initial shares must sum to 1")
+    for _ in range(steps):
+        shares = replicator_step(shares, qualities, sharing, rate)
+    return shares
+
+
+def predicted_equilibrium(qualities, sharing=1.0):
+    """The analytic interior equilibrium for ``sharing=1``.
+
+    With payoff q_i / s_i, equal payoffs mean s_i ∝ q_i: the community
+    splits *proportionally to quality* — diversity exactly mirrors merit.
+    For general sharing γ, s_i ∝ q_i^(1/γ).
+    """
+    if sharing <= 0:
+        raise MetascienceError(
+            "no interior equilibrium without payoff sharing"
+        )
+    weights = [q ** (1.0 / sharing) for q in qualities]
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+def diversity_index(shares):
+    """Shannon entropy of the share vector (0 = monoculture)."""
+    return -sum(s * math.log(s) for s in shares if s > 0)
+
+
+def diversity_experiment(qualities, sharings=(0.0, 0.5, 1.0)):
+    """Equilibrium diversity as payoff sharing varies (the footnote's
+    claim: sharing sustains diversity).
+
+    Returns:
+        List of ``(sharing, shares, diversity)`` rows.
+    """
+    rows = []
+    for sharing in sharings:
+        if sharing == 0.0:
+            # Winner-takes-all needs a long horizon and a nudge off the
+            # symmetric point to converge.
+            n = len(qualities)
+            initial = [1.0 / n] * n
+            best = max(range(n), key=lambda i: qualities[i])
+            initial = [
+                s + (0.01 if i == best else -0.01 / (n - 1))
+                for i, s in enumerate(initial)
+            ]
+            shares = equilibrate(
+                qualities, sharing=0.0, steps=5000, initial=initial
+            )
+        else:
+            shares = equilibrate(qualities, sharing=sharing)
+        rows.append((sharing, shares, diversity_index(shares)))
+    return rows

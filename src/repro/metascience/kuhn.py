@@ -1,0 +1,179 @@
+"""Figure 1: Kuhn's stages of the scientific process, as a state machine.
+
+The figure shows the cycle: (immature science ->) normal science ->
+crisis -> revolution -> new paradigm -> normal science.  The executable
+version is a stochastic process driven by *anomaly* arrivals:
+
+* during **normal science** anomalies accumulate (the community "sweeps
+  them under the rug") until a tolerance threshold tips the field into
+  **crisis**;
+* during crisis, candidate paradigms compete; one wins with some rate,
+  triggering a **revolution**;
+* a revolution installs a new paradigm, resets the anomaly count, and
+  returns the field to normal science.
+
+The paper's two structural comments are parameters:
+
+* "the stages … are much accelerated in the case of computer science" —
+  the ``acceleration`` factor scales all rates;
+* the closed loop with a changing artifact shows up as anomaly arrivals
+  that *increase* with each paradigm's age (the artifact drifts away
+  from the model studying it) when ``artifact_drift`` is set.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import MetascienceError
+
+#: The stages of Figure 1.
+IMMATURE, NORMAL, CRISIS, REVOLUTION = (
+    "immature science",
+    "normal science",
+    "crisis",
+    "revolution",
+)
+
+STAGES = (IMMATURE, NORMAL, CRISIS, REVOLUTION)
+
+
+class KuhnProcess:
+    """A stochastic walk through Kuhn's stages.
+
+    Args:
+        anomaly_rate: probability per step of a new anomaly in normal
+            science.
+        tolerance: anomalies endured before crisis breaks out.
+        revolution_rate: per-step probability a competing candidate
+            triumphs during crisis.
+        maturation_rate: per-step probability immature science acquires
+            its first paradigm.
+        acceleration: multiplies every rate (the computer-science knob).
+        artifact_drift: per-step additive growth of the anomaly rate
+            while a paradigm ages (the closed-loop artifact).
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        anomaly_rate=0.15,
+        tolerance=5,
+        revolution_rate=0.25,
+        maturation_rate=0.3,
+        acceleration=1.0,
+        artifact_drift=0.0,
+        seed=0,
+    ):
+        if acceleration <= 0:
+            raise MetascienceError("acceleration must be positive")
+        self.base_anomaly_rate = anomaly_rate
+        self.tolerance = tolerance
+        self.revolution_rate = revolution_rate
+        self.maturation_rate = maturation_rate
+        self.acceleration = acceleration
+        self.artifact_drift = artifact_drift
+        self.rng = random.Random(seed)
+        self.stage = IMMATURE
+        self.anomalies = 0
+        self.paradigm = 0
+        self.paradigm_age = 0
+        self.history = [(0, IMMATURE, 0, 0)]
+        self.step_count = 0
+
+    def _rate(self, base):
+        return min(base * self.acceleration, 1.0)
+
+    def step(self):
+        """Advance one time step; returns the (possibly new) stage."""
+        self.step_count += 1
+        self.paradigm_age += 1
+        if self.stage == IMMATURE:
+            if self.rng.random() < self._rate(self.maturation_rate):
+                self.paradigm = 1
+                self.paradigm_age = 0
+                self.stage = NORMAL
+        elif self.stage == NORMAL:
+            drifted = (
+                self.base_anomaly_rate
+                + self.artifact_drift * self.paradigm_age
+            )
+            if self.rng.random() < self._rate(drifted):
+                self.anomalies += 1
+            if self.anomalies >= self.tolerance:
+                self.stage = CRISIS
+        elif self.stage == CRISIS:
+            if self.rng.random() < self._rate(self.revolution_rate):
+                self.stage = REVOLUTION
+        elif self.stage == REVOLUTION:
+            # The new paradigm takes over immediately.
+            self.paradigm += 1
+            self.paradigm_age = 0
+            self.anomalies = 0
+            self.stage = NORMAL
+        self.history.append(
+            (self.step_count, self.stage, self.anomalies, self.paradigm)
+        )
+        return self.stage
+
+    def run(self, steps):
+        """Advance ``steps`` steps; returns the history."""
+        for _ in range(steps):
+            self.step()
+        return self.history
+
+    # -- analysis ----------------------------------------------------------
+
+    def stage_durations(self):
+        """Lengths of each completed contiguous stage episode.
+
+        Returns:
+            ``{stage: [durations...]}``.
+        """
+        durations = {stage: [] for stage in STAGES}
+        current_stage = self.history[0][1]
+        length = 1
+        for _, stage, _, _ in self.history[1:]:
+            if stage == current_stage:
+                length += 1
+            else:
+                durations[current_stage].append(length)
+                current_stage = stage
+                length = 1
+        return durations
+
+    def revolutions(self):
+        """Number of completed revolutions."""
+        return max(self.paradigm - 1, 0)
+
+    def mean_cycle_length(self):
+        """Average steps between successive revolutions (None if < 2)."""
+        times = [
+            t
+            for (t, stage, _, _) in self.history
+            if stage == REVOLUTION
+        ]
+        # Collapse consecutive revolution steps into events.
+        events = [t for i, t in enumerate(times) if i == 0 or t > times[i - 1] + 1]
+        if len(events) < 2:
+            return None
+        gaps = [b - a for a, b in zip(events, events[1:])]
+        return sum(gaps) / len(gaps)
+
+
+def acceleration_experiment(factors, steps=4000, seed=7):
+    """Cycle length vs acceleration (Figure 1's CS-specific comment).
+
+    Returns:
+        List of ``(factor, revolutions, mean_cycle_length)`` rows —
+        revolutions should increase and cycles shorten as the factor
+        grows (asserted by a test).
+    """
+    rows = []
+    for factor in factors:
+        process = KuhnProcess(acceleration=factor, seed=seed)
+        process.run(steps)
+        rows.append(
+            (factor, process.revolutions(), process.mean_cycle_length())
+        )
+    return rows

@@ -1,0 +1,81 @@
+"""ASCII renderings of the paper's figures.
+
+The originals are print diagrams; these renderers regenerate them from
+the executable models so examples and benches can show, not just
+summarize.  (Figure 3's tabular renderer lives in ``retrospective``.)
+"""
+
+from __future__ import annotations
+
+from .kuhn import CRISIS, IMMATURE, NORMAL, REVOLUTION
+
+_STAGE_GLYPH = {
+    IMMATURE: ".",
+    NORMAL: "=",
+    CRISIS: "!",
+    REVOLUTION: "^",
+}
+
+
+def render_figure1(process, width=72):
+    """Figure 1 as a stage timeline plus the cycle diagram.
+
+    Args:
+        process: a run :class:`~repro.metascience.kuhn.KuhnProcess`.
+        width: characters per timeline row.
+
+    The glyphs: ``.`` immature science, ``=`` normal science,
+    ``!`` crisis, ``^`` revolution.
+    """
+    glyphs = "".join(
+        _STAGE_GLYPH[stage] for _t, stage, _a, _p in process.history
+    )
+    lines = [
+        "Figure 1: the stages of the scientific process (Kuhn)",
+        "",
+        "  immature science --> normal science --> crisis --> revolution",
+        "                            ^                            |",
+        "                            +---- new paradigm <---------+",
+        "",
+        "timeline (. immature, = normal, ! crisis, ^ revolution):",
+    ]
+    for start in range(0, len(glyphs), width):
+        lines.append("  " + glyphs[start:start + width])
+    lines.append(
+        "revolutions: %d; mean cycle: %s steps"
+        % (
+            process.revolutions(),
+            (
+                "%.1f" % process.mean_cycle_length()
+                if process.mean_cycle_length()
+                else "n/a"
+            ),
+        )
+    )
+    return "\n".join(lines)
+
+
+def render_figure2(graph, buckets=10, width=50):
+    """Figure 2 as a level histogram plus the health report.
+
+    Shows how research units distribute over the practical<->theoretical
+    spectrum and the graph's global statistics — the textual analogue of
+    the paper's two snapshots.
+    """
+    counts = [0] * buckets
+    for unit in graph.units:
+        index = min(int(unit.level * buckets), buckets - 1)
+        counts[index] += 1
+    top = max(counts) if counts else 1
+    lines = ["practice  <-  theory-level spectrum  ->  theory"]
+    for i, count in enumerate(counts):
+        bar = "#" * int(width * count / top)
+        lines.append(
+            "%4.1f-%4.1f |%s (%d)"
+            % (i / buckets, (i + 1) / buckets, bar, count)
+        )
+    report = graph.health_report()
+    lines.append("")
+    for metric, value in report.items():
+        lines.append("%-34s %s" % (metric, value))
+    return "\n".join(lines)

@@ -1,0 +1,246 @@
+"""Figure 2: applied science as a graph of research units.
+
+The paper's model: research units (researchers, papers, groups, results)
+sit on a practical<->theoretical spectrum and influence each other.  In
+*normal* applied science the graph has "a giant component (in fact, one
+with reasonably small diameter) that spans most of the
+practical-theoretical spectrum … most of theory is within a few hops from
+practice".  In *crisis*, the local statistics look the same ("say, the
+average degree is the same as before") but "connectivity is low.
+Tangents and introverted components are the rule.  The little
+connectivity that exists is via long paths."
+
+The generator realizes both regimes with the *same expected degree*:
+
+* **healthy** — Erdős–Rényi mixing: any two units may connect;
+* **crisis** — assortative mixing: units connect only within a narrow
+  band of their own theory level (theoreticians "iterate posing and
+  answering their own questions").
+
+Metrics (the figure's visual claims, quantified): giant-component
+fraction, giant-component diameter, mean theory->practice distance, and
+an introversion index.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import MetascienceError
+
+
+class ResearchUnit:
+    """One node: an id and a theory level in [0, 1] (0 = product, 1 = pure)."""
+
+    __slots__ = ("uid", "level")
+
+    def __init__(self, uid, level):
+        if not 0.0 <= level <= 1.0:
+            raise MetascienceError("theory level must lie in [0, 1]")
+        self.uid = uid
+        self.level = level
+
+    def __repr__(self):
+        return "ResearchUnit(%d, %.2f)" % (self.uid, self.level)
+
+
+class ResearchGraph:
+    """An undirected influence graph over research units."""
+
+    __slots__ = ("units", "adjacency")
+
+    def __init__(self, units, edges):
+        self.units = list(units)
+        self.adjacency = {unit.uid: set() for unit in self.units}
+        for a, b in edges:
+            if a == b:
+                continue
+            self.adjacency[a].add(b)
+            self.adjacency[b].add(a)
+
+    # -- generation ---------------------------------------------------------
+
+    @classmethod
+    def generate(cls, n=400, average_degree=4.0, regime="healthy",
+                 band=0.12, seed=0):
+        """Generate a graph in one of the two regimes of Figure 2.
+
+        Args:
+            n: number of research units.
+            average_degree: target mean degree (matched across regimes —
+                the paper's "average degree is the same as before").
+            regime: "healthy" (uniform mixing) or "crisis" (mixing only
+                within ``band`` of one's own theory level).
+            band: half-width of the crisis mixing band.
+            seed: RNG seed.
+        """
+        rng = random.Random(seed)
+        units = [ResearchUnit(i, rng.random()) for i in range(n)]
+        if regime == "healthy":
+            eligible = [
+                (a.uid, b.uid)
+                for i, a in enumerate(units)
+                for b in units[i + 1:]
+            ]
+        elif regime == "crisis":
+            eligible = [
+                (a.uid, b.uid)
+                for i, a in enumerate(units)
+                for b in units[i + 1:]
+                if abs(a.level - b.level) <= band
+            ]
+        else:
+            raise MetascienceError(
+                "regime must be 'healthy' or 'crisis', got %r" % (regime,)
+            )
+        if not eligible:
+            return cls(units, [])
+        target_edges = int(n * average_degree / 2)
+        probability = min(target_edges / len(eligible), 1.0)
+        edges = [pair for pair in eligible if rng.random() < probability]
+        return cls(units, edges)
+
+    # -- basic stats ------------------------------------------------------------
+
+    def average_degree(self):
+        if not self.units:
+            return 0.0
+        return sum(len(v) for v in self.adjacency.values()) / len(self.units)
+
+    def components(self):
+        """Connected components as lists of uids."""
+        seen = set()
+        out = []
+        for unit in self.units:
+            if unit.uid in seen:
+                continue
+            component = []
+            frontier = [unit.uid]
+            seen.add(unit.uid)
+            while frontier:
+                node = frontier.pop()
+                component.append(node)
+                for neighbor in self.adjacency[node]:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        frontier.append(neighbor)
+            out.append(component)
+        return sorted(out, key=len, reverse=True)
+
+    def giant_component_fraction(self):
+        components = self.components()
+        if not components:
+            return 0.0
+        return len(components[0]) / len(self.units)
+
+    def _bfs_distances(self, source, allowed=None):
+        distances = {source: 0}
+        frontier = [source]
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for neighbor in self.adjacency[node]:
+                    if allowed is not None and neighbor not in allowed:
+                        continue
+                    if neighbor not in distances:
+                        distances[neighbor] = distances[node] + 1
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        return distances
+
+    def giant_diameter(self, sample=40, seed=0):
+        """Approximate diameter of the giant component (BFS from a sample)."""
+        giant = self.components()[0] if self.units else []
+        if len(giant) <= 1:
+            return 0
+        rng = random.Random(seed)
+        sources = giant if len(giant) <= sample else rng.sample(giant, sample)
+        allowed = set(giant)
+        diameter = 0
+        for source in sources:
+            distances = self._bfs_distances(source, allowed)
+            diameter = max(diameter, max(distances.values()))
+        return diameter
+
+    def theory_practice_distance(
+        self, practice_cut=0.2, theory_cut=0.8
+    ):
+        """Mean hops from each theory unit to the nearest practice unit.
+
+        Unreachable pairs contribute ``float('inf')`` — crisis graphs
+        typically have many; the summary uses the *median* to stay
+        meaningful, and also reports the unreachable fraction.
+
+        Returns:
+            ``(median_distance, unreachable_fraction)``.
+        """
+        practice = {
+            u.uid for u in self.units if u.level <= practice_cut
+        }
+        theory = [u.uid for u in self.units if u.level >= theory_cut]
+        if not practice or not theory:
+            return float("inf"), 1.0
+        distances = []
+        unreachable = 0
+        for source in theory:
+            found = self._bfs_distances(source)
+            best = min(
+                (d for node, d in found.items() if node in practice),
+                default=None,
+            )
+            if best is None:
+                unreachable += 1
+                distances.append(float("inf"))
+            else:
+                distances.append(best)
+        distances.sort()
+        median = distances[len(distances) // 2]
+        return median, unreachable / len(theory)
+
+    def introversion_index(self, spread=0.5):
+        """Fraction of units in components that do not span the spectrum.
+
+        A component "spans" when its theory levels cover at least
+        ``spread`` of [0, 1]; everything else is a tangent or an
+        introverted product — the crisis signature.
+        """
+        level_of = {u.uid: u.level for u in self.units}
+        introverted = 0
+        for component in self.components():
+            levels = [level_of[uid] for uid in component]
+            if max(levels) - min(levels) < spread:
+                introverted += len(component)
+        return introverted / len(self.units) if self.units else 0.0
+
+    def health_report(self):
+        """All Figure 2 metrics in one dict (the bench's row)."""
+        median_distance, unreachable = self.theory_practice_distance()
+        return {
+            "units": len(self.units),
+            "average_degree": round(self.average_degree(), 2),
+            "giant_fraction": round(self.giant_component_fraction(), 3),
+            "giant_diameter": self.giant_diameter(),
+            "theory_practice_median_distance": median_distance,
+            "theory_practice_unreachable": round(unreachable, 3),
+            "introversion_index": round(self.introversion_index(), 3),
+        }
+
+    def __repr__(self):
+        return "ResearchGraph(%d units, %d edges)" % (
+            len(self.units),
+            sum(len(v) for v in self.adjacency.values()) // 2,
+        )
+
+
+def figure2_comparison(n=400, average_degree=4.0, seed=0):
+    """Generate both regimes at matched degree; return their reports."""
+    healthy = ResearchGraph.generate(
+        n=n, average_degree=average_degree, regime="healthy", seed=seed
+    )
+    crisis = ResearchGraph.generate(
+        n=n, average_degree=average_degree, regime="crisis", seed=seed
+    )
+    return {
+        "healthy": healthy.health_report(),
+        "crisis": crisis.health_report(),
+    }

@@ -1,0 +1,129 @@
+"""The PODS retrospective: Figure 3's series and the §6 shape analysis.
+
+Reconstructs exactly what the figure plots — "averages for the two-year
+period ending in the year indicated" — plus the analytical observations
+the section makes about the curves: which tradition dominates when, the
+rise-and-fall succession, peak years, and the invited-talk/maximum-
+derivative coincidence of footnote 9.
+"""
+
+from __future__ import annotations
+
+from .pods_data import AREAS, RAW_COUNTS, YEARS
+
+
+def two_year_average(counts):
+    """Trailing two-year averages: value[y] = (raw[y-1] + raw[y]) / 2.
+
+    The first year has no predecessor and is dropped, matching a figure
+    whose x-axis starts at the second conference.
+    """
+    counts = list(counts)
+    return [
+        (counts[i - 1] + counts[i]) / 2.0 for i in range(1, len(counts))
+    ]
+
+
+def figure3_series(area=None):
+    """The plotted series: ``{area: [(year, smoothed), ...]}``.
+
+    Args:
+        area: one area key, or None for all five.
+    """
+    areas = (area,) if area else AREAS
+    out = {}
+    for key in areas:
+        smoothed = two_year_average(RAW_COUNTS[key])
+        out[key] = list(zip(YEARS[1:], smoothed))
+    return out if area is None else out[area]
+
+
+def figure3_table():
+    """Figure 3 as rows: (year, v1..v5) per area order, for printing."""
+    data = figure3_series()
+    rows = []
+    for i, year in enumerate(YEARS[1:]):
+        rows.append(
+            (year,) + tuple(round(data[a][i][1], 1) for a in AREAS)
+        )
+    return rows
+
+
+def render_figure3():
+    """ASCII rendering of the Figure 3 table (the bench's output)."""
+    header = ("year",) + AREAS
+    rows = figure3_table()
+    widths = [
+        max(len(str(header[i])), max(len(str(r[i])) for r in rows))
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(str(h).ljust(w) for h, w in zip(header, widths)),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(str(v).ljust(w) for v, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Shape analysis (the claims of §6, as predicates)
+# ---------------------------------------------------------------------------
+
+
+def dominant_area(year):
+    """The area with the most papers in a given raw year."""
+    index = YEARS.index(year)
+    return max(AREAS, key=lambda a: RAW_COUNTS[a][index])
+
+
+def peak_year(area, smoothed=True):
+    """Year of the (two-year-averaged by default) maximum."""
+    if smoothed:
+        values = two_year_average(RAW_COUNTS[area])
+        years = YEARS[1:]
+    else:
+        values = RAW_COUNTS[area]
+        years = YEARS
+    best = max(range(len(values)), key=lambda i: values[i])
+    return years[best]
+
+
+def is_waning(area, window=3):
+    """Strictly declining two-year average over the last ``window`` points."""
+    values = two_year_average(RAW_COUNTS[area])
+    tail = values[-window:]
+    return all(tail[i] > tail[i + 1] for i in range(len(tail) - 1))
+
+
+def max_derivative_year(area):
+    """Year of the largest single-year increase (footnote 9's statistic:
+    invited talks "coincide … with the maximum derivative in the volume
+    of the corresponding area")."""
+    counts = RAW_COUNTS[area]
+    best = max(
+        range(1, len(counts)), key=lambda i: counts[i] - counts[i - 1]
+    )
+    return YEARS[best]
+
+
+def succession_order():
+    """Areas by (smoothed) peak year — the ecosystem succession of §6."""
+    return sorted(AREAS, key=peak_year)
+
+
+def trend(area):
+    """Coarse trend label over the full period: rising/declining/flat.
+
+    Compares the first and last thirds of the smoothed series.
+    """
+    values = two_year_average(RAW_COUNTS[area])
+    third = max(len(values) // 3, 1)
+    early = sum(values[:third]) / third
+    late = sum(values[-third:]) / third
+    if late > early * 1.5:
+        return "rising"
+    if early > late * 1.5:
+        return "declining"
+    return "flat"

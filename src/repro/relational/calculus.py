@@ -1,0 +1,678 @@
+"""Domain relational calculus: formulas, safety, and reference evaluation.
+
+This is the "calculus" side of Codd's Theorem.  A query is
+``{(x1,...,xk) | phi(x1,...,xk)}`` where ``phi`` is a first-order formula
+over relation atoms, (in)equality and order comparisons, the boolean
+connectives, and quantifiers.
+
+Two semantics matter in the classical theory:
+
+* **Active-domain semantics** — quantifiers range over the set of values
+  occurring in the database or the query.  :func:`evaluate_query` implements
+  this directly by recursive enumeration; it is the *reference oracle*
+  against which the algebra translation (``relational.codd``) is tested.
+* **Domain independence** — a query whose answer does not depend on the
+  underlying domain.  Undecidable in general, so the classical theory uses
+  the syntactic *safe-range* condition (:func:`is_safe_range`,
+  :func:`range_restricted_variables`), which guarantees domain independence
+  and is exactly the class translated to algebra by Codd's Theorem.
+
+The formula AST is immutable.  Universal quantifiers and implications are
+supported as syntax and normalized away (``forall x phi == not exists x not
+phi``) before safety analysis and translation.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..errors import CalculusError
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+class Term:
+    """Base class for calculus terms (variables and constants)."""
+
+    __slots__ = ()
+
+
+class Var(Term):
+    """A first-order variable, identified by name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        if not isinstance(name, str) or not name:
+            raise CalculusError("variable names must be non-empty strings")
+        self.name = name
+
+    def __eq__(self, other):
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self):
+        return hash(("Var", self.name))
+
+    def __repr__(self):
+        return "Var(%r)" % self.name
+
+    def __str__(self):
+        return self.name
+
+
+class Cst(Term):
+    """A constant value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __eq__(self, other):
+        return isinstance(other, Cst) and other.value == self.value
+
+    def __hash__(self):
+        return hash(("Cst", self.value))
+
+    def __repr__(self):
+        return "Cst(%r)" % (self.value,)
+
+    def __str__(self):
+        return repr(self.value)
+
+
+def term(value):
+    """Coerce: strings become variables, everything else constants.
+
+    Use :class:`Cst` explicitly for string constants.
+    """
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, str):
+        return Var(value)
+    return Cst(value)
+
+
+# ---------------------------------------------------------------------------
+# Formulas
+# ---------------------------------------------------------------------------
+
+
+class Formula:
+    """Base class for calculus formulas."""
+
+    __slots__ = ()
+
+    def free_variables(self):
+        """Set of free variable *names*."""
+        raise NotImplementedError
+
+    def __and__(self, other):
+        return AndF(self, other)
+
+    def __or__(self, other):
+        return OrF(self, other)
+
+    def __invert__(self):
+        return NotF(self)
+
+
+class RelAtom(Formula):
+    """Relation atom ``R(t1, ..., tn)``."""
+
+    __slots__ = ("relation", "terms")
+
+    def __init__(self, relation, terms):
+        self.relation = relation
+        self.terms = tuple(term(t) for t in terms)
+
+    def free_variables(self):
+        return {t.name for t in self.terms if isinstance(t, Var)}
+
+    def __repr__(self):
+        return "RelAtom(%r, %r)" % (self.relation, list(self.terms))
+
+    def __str__(self):
+        return "%s(%s)" % (self.relation, ", ".join(map(str, self.terms)))
+
+
+class Compare(Formula):
+    """Comparison atom ``t1 op t2`` with op in =, !=, <, <=, >, >=."""
+
+    __slots__ = ("left", "op", "right")
+
+    _OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+    def __init__(self, left, op, right):
+        if op not in self._OPS:
+            raise CalculusError(
+                "unknown comparison %r (use one of %s)" % (op, ", ".join(self._OPS))
+            )
+        self.left = term(left)
+        self.op = op
+        self.right = term(right)
+
+    def free_variables(self):
+        return {
+            t.name for t in (self.left, self.right) if isinstance(t, Var)
+        }
+
+    def __repr__(self):
+        return "Compare(%r, %r, %r)" % (self.left, self.op, self.right)
+
+    def __str__(self):
+        return "%s %s %s" % (self.left, self.op, self.right)
+
+
+class AndF(Formula):
+    """Conjunction (n-ary, flattened)."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts):
+        if not parts:
+            raise CalculusError("AndF needs at least one conjunct")
+        flat = []
+        for p in parts:
+            flat.extend(p.parts if isinstance(p, AndF) else [p])
+        self.parts = tuple(flat)
+
+    def free_variables(self):
+        out = set()
+        for p in self.parts:
+            out |= p.free_variables()
+        return out
+
+    def __repr__(self):
+        return "AndF(%s)" % ", ".join(map(repr, self.parts))
+
+    def __str__(self):
+        return " & ".join("(%s)" % p for p in self.parts)
+
+
+class OrF(Formula):
+    """Disjunction (n-ary, flattened)."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts):
+        if not parts:
+            raise CalculusError("OrF needs at least one disjunct")
+        flat = []
+        for p in parts:
+            flat.extend(p.parts if isinstance(p, OrF) else [p])
+        self.parts = tuple(flat)
+
+    def free_variables(self):
+        out = set()
+        for p in self.parts:
+            out |= p.free_variables()
+        return out
+
+    def __repr__(self):
+        return "OrF(%s)" % ", ".join(map(repr, self.parts))
+
+    def __str__(self):
+        return " | ".join("(%s)" % p for p in self.parts)
+
+
+class NotF(Formula):
+    """Negation."""
+
+    __slots__ = ("part",)
+
+    def __init__(self, part):
+        self.part = part
+
+    def free_variables(self):
+        return self.part.free_variables()
+
+    def __repr__(self):
+        return "NotF(%r)" % (self.part,)
+
+    def __str__(self):
+        return "~(%s)" % self.part
+
+
+class Exists(Formula):
+    """Existential quantification over one or more variables."""
+
+    __slots__ = ("variables", "part")
+
+    def __init__(self, variables, part):
+        if isinstance(variables, str):
+            variables = (variables,)
+        self.variables = tuple(
+            v.name if isinstance(v, Var) else v for v in variables
+        )
+        if not self.variables:
+            raise CalculusError("Exists needs at least one variable")
+        self.part = part
+
+    def free_variables(self):
+        return self.part.free_variables() - set(self.variables)
+
+    def __repr__(self):
+        return "Exists(%r, %r)" % (list(self.variables), self.part)
+
+    def __str__(self):
+        return "exists %s. (%s)" % (",".join(self.variables), self.part)
+
+
+class Forall(Formula):
+    """Universal quantification (normalized to ``~exists ~`` internally)."""
+
+    __slots__ = ("variables", "part")
+
+    def __init__(self, variables, part):
+        if isinstance(variables, str):
+            variables = (variables,)
+        self.variables = tuple(
+            v.name if isinstance(v, Var) else v for v in variables
+        )
+        if not self.variables:
+            raise CalculusError("Forall needs at least one variable")
+        self.part = part
+
+    def free_variables(self):
+        return self.part.free_variables() - set(self.variables)
+
+    def __repr__(self):
+        return "Forall(%r, %r)" % (list(self.variables), self.part)
+
+    def __str__(self):
+        return "forall %s. (%s)" % (",".join(self.variables), self.part)
+
+
+class Implies(Formula):
+    """Implication (normalized to ``~a | b`` internally)."""
+
+    __slots__ = ("antecedent", "consequent")
+
+    def __init__(self, antecedent, consequent):
+        self.antecedent = antecedent
+        self.consequent = consequent
+
+    def free_variables(self):
+        return (
+            self.antecedent.free_variables()
+            | self.consequent.free_variables()
+        )
+
+    def __repr__(self):
+        return "Implies(%r, %r)" % (self.antecedent, self.consequent)
+
+    def __str__(self):
+        return "(%s) -> (%s)" % (self.antecedent, self.consequent)
+
+
+class Query:
+    """A calculus query ``{ head | formula }``.
+
+    Args:
+        head: ordered free variables forming the output tuple; also the
+            output attribute names.  May be empty (a boolean query, whose
+            answer is the 0-ary relation {()} for "yes" and {} for "no").
+        formula: the defining formula; its free variables must be exactly
+            the head variables.
+    """
+
+    __slots__ = ("head", "formula")
+
+    def __init__(self, head, formula):
+        self.head = tuple(v.name if isinstance(v, Var) else v for v in head)
+        if len(set(self.head)) != len(self.head):
+            raise CalculusError("duplicate head variables: %r" % (self.head,))
+        free = formula.free_variables()
+        if free != set(self.head):
+            raise CalculusError(
+                "head variables %r must equal the formula's free variables %r"
+                % (sorted(self.head), sorted(free))
+            )
+        self.formula = formula
+
+    def __repr__(self):
+        return "Query(%r, %r)" % (list(self.head), self.formula)
+
+    def __str__(self):
+        return "{(%s) | %s}" % (", ".join(self.head), self.formula)
+
+
+# ---------------------------------------------------------------------------
+# Normalization
+# ---------------------------------------------------------------------------
+
+
+def eliminate_sugar(formula):
+    """Remove ``Forall`` and ``Implies``: the core calculus has neither.
+
+    ``forall x. phi`` becomes ``~exists x. ~phi``; ``a -> b`` becomes
+    ``~a | b``.  Purely structural; no renaming.
+    """
+    if isinstance(formula, (RelAtom, Compare)):
+        return formula
+    if isinstance(formula, AndF):
+        return AndF(*[eliminate_sugar(p) for p in formula.parts])
+    if isinstance(formula, OrF):
+        return OrF(*[eliminate_sugar(p) for p in formula.parts])
+    if isinstance(formula, NotF):
+        return NotF(eliminate_sugar(formula.part))
+    if isinstance(formula, Exists):
+        return Exists(formula.variables, eliminate_sugar(formula.part))
+    if isinstance(formula, Forall):
+        return NotF(
+            Exists(formula.variables, NotF(eliminate_sugar(formula.part)))
+        )
+    if isinstance(formula, Implies):
+        return OrF(
+            NotF(eliminate_sugar(formula.antecedent)),
+            eliminate_sugar(formula.consequent),
+        )
+    raise CalculusError("unknown formula %r" % (formula,))
+
+
+def push_negations(formula):
+    """Push negations inward (after :func:`eliminate_sugar`).
+
+    Double negations cancel; De Morgan distributes over and/or.  Negation
+    ends up only on atoms and existential subformulas — the shape the
+    safe-range analysis and the RANF translation expect.
+    """
+    if isinstance(formula, (RelAtom, Compare)):
+        return formula
+    if isinstance(formula, AndF):
+        return AndF(*[push_negations(p) for p in formula.parts])
+    if isinstance(formula, OrF):
+        return OrF(*[push_negations(p) for p in formula.parts])
+    if isinstance(formula, Exists):
+        return Exists(formula.variables, push_negations(formula.part))
+    if isinstance(formula, NotF):
+        inner = formula.part
+        if isinstance(inner, NotF):
+            return push_negations(inner.part)
+        if isinstance(inner, AndF):
+            return OrF(*[push_negations(NotF(p)) for p in inner.parts])
+        if isinstance(inner, OrF):
+            return AndF(*[push_negations(NotF(p)) for p in inner.parts])
+        if isinstance(inner, Compare):
+            return Compare(inner.left, _NEGATED_OP[inner.op], inner.right)
+        return NotF(push_negations(inner))
+    raise CalculusError("unknown formula %r" % (formula,))
+
+
+_NEGATED_OP = {"=": "!=", "!=": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+_rename_counter = itertools.count()
+
+
+def rename_apart(formula, taken=None):
+    """Rename bound variables so no name is bound twice or bound-and-free.
+
+    This is the variable hygiene step of SRNF conversion; translation to
+    algebra assumes it.
+    """
+    taken = set(taken or ()) | formula.free_variables()
+
+    def fresh(name):
+        candidate = name
+        while candidate in taken:
+            candidate = "%s_%d" % (name, next(_rename_counter))
+        taken.add(candidate)
+        return candidate
+
+    def walk(f, subst):
+        if isinstance(f, RelAtom):
+            return RelAtom(
+                f.relation,
+                [
+                    Var(subst.get(t.name, t.name)) if isinstance(t, Var) else t
+                    for t in f.terms
+                ],
+            )
+        if isinstance(f, Compare):
+            def sub(t):
+                if isinstance(t, Var):
+                    return Var(subst.get(t.name, t.name))
+                return t
+
+            return Compare(sub(f.left), f.op, sub(f.right))
+        if isinstance(f, AndF):
+            return AndF(*[walk(p, subst) for p in f.parts])
+        if isinstance(f, OrF):
+            return OrF(*[walk(p, subst) for p in f.parts])
+        if isinstance(f, NotF):
+            return NotF(walk(f.part, subst))
+        if isinstance(f, Exists):
+            new_subst = dict(subst)
+            new_vars = []
+            for v in f.variables:
+                nv = fresh(v)
+                new_subst[v] = nv
+                new_vars.append(nv)
+            return Exists(new_vars, walk(f.part, new_subst))
+        raise CalculusError(
+            "rename_apart expects a sugar-free formula, got %r" % (f,)
+        )
+
+    return walk(eliminate_sugar(formula), {})
+
+
+def to_srnf(formula):
+    """Full safe-range normal form pipeline: desugar, rename, push negations."""
+    return push_negations(rename_apart(eliminate_sugar(formula)))
+
+
+# ---------------------------------------------------------------------------
+# Safe-range analysis
+# ---------------------------------------------------------------------------
+
+
+def range_restricted_variables(formula):
+    """The set rr(phi) of range-restricted variables, or None if ill-ranged.
+
+    Follows the classical definition (Abiteboul–Hull–Vianu Alg. 5.4.2) on a
+    formula already in SRNF.  ``None`` propagates an inner quantification
+    over a non-restricted variable (the formula cannot be safe-range).
+    """
+    if isinstance(formula, RelAtom):
+        return formula.free_variables()
+    if isinstance(formula, Compare):
+        left, right = formula.left, formula.right
+        if formula.op == "=":
+            if isinstance(left, Var) and isinstance(right, Cst):
+                return {left.name}
+            if isinstance(right, Var) and isinstance(left, Cst):
+                return {right.name}
+        return set()
+    if isinstance(formula, AndF):
+        restricted = set()
+        for p in formula.parts:
+            rr = range_restricted_variables(p)
+            if rr is None:
+                return None
+            restricted |= rr
+        # Equality propagation: x=y makes both restricted if either is.
+        changed = True
+        while changed:
+            changed = False
+            for p in formula.parts:
+                if (
+                    isinstance(p, Compare)
+                    and p.op == "="
+                    and isinstance(p.left, Var)
+                    and isinstance(p.right, Var)
+                ):
+                    a, b = p.left.name, p.right.name
+                    if (a in restricted) != (b in restricted):
+                        restricted |= {a, b}
+                        changed = True
+        return restricted
+    if isinstance(formula, OrF):
+        restricted = None
+        for p in formula.parts:
+            rr = range_restricted_variables(p)
+            if rr is None:
+                return None
+            restricted = rr if restricted is None else restricted & rr
+        return restricted
+    if isinstance(formula, NotF):
+        rr = range_restricted_variables(formula.part)
+        if rr is None:
+            return None
+        return set()
+    if isinstance(formula, Exists):
+        rr = range_restricted_variables(formula.part)
+        if rr is None or not set(formula.variables) <= rr:
+            return None
+        return rr - set(formula.variables)
+    raise CalculusError("rr() expects an SRNF formula, got %r" % (formula,))
+
+
+def is_safe_range(formula):
+    """True when the formula is safe-range (hence domain independent)."""
+    srnf = to_srnf(formula)
+    rr = range_restricted_variables(srnf)
+    return rr is not None and rr == srnf.free_variables()
+
+
+def constants_of(formula):
+    """All constant values mentioned anywhere in the formula."""
+    if isinstance(formula, RelAtom):
+        return {t.value for t in formula.terms if isinstance(t, Cst)}
+    if isinstance(formula, Compare):
+        return {
+            t.value
+            for t in (formula.left, formula.right)
+            if isinstance(t, Cst)
+        }
+    if isinstance(formula, (AndF, OrF)):
+        out = set()
+        for p in formula.parts:
+            out |= constants_of(p)
+        return out
+    if isinstance(formula, NotF):
+        return constants_of(formula.part)
+    if isinstance(formula, (Exists, Forall)):
+        return constants_of(formula.part)
+    if isinstance(formula, Implies):
+        return constants_of(formula.antecedent) | constants_of(
+            formula.consequent
+        )
+    raise CalculusError("unknown formula %r" % (formula,))
+
+
+# ---------------------------------------------------------------------------
+# Reference evaluation (active-domain semantics)
+# ---------------------------------------------------------------------------
+
+
+def _compare_values(left, op, right):
+    try:
+        if op == "=":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError:
+        return False
+    raise CalculusError("unknown comparison operator %r" % (op,))
+
+
+def satisfies(formula, assignment, db, domain):
+    """Does ``assignment`` (a name->value dict) satisfy the formula?
+
+    Quantifiers range over ``domain``.  The formula may use all the sugar
+    (``Forall``, ``Implies``).
+    """
+    if isinstance(formula, RelAtom):
+        rel = db[formula.relation]
+        values = []
+        for t in formula.terms:
+            if isinstance(t, Cst):
+                values.append(t.value)
+            else:
+                try:
+                    values.append(assignment[t.name])
+                except KeyError:
+                    raise CalculusError(
+                        "unbound variable %r in atom %s" % (t.name, formula)
+                    ) from None
+        return tuple(values) in rel.tuples
+    if isinstance(formula, Compare):
+        def val(t):
+            return t.value if isinstance(t, Cst) else assignment[t.name]
+
+        return _compare_values(val(formula.left), formula.op, val(formula.right))
+    if isinstance(formula, AndF):
+        return all(satisfies(p, assignment, db, domain) for p in formula.parts)
+    if isinstance(formula, OrF):
+        return any(satisfies(p, assignment, db, domain) for p in formula.parts)
+    if isinstance(formula, NotF):
+        return not satisfies(formula.part, assignment, db, domain)
+    if isinstance(formula, Implies):
+        return not satisfies(
+            formula.antecedent, assignment, db, domain
+        ) or satisfies(formula.consequent, assignment, db, domain)
+    if isinstance(formula, Exists):
+        return _quantify(formula, assignment, db, domain, any)
+    if isinstance(formula, Forall):
+        return _quantify(formula, assignment, db, domain, all)
+    raise CalculusError("unknown formula %r" % (formula,))
+
+
+def _quantify(formula, assignment, db, domain, mode):
+    names = formula.variables
+    for values in itertools.product(sorted(domain, key=_dom_key), repeat=len(names)):
+        extended = dict(assignment)
+        extended.update(zip(names, values))
+        result = satisfies(formula.part, extended, db, domain)
+        if mode is any and result:
+            return True
+        if mode is all and not result:
+            return False
+    return mode is all
+
+
+def _dom_key(value):
+    return (type(value).__name__, repr(value))
+
+
+def evaluate_query(query, db, domain=None):
+    """Evaluate a calculus query under active-domain semantics.
+
+    Args:
+        query: a :class:`Query`.
+        db: the database.
+        domain: quantification domain; defaults to the active domain of the
+            database plus the query's constants (the classical convention).
+
+    Returns:
+        A :class:`~repro.relational.relation.Relation` whose attributes are
+        the head variable names.
+
+    This is deliberately the naive ``|adom|^k`` enumeration: it is the
+    semantics, used as the oracle for testing the Codd translation, not an
+    efficient evaluator.
+    """
+    from .relation import Relation
+    from .schema import RelationSchema
+
+    if domain is None:
+        domain = db.active_domain() | constants_of(query.formula)
+    schema = RelationSchema("query", query.head)
+    ordered = sorted(domain, key=_dom_key)
+    answers = []
+    for values in itertools.product(ordered, repeat=len(query.head)):
+        assignment = dict(zip(query.head, values))
+        if satisfies(query.formula, assignment, db, domain):
+            answers.append(values)
+    return Relation(schema, answers, validate=False)

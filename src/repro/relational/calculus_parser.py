@@ -1,0 +1,255 @@
+"""Concrete syntax for domain relational calculus queries.
+
+Grammar (quantifiers bind tightest-to-the-right, standard precedence
+``not > and > or > implies``)::
+
+    query    := "{" "(" var ("," var)* ")" "|" formula "}"
+              | "{" "(" ")" "|" formula "}"              (boolean query)
+    formula  := implication
+    implication := disjunction ("->" implication)?
+    disjunction := conjunction ("or" conjunction)*
+    conjunction := negation ("and" negation)*
+    negation := "not" negation | quantified
+    quantified := ("exists" | "forall") var ("," var)* "." negation
+              | "(" formula ")" | atom | comparison
+    atom     := name "(" term ("," term)* ")"
+    term     := var | number | "'" chars "'"
+    comparison := term op term      op in  = != < <= > >=
+
+Variables are lowercase identifiers not followed by ``(``; relation
+names are identifiers followed by ``(``; string constants use single
+quotes.  Example::
+
+    parse_calculus("{(x) | person(x) and not exists y . parent(x, y)}")
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ParseError
+from .calculus import (
+    AndF,
+    Compare,
+    Cst,
+    Exists,
+    Forall,
+    Implies,
+    NotF,
+    OrF,
+    Query,
+    RelAtom,
+    Var,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<string>'(?:[^']|'')*')
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<op><=|>=|!=|->|=|<|>|\{|\}|\(|\)|,|\.|\|)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<space>\s+)
+  | (?P<bad>.)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"exists", "forall", "and", "or", "not", "implies"}
+
+
+def _tokenize(text):
+    tokens = []
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup
+        if kind == "space":
+            continue
+        if kind == "bad":
+            raise ParseError(
+                "unexpected character %r" % match.group(),
+                position=match.start(),
+                text=text,
+            )
+        value = match.group()
+        if kind == "number":
+            value = float(value) if "." in value else int(value)
+        elif kind == "string":
+            value = value[1:-1].replace("''", "'")
+        elif kind == "name" and value in _KEYWORDS:
+            kind = "keyword"
+        tokens.append((kind, value, match.start()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens, text):
+        self.tokens = tokens
+        self.text = text
+        self.index = 0
+
+    def peek(self, ahead=0):
+        position = self.index + ahead
+        return self.tokens[position] if position < len(self.tokens) else None
+
+    def next(self):
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of query", text=self.text)
+        self.index += 1
+        return token
+
+    def expect(self, kind, value=None):
+        token = self.next()
+        if token[0] != kind or (value is not None and token[1] != value):
+            raise ParseError(
+                "expected %s%s, got %r"
+                % (kind, " %r" % value if value else "", token[1]),
+                position=token[2],
+                text=self.text,
+            )
+        return token
+
+    def accept(self, kind, value=None):
+        token = self.peek()
+        if token and token[0] == kind and (value is None or token[1] == value):
+            self.index += 1
+            return token
+        return None
+
+    # -- grammar -------------------------------------------------------
+
+    def parse_query(self):
+        self.expect("op", "{")
+        self.expect("op", "(")
+        head = []
+        if not self.accept("op", ")"):
+            head.append(self.expect("name")[1])
+            while self.accept("op", ","):
+                head.append(self.expect("name")[1])
+            self.expect("op", ")")
+        self.expect("op", "|")
+        formula = self.parse_formula()
+        self.expect("op", "}")
+        if self.peek() is not None:
+            raise ParseError(
+                "trailing input after query", position=self.peek()[2],
+                text=self.text,
+            )
+        return Query(head, formula)
+
+    def parse_formula(self):
+        return self.parse_implication()
+
+    def parse_implication(self):
+        left = self.parse_disjunction()
+        if self.accept("op", "->") or self.accept("keyword", "implies"):
+            return Implies(left, self.parse_implication())
+        return left
+
+    def parse_disjunction(self):
+        parts = [self.parse_conjunction()]
+        while self.accept("keyword", "or"):
+            parts.append(self.parse_conjunction())
+        return OrF(*parts) if len(parts) > 1 else parts[0]
+
+    def parse_conjunction(self):
+        parts = [self.parse_negation()]
+        while self.accept("keyword", "and"):
+            parts.append(self.parse_negation())
+        return AndF(*parts) if len(parts) > 1 else parts[0]
+
+    def parse_negation(self):
+        if self.accept("keyword", "not"):
+            return NotF(self.parse_negation())
+        return self.parse_quantified()
+
+    def parse_quantified(self):
+        quantifier = self.accept("keyword", "exists") or self.accept(
+            "keyword", "forall"
+        )
+        if quantifier:
+            variables = [self.expect("name")[1]]
+            while self.accept("op", ","):
+                variables.append(self.expect("name")[1])
+            self.expect("op", ".")
+            body = self.parse_negation()
+            cls = Exists if quantifier[1] == "exists" else Forall
+            return cls(variables, body)
+        if self.accept("op", "("):
+            inner = self.parse_formula()
+            self.expect("op", ")")
+            return inner
+        return self.parse_atom_or_comparison()
+
+    def parse_atom_or_comparison(self):
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of formula", text=self.text)
+        after = self.peek(1)
+        if (
+            token[0] == "name"
+            and after is not None
+            and after[0] == "op"
+            and after[1] == "("
+        ):
+            relation = self.next()[1]
+            self.expect("op", "(")
+            terms = [self.parse_term()]
+            while self.accept("op", ","):
+                terms.append(self.parse_term())
+            self.expect("op", ")")
+            return RelAtom(relation, terms)
+        left = self.parse_term()
+        op_token = self.next()
+        if op_token[0] != "op" or op_token[1] not in (
+            "=", "!=", "<", "<=", ">", ">=",
+        ):
+            raise ParseError(
+                "expected a comparison operator, got %r" % (op_token[1],),
+                position=op_token[2],
+                text=self.text,
+            )
+        right = self.parse_term()
+        return Compare(left, op_token[1], right)
+
+    def parse_term(self):
+        token = self.next()
+        kind, value, position = token
+        if kind in ("number", "string"):
+            return Cst(value)
+        if kind == "name":
+            return Var(value)
+        raise ParseError(
+            "expected a term, got %r" % (value,), position=position,
+            text=self.text,
+        )
+
+
+def parse_calculus(text):
+    """Parse a domain-calculus query from text.
+
+    Returns:
+        A :class:`~repro.relational.calculus.Query`.
+
+    Raises:
+        ParseError: on syntax errors.
+        CalculusError: if the head does not match the free variables.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ParseError("empty calculus query", text=text)
+    return _Parser(tokens, text).parse_query()
+
+
+def parse_formula(text):
+    """Parse a bare formula (no ``{...|...}`` wrapper)."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ParseError("empty formula", text=text)
+    parser = _Parser(tokens, text)
+    formula = parser.parse_formula()
+    if parser.peek() is not None:
+        raise ParseError(
+            "trailing input after formula", position=parser.peek()[2],
+            text=text,
+        )
+    return formula

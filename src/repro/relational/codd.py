@@ -1,0 +1,582 @@
+"""Codd's Theorem, executably: calculus <-> algebra translations.
+
+The paper singles out Codd's Theorem [Co2] as a "solidly positive" result
+"because of its double implication that the calculus is implementable and
+the algebra expressive".  This module implements both implications:
+
+* :func:`calculus_to_algebra` — every *safe-range* calculus query compiles
+  to an equivalent algebra expression (the calculus is implementable).
+  The construction follows the classical relational-algebra-normal-form
+  (RANF) translation: conjunctions become natural joins and antijoins,
+  disjunctions unions, existentials projections.
+* :func:`algebra_to_calculus` — every algebra expression has an equivalent
+  safe-range calculus query (the algebra is expressive).
+
+:func:`check_codd_equivalence` closes the loop empirically, in the spirit
+of the paper's "positive results are invitations to experiment": it runs a
+query through both semantics on a concrete database and compares answers.
+"""
+
+from __future__ import annotations
+
+from ..errors import TranslationError
+from . import algebra as ra
+from .calculus import (
+    AndF,
+    Compare,
+    Cst,
+    Exists,
+    Forall,
+    Implies,
+    NotF,
+    OrF,
+    Query,
+    RelAtom,
+    Var,
+    evaluate_query,
+    is_safe_range,
+    rename_apart,
+    to_srnf,
+)
+from .relation import Relation
+from .schema import RelationSchema
+
+# ---------------------------------------------------------------------------
+# Calculus -> algebra (the "calculus is implementable" direction)
+# ---------------------------------------------------------------------------
+
+
+def calculus_to_algebra(query, db_schema=None):
+    """Compile a safe-range calculus query to a relational-algebra expression.
+
+    Args:
+        query: a :class:`~repro.relational.calculus.Query`.
+        db_schema: optional :class:`~repro.relational.schema.DatabaseSchema`
+            used to sanity-check the produced expression.
+
+    Returns:
+        An :class:`~repro.relational.algebra.AlgebraExpr` whose output
+        attributes are the query's head variables, in head order.
+
+    Raises:
+        TranslationError: if the query is not safe-range.
+    """
+    if not is_safe_range(query.formula):
+        raise TranslationError(
+            "query is not safe-range; Codd's Theorem covers only "
+            "domain-independent (safe) calculus queries: %s" % (query,)
+        )
+    srnf = to_srnf(query.formula)
+    expr, attrs = _translate(srnf)
+    if tuple(attrs) != tuple(query.head):
+        expr = ra.Projection(expr, query.head)
+    if db_schema is not None:
+        expr.schema(db_schema)  # type-check
+    return expr
+
+
+def _translate(formula):
+    """Translate an SRNF safe-range formula.
+
+    Returns:
+        ``(expr, attrs)`` where ``attrs`` is the output attribute tuple
+        (exactly the free variables of the formula, in a canonical order).
+    """
+    if isinstance(formula, RelAtom):
+        return _translate_atom(formula)
+    if isinstance(formula, Compare):
+        return _translate_lone_comparison(formula)
+    if isinstance(formula, AndF):
+        return _translate_conjunction(formula)
+    if isinstance(formula, OrF):
+        return _translate_disjunction(formula)
+    if isinstance(formula, Exists):
+        inner, attrs = _translate(formula.part)
+        keep = tuple(a for a in attrs if a not in set(formula.variables))
+        return ra.Projection(inner, keep), keep
+    if isinstance(formula, NotF):
+        if not formula.part.free_variables():
+            # A negated *sentence* is safe-range (rr = free = {}): its
+            # translation is the 0-ary complement, {()} minus the inner
+            # 0-ary result.
+            inner, _attrs = _translate(formula.part)
+            true_relation = Relation(
+                RelationSchema("bool", ()), [()], validate=False
+            )
+            return (
+                ra.Difference(ra.ConstantRelation(true_relation), inner),
+                (),
+            )
+        raise TranslationError(
+            "negation is only translatable inside a conjunction that ranges "
+            "its variables (got top-level %s)" % (formula,)
+        )
+    raise TranslationError("cannot translate formula %r" % (formula,))
+
+
+def _translate_atom(atom):
+    """R(t1..tn) -> select/project/rename over the base relation."""
+    expr = ra.RelationRef(atom.relation)
+    # Selections for constants and repeated variables use positional
+    # attribute handles; we rename every position to a fresh unique handle
+    # first so the logic is uniform regardless of the base schema.
+    handles = tuple("__p%d" % i for i in range(len(atom.terms)))
+    expr = _rename_to_positions(expr, atom.relation, handles)
+    first_seen = {}
+    for i, t in enumerate(atom.terms):
+        if isinstance(t, Cst):
+            expr = ra.Selection(
+                expr, ra.Comparison(ra.Attr(handles[i]), "=", ra.Const(t.value))
+            )
+        else:
+            if t.name in first_seen:
+                expr = ra.Selection(
+                    expr,
+                    ra.Comparison(
+                        ra.Attr(handles[first_seen[t.name]]),
+                        "=",
+                        ra.Attr(handles[i]),
+                    ),
+                )
+            else:
+                first_seen[t.name] = i
+    attrs = tuple(sorted(first_seen))
+    keep = tuple(handles[first_seen[v]] for v in attrs)
+    expr = ra.Projection(expr, keep)
+    if keep:
+        expr = ra.Rename(expr, dict(zip(keep, attrs)))
+    return expr, attrs
+
+
+class _PositionalRename(ra.AlgebraExpr):
+    """Rename a base relation's attributes positionally.
+
+    A plain :class:`~repro.relational.algebra.Rename` maps old->new names,
+    which cannot express "rename position i" without knowing the base
+    schema.  The calculus translation does not know base schemas, so this
+    node defers the mapping to schema-resolution/evaluation time.
+    """
+
+    __slots__ = ("child", "handles")
+
+    def __init__(self, child, handles):
+        self.child = child
+        self.handles = tuple(handles)
+
+    def schema(self, db_schema):
+        base = self.child.schema(db_schema)
+        if base.arity != len(self.handles):
+            raise TranslationError(
+                "atom arity %d does not match relation %r arity %d"
+                % (len(self.handles), base.name, base.arity)
+            )
+        return RelationSchema(base.name, self.handles, base.domains)
+
+    def children(self):
+        return (self.child,)
+
+    def evaluate_node(self, db, evaluate):
+        base = evaluate(self.child, db)
+        if base.schema.arity != len(self.handles):
+            raise TranslationError(
+                "atom arity %d does not match relation %r arity %d"
+                % (len(self.handles), base.schema.name, base.schema.arity)
+            )
+        schema = RelationSchema(
+            base.schema.name, self.handles, base.schema.domains
+        )
+        return Relation(schema, base.tuples, validate=False)
+
+    def __repr__(self):
+        return "_PositionalRename(%r, %r)" % (self.child, list(self.handles))
+
+    def __str__(self):
+        return "rho*[%s](%s)" % (",".join(self.handles), self.child)
+
+
+def _rename_to_positions(expr, relation_name, handles):
+    return _PositionalRename(expr, handles)
+
+
+def _translate_lone_comparison(comp):
+    """A comparison with no ranging conjunction.
+
+    Only ``x = c`` (a singleton relation) and ground comparisons (0-ary
+    true/false) are safe on their own.
+    """
+    left, right = comp.left, comp.right
+    if isinstance(left, Cst) and isinstance(right, Cst):
+        truth = _ground_compare(left.value, comp.op, right.value)
+        schema = RelationSchema("bool", ())
+        rel = Relation(schema, [()] if truth else [], validate=False)
+        return ra.ConstantRelation(rel), ()
+    if comp.op == "=":
+        if isinstance(left, Var) and isinstance(right, Cst):
+            rel = ra.singleton_relation(left.name, right.value)
+            return ra.ConstantRelation(rel), (left.name,)
+        if isinstance(right, Var) and isinstance(left, Cst):
+            rel = ra.singleton_relation(right.name, left.value)
+            return ra.ConstantRelation(rel), (right.name,)
+    raise TranslationError(
+        "comparison %s is unsafe outside a ranging conjunction" % (comp,)
+    )
+
+
+def _ground_compare(a, op, b):
+    from .calculus import _compare_values
+
+    return _compare_values(a, op, b)
+
+
+def _translate_disjunction(formula):
+    parts = []
+    attr_sets = set()
+    for p in formula.parts:
+        expr, attrs = _translate(p)
+        attr_sets.add(frozenset(attrs))
+        parts.append((expr, attrs))
+    if len(attr_sets) != 1:
+        raise TranslationError(
+            "disjuncts of a safe union must share free variables, got %s"
+            % sorted(map(sorted, attr_sets))
+        )
+    target = tuple(sorted(attr_sets.pop()))
+    out = None
+    for expr, attrs in parts:
+        if tuple(attrs) != target:
+            expr = ra.Projection(expr, target)
+        out = expr if out is None else ra.Union(out, expr)
+    return out, target
+
+
+def _translate_conjunction(formula):
+    """The heart of the RANF translation.
+
+    Positive conjuncts are joined; variable=constant equalities contribute
+    singleton relations; remaining comparisons become selections once their
+    variables are ranged; ``x = y`` with only one side ranged *extends* the
+    expression with the other variable; negated conjuncts become antijoins
+    once their free variables are covered.
+    """
+    positive = []
+    equalities = []  # var = var
+    constraints = []  # other comparisons
+    negative = []
+    for part in formula.parts:
+        if isinstance(part, (RelAtom, OrF, Exists, AndF)):
+            positive.append(part)
+        elif isinstance(part, Compare):
+            left, right = part.left, part.right
+            both_vars = isinstance(left, Var) and isinstance(right, Var)
+            if part.op == "=" and both_vars:
+                equalities.append(part)
+            elif part.op == "=" and (
+                isinstance(left, Cst) or isinstance(right, Cst)
+            ) and not (isinstance(left, Cst) and isinstance(right, Cst)):
+                # x = c ranges x: treat as a positive singleton.
+                positive.append(part)
+            else:
+                constraints.append(part)
+        elif isinstance(part, NotF):
+            negative.append(part.part)
+        else:
+            raise TranslationError("unexpected conjunct %r" % (part,))
+
+    expr = None
+    attrs = ()
+    for part in positive:
+        if isinstance(part, Compare):
+            sub, sub_attrs = _translate_lone_comparison(part)
+        else:
+            sub, sub_attrs = _translate(part)
+        if expr is None:
+            expr, attrs = sub, sub_attrs
+        else:
+            expr = ra.NaturalJoin(expr, sub)
+            attrs = attrs + tuple(a for a in sub_attrs if a not in set(attrs))
+
+    if expr is None:
+        raise TranslationError(
+            "conjunction %s has no ranging (positive) conjunct" % (formula,)
+        )
+
+    # Fixpoint: apply equalities, constraints, and negations as their
+    # variables become available.
+    pending_eq = list(equalities)
+    pending_con = list(constraints)
+    pending_neg = list(negative)
+    progress = True
+    while progress and (pending_eq or pending_con or pending_neg):
+        progress = False
+        bound = set(attrs)
+
+        still_eq = []
+        for comp in pending_eq:
+            a, b = comp.left.name, comp.right.name
+            if a in bound and b in bound:
+                expr = ra.Selection(
+                    expr, ra.Comparison(ra.Attr(a), "=", ra.Attr(b))
+                )
+                progress = True
+            elif a in bound or b in bound:
+                have, need = (a, b) if a in bound else (b, a)
+                # Extend: join with a copy of the ranged column renamed.
+                copy = ra.Rename(ra.Projection(expr, (have,)), {have: need})
+                expr = ra.Selection(
+                    ra.Product(expr, copy),
+                    ra.Comparison(ra.Attr(have), "=", ra.Attr(need)),
+                )
+                attrs = attrs + (need,)
+                bound.add(need)
+                progress = True
+            else:
+                still_eq.append(comp)
+        pending_eq = still_eq
+
+        still_con = []
+        for comp in pending_con:
+            needed = {
+                t.name
+                for t in (comp.left, comp.right)
+                if isinstance(t, Var)
+            }
+            if needed <= bound:
+                expr = ra.Selection(expr, _compare_to_condition(comp))
+                progress = True
+            else:
+                still_con.append(comp)
+        pending_con = still_con
+
+        still_neg = []
+        for part in pending_neg:
+            free = part.free_variables()
+            if free <= bound:
+                sub, sub_attrs = _translate(part)
+                if free:
+                    expr = ra.Antijoin(expr, sub)
+                else:
+                    # Ground negation: antijoin on the 0-ary subresult —
+                    # empty sub keeps everything, nonempty kills everything.
+                    expr = ra.Antijoin(expr, sub)
+                progress = True
+            else:
+                still_neg.append(part)
+        pending_neg = still_neg
+
+    if pending_eq or pending_con or pending_neg:
+        leftovers = pending_eq + pending_con + [NotF(p) for p in pending_neg]
+        raise TranslationError(
+            "conjunction is not range-restricted; stuck on: %s"
+            % "; ".join(str(p) for p in leftovers)
+        )
+    return expr, attrs
+
+
+def _compare_to_condition(comp):
+    def operand(t):
+        return ra.Attr(t.name) if isinstance(t, Var) else ra.Const(t.value)
+
+    return ra.Comparison(operand(comp.left), comp.op, operand(comp.right))
+
+
+# ---------------------------------------------------------------------------
+# Algebra -> calculus (the "algebra is expressive" direction)
+# ---------------------------------------------------------------------------
+
+
+def algebra_to_calculus(expr, db_schema):
+    """Translate an algebra expression into an equivalent calculus query.
+
+    The resulting query's head variables are the expression's output
+    attributes, and its formula is safe-range by construction.
+
+    Args:
+        expr: an :class:`~repro.relational.algebra.AlgebraExpr`.
+        db_schema: the database schema (needed to name atom positions).
+    """
+    formula, head = _to_formula(expr, db_schema)
+    formula = rename_apart(formula)
+    return Query(head, formula)
+
+
+def _to_formula(expr, db_schema):
+    """Returns ``(formula, head_attrs)``; free vars are named by attributes."""
+    if isinstance(expr, ra.RelationRef):
+        schema = db_schema[expr.name]
+        head = schema.attributes
+        return RelAtom(expr.name, [Var(a) for a in head]), head
+    if isinstance(expr, ra.ConstantRelation):
+        return _constant_to_formula(expr.relation)
+    if isinstance(expr, ra.Selection):
+        inner, head = _to_formula(expr.child, db_schema)
+        return AndF(inner, _condition_to_formula(expr.condition)), head
+    if isinstance(expr, ra.Projection):
+        inner, head = _to_formula(expr.child, db_schema)
+        removed = tuple(a for a in head if a not in set(expr.attributes))
+        out = Exists(removed, inner) if removed else inner
+        return out, tuple(expr.attributes)
+    if isinstance(expr, ra.Rename):
+        inner, head = _to_formula(expr.child, db_schema)
+        substitution = {old: Var(new) for old, new in expr.mapping.items()}
+        return (
+            _substitute(inner, substitution),
+            tuple(expr.mapping.get(a, a) for a in head),
+        )
+    if isinstance(expr, (ra.Product, ra.NaturalJoin)):
+        lf, lh = _to_formula(expr.left, db_schema)
+        rf, rh = _to_formula(expr.right, db_schema)
+        head = lh + tuple(a for a in rh if a not in set(lh))
+        return AndF(lf, rf), head
+    if isinstance(expr, ra.ThetaJoin):
+        lf, lh = _to_formula(expr.left, db_schema)
+        rf, rh = _to_formula(expr.right, db_schema)
+        head = lh + tuple(a for a in rh if a not in set(lh))
+        return (
+            AndF(lf, rf, _condition_to_formula(expr.condition)),
+            head,
+        )
+    if isinstance(expr, ra.Union):
+        lf, lh = _to_formula(expr.left, db_schema)
+        rf, rh = _to_formula(expr.right, db_schema)
+        rf = _align(rf, rh, lh)
+        return OrF(lf, rf), lh
+    if isinstance(expr, ra.Intersection):
+        lf, lh = _to_formula(expr.left, db_schema)
+        rf, rh = _to_formula(expr.right, db_schema)
+        rf = _align(rf, rh, lh)
+        return AndF(lf, rf), lh
+    if isinstance(expr, ra.Difference):
+        lf, lh = _to_formula(expr.left, db_schema)
+        rf, rh = _to_formula(expr.right, db_schema)
+        rf = _align(rf, rh, lh)
+        return AndF(lf, NotF(rf)), lh
+    if isinstance(expr, ra.Semijoin):
+        lf, lh = _to_formula(expr.left, db_schema)
+        rf, rh = _to_formula(expr.right, db_schema)
+        only_right = tuple(a for a in rh if a not in set(lh))
+        inner = Exists(only_right, rf) if only_right else rf
+        return AndF(lf, inner), lh
+    if isinstance(expr, ra.Antijoin):
+        lf, lh = _to_formula(expr.left, db_schema)
+        rf, rh = _to_formula(expr.right, db_schema)
+        only_right = tuple(a for a in rh if a not in set(lh))
+        inner = Exists(only_right, rf) if only_right else rf
+        return AndF(lf, NotF(inner)), lh
+    if isinstance(expr, ra.Division):
+        lf, lh = _to_formula(expr.left, db_schema)
+        rf, rh = _to_formula(expr.right, db_schema)
+        quotient = tuple(a for a in lh if a not in set(rh))
+        divisor = tuple(rh)
+        ranged = Exists(divisor, lf)
+        covers = Forall(divisor, Implies(rf, lf))
+        return AndF(ranged, covers), quotient
+    raise TranslationError("cannot translate algebra node %r" % (expr,))
+
+
+def _align(formula, have, want):
+    """Rename free variables ``have`` to ``want`` (positionally)."""
+    if tuple(have) == tuple(want):
+        return formula
+    substitution = {h: Var(w) for h, w in zip(have, want)}
+    return _substitute(formula, substitution)
+
+
+def _constant_to_formula(relation):
+    attrs = relation.schema.attributes
+    if not attrs:
+        truth = bool(relation.tuples)
+        return (
+            Compare(Cst(0), "=", Cst(0) if truth else Cst(1)),
+            (),
+        )
+    if not relation.tuples:
+        false_parts = [Compare(Var(a), "!=", Var(a)) for a in attrs]
+        return AndF(*false_parts), attrs
+    disjuncts = []
+    for tup in relation.sorted_tuples():
+        disjuncts.append(
+            AndF(*[Compare(Var(a), "=", Cst(v)) for a, v in zip(attrs, tup)])
+        )
+    return OrF(*disjuncts), attrs
+
+
+def _condition_to_formula(condition):
+    if isinstance(condition, ra.Comparison):
+        def conv(operand):
+            if isinstance(operand, ra.Attr):
+                return Var(operand.name)
+            return Cst(operand.value)
+
+        return Compare(conv(condition.left), condition.op, conv(condition.right))
+    if isinstance(condition, ra.And):
+        return AndF(*[_condition_to_formula(p) for p in condition.parts])
+    if isinstance(condition, ra.Or):
+        return OrF(*[_condition_to_formula(p) for p in condition.parts])
+    if isinstance(condition, ra.Not):
+        return NotF(_condition_to_formula(condition.part))
+    raise TranslationError("cannot translate condition %r" % (condition,))
+
+
+def _substitute(formula, substitution):
+    """Capture-avoiding substitution of free variables by terms."""
+    if isinstance(formula, RelAtom):
+        return RelAtom(
+            formula.relation,
+            [
+                substitution.get(t.name, t) if isinstance(t, Var) else t
+                for t in formula.terms
+            ],
+        )
+    if isinstance(formula, Compare):
+        def sub(t):
+            if isinstance(t, Var):
+                return substitution.get(t.name, t)
+            return t
+
+        return Compare(sub(formula.left), formula.op, sub(formula.right))
+    if isinstance(formula, AndF):
+        return AndF(*[_substitute(p, substitution) for p in formula.parts])
+    if isinstance(formula, OrF):
+        return OrF(*[_substitute(p, substitution) for p in formula.parts])
+    if isinstance(formula, NotF):
+        return NotF(_substitute(formula.part, substitution))
+    if isinstance(formula, Exists):
+        inner_sub = {
+            k: v for k, v in substitution.items() if k not in formula.variables
+        }
+        return Exists(formula.variables, _substitute(formula.part, inner_sub))
+    if isinstance(formula, Forall):
+        inner_sub = {
+            k: v for k, v in substitution.items() if k not in formula.variables
+        }
+        return Forall(formula.variables, _substitute(formula.part, inner_sub))
+    if isinstance(formula, Implies):
+        return Implies(
+            _substitute(formula.antecedent, substitution),
+            _substitute(formula.consequent, substitution),
+        )
+    raise TranslationError("cannot substitute in %r" % (formula,))
+
+
+# ---------------------------------------------------------------------------
+# Empirical equivalence (positive results as invitations to experiment)
+# ---------------------------------------------------------------------------
+
+
+def check_codd_equivalence(query, db):
+    """Run a safe calculus query both ways and compare the answers.
+
+    Returns:
+        ``(calculus_answer, algebra_answer, equal)`` — the two result
+        relations and whether they agree as sets of tuples.
+    """
+    from .algebra import evaluate
+
+    calculus_answer = evaluate_query(query, db)
+    expr = calculus_to_algebra(query, db.schema())
+    algebra_answer = evaluate(expr, db)
+    equal = (
+        calculus_answer.tuples == algebra_answer.tuples
+        and calculus_answer.schema.attributes == algebra_answer.schema.attributes
+    )
+    return calculus_answer, algebra_answer, equal

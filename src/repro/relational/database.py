@@ -1,0 +1,130 @@
+"""Database instances: named relations over a database schema."""
+
+from __future__ import annotations
+
+from ..errors import RelationError, SchemaError
+from .relation import Relation
+from .schema import DatabaseSchema, RelationSchema
+
+
+class Database:
+    """A mutable collection of named :class:`Relation` instances.
+
+    The algebra/calculus evaluators and the Datalog engines all consume a
+    ``Database``.  Relations are immutable; updating a relation replaces the
+    binding.
+    """
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations=()):
+        self._relations = {}
+        for rel in relations:
+            self.add(rel)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data):
+        """Build a database from ``{name: (attributes, rows)}``.
+
+        ``attributes`` is a sequence of names; ``rows`` an iterable of raw
+        tuples.  Convenient for tests and examples::
+
+            db = Database.from_dict({
+                "parent": (("parent", "child"),
+                           [("ann", "bob"), ("bob", "cal")]),
+            })
+        """
+        db = cls()
+        for name, (attributes, rows) in data.items():
+            schema = RelationSchema(name, attributes)
+            db.add(Relation(schema, rows))
+        return db
+
+    # -- access ----------------------------------------------------------------
+
+    def add(self, relation):
+        """Register a relation under its schema name; names must be unique."""
+        if not isinstance(relation, Relation):
+            raise RelationError("expected Relation, got %r" % (relation,))
+        name = relation.schema.name
+        if name in self._relations:
+            raise SchemaError("duplicate relation name %r" % (name,))
+        self._relations[name] = relation
+        return relation
+
+    def replace(self, relation):
+        """Register or overwrite the relation named by its schema."""
+        self._relations[relation.schema.name] = relation
+        return relation
+
+    def remove(self, name):
+        """Remove and return the relation named ``name``."""
+        try:
+            return self._relations.pop(name)
+        except KeyError:
+            raise SchemaError("no relation named %r" % (name,)) from None
+
+    def __getitem__(self, name):
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(
+                "no relation named %r in database (has: %s)"
+                % (name, ", ".join(sorted(self._relations)) or "<empty>")
+            ) from None
+
+    def __contains__(self, name):
+        return name in self._relations
+
+    def __iter__(self):
+        return iter(self._relations)
+
+    def __len__(self):
+        return len(self._relations)
+
+    def names(self):
+        """Relation names, sorted."""
+        return sorted(self._relations)
+
+    def relations(self):
+        """All relations, ordered by name."""
+        return [self._relations[n] for n in self.names()]
+
+    def schema(self):
+        """The :class:`DatabaseSchema` of this instance."""
+        return DatabaseSchema(r.schema for r in self.relations())
+
+    def active_domain(self):
+        """All values occurring anywhere in the database.
+
+        This is the *active domain* of classical finite-model-theoretic
+        semantics; the calculus evaluator quantifies over it.
+        """
+        values = set()
+        for rel in self._relations.values():
+            values |= rel.active_domain()
+        return values
+
+    def total_tuples(self):
+        """Total tuple count across relations (a crude size measure)."""
+        return sum(len(r) for r in self._relations.values())
+
+    def copy(self):
+        """Shallow copy (relations are immutable, so this is enough)."""
+        db = Database()
+        db._relations = dict(self._relations)
+        return db
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Database)
+            and self._relations == other._relations
+        )
+
+    def __repr__(self):
+        return "Database(%s)" % ", ".join(
+            "%s/%d:%d" % (r.schema.name, r.schema.arity, len(r))
+            for r in self.relations()
+        )

@@ -1,0 +1,307 @@
+"""Relation instances: immutable sets of tuples over a schema.
+
+The theoretical relational model is *set*-based (no duplicate rows, no row
+order), and all the classical results the paper surveys (Codd's Theorem,
+normalization, the chase) are stated for set semantics — so that is what we
+implement.  A :class:`Relation` is a frozen set of positional tuples plus a
+:class:`~repro.relational.schema.RelationSchema`.
+
+The low-level tuple operators here (project/select/join on raw tuples) are
+the shared physical layer used by the algebra evaluator, the calculus
+evaluator, the Datalog engines, and Yannakakis' algorithm.
+"""
+
+from __future__ import annotations
+
+from ..errors import RelationError, SchemaError
+from .schema import RelationSchema
+
+
+class Relation:
+    """An immutable set of tuples conforming to a schema.
+
+    Args:
+        schema: the relation schema.
+        tuples: iterable of raw tuples (each validated against the schema).
+        validate: skip per-tuple domain checks when False (used internally
+            by operators whose outputs are correct by construction).
+    """
+
+    __slots__ = ("schema", "tuples")
+
+    def __init__(self, schema, tuples=(), validate=True):
+        if not isinstance(schema, RelationSchema):
+            raise RelationError("expected RelationSchema, got %r" % (schema,))
+        self.schema = schema
+        if validate:
+            self.tuples = frozenset(
+                schema.validate_tuple(t) for t in tuples
+            )
+        else:
+            self.tuples = frozenset(tuples)
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_dicts(cls, schema, rows):
+        """Build a relation from dict rows keyed by attribute name."""
+        tuples = []
+        for row in rows:
+            missing = [a for a in schema.attributes if a not in row]
+            if missing:
+                raise RelationError(
+                    "row %r missing attributes %s" % (row, ", ".join(missing))
+                )
+            tuples.append(tuple(row[a] for a in schema.attributes))
+        return cls(schema, tuples)
+
+    @classmethod
+    def empty(cls, schema):
+        """The empty relation over ``schema``."""
+        return cls(schema, (), validate=False)
+
+    # -- basic queries ------------------------------------------------------
+
+    def __len__(self):
+        return len(self.tuples)
+
+    def __iter__(self):
+        return iter(self.tuples)
+
+    def __contains__(self, values):
+        return tuple(values) in self.tuples
+
+    def __bool__(self):
+        return bool(self.tuples)
+
+    def sorted_tuples(self):
+        """Tuples in a deterministic order (for display and golden tests)."""
+        return sorted(self.tuples, key=lambda t: tuple(map(_sort_key, t)))
+
+    def to_dicts(self):
+        """Rows as dicts keyed by attribute name, deterministically ordered."""
+        attrs = self.schema.attributes
+        return [dict(zip(attrs, t)) for t in self.sorted_tuples()]
+
+    def active_domain(self):
+        """Set of all values occurring anywhere in the relation."""
+        values = set()
+        for t in self.tuples:
+            values.update(t)
+        return values
+
+    def value(self, tup, attribute):
+        """Value of ``attribute`` within raw tuple ``tup``."""
+        return tup[self.schema.position(attribute)]
+
+    # -- algebra primitives -------------------------------------------------
+    #
+    # These are the physical operators; the algebra module builds the
+    # logical AST on top of them.
+
+    def select(self, predicate):
+        """Tuples satisfying ``predicate(raw_tuple)``; same schema."""
+        return Relation(
+            self.schema,
+            (t for t in self.tuples if predicate(t)),
+            validate=False,
+        )
+
+    def project(self, attributes):
+        """Projection onto ``attributes`` (duplicates eliminated)."""
+        positions = [self.schema.position(a) for a in attributes]
+        out_schema = self.schema.project(attributes)
+        return Relation(
+            out_schema,
+            (tuple(t[p] for p in positions) for t in self.tuples),
+            validate=False,
+        )
+
+    def rename(self, mapping, name=None):
+        """Relation with attributes renamed; tuples unchanged."""
+        return Relation(
+            self.schema.rename(mapping, name=name), self.tuples, validate=False
+        )
+
+    def with_name(self, name):
+        """Same relation under a different relation name."""
+        schema = RelationSchema(name, self.schema.attributes, self.schema.domains)
+        return Relation(schema, self.tuples, validate=False)
+
+    def union(self, other):
+        """Set union; schemas must be union-compatible."""
+        self.schema.require_union_compatible(other.schema, "union")
+        return Relation(self.schema, self.tuples | other.tuples, validate=False)
+
+    def difference(self, other):
+        """Set difference; schemas must be union-compatible."""
+        self.schema.require_union_compatible(other.schema, "difference")
+        return Relation(self.schema, self.tuples - other.tuples, validate=False)
+
+    def intersection(self, other):
+        """Set intersection; schemas must be union-compatible."""
+        self.schema.require_union_compatible(other.schema, "intersection")
+        return Relation(self.schema, self.tuples & other.tuples, validate=False)
+
+    def product(self, other):
+        """Cartesian product; attribute names must not clash."""
+        out_schema = self.schema.concat(other.schema)
+        return Relation(
+            out_schema,
+            (s + t for s in self.tuples for t in other.tuples),
+            validate=False,
+        )
+
+    def natural_join(self, other):
+        """Natural join on shared attribute names (hash join).
+
+        Degenerates to a cartesian product when no attributes are shared,
+        and to an intersection when all are — exactly the textbook
+        definition.
+        """
+        shared = self.schema.shared_attributes(other.schema)
+        out_schema = self.schema.join_schema(other.schema)
+        left_pos = [self.schema.position(a) for a in shared]
+        right_pos = [other.schema.position(a) for a in shared]
+        extra_pos = [
+            other.schema.position(a)
+            for a in other.schema.attributes
+            if a not in self.schema
+        ]
+        # Build hash table on the smaller side for the shared-key lookup.
+        index = {}
+        for t in other.tuples:
+            key = tuple(t[p] for p in right_pos)
+            index.setdefault(key, []).append(t)
+        out = []
+        for s in self.tuples:
+            key = tuple(s[p] for p in left_pos)
+            for t in index.get(key, ()):
+                out.append(s + tuple(t[p] for p in extra_pos))
+        return Relation(out_schema, out, validate=False)
+
+    def semijoin(self, other):
+        """Left semijoin: tuples of self that join with some tuple of other.
+
+        This is the workhorse of Yannakakis' algorithm.
+        """
+        shared = self.schema.shared_attributes(other.schema)
+        if not shared:
+            return self if other.tuples else Relation.empty(self.schema)
+        right_pos = [other.schema.position(a) for a in shared]
+        keys = {tuple(t[p] for p in right_pos) for t in other.tuples}
+        left_pos = [self.schema.position(a) for a in shared]
+        return Relation(
+            self.schema,
+            (t for t in self.tuples if tuple(t[p] for p in left_pos) in keys),
+            validate=False,
+        )
+
+    def antijoin(self, other):
+        """Left antijoin: tuples of self that join with *no* tuple of other."""
+        shared = self.schema.shared_attributes(other.schema)
+        if not shared:
+            return Relation.empty(self.schema) if other.tuples else self
+        right_pos = [other.schema.position(a) for a in shared]
+        keys = {tuple(t[p] for p in right_pos) for t in other.tuples}
+        left_pos = [self.schema.position(a) for a in shared]
+        return Relation(
+            self.schema,
+            (
+                t
+                for t in self.tuples
+                if tuple(t[p] for p in left_pos) not in keys
+            ),
+            validate=False,
+        )
+
+    def divide(self, other):
+        """Relational division self ÷ other.
+
+        ``other``'s attributes must be a proper subset of self's.  Returns
+        tuples over the remaining attributes that pair with *every* tuple
+        of ``other``.
+        """
+        divisor_attrs = set(other.schema.attributes)
+        own_attrs = set(self.schema.attributes)
+        if not divisor_attrs < own_attrs:
+            raise SchemaError(
+                "division requires divisor attributes to be a proper subset: "
+                "%r vs %r"
+                % (other.schema.attributes, self.schema.attributes)
+            )
+        quotient_attrs = tuple(
+            a for a in self.schema.attributes if a not in divisor_attrs
+        )
+        # pi_Q(self) - pi_Q( (pi_Q(self) x other) - self )
+        candidates = self.project(quotient_attrs)
+        if not other.tuples:
+            return candidates
+        required = candidates.product(
+            other.with_name(other.schema.name + "_div")
+        )
+        # Align required's attribute order to self's before differencing.
+        aligned = required.project(self.schema.attributes)
+        missing = aligned.difference(self.project(self.schema.attributes))
+        return candidates.difference(missing.project(quotient_attrs))
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __eq__(self, other):
+        """Equality is set equality over identically-*named* attributes.
+
+        Domains are ignored: two relations with the same attribute names and
+        tuples are the same relation in the theoretical model.
+        """
+        return (
+            isinstance(other, Relation)
+            and self.schema.attributes == other.schema.attributes
+            and self.tuples == other.tuples
+        )
+
+    def __hash__(self):
+        return hash((self.schema.attributes, self.tuples))
+
+    def __repr__(self):
+        return "Relation(%s/%d, %d tuples)" % (
+            self.schema.name,
+            self.schema.arity,
+            len(self.tuples),
+        )
+
+    def pretty(self, limit=20):
+        """ASCII table rendering (first ``limit`` rows, sorted)."""
+        attrs = self.schema.attributes
+        rows = [tuple(str(v) for v in t) for t in self.sorted_tuples()[:limit]]
+        widths = [
+            max([len(a)] + [len(r[i]) for r in rows])
+            for i, a in enumerate(attrs)
+        ]
+        header = " | ".join(a.ljust(w) for a, w in zip(attrs, widths))
+        sep = "-+-".join("-" * w for w in widths)
+        body = [
+            " | ".join(v.ljust(w) for v, w in zip(r, widths)) for r in rows
+        ]
+        extra = len(self.tuples) - len(rows)
+        if extra > 0:
+            body.append("... (%d more)" % extra)
+        return "\n".join([header, sep] + body)
+
+
+def _sort_key(value):
+    """Total order over mixed-type values (type name first, then value)."""
+    return (type(value).__name__, repr(value))
+
+
+def same_content(left, right):
+    """Order-insensitive relation equality.
+
+    True when both relations have the same attribute *set* and the same
+    tuples once columns are aligned — the right notion when comparing
+    results of plans that emit columns in different orders (e.g.
+    Yannakakis vs a naive join fold).
+    """
+    if set(left.schema.attributes) != set(right.schema.attributes):
+        return False
+    order = sorted(left.schema.attributes)
+    return left.project(order) == right.project(order)

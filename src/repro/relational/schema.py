@@ -1,0 +1,255 @@
+"""Relation and database schemas.
+
+A :class:`RelationSchema` is an ordered sequence of distinct attribute
+names, optionally typed by :class:`~repro.relational.types.Domain` objects.
+Order matters because tuples are stored positionally; set-based notions
+(union compatibility, natural-join attribute sharing) are derived from the
+names.
+
+A :class:`DatabaseSchema` maps relation names to relation schemas and is
+what the algebra/calculus type checkers and the dependency-theory modules
+consume.
+"""
+
+from __future__ import annotations
+
+from ..errors import SchemaError
+from .types import ANY, Domain
+
+
+class RelationSchema:
+    """An ordered, typed attribute list for one relation.
+
+    Args:
+        name: relation name (used in error messages and database schemas).
+        attributes: iterable of attribute names; must be distinct.
+        domains: optional iterable of :class:`Domain`, parallel to
+            ``attributes``; defaults to :data:`~repro.relational.types.ANY`
+            for every attribute.
+    """
+
+    __slots__ = ("name", "attributes", "domains", "_index")
+
+    def __init__(self, name, attributes, domains=None):
+        attributes = tuple(attributes)
+        if len(set(attributes)) != len(attributes):
+            raise SchemaError(
+                "duplicate attribute names in schema %r: %r" % (name, attributes)
+            )
+        for attr in attributes:
+            if not isinstance(attr, str) or not attr:
+                raise SchemaError(
+                    "attribute names must be non-empty strings, got %r" % (attr,)
+                )
+        if domains is None:
+            domains = (ANY,) * len(attributes)
+        else:
+            domains = tuple(domains)
+            if len(domains) != len(attributes):
+                raise SchemaError(
+                    "schema %r: %d attributes but %d domains"
+                    % (name, len(attributes), len(domains))
+                )
+            for dom in domains:
+                if not isinstance(dom, Domain):
+                    raise SchemaError("expected Domain, got %r" % (dom,))
+        self.name = name
+        self.attributes = attributes
+        self.domains = domains
+        self._index = {attr: i for i, attr in enumerate(attributes)}
+
+    # -- basic queries -------------------------------------------------
+
+    @property
+    def arity(self):
+        """Number of attributes."""
+        return len(self.attributes)
+
+    def position(self, attribute):
+        """Index of ``attribute`` in the tuple layout.
+
+        Raises:
+            SchemaError: if the attribute is not part of the schema.
+        """
+        try:
+            return self._index[attribute]
+        except KeyError:
+            raise SchemaError(
+                "relation %r has no attribute %r (has: %s)"
+                % (self.name, attribute, ", ".join(self.attributes))
+            ) from None
+
+    def domain_of(self, attribute):
+        """Domain of ``attribute``."""
+        return self.domains[self.position(attribute)]
+
+    def __contains__(self, attribute):
+        return attribute in self._index
+
+    def __len__(self):
+        return len(self.attributes)
+
+    def __iter__(self):
+        return iter(self.attributes)
+
+    # -- derived schemas -----------------------------------------------
+
+    def project(self, attributes, name=None):
+        """Schema of a projection onto ``attributes`` (order as given)."""
+        attributes = tuple(attributes)
+        domains = tuple(self.domain_of(a) for a in attributes)
+        return RelationSchema(name or self.name, attributes, domains)
+
+    def rename(self, mapping, name=None):
+        """Schema with attributes renamed via ``mapping`` (old -> new).
+
+        Attributes not in the mapping keep their names.
+        """
+        for old in mapping:
+            self.position(old)  # validates
+        new_attrs = tuple(mapping.get(a, a) for a in self.attributes)
+        return RelationSchema(name or self.name, new_attrs, self.domains)
+
+    def prefixed(self, prefix, separator="."):
+        """Schema with every attribute prefixed, e.g. for qualified joins."""
+        return RelationSchema(
+            self.name,
+            tuple(prefix + separator + a for a in self.attributes),
+            self.domains,
+        )
+
+    def concat(self, other, name=None):
+        """Schema of a cross product: attributes of self then other.
+
+        Raises:
+            SchemaError: on attribute-name clashes (rename first).
+        """
+        clash = set(self.attributes) & set(other.attributes)
+        if clash:
+            raise SchemaError(
+                "cross product attribute clash: %s (rename one side)"
+                % ", ".join(sorted(clash))
+            )
+        return RelationSchema(
+            name or "%s_x_%s" % (self.name, other.name),
+            self.attributes + other.attributes,
+            self.domains + other.domains,
+        )
+
+    def join_schema(self, other, name=None):
+        """Schema of a natural join: self's attributes, then other's new ones."""
+        extra = tuple(a for a in other.attributes if a not in self._index)
+        extra_doms = tuple(other.domain_of(a) for a in extra)
+        return RelationSchema(
+            name or "%s_join_%s" % (self.name, other.name),
+            self.attributes + extra,
+            self.domains + extra_doms,
+        )
+
+    def shared_attributes(self, other):
+        """Attributes common to both schemas, in self's order."""
+        return tuple(a for a in self.attributes if a in other)
+
+    def is_union_compatible(self, other):
+        """True when both schemas have identical attribute lists."""
+        return self.attributes == other.attributes
+
+    def require_union_compatible(self, other, operation="union"):
+        """Raise :class:`SchemaError` unless union-compatible with ``other``."""
+        if not self.is_union_compatible(other):
+            raise SchemaError(
+                "%s requires identical attribute lists: %r vs %r"
+                % (operation, self.attributes, other.attributes)
+            )
+
+    # -- value checking --------------------------------------------------
+
+    def validate_tuple(self, values):
+        """Check arity and domains of a raw tuple; return it normalized.
+
+        Returns:
+            The tuple, as a plain ``tuple``.
+
+        Raises:
+            SchemaError: on arity mismatch or domain violation.
+        """
+        values = tuple(values)
+        if len(values) != self.arity:
+            raise SchemaError(
+                "relation %r expects arity %d, got tuple of arity %d: %r"
+                % (self.name, self.arity, len(values), values)
+            )
+        for attr, dom, value in zip(self.attributes, self.domains, values):
+            if value not in dom:
+                raise SchemaError(
+                    "relation %r attribute %r: value %r not in domain %s"
+                    % (self.name, attr, value, dom.name)
+                )
+        return values
+
+    # -- dunder -----------------------------------------------------------
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, RelationSchema)
+            and self.attributes == other.attributes
+            and self.domains == other.domains
+        )
+
+    def __hash__(self):
+        return hash((self.attributes, self.domains))
+
+    def __repr__(self):
+        return "RelationSchema(%r, %r)" % (self.name, list(self.attributes))
+
+
+class DatabaseSchema:
+    """A named collection of relation schemas.
+
+    Behaves as a read-mostly mapping from relation name to
+    :class:`RelationSchema`.
+    """
+
+    __slots__ = ("_schemas",)
+
+    def __init__(self, schemas=()):
+        self._schemas = {}
+        for schema in schemas:
+            self.add(schema)
+
+    def add(self, schema):
+        """Register a relation schema; names must be unique."""
+        if not isinstance(schema, RelationSchema):
+            raise SchemaError("expected RelationSchema, got %r" % (schema,))
+        if schema.name in self._schemas:
+            raise SchemaError("duplicate relation name %r" % (schema.name,))
+        self._schemas[schema.name] = schema
+        return schema
+
+    def __getitem__(self, name):
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise SchemaError(
+                "no relation named %r in database schema (has: %s)"
+                % (name, ", ".join(sorted(self._schemas)) or "<empty>")
+            ) from None
+
+    def __contains__(self, name):
+        return name in self._schemas
+
+    def __iter__(self):
+        return iter(self._schemas)
+
+    def __len__(self):
+        return len(self._schemas)
+
+    def items(self):
+        return self._schemas.items()
+
+    def names(self):
+        """Relation names, sorted for deterministic iteration."""
+        return sorted(self._schemas)
+
+    def __repr__(self):
+        return "DatabaseSchema(%s)" % ", ".join(sorted(self._schemas))

@@ -1,0 +1,487 @@
+"""A small SQL frontend compiling SELECT blocks to relational algebra.
+
+The relational paradigm reached practice through SQL engines (the
+Berkeley–IBM experiments the paper credits with "establishing the
+feasibility of relational databases").  This frontend covers the classical
+set-semantics core that maps directly onto the algebra:
+
+* ``SELECT [DISTINCT] cols FROM r1 [a1], r2 [a2], ... [WHERE cond]``
+* column references ``alias.col`` or bare ``col`` (when unambiguous)
+* ``WHERE`` with ``=, !=, <>, <, <=, >, >=``, ``AND``, ``OR``, ``NOT``,
+  parentheses, string/int/float literals
+* ``UNION``, ``INTERSECT``, ``EXCEPT`` between SELECT blocks
+* ``SELECT *`` expanding to all columns of the FROM list
+
+Everything evaluates under set semantics (DISTINCT is implicit, matching
+the theoretical model; the keyword is accepted and ignored).
+
+Example::
+
+    expr = parse_sql("SELECT p1.p FROM parent p1, parent p2 "
+                     "WHERE p1.c = p2.p AND p2.c = 'cal'")
+    result = evaluate(expr, db)
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ParseError
+from . import algebra as ra
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'(?:[^']|'')*')
+      | (?P<number>\d+\.\d+|\d+)
+      | (?P<op><>|!=|<=|>=|=|<|>|\(|\)|,|\.|\*)
+      | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select",
+    "distinct",
+    "from",
+    "where",
+    "and",
+    "or",
+    "not",
+    "union",
+    "intersect",
+    "except",
+    "as",
+}
+
+
+class _Token:
+    __slots__ = ("kind", "value", "position")
+
+    def __init__(self, kind, value, position):
+        self.kind = kind
+        self.value = value
+        self.position = position
+
+    def __repr__(self):
+        return "_Token(%r, %r)" % (self.kind, self.value)
+
+
+def _tokenize(text):
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        if text[pos].isspace():
+            pos += 1
+            continue
+        match = _TOKEN_RE.match(text, pos)
+        if not match or match.start() != pos:
+            raise ParseError(
+                "unexpected character %r" % text[pos], position=pos, text=text
+            )
+        if match.group("string") is not None:
+            raw = match.group("string")
+            tokens.append(_Token("string", raw[1:-1].replace("''", "'"), pos))
+        elif match.group("number") is not None:
+            raw = match.group("number")
+            value = float(raw) if "." in raw else int(raw)
+            tokens.append(_Token("number", value, pos))
+        elif match.group("op") is not None:
+            op = match.group("op")
+            tokens.append(_Token("op", "!=" if op == "<>" else op, pos))
+        else:
+            name = match.group("name")
+            lowered = name.lower()
+            if lowered in _KEYWORDS:
+                tokens.append(_Token("keyword", lowered, pos))
+            else:
+                tokens.append(_Token("name", name, pos))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens, text):
+        self.tokens = tokens
+        self.text = text
+        self.index = 0
+
+    # -- token helpers -------------------------------------------------
+
+    def peek(self):
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self):
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input", text=self.text)
+        self.index += 1
+        return token
+
+    def expect(self, kind, value=None):
+        token = self.next()
+        if token.kind != kind or (value is not None and token.value != value):
+            raise ParseError(
+                "expected %s%s, got %r"
+                % (kind, " %r" % value if value else "", token.value),
+                position=token.position,
+                text=self.text,
+            )
+        return token
+
+    def accept(self, kind, value=None):
+        token = self.peek()
+        if (
+            token is not None
+            and token.kind == kind
+            and (value is None or token.value == value)
+        ):
+            self.index += 1
+            return token
+        return None
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_statement(self):
+        expr = self.parse_select()
+        while True:
+            if self.accept("keyword", "union"):
+                expr = ra.Union(expr, self.parse_select())
+            elif self.accept("keyword", "intersect"):
+                expr = ra.Intersection(expr, self.parse_select())
+            elif self.accept("keyword", "except"):
+                expr = ra.Difference(expr, self.parse_select())
+            else:
+                break
+        trailing = self.peek()
+        if trailing is not None:
+            raise ParseError(
+                "trailing input starting at %r" % (trailing.value,),
+                position=trailing.position,
+                text=self.text,
+            )
+        return expr
+
+    def parse_select(self):
+        self.expect("keyword", "select")
+        self.accept("keyword", "distinct")
+        columns = self.parse_select_list()
+        self.expect("keyword", "from")
+        sources = self.parse_from_list()
+        condition = None
+        if self.accept("keyword", "where"):
+            condition = self.parse_or()
+        return _Block(columns, sources, condition).compile()
+
+    def parse_select_list(self):
+        if self.accept("op", "*"):
+            return None  # SELECT *
+        columns = [self.parse_column_ref()]
+        while self.accept("op", ","):
+            columns.append(self.parse_column_ref())
+        return columns
+
+    def parse_column_ref(self):
+        first = self.expect("name").value
+        if self.accept("op", "."):
+            second = self.expect("name").value
+            ref = (first, second)
+        else:
+            ref = (None, first)
+        if self.accept("keyword", "as"):
+            alias = self.expect("name").value
+            return ref + (alias,)
+        return ref + (None,)
+
+    def parse_from_list(self):
+        sources = [self.parse_source()]
+        while self.accept("op", ","):
+            sources.append(self.parse_source())
+        return sources
+
+    def parse_source(self):
+        relation = self.expect("name").value
+        self.accept("keyword", "as")
+        alias_token = self.accept("name")
+        alias = alias_token.value if alias_token else relation
+        return (relation, alias)
+
+    def parse_or(self):
+        left = self.parse_and()
+        while self.accept("keyword", "or"):
+            left = ("or", left, self.parse_and())
+        return left
+
+    def parse_and(self):
+        left = self.parse_not()
+        while self.accept("keyword", "and"):
+            left = ("and", left, self.parse_not())
+        return left
+
+    def parse_not(self):
+        if self.accept("keyword", "not"):
+            return ("not", self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self):
+        if self.accept("op", "("):
+            inner = self.parse_or()
+            self.expect("op", ")")
+            return inner
+        left = self.parse_operand()
+        op_token = self.expect("op")
+        if op_token.value not in ("=", "!=", "<", "<=", ">", ">="):
+            raise ParseError(
+                "expected a comparison operator, got %r" % op_token.value,
+                position=op_token.position,
+                text=self.text,
+            )
+        right = self.parse_operand()
+        return ("cmp", left, op_token.value, right)
+
+    def parse_operand(self):
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input", text=self.text)
+        if token.kind in ("string", "number"):
+            self.next()
+            return ("const", token.value)
+        first = self.expect("name").value
+        if self.accept("op", "."):
+            second = self.expect("name").value
+            return ("col", first, second)
+        return ("col", None, first)
+
+
+class _Block:
+    """One SELECT block: compile to algebra with qualified attributes.
+
+    Each FROM source is renamed to ``alias.column`` attributes, the sources
+    are cross-multiplied, the WHERE condition applied, and the select list
+    projected (and renamed back to bare output names).
+    """
+
+    def __init__(self, columns, sources, condition):
+        self.columns = columns
+        self.sources = sources
+        self.condition = condition
+        aliases = [alias for _, alias in sources]
+        if len(set(aliases)) != len(aliases):
+            raise ParseError("duplicate FROM aliases: %r" % (aliases,))
+        self.aliases = aliases
+
+    def compile(self):
+        expr = None
+        for relation, alias in self.sources:
+            source = _QualifyRelation(relation, alias)
+            expr = source if expr is None else ra.Product(expr, source)
+        if self.condition is not None:
+            expr = _DeferredSelection(expr, self.condition, self.aliases)
+        return _DeferredProjection(expr, self.columns, self.aliases)
+
+
+class _QualifyRelation(ra.AlgebraExpr):
+    """A base relation with attributes renamed to ``alias.column``."""
+
+    __slots__ = ("relation", "alias")
+
+    def __init__(self, relation, alias):
+        self.relation = relation
+        self.alias = alias
+
+    def schema(self, db_schema):
+        return db_schema[self.relation].prefixed(self.alias)
+
+    def evaluate_node(self, db, evaluate):
+        base = db[self.relation]
+        return type(base)(
+            base.schema.prefixed(self.alias), base.tuples, validate=False
+        )
+
+    def __repr__(self):
+        return "_QualifyRelation(%r, %r)" % (self.relation, self.alias)
+
+    def __str__(self):
+        return "%s AS %s" % (self.relation, self.alias)
+
+
+class _DeferredName:
+    """Column-name resolution shared by the deferred SQL nodes.
+
+    Bare column names resolve against the qualified schema; ambiguity and
+    misses raise :class:`ParseError` at schema-resolution time, when the
+    database schema is first known.
+    """
+
+    @staticmethod
+    def resolve(schema, alias, column, aliases):
+        if alias is not None:
+            name = "%s.%s" % (alias, column)
+            if name not in schema:
+                raise ParseError(
+                    "unknown column %s (available: %s)"
+                    % (name, ", ".join(schema.attributes))
+                )
+            return name
+        matches = [
+            "%s.%s" % (a, column)
+            for a in aliases
+            if "%s.%s" % (a, column) in schema
+        ]
+        if not matches:
+            raise ParseError("unknown column %r" % (column,))
+        if len(matches) > 1:
+            raise ParseError(
+                "ambiguous column %r (could be %s)"
+                % (column, ", ".join(matches))
+            )
+        return matches[0]
+
+
+class _DeferredSelection(ra.AlgebraExpr):
+    """WHERE clause whose column names resolve once the schema is known."""
+
+    __slots__ = ("child", "tree", "aliases")
+
+    def __init__(self, child, tree, aliases):
+        self.child = child
+        self.tree = tree
+        self.aliases = aliases
+
+    def _condition(self, schema):
+        return _tree_to_condition(self.tree, schema, self.aliases)
+
+    def schema(self, db_schema):
+        schema = self.child.schema(db_schema)
+        self._condition(schema)  # validates column names
+        return schema
+
+    def evaluate_node(self, db, evaluate):
+        child = evaluate(self.child, db)
+        condition = self._condition(child.schema)
+        return child.select(condition.compile(child.schema))
+
+    def children(self):
+        return (self.child,)
+
+    def __repr__(self):
+        return "_DeferredSelection(%r, %r)" % (self.child, self.tree)
+
+    def __str__(self):
+        return "sigma[WHERE](%s)" % (self.child,)
+
+
+class _DeferredProjection(ra.AlgebraExpr):
+    """SELECT list resolved against the qualified schema; handles ``*``."""
+
+    __slots__ = ("child", "columns", "aliases")
+
+    def __init__(self, child, columns, aliases):
+        self.child = child
+        self.columns = columns
+        self.aliases = aliases
+
+    def _plan(self, schema):
+        if self.columns is None:
+            qualified = list(schema.attributes)
+        else:
+            qualified = [
+                _DeferredName.resolve(schema, alias, column, self.aliases)
+                for alias, column, _ in self.columns
+            ]
+        outputs = []
+        for i, name in enumerate(qualified):
+            if self.columns is not None and self.columns[i][2]:
+                outputs.append(self.columns[i][2])
+            else:
+                outputs.append(name.split(".", 1)[1] if "." in name else name)
+        if len(set(qualified)) != len(qualified):
+            raise ParseError("duplicate columns in SELECT list")
+        if len(set(outputs)) != len(outputs):
+            raise ParseError(
+                "output column names clash: %r (use AS aliases)" % (outputs,)
+            )
+        return qualified, outputs
+
+    def schema(self, db_schema):
+        schema = self.child.schema(db_schema)
+        qualified, outputs = self._plan(schema)
+        return schema.project(qualified).rename(
+            dict(zip(qualified, outputs)), name="result"
+        )
+
+    def evaluate_node(self, db, evaluate):
+        child = evaluate(self.child, db)
+        qualified, outputs = self._plan(child.schema)
+        return (
+            child.project(qualified)
+            .rename(dict(zip(qualified, outputs)), name="result")
+        )
+
+    def children(self):
+        return (self.child,)
+
+    def __repr__(self):
+        return "_DeferredProjection(%r, %r)" % (self.child, self.columns)
+
+    def __str__(self):
+        return "pi[SELECT](%s)" % (self.child,)
+
+
+def _tree_to_condition(tree, schema, aliases):
+    kind = tree[0]
+    if kind == "and":
+        return ra.And(
+            _tree_to_condition(tree[1], schema, aliases),
+            _tree_to_condition(tree[2], schema, aliases),
+        )
+    if kind == "or":
+        return ra.Or(
+            _tree_to_condition(tree[1], schema, aliases),
+            _tree_to_condition(tree[2], schema, aliases),
+        )
+    if kind == "not":
+        return ra.Not(_tree_to_condition(tree[1], schema, aliases))
+    if kind == "cmp":
+        _, left, op, right = tree
+        return ra.Comparison(
+            _operand(left, schema, aliases), op, _operand(right, schema, aliases)
+        )
+    raise ParseError("unknown condition node %r" % (kind,))
+
+
+def _operand(node, schema, aliases):
+    if node[0] == "const":
+        return ra.Const(node[1])
+    _, alias, column = node
+    return ra.Attr(_DeferredName.resolve(schema, alias, column, aliases))
+
+
+def parse_sql(text):
+    """Parse a SQL statement into a relational-algebra expression.
+
+    Args:
+        text: the SQL text (one statement, optionally with set operators).
+
+    Returns:
+        An :class:`~repro.relational.algebra.AlgebraExpr` evaluable with
+        :func:`~repro.relational.algebra.evaluate`.
+
+    Raises:
+        ParseError: on syntax errors; column-resolution errors surface when
+            the expression is first type-checked or evaluated.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ParseError("empty SQL statement", text=text)
+    return _Parser(tokens, text).parse_statement()
+
+
+def run_sql(text, db):
+    """Parse and evaluate a SQL statement against a database."""
+    return ra.evaluate(parse_sql(text), db)

@@ -1,0 +1,105 @@
+"""Attribute domains for the relational model.
+
+The relational model of the paper's "relational theory" era is untyped in
+most theoretical treatments (tuples over an abstract countable domain).
+Practical engines type their columns, so we support both styles:
+
+* :data:`ANY` — the abstract theoretical domain; accepts every hashable
+  Python value.  This is the default, so all the theory modules
+  (dependencies, chase, Datalog) can ignore typing entirely.
+* :data:`INTEGER`, :data:`STRING`, :data:`FLOAT`, :data:`BOOLEAN` — concrete
+  domains for users who want schema-time value checking.
+
+A :class:`Domain` is a named value predicate.  Domains compare by name so
+that schemas built in different places are compatible.
+"""
+
+from __future__ import annotations
+
+from ..errors import SchemaError
+
+
+class Domain:
+    """A named set of admissible attribute values.
+
+    Args:
+        name: human-readable domain name (also the identity of the domain).
+        contains: predicate deciding membership; defaults to "everything
+            hashable".
+    """
+
+    __slots__ = ("name", "_contains")
+
+    def __init__(self, name, contains=None):
+        if not name:
+            raise SchemaError("a domain needs a non-empty name")
+        self.name = name
+        self._contains = contains
+
+    def __contains__(self, value):
+        if self._contains is None:
+            return _is_hashable(value)
+        return _is_hashable(value) and bool(self._contains(value))
+
+    def validate(self, value):
+        """Raise :class:`SchemaError` unless ``value`` belongs to the domain."""
+        if value not in self:
+            raise SchemaError(
+                "value %r does not belong to domain %s" % (value, self.name)
+            )
+        return value
+
+    def __eq__(self, other):
+        return isinstance(other, Domain) and other.name == self.name
+
+    def __hash__(self):
+        return hash(("Domain", self.name))
+
+    def __repr__(self):
+        return "Domain(%r)" % self.name
+
+
+def _is_hashable(value):
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True
+
+
+#: The abstract theoretical domain: any hashable value.
+ANY = Domain("any")
+
+#: Python ints (bools excluded: theory treats them as a separate domain).
+INTEGER = Domain(
+    "integer", lambda v: isinstance(v, int) and not isinstance(v, bool)
+)
+
+#: Python strings.
+STRING = Domain("string", lambda v: isinstance(v, str))
+
+#: Python floats and ints (numeric comparisons work across both).
+FLOAT = Domain(
+    "float",
+    lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+)
+
+#: Python bools.
+BOOLEAN = Domain("boolean", lambda v: isinstance(v, bool))
+
+#: Registry of the built-in domains by name, for schema (de)serialization.
+BUILTIN_DOMAINS = {
+    d.name: d for d in (ANY, INTEGER, STRING, FLOAT, BOOLEAN)
+}
+
+
+def domain_by_name(name):
+    """Look up a built-in domain by its name.
+
+    Raises:
+        SchemaError: if the name is unknown.
+    """
+    try:
+        return BUILTIN_DOMAINS[name]
+    except KeyError:
+        raise SchemaError("unknown domain name %r" % (name,)) from None

@@ -1,0 +1,258 @@
+"""Transactions, operations, and schedules (histories).
+
+The paper's second founding tradition: "transaction processing,
+encompassing … concurrency control and schedulers, reliability and
+recovery".  The model is the classical read/write one: a **transaction**
+is a sequence of reads and writes on named items ending in commit or
+abort; a **schedule** (history) is an interleaving of several
+transactions' operations preserving each transaction's internal order.
+
+Textual notation, used throughout tests and examples::
+
+    parse_schedule("r1(x) w1(x) r2(x) w2(y) c1 c2")
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import TransactionError
+
+#: Operation kinds.
+READ, WRITE, COMMIT, ABORT = "r", "w", "c", "a"
+
+
+class Op:
+    """One operation: kind, transaction id, and item (None for c/a)."""
+
+    __slots__ = ("kind", "txn", "item")
+
+    def __init__(self, kind, txn, item=None):
+        if kind not in (READ, WRITE, COMMIT, ABORT):
+            raise TransactionError("unknown operation kind %r" % (kind,))
+        if kind in (READ, WRITE) and item is None:
+            raise TransactionError("%s operations need an item" % kind)
+        if kind in (COMMIT, ABORT) and item is not None:
+            raise TransactionError("%s operations take no item" % kind)
+        self.kind = kind
+        self.txn = txn
+        self.item = item
+
+    @classmethod
+    def read(cls, txn, item):
+        return cls(READ, txn, item)
+
+    @classmethod
+    def write(cls, txn, item):
+        return cls(WRITE, txn, item)
+
+    @classmethod
+    def commit(cls, txn):
+        return cls(COMMIT, txn)
+
+    @classmethod
+    def abort(cls, txn):
+        return cls(ABORT, txn)
+
+    def is_terminal(self):
+        return self.kind in (COMMIT, ABORT)
+
+    def conflicts_with(self, other):
+        """Two data operations conflict: same item, different transactions,
+        at least one write."""
+        return (
+            self.item is not None
+            and self.item == other.item
+            and self.txn != other.txn
+            and (self.kind == WRITE or other.kind == WRITE)
+        )
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Op)
+            and (other.kind, other.txn, other.item)
+            == (self.kind, self.txn, self.item)
+        )
+
+    def __hash__(self):
+        return hash(("Op", self.kind, self.txn, self.item))
+
+    def __repr__(self):
+        return "Op(%r, %r, %r)" % (self.kind, self.txn, self.item)
+
+    def __str__(self):
+        if self.item is None:
+            return "%s%s" % (self.kind, self.txn)
+        return "%s%s(%s)" % (self.kind, self.txn, self.item)
+
+
+class Schedule:
+    """An ordered operation sequence over several transactions."""
+
+    __slots__ = ("ops",)
+
+    def __init__(self, ops=(), validate=True):
+        self.ops = tuple(ops)
+        if validate:
+            self._validate()
+
+    def _validate(self):
+        finished = set()
+        for op in self.ops:
+            if not isinstance(op, Op):
+                raise TransactionError("Schedule holds Ops, got %r" % (op,))
+            if op.txn in finished:
+                raise TransactionError(
+                    "operation %s after transaction %s terminated"
+                    % (op, op.txn)
+                )
+            if op.is_terminal():
+                finished.add(op.txn)
+
+    # -- queries ---------------------------------------------------------
+
+    def transactions(self):
+        """Transaction ids, in first-appearance order."""
+        seen = []
+        for op in self.ops:
+            if op.txn not in seen:
+                seen.append(op.txn)
+        return seen
+
+    def items(self):
+        """Data items touched, sorted."""
+        return sorted({op.item for op in self.ops if op.item is not None})
+
+    def ops_of(self, txn):
+        return [op for op in self.ops if op.txn == txn]
+
+    def data_ops(self):
+        return [op for op in self.ops if not op.is_terminal()]
+
+    def committed(self):
+        """Ids of committed transactions."""
+        return {op.txn for op in self.ops if op.kind == COMMIT}
+
+    def aborted(self):
+        return {op.txn for op in self.ops if op.kind == ABORT}
+
+    def active(self):
+        """Transactions with operations but no terminal yet."""
+        return [
+            t
+            for t in self.transactions()
+            if t not in self.committed() and t not in self.aborted()
+        ]
+
+    def is_complete(self):
+        """Every transaction ended in commit or abort."""
+        return not self.active()
+
+    def committed_projection(self):
+        """The schedule restricted to committed transactions.
+
+        The classical object serializability is defined on.
+        """
+        keep = self.committed()
+        return Schedule(
+            [op for op in self.ops if op.txn in keep], validate=False
+        )
+
+    def is_serial(self):
+        """No interleaving: each transaction's ops are contiguous."""
+        seen_done = set()
+        current = None
+        for op in self.ops:
+            if op.txn != current:
+                if op.txn in seen_done:
+                    return False
+                if current is not None:
+                    seen_done.add(current)
+                current = op.txn
+        return True
+
+    # -- construction -------------------------------------------------------
+
+    def append(self, op):
+        """A new schedule with one more operation (validated)."""
+        return Schedule(self.ops + (op,))
+
+    @classmethod
+    def serial(cls, transactions_ops, order):
+        """The serial schedule running transactions in ``order``.
+
+        Args:
+            transactions_ops: ``{txn: [ops...]}`` (terminals optional —
+                a commit is appended when missing).
+            order: transaction ids in execution order.
+        """
+        ops = []
+        for txn in order:
+            txn_ops = list(transactions_ops[txn])
+            ops.extend(txn_ops)
+            if not (txn_ops and txn_ops[-1].is_terminal()):
+                ops.append(Op.commit(txn))
+        return cls(ops)
+
+    def __len__(self):
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def __getitem__(self, index):
+        return self.ops[index]
+
+    def __eq__(self, other):
+        return isinstance(other, Schedule) and other.ops == self.ops
+
+    def __hash__(self):
+        return hash(("Schedule", self.ops))
+
+    def __repr__(self):
+        return "Schedule(%d ops, %d txns)" % (
+            len(self.ops),
+            len(self.transactions()),
+        )
+
+    def __str__(self):
+        return " ".join(str(op) for op in self.ops)
+
+
+_OP_RE = re.compile(
+    r"(?P<kind>[rwca])(?P<txn>\d+)(?:\((?P<item>[^)]+)\))?"
+)
+
+
+def parse_schedule(text):
+    """Parse the textbook notation: ``"r1(x) w2(x) c1 c2"``.
+
+    Transaction ids are integers; items are arbitrary names.
+    """
+    ops = []
+    for token in text.split():
+        match = _OP_RE.fullmatch(token)
+        if not match:
+            raise TransactionError("cannot parse operation %r" % (token,))
+        kind = match.group("kind")
+        txn = int(match.group("txn"))
+        item = match.group("item")
+        if kind in (READ, WRITE):
+            if item is None:
+                raise TransactionError("%r needs an item" % (token,))
+            ops.append(Op(kind, txn, item))
+        else:
+            if item is not None:
+                raise TransactionError("%r takes no item" % (token,))
+            ops.append(Op(kind, txn))
+    return Schedule(ops)
+
+
+def transaction(txn, actions):
+    """Build a transaction's op list from ``[("r", "x"), ("w", "y")]``.
+
+    A commit is appended automatically.
+    """
+    ops = [Op(kind, txn, item) for kind, item in actions]
+    ops.append(Op.commit(txn))
+    return ops

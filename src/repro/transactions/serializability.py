@@ -1,0 +1,222 @@
+"""Serializability: conflict, view, and the classical characterizations.
+
+The paper points to "the prevalence of a few simple algorithms in
+concurrency control … supported by negative results severely delimiting
+the feasibly implementable solutions".  Both halves live here:
+
+* **Conflict serializability** — polynomial, via the precedence
+  (serialization) graph; the positive result practice adopted.
+* **View serializability** — the more permissive notion, NP-complete to
+  test; implemented by exhaustive permutation for small inputs, standing
+  in as the delimiting negative result (the checker's exponential shape
+  *is* the theorem's content, operationally).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..errors import TransactionError
+from .schedule import READ, WRITE, Schedule
+
+
+def conflicts(schedule):
+    """Ordered conflicting pairs ``(earlier_op, later_op)``."""
+    ops = schedule.data_ops()
+    out = []
+    for i, earlier in enumerate(ops):
+        for later in ops[i + 1:]:
+            if earlier.conflicts_with(later):
+                out.append((earlier, later))
+    return out
+
+
+def precedence_graph(schedule, committed_only=True):
+    """The serialization graph: edge Ti -> Tj per conflict Ti before Tj.
+
+    Args:
+        schedule: the history.
+        committed_only: restrict to committed transactions (the classical
+            definition); pass False to analyze in-flight histories.
+
+    Returns:
+        ``{txn: set of successor txns}`` over the relevant transactions.
+    """
+    base = schedule.committed_projection() if committed_only else schedule
+    graph = {txn: set() for txn in base.transactions()}
+    for earlier, later in conflicts(base):
+        graph[earlier.txn].add(later.txn)
+    return graph
+
+
+def _find_cycle(graph):
+    """Some cycle as a list of nodes, or None (iterative DFS)."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    parent = {}
+    for root in sorted(graph, key=repr):
+        if color[root] != WHITE:
+            continue
+        stack = [(root, iter(sorted(graph[root], key=repr)))]
+        color[root] = GRAY
+        while stack:
+            node, successors = stack[-1]
+            advanced = False
+            for succ in successors:
+                if color[succ] == GRAY:
+                    # Back edge: walk the parent chain back to the target.
+                    cycle = [node]
+                    walker = node
+                    while walker != succ:
+                        walker = parent[walker]
+                        cycle.append(walker)
+                    cycle.reverse()
+                    return cycle
+                if color[succ] == WHITE:
+                    color[succ] = GRAY
+                    parent[succ] = node
+                    stack.append((succ, iter(sorted(graph[succ], key=repr))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return None
+
+
+def is_conflict_serializable(schedule):
+    """The fundamental theorem: CSR iff the precedence graph is acyclic."""
+    return _find_cycle(precedence_graph(schedule)) is None
+
+
+def serialization_order(schedule):
+    """A serial order witnessing conflict serializability.
+
+    Returns:
+        Transaction ids in a topological order of the precedence graph.
+
+    Raises:
+        TransactionError: if the schedule is not conflict serializable.
+    """
+    graph = precedence_graph(schedule)
+    cycle = _find_cycle(graph)
+    if cycle is not None:
+        raise TransactionError(
+            "schedule is not conflict serializable; cycle: %s"
+            % " -> ".join(map(str, cycle))
+        )
+    indegree = {node: 0 for node in graph}
+    for successors in graph.values():
+        for succ in successors:
+            indegree[succ] += 1
+    ready = sorted(
+        (node for node, deg in indegree.items() if deg == 0), key=repr
+    )
+    order = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        for succ in sorted(graph[node], key=repr):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+        ready.sort(key=repr)
+    return order
+
+
+def equivalent_serial_schedule(schedule):
+    """The serial schedule in the serialization order (committed txns)."""
+    base = schedule.committed_projection()
+    order = serialization_order(schedule)
+    by_txn = {txn: base.ops_of(txn) for txn in order}
+    ops = []
+    for txn in order:
+        ops.extend(by_txn[txn])
+    return Schedule(ops)
+
+
+# ---------------------------------------------------------------------------
+# View serializability
+# ---------------------------------------------------------------------------
+
+
+def reads_from(schedule):
+    """The reads-from relation of the committed projection.
+
+    Returns:
+        ``{(reader_txn, item, position): writer_txn_or_None}`` where None
+        means the read saw the initial database state.  Positions make
+        multiple reads of the same item distinct.
+    """
+    base = schedule.committed_projection()
+    last_writer = {}
+    relation = {}
+    read_counter = {}
+    for op in base.ops:
+        if op.kind == READ:
+            count = read_counter.get((op.txn, op.item), 0)
+            read_counter[(op.txn, op.item)] = count + 1
+            relation[(op.txn, op.item, count)] = last_writer.get(op.item)
+        elif op.kind == WRITE:
+            last_writer[op.item] = op.txn
+    return relation
+
+
+def final_writers(schedule):
+    """``{item: txn}`` of the last committed write per item."""
+    base = schedule.committed_projection()
+    out = {}
+    for op in base.ops:
+        if op.kind == WRITE:
+            out[op.item] = op.txn
+    return out
+
+
+def view_equivalent(left, right):
+    """Same reads-from relation and same final writers."""
+    return (
+        reads_from(left) == reads_from(right)
+        and final_writers(left) == final_writers(right)
+    )
+
+
+def is_view_serializable(schedule, limit=8):
+    """View serializability by serial-order enumeration.
+
+    Testing VSR is NP-complete; this checker enumerates the permutations
+    of the committed transactions, so it is exact but exponential —
+    ``limit`` guards against accidental factorial blowups (raise it
+    explicitly for bigger experiments).
+    """
+    base = schedule.committed_projection()
+    txns = base.transactions()
+    if len(txns) > limit:
+        raise TransactionError(
+            "view-serializability check over %d transactions exceeds the "
+            "limit of %d (NP-complete by Papadimitriou's own theorem; "
+            "raise limit= to force it)" % (len(txns), limit)
+        )
+    by_txn = {txn: base.ops_of(txn) for txn in txns}
+    for order in itertools.permutations(txns):
+        ops = []
+        for txn in order:
+            ops.extend(by_txn[txn])
+        if view_equivalent(base, Schedule(ops)):
+            return True
+    return False
+
+
+def is_blind_write_free(schedule):
+    """No write without a preceding read of the item by the same txn.
+
+    The classical special case: without blind writes, VSR = CSR (so the
+    polynomial test is complete) — asserted by a property test.
+    """
+    seen_reads = set()
+    for op in schedule.ops:
+        if op.kind == READ:
+            seen_reads.add((op.txn, op.item))
+        elif op.kind == WRITE:
+            if (op.txn, op.item) not in seen_reads:
+                return False
+    return True

@@ -1,0 +1,89 @@
+"""Timestamp-ordering concurrency control.
+
+The deadlock-free classical alternative to locking: every transaction
+gets a timestamp at start; an operation that would violate timestamp
+order (reading the "future", or overwriting data a newer transaction has
+seen) aborts its transaction instead of waiting.
+
+Supports the **Thomas write rule** (skip obsolete writes instead of
+aborting), the standard refinement.
+"""
+
+from __future__ import annotations
+
+from .schedule import READ, WRITE, Op, Schedule
+
+
+class TimestampScheduler:
+    """Basic timestamp ordering over a requested operation stream.
+
+    Timestamps are assigned by first appearance in the stream.  Aborted
+    transactions are not restarted (the simulator measures abort rates;
+    restart policies are a workload concern — see ``workload.py``).
+
+    Attributes after :meth:`run`:
+        output: executed schedule (with injected aborts).
+        aborted: ids of aborted transactions.
+        skipped_writes: writes suppressed by the Thomas write rule.
+    """
+
+    def __init__(self, thomas_write_rule=False):
+        self.thomas_write_rule = thomas_write_rule
+        self.output = None
+        self.aborted = set()
+        self.skipped_writes = 0
+
+    def run(self, schedule):
+        timestamp = {}
+        next_ts = 0
+        read_ts = {}
+        write_ts = {}
+        executed = []
+        self.aborted = set()
+        self.skipped_writes = 0
+
+        for op in schedule.ops:
+            txn = op.txn
+            if txn in self.aborted:
+                continue
+            if txn not in timestamp:
+                timestamp[txn] = next_ts
+                next_ts += 1
+            ts = timestamp[txn]
+            if op.kind == READ:
+                if ts < write_ts.get(op.item, -1):
+                    self._abort(txn, executed)
+                    continue
+                read_ts[op.item] = max(read_ts.get(op.item, -1), ts)
+                executed.append(op)
+            elif op.kind == WRITE:
+                if ts < read_ts.get(op.item, -1):
+                    self._abort(txn, executed)
+                    continue
+                if ts < write_ts.get(op.item, -1):
+                    if self.thomas_write_rule:
+                        self.skipped_writes += 1
+                        continue  # obsolete write: ignore
+                    self._abort(txn, executed)
+                    continue
+                write_ts[op.item] = ts
+                executed.append(op)
+            else:
+                executed.append(op)
+        self.output = Schedule(executed, validate=False)
+        return self.output
+
+    def _abort(self, txn, executed):
+        self.aborted.add(txn)
+        executed[:] = [op for op in executed if op.txn != txn]
+        executed.append(Op.abort(txn))
+
+
+def timestamp_order(schedule, thomas_write_rule=False):
+    """One-shot convenience; returns ``(output, stats)``."""
+    scheduler = TimestampScheduler(thomas_write_rule=thomas_write_rule)
+    output = scheduler.run(schedule)
+    return output, {
+        "aborted": set(scheduler.aborted),
+        "skipped_writes": scheduler.skipped_writes,
+    }

@@ -1,0 +1,206 @@
+"""Tests for hypergraphs, GYO, join trees, and Yannakakis."""
+
+import random
+
+import pytest
+
+from repro.acyclic import (
+    Hypergraph,
+    JoinTree,
+    chain_scheme,
+    cycle_scheme,
+    ear_decomposition,
+    full_reducer,
+    gyo_reduce,
+    is_alpha_acyclic,
+    naive_join,
+    semijoin_program_size,
+    star_scheme,
+    yannakakis_join,
+)
+from repro.errors import HypergraphError
+from repro.relational import Database, Relation, RelationSchema, same_content
+
+
+def random_db_for(hypergraph, size=20, domain=8, seed=0):
+    rng = random.Random(seed)
+    db = Database()
+    for name in hypergraph.names():
+        attrs = sorted(hypergraph[name])
+        rows = {
+            tuple(rng.randrange(domain) for _ in attrs) for _ in range(size)
+        }
+        db.add(Relation(RelationSchema(name, attrs), rows))
+    return db
+
+
+class TestHypergraph:
+    def test_construction_and_vertices(self):
+        hg = Hypergraph({"r": ("a", "b"), "s": ("b", "c")})
+        assert hg.vertices() == {"a", "b", "c"}
+        assert len(hg) == 2
+        assert hg["r"] == {"a", "b"}
+
+    def test_auto_naming(self):
+        hg = Hypergraph([("a", "b"), ("b", "c")])
+        assert "R0" in hg and "R1" in hg
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph({"r": ()})
+
+    def test_missing_edge_operations_rejected(self):
+        hg = Hypergraph({"r": ("a",)})
+        with pytest.raises(HypergraphError):
+            hg.remove("zzz")
+        with pytest.raises(HypergraphError):
+            hg["zzz"]
+
+    def test_incident_edges(self):
+        hg = Hypergraph({"r": ("a", "b"), "s": ("b", "c")})
+        assert hg.incident_edges("b") == ["r", "s"]
+
+    def test_from_schema(self):
+        db = Database.from_dict({"r": (("a", "b"), [])})
+        hg = Hypergraph.from_schema(db.schema())
+        assert hg["r"] == {"a", "b"}
+
+    def test_remove_and_restrict_are_copies(self):
+        hg = Hypergraph({"r": ("a", "b"), "s": ("b",)})
+        smaller = hg.remove("s")
+        assert "s" in hg and "s" not in smaller
+        shrunk = hg.restrict_edge("r", ("a",))
+        assert hg["r"] == {"a", "b"} and shrunk["r"] == {"a"}
+
+
+class TestGYO:
+    def test_chain_star_acyclic(self):
+        assert is_alpha_acyclic(chain_scheme(6))
+        assert is_alpha_acyclic(star_scheme(5))
+
+    def test_cycle_cyclic(self):
+        for n in (3, 4, 6):
+            assert not is_alpha_acyclic(cycle_scheme(n))
+
+    def test_triangle_with_big_edge_acyclic(self):
+        # Adding the covering edge makes the triangle alpha-acyclic —
+        # the hallmark non-monotonicity of alpha-acyclicity.
+        triangle = Hypergraph(
+            {"r": ("a", "b"), "s": ("b", "c"), "t": ("a", "c")}
+        )
+        assert not is_alpha_acyclic(triangle)
+        covered = Hypergraph(
+            {
+                "r": ("a", "b"),
+                "s": ("b", "c"),
+                "t": ("a", "c"),
+                "u": ("a", "b", "c"),
+            }
+        )
+        assert is_alpha_acyclic(covered)
+
+    def test_single_edge_acyclic(self):
+        assert is_alpha_acyclic(Hypergraph({"r": ("a", "b", "c")}))
+
+    def test_gyo_residual_on_cycle(self):
+        residual, _ = gyo_reduce(cycle_scheme(4))
+        assert len(residual) == 4  # nothing reducible
+
+    def test_ear_decomposition_covers_all(self):
+        ears = ear_decomposition(chain_scheme(5))
+        assert {name for name, _ in ears} == set(chain_scheme(5).names())
+
+    def test_ear_decomposition_rejects_cyclic(self):
+        with pytest.raises(ValueError):
+            ear_decomposition(cycle_scheme(3))
+
+
+class TestJoinTree:
+    def test_rip_on_chain(self):
+        tree = JoinTree.build(chain_scheme(6))
+        assert tree.satisfies_rip()
+
+    def test_rip_on_star(self):
+        tree = JoinTree.build(star_scheme(6))
+        assert tree.satisfies_rip()
+
+    def test_postorder_children_before_parents(self):
+        tree = JoinTree.build(chain_scheme(5))
+        order = tree.postorder()
+        position = {name: i for i, name in enumerate(order)}
+        for child, parent in tree.edges():
+            assert position[child] < position[parent]
+
+    def test_preorder_is_reverse(self):
+        tree = JoinTree.build(chain_scheme(4))
+        assert tree.preorder() == list(reversed(tree.postorder()))
+
+    def test_build_rejects_cyclic(self):
+        with pytest.raises(ValueError):
+            JoinTree.build(cycle_scheme(4))
+
+    def test_every_node_placed(self):
+        hg = star_scheme(5)
+        tree = JoinTree.build(hg)
+        assert set(tree.parent) == set(hg.names())
+
+
+class TestYannakakis:
+    @pytest.mark.parametrize("scheme_factory,arg", [
+        (chain_scheme, 4),
+        (chain_scheme, 6),
+        (star_scheme, 4),
+    ])
+    def test_matches_naive_join(self, scheme_factory, arg):
+        hg = scheme_factory(arg)
+        for seed in range(3):
+            db = random_db_for(hg, seed=seed)
+            assert yannakakis_join(hg, db) == naive_join(hg, db)
+
+    def test_full_reducer_removes_dangling(self):
+        hg = chain_scheme(2)  # R0(a0,a1), R1(a1,a2)
+        db = Database(
+            [
+                Relation(
+                    RelationSchema("R0", ("a0", "a1")), [(1, 2), (3, 99)]
+                ),
+                Relation(
+                    RelationSchema("R1", ("a1", "a2")), [(2, 5), (42, 7)]
+                ),
+            ]
+        )
+        reduced, _tree = full_reducer(hg, db)
+        assert set(reduced["R0"].tuples) == {(1, 2)}
+        assert set(reduced["R1"].tuples) == {(2, 5)}
+
+    def test_empty_relation_empties_everything(self):
+        hg = chain_scheme(3)
+        db = random_db_for(hg, seed=1)
+        db.replace(Relation(RelationSchema("R1", ("a1", "a2")), []))
+        assert len(yannakakis_join(hg, db)) == 0
+
+    def test_schema_mismatch_rejected(self):
+        hg = chain_scheme(2)
+        db = Database(
+            [
+                Relation(RelationSchema("R0", ("x", "y")), []),
+                Relation(RelationSchema("R1", ("a1", "a2")), []),
+            ]
+        )
+        with pytest.raises(HypergraphError):
+            yannakakis_join(hg, db)
+
+    def test_semijoin_program_size_linear(self):
+        assert semijoin_program_size(chain_scheme(5)) == 2 * 4
+
+    def test_disconnected_components_product(self):
+        hg = Hypergraph({"r": ("a", "b"), "s": ("c", "d")})
+        db = Database(
+            [
+                Relation(RelationSchema("r", ("a", "b")), [(1, 2)]),
+                Relation(RelationSchema("s", ("c", "d")), [(3, 4), (5, 6)]),
+            ]
+        )
+        out = yannakakis_join(hg, db)
+        assert len(out) == 2
+        assert same_content(out, naive_join(hg, db))

@@ -1,0 +1,98 @@
+"""Property-based tests for acyclic schemes (hypothesis).
+
+Generators build hypergraphs *from* random join trees, so acyclicity is
+guaranteed by construction — the tests then check that GYO recognizes
+them, that the constructed join trees satisfy RIP, and that Yannakakis
+agrees with the naive join on random instances.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acyclic import (
+    Hypergraph,
+    JoinTree,
+    is_alpha_acyclic,
+    naive_join,
+    yannakakis_join,
+)
+from repro.relational import Database, Relation, RelationSchema
+
+
+@st.composite
+def tree_hypergraphs(draw):
+    """A hypergraph built from a random tree of overlapping edges.
+
+    Edge i > 0 attaches to a random earlier edge, sharing a random
+    nonempty subset of its attributes and adding fresh ones — exactly
+    the join-tree construction, so the result is alpha-acyclic.
+    """
+    n_edges = draw(st.integers(min_value=1, max_value=5))
+    rng = random.Random(draw(st.integers(min_value=0, max_value=10**6)))
+    edges = {}
+    counter = [0]
+
+    def fresh():
+        counter[0] += 1
+        return "a%d" % counter[0]
+
+    edges["R0"] = frozenset(fresh() for _ in range(rng.randint(1, 3)))
+    for i in range(1, n_edges):
+        parent = "R%d" % rng.randrange(i)
+        shared = set(
+            rng.sample(
+                sorted(edges[parent]),
+                rng.randint(1, len(edges[parent])),
+            )
+        )
+        new = {fresh() for _ in range(rng.randint(0, 2))}
+        edges["R%d" % i] = frozenset(shared | new)
+    return Hypergraph(edges)
+
+
+@st.composite
+def instances_for(draw, hypergraph):
+    rng = random.Random(draw(st.integers(min_value=0, max_value=10**6)))
+    db = Database()
+    for name in hypergraph.names():
+        attrs = sorted(hypergraph[name])
+        rows = {
+            tuple(rng.randrange(4) for _ in attrs)
+            for _ in range(rng.randint(0, 10))
+        }
+        db.add(Relation(RelationSchema(name, attrs), rows))
+    return db
+
+
+class TestAcyclicityProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(tree_hypergraphs())
+    def test_tree_built_hypergraphs_are_acyclic(self, hypergraph):
+        assert is_alpha_acyclic(hypergraph)
+
+    @settings(max_examples=60, deadline=None)
+    @given(tree_hypergraphs())
+    def test_join_tree_satisfies_rip(self, hypergraph):
+        tree = JoinTree.build(hypergraph)
+        assert tree.satisfies_rip()
+        assert set(tree.parent) == set(hypergraph.names())
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_yannakakis_equals_naive(self, data):
+        hypergraph = data.draw(tree_hypergraphs())
+        db = data.draw(instances_for(hypergraph))
+        assert yannakakis_join(hypergraph, db) == naive_join(hypergraph, db)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_reduction_never_grows(self, data):
+        from repro.acyclic import full_reducer
+
+        hypergraph = data.draw(tree_hypergraphs())
+        db = data.draw(instances_for(hypergraph))
+        reduced, _tree = full_reducer(hypergraph, db)
+        for name in hypergraph.names():
+            assert reduced[name].tuples <= db[name].tuples

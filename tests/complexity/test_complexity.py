@@ -1,0 +1,226 @@
+"""Tests for CNF/DPLL, NTMs, Cook's reduction, and Fagin's theorem."""
+
+import itertools
+
+import pytest
+
+from repro.complexity import (
+    BLANK,
+    CNF,
+    NTM,
+    RIGHT,
+    STAY,
+    accepts,
+    accepts_via_sat,
+    chain_database,
+    check,
+    combined_complexity_curve,
+    cook_reduction,
+    data_complexity_curve,
+    graph_database,
+    is_three_colorable,
+    kpath_query,
+    machine_contains_one,
+    machine_guess_equal_ends,
+    random_3sat,
+    solve,
+    three_colorability_sentence,
+    three_colorable_via_fagin,
+)
+from repro.complexity.fagin import ESOSentence
+from repro.errors import ComplexityError
+
+
+class TestCNF:
+    def test_add_clause_tracks_vars(self):
+        cnf = CNF()
+        cnf.add_clause([1, -3])
+        assert cnf.num_vars == 3
+        assert len(cnf) == 1
+
+    def test_tautology_dropped(self):
+        cnf = CNF()
+        cnf.add_clause([1, -1])
+        assert len(cnf) == 0
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ComplexityError):
+            CNF().add_clause([])
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ComplexityError):
+            CNF().add_clause([0])
+
+    def test_exactly_one(self):
+        cnf = CNF()
+        cnf.add_exactly_one([1, 2, 3])
+        sat_count = 0
+        for bits in itertools.product((False, True), repeat=3):
+            if cnf.evaluate(dict(zip((1, 2, 3), bits))):
+                sat_count += 1
+        assert sat_count == 3
+
+    def test_implication(self):
+        cnf = CNF()
+        cnf.add_implication([1, 2], 3)
+        assert not cnf.evaluate({1: True, 2: True, 3: False})
+        assert cnf.evaluate({1: True, 2: True, 3: True})
+
+    def test_brute_force_limit(self):
+        cnf = CNF(num_vars=30)
+        with pytest.raises(ComplexityError):
+            cnf.brute_force_satisfiable()
+
+
+class TestDPLL:
+    def test_trivial_sat(self):
+        cnf = CNF([[1], [2]])
+        result = solve(cnf)
+        assert result.satisfiable
+        assert result.assignment[1] and result.assignment[2]
+
+    def test_unsat(self):
+        cnf = CNF([[1], [-1, 2], [-2]])
+        assert not solve(cnf).satisfiable
+
+    def test_model_satisfies(self):
+        cnf = random_3sat(10, 30, seed=3)
+        result = solve(cnf)
+        if result.satisfiable:
+            assert cnf.evaluate(result.assignment)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agrees_with_brute_force(self, seed):
+        cnf = random_3sat(9, 36, seed=seed)
+        brute = cnf.brute_force_satisfiable()
+        assert solve(cnf).satisfiable == (brute is not None)
+
+    def test_counters_populated(self):
+        cnf = random_3sat(10, 42, seed=1)
+        result = solve(cnf)
+        assert result.propagations >= 0
+        assert result.decisions >= 0
+
+
+class TestMachines:
+    def test_contains_one(self):
+        m = machine_contains_one()
+        assert accepts(m, "0010", 8)
+        assert not accepts(m, "0000", 8)
+        assert m.is_deterministic()
+
+    def test_guess_equal_ends(self):
+        m = machine_guess_equal_ends()
+        assert not m.is_deterministic()
+        assert accepts(m, "010", 6)
+        assert accepts(m, "1", 4)
+        assert not accepts(m, "01", 5)
+
+    def test_step_bound_matters(self):
+        m = machine_contains_one()
+        # The 1 is too far to reach in 2 steps.
+        assert not accepts(m, "0001", 2)
+        assert accepts(m, "0001", 6)
+
+    def test_bad_input_symbol(self):
+        with pytest.raises(ComplexityError):
+            accepts(machine_contains_one(), "2", 3)
+
+    def test_validation(self):
+        with pytest.raises(ComplexityError):
+            NTM(("a",), ("0",), ("0",), {}, "a", "a")  # no blank
+
+
+class TestCook:
+    @pytest.mark.parametrize("machine_factory", [
+        machine_contains_one,
+        machine_guess_equal_ends,
+    ])
+    def test_roundtrip_all_words_up_to_3(self, machine_factory):
+        machine = machine_factory()
+        for length in range(1, 4):
+            for bits in itertools.product("01", repeat=length):
+                word = "".join(bits)
+                bound = length + 2
+                assert accepts(machine, word, bound) == accepts_via_sat(
+                    machine, word, bound
+                ), word
+
+    def test_reduction_size_polynomial(self):
+        m = machine_contains_one()
+        small = cook_reduction(m, "01", 3).cnf.stats()
+        large = cook_reduction(m, "01", 6).cnf.stats()
+        assert large[0] > small[0]
+        # Variables grow roughly quadratically in T (cells x time).
+        assert large[0] < small[0] * 10
+
+    def test_accept_must_be_absorbing(self):
+        machine = NTM(
+            states=("s", "acc"),
+            input_alphabet=("0",),
+            tape_alphabet=("0", BLANK),
+            transitions={("s", "0"): [("acc", "0", STAY)]},
+            start="s",
+            accept="acc",
+        )
+        with pytest.raises(ComplexityError):
+            cook_reduction(machine, "0", 3)
+
+
+class TestFagin:
+    def test_three_colorability_matches_backtracking(self):
+        graphs = [
+            [(1, 2), (2, 3), (1, 3)],                  # triangle: yes
+            [(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)],  # K4: no
+            [(1, 2), (2, 3)],                           # path: yes
+        ]
+        for edges in graphs:
+            assert three_colorable_via_fagin(edges) == is_three_colorable(
+                edges
+            ), edges
+
+    def test_witness_returned(self):
+        sentence = three_colorability_sentence()
+        db = graph_database([(1, 2), (2, 3)])
+        ok, witness = check(sentence, db, witness=True)
+        assert ok
+        colored = set()
+        for relation in witness.values():
+            colored |= {t[0] for t in relation.tuples}
+        assert {1, 2, 3} <= colored
+
+    def test_matrix_must_be_sentence(self):
+        from repro.relational import RelAtom, Var
+
+        with pytest.raises(ComplexityError):
+            ESOSentence({"S": 1}, RelAtom("edge", [Var("x"), Var("x")]))
+
+    def test_self_loop_never_colorable(self):
+        assert not is_three_colorable([(1, 1)])
+
+
+class TestMeasures:
+    def test_kpath_query_answers(self):
+        from repro.relational.calculus import evaluate_query
+
+        db = chain_database(6)
+        q = kpath_query(2)
+        out = evaluate_query(q, db)
+        assert len(out) == 5  # paths of length 2 in a 6-edge chain (7 nodes)
+
+    def test_data_curve_monotone_sizes(self):
+        rows = data_complexity_curve([4, 8], k=2)
+        assert rows[0][0] == 4 and rows[1][0] == 8
+        assert rows[1][2] > rows[0][2]  # more answers on bigger data
+
+    def test_combined_curve_shrinking_answers(self):
+        rows = combined_complexity_curve([1, 3], n=10)
+        assert rows[0][2] > rows[1][2]
+
+    def test_combined_blows_up_faster_than_data(self):
+        from repro.complexity import growth_ratio
+
+        data = data_complexity_curve([6, 12, 24], k=3)
+        combined = combined_complexity_curve([1, 2, 3], n=12)
+        # The qualitative separation; generous margin to avoid flakiness.
+        assert growth_ratio(combined) > growth_ratio(data) * 0.5

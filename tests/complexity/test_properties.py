@@ -1,0 +1,72 @@
+"""Property-based tests for the complexity package (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.complexity import CNF, random_3sat, solve
+
+variables = st.integers(min_value=1, max_value=7)
+literals = st.builds(
+    lambda v, sign: v if sign else -v, variables, st.booleans()
+)
+clauses = st.lists(
+    st.frozensets(literals, min_size=1, max_size=3),
+    min_size=0,
+    max_size=12,
+)
+
+
+class TestDPLLProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(clauses)
+    def test_dpll_agrees_with_brute_force(self, clause_list):
+        cnf = CNF(clause_list)
+        result = solve(cnf)
+        brute = cnf.brute_force_satisfiable()
+        assert result.satisfiable == (brute is not None)
+
+    @settings(max_examples=80, deadline=None)
+    @given(clauses)
+    def test_model_actually_satisfies(self, clause_list):
+        cnf = CNF(clause_list)
+        result = solve(cnf)
+        if result.satisfiable:
+            assert cnf.evaluate(result.assignment)
+
+    @settings(max_examples=40, deadline=None)
+    @given(clauses, literals)
+    def test_adding_clauses_only_removes_models(self, clause_list, literal):
+        cnf = CNF(clause_list)
+        extended = CNF(clause_list + [frozenset([literal])])
+        if not solve(cnf).satisfiable:
+            assert not solve(extended).satisfiable
+
+    @settings(max_examples=40, deadline=None)
+    @given(clauses)
+    def test_subset_of_clauses_stays_satisfiable(self, clause_list):
+        cnf = CNF(clause_list)
+        if solve(cnf).satisfiable and clause_list:
+            smaller = CNF(clause_list[:-1])
+            assert solve(smaller).satisfiable
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=100))
+    def test_random_3sat_deterministic(self, seed):
+        a = random_3sat(8, 20, seed=seed)
+        b = random_3sat(8, 20, seed=seed)
+        assert a.clauses == b.clauses
+
+
+class TestExactlyOne:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=5))
+    def test_exactly_one_admits_exactly_n_models(self, n):
+        import itertools
+
+        cnf = CNF()
+        cnf.add_exactly_one(list(range(1, n + 1)))
+        models = 0
+        for bits in itertools.product((False, True), repeat=n):
+            if cnf.evaluate(dict(zip(range(1, n + 1), bits))):
+                models += 1
+        assert models == n

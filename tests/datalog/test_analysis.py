@@ -1,0 +1,139 @@
+"""Tests for Datalog static analysis: SCCs, stratification, recursion."""
+
+import pytest
+
+from repro.datalog.analysis import (
+    DependencyGraph,
+    is_linear,
+    is_recursive,
+    is_stratifiable,
+    predicate_sccs,
+    rules_by_stratum,
+    strongly_connected_components,
+    stratify,
+)
+from repro.datalog.parser import parse_program
+from repro.errors import StratificationError
+
+
+def program(text):
+    return parse_program(text)[0]
+
+
+class TestSCC:
+    def test_simple_cycle(self):
+        graph = {"a": {"b"}, "b": {"a"}, "c": {"a"}}
+        sccs = strongly_connected_components(graph)
+        assert frozenset({"a", "b"}) in sccs
+        assert frozenset({"c"}) in sccs
+
+    def test_emission_order_dependencies_first(self):
+        graph = {"top": {"mid"}, "mid": {"bot"}, "bot": set()}
+        sccs = strongly_connected_components(graph)
+        order = [next(iter(c)) for c in sccs]
+        assert order.index("bot") < order.index("mid") < order.index("top")
+
+    def test_disconnected(self):
+        graph = {"a": set(), "b": set()}
+        assert len(strongly_connected_components(graph)) == 2
+
+    def test_predicate_sccs(self):
+        p = program(
+            """
+            p(X) :- q(X).
+            q(X) :- p(X).
+            q(X) :- e(X).
+            """
+        )
+        sccs = predicate_sccs(p)
+        assert frozenset({"p", "q"}) in sccs
+
+
+class TestRecursion:
+    def test_tc_is_recursive(self):
+        p = program("t(X,Y) :- e(X,Y). t(X,Z) :- t(X,Y), e(Y,Z).")
+        assert is_recursive(p)
+        assert is_recursive(p, "t")
+        assert not is_recursive(p, "e")
+
+    def test_nonrecursive(self):
+        p = program("v(X) :- e(X, Y).")
+        assert not is_recursive(p)
+
+    def test_mutual_recursion(self):
+        p = program(
+            """
+            even(X) :- zero(X).
+            even(X) :- succ(Y, X), odd(Y).
+            odd(X) :- succ(Y, X), even(Y).
+            """
+        )
+        assert is_recursive(p, "even")
+        assert is_recursive(p, "odd")
+
+    def test_linearity(self):
+        linear = program("t(X,Y) :- e(X,Y). t(X,Z) :- t(X,Y), e(Y,Z).")
+        nonlinear = program("t(X,Y) :- e(X,Y). t(X,Z) :- t(X,Y), t(Y,Z).")
+        assert is_linear(linear, "t")
+        assert not is_linear(nonlinear, "t")
+
+
+class TestStratification:
+    def test_single_stratum_positive(self):
+        p = program("t(X,Y) :- e(X,Y). t(X,Z) :- t(X,Y), e(Y,Z).")
+        strata = stratify(p)
+        assert len(strata) == 1
+
+    def test_negation_adds_stratum(self):
+        p = program(
+            """
+            t(X,Y) :- e(X,Y).
+            nt(X,Y) :- node(X), node(Y), not t(X,Y).
+            """
+        )
+        strata = stratify(p)
+        level = {pred: i for i, s in enumerate(strata) for pred in s}
+        assert level["nt"] > level["t"]
+
+    def test_unstratifiable(self):
+        p = program(
+            """
+            win(X) :- move(X, Y), not win(Y).
+            win(X) :- move(X, X), not win(X).
+            """
+        )
+        # win negates itself through recursion: not stratifiable.
+        with pytest.raises(StratificationError):
+            stratify(p)
+        assert not is_stratifiable(p)
+
+    def test_negation_out_of_cycle_ok(self):
+        p = program(
+            """
+            t(X,Y) :- e(X,Y).
+            t(X,Z) :- t(X,Y), e(Y,Z).
+            only(X) :- node(X), not t(X, X).
+            """
+        )
+        assert is_stratifiable(p)
+
+    def test_rules_by_stratum_groups(self):
+        p = program(
+            """
+            t(X,Y) :- e(X,Y).
+            nt(X) :- node(X), not t(X, X).
+            """
+        )
+        grouped = rules_by_stratum(p)
+        assert len(grouped) == 2
+        assert grouped[0][0].head.predicate == "t"
+        assert grouped[1][0].head.predicate == "nt"
+
+
+class TestDependencyGraph:
+    def test_edges_and_negative_marks(self):
+        p = program("p(X) :- e(X), not q(X). q(X) :- e(X).")
+        graph = DependencyGraph(p)
+        assert graph.dependencies("p") == {"e", "q"}
+        assert graph.uses_negatively("q", "p")
+        assert not graph.uses_negatively("e", "p")

@@ -1,0 +1,172 @@
+"""Tests for the Datalog AST: terms, atoms, rules, safety, programs."""
+
+import pytest
+
+from repro.datalog.ast import (
+    Atom,
+    Comparison,
+    Constant,
+    Literal,
+    Program,
+    Rule,
+    Variable,
+    atom,
+    lit,
+    make_term,
+    neg,
+)
+from repro.errors import DatalogError
+
+
+class TestTerms:
+    def test_make_term_conventions(self):
+        assert isinstance(make_term("X"), Variable)
+        assert isinstance(make_term("_tmp"), Variable)
+        assert isinstance(make_term("alice"), Constant)
+        assert isinstance(make_term(42), Constant)
+
+    def test_explicit_override(self):
+        assert isinstance(make_term(Constant("X")), Constant)
+
+    def test_variable_needs_name(self):
+        with pytest.raises(DatalogError):
+            Variable("")
+
+    def test_term_equality(self):
+        assert Variable("X") == Variable("X")
+        assert Constant(1) != Constant(2)
+        assert Variable("x") != Constant("x")
+
+
+class TestAtoms:
+    def test_variables(self):
+        a = atom("p", "X", "alice", "Y")
+        assert a.variables() == {"X", "Y"}
+        assert a.arity == 3
+
+    def test_ground(self):
+        assert atom("p", 1, "a").is_ground()
+        assert not atom("p", "X").is_ground()
+
+    def test_substitute(self):
+        a = atom("p", "X", "Y").substitute({"X": 1})
+        assert a.terms[0] == Constant(1)
+        assert a.terms[1] == Variable("Y")
+
+    def test_ground_tuple(self):
+        a = atom("p", "X", 5)
+        assert a.ground_tuple({"X": 3}) == (3, 5)
+        with pytest.raises(DatalogError):
+            a.ground_tuple({})
+
+    def test_zero_ary(self):
+        a = atom("halt")
+        assert a.arity == 0
+        assert a.ground_tuple({}) == ()
+
+
+class TestComparisons:
+    def test_evaluate(self):
+        c = Comparison("X", "<", "Y")
+        assert c.evaluate({"X": 1, "Y": 2})
+        assert not c.evaluate({"X": 2, "Y": 2})
+
+    def test_mixed_types_false(self):
+        c = Comparison("X", "<", "Y")
+        assert not c.evaluate({"X": 1, "Y": "a"})
+
+    def test_unknown_op(self):
+        with pytest.raises(DatalogError):
+            Comparison("X", "~", "Y")
+
+    def test_unbound_raises(self):
+        with pytest.raises(DatalogError):
+            Comparison("X", "=", "Y").evaluate({"X": 1})
+
+
+class TestRuleSafety:
+    def test_safe_rule(self):
+        Rule(atom("p", "X"), [lit("e", "X", "Y")])
+
+    def test_unsafe_head(self):
+        with pytest.raises(DatalogError):
+            Rule(atom("p", "X", "Z"), [lit("e", "X", "Y")])
+
+    def test_unsafe_negation(self):
+        with pytest.raises(DatalogError):
+            Rule(atom("p", "X"), [lit("e", "X", "X"), neg("q", "Y")])
+
+    def test_safe_negation(self):
+        Rule(atom("p", "X"), [lit("e", "X", "Y"), neg("q", "Y")])
+
+    def test_unsafe_comparison(self):
+        with pytest.raises(DatalogError):
+            Rule(atom("p", "X"), [lit("e", "X", "X"), Comparison("Y", "<", "X")])
+
+    def test_equality_to_constant_binds(self):
+        Rule(atom("p", "X"), [Comparison("X", "=", Constant(3))])
+
+    def test_fact_detection(self):
+        assert Rule(atom("p", 1, 2)).is_fact()
+        assert not Rule(atom("p", "X"), [lit("e", "X")]).is_fact()
+
+    def test_rename_variables(self):
+        rule = Rule(atom("p", "X"), [lit("e", "X", "Y"), neg("q", "Y")])
+        renamed = rule.rename_variables("_1")
+        assert renamed.head.variables() == {"X_1"}
+        assert renamed != rule
+
+    def test_body_predicates(self):
+        rule = Rule(atom("p", "X"), [lit("e", "X", "Y"), neg("q", "Y")])
+        assert rule.body_predicates() == [("e", True), ("q", False)]
+
+
+class TestProgram:
+    def test_idb_edb_split(self):
+        program = Program(
+            [
+                Rule(atom("p", "X"), [lit("e", "X", "Y")]),
+                Rule(atom("e", 1, 2)),
+                Rule(atom("f", 5)),
+            ]
+        )
+        assert program.idb_predicates() == {"p"}
+        assert program.fact_predicates() == {"e", "f"}
+        assert program.edb_predicates() == set()
+
+    def test_pure_edb(self):
+        program = Program([Rule(atom("p", "X"), [lit("e", "X")])])
+        assert program.edb_predicates() == {"e"}
+
+    def test_arity_conflict(self):
+        with pytest.raises(DatalogError):
+            Program(
+                [
+                    Rule(atom("p", "X"), [lit("e", "X")]),
+                    Rule(atom("p", "X", "Y"), [lit("e", "X"), lit("e", "Y")]),
+                ]
+            )
+
+    def test_facts_extraction(self):
+        program = Program([Rule(atom("e", 1, 2)), Rule(atom("e", 2, 3))])
+        assert set(program.facts()) == {("e", (1, 2)), ("e", (2, 3))}
+
+    def test_rules_for(self):
+        r1 = Rule(atom("p", "X"), [lit("e", "X")])
+        r2 = Rule(atom("q", "X"), [lit("e", "X")])
+        program = Program([r1, r2])
+        assert program.rules_for("p") == [r1]
+
+    def test_has_negation(self):
+        pos = Program([Rule(atom("p", "X"), [lit("e", "X")])])
+        negp = Program(
+            [Rule(atom("p", "X"), [lit("e", "X"), neg("q", "X")])]
+        )
+        assert not pos.has_negation()
+        assert negp.has_negation()
+
+    def test_extend(self):
+        program = Program([Rule(atom("e", 1))])
+        bigger = program.extend([Rule(atom("e", 2))])
+        assert len(bigger) == 2
+        assert len(program) == 1

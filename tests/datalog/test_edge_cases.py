@@ -1,0 +1,157 @@
+"""Edge-case tests across the Datalog engines.
+
+Constants in heads and bodies, zero-ary predicates, duplicate rules,
+rules with empty bodies, deep strata, and cross-strategy agreement on
+all of them.
+"""
+
+import pytest
+
+from repro.datalog import (
+    DatalogEngine,
+    FactStore,
+    cross_check,
+    magic_evaluate,
+    match_query,
+    parse_program,
+    parse_query,
+    seminaive_evaluate,
+)
+
+
+class TestConstantsInRules:
+    def test_constant_in_head(self):
+        program, _ = parse_program("tagged(special, X) :- item(X).")
+        store = seminaive_evaluate(program, FactStore({"item": [(1,), (2,)]}))
+        assert store.get("tagged") == {("special", 1), ("special", 2)}
+
+    def test_constant_in_body(self):
+        program, _ = parse_program("origin(Y) :- edge(0, Y).")
+        store = seminaive_evaluate(
+            program, FactStore({"edge": [(0, 1), (2, 3)]})
+        )
+        assert store.get("origin") == {(1,)}
+
+    def test_magic_with_constants_in_rules(self):
+        program, _ = parse_program(
+            """
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- edge(X, Y), path(Y, Z).
+            from_zero(Y) :- path(0, Y).
+            """
+        )
+        edb = FactStore({"edge": [(0, 1), (1, 2), (5, 6)]})
+        query = parse_query("from_zero(X)")
+        full = seminaive_evaluate(program, edb)
+        assert magic_evaluate(program, edb, query) == match_query(
+            full, query
+        )
+
+    def test_all_strategies_on_constant_head(self):
+        program, _ = parse_program(
+            """
+            reach(0, Y) :- edge(0, Y).
+            reach(0, Z) :- reach(0, Y), edge(Y, Z).
+            """
+        )
+        edb = FactStore({"edge": [(0, 1), (1, 2), (3, 4)]})
+        results = cross_check(program, edb, "reach(0, X)")
+        values = list(results.values())
+        assert all(v == values[0] for v in values)
+        assert values[0] == {(0, 1), (0, 2)}
+
+
+class TestDegenerateShapes:
+    def test_zero_ary_predicates(self):
+        program, _ = parse_program(
+            """
+            go :- ready, not blocked.
+            ready.
+            """
+        )
+        store = seminaive_evaluate(program, FactStore())
+        assert store.contains("go", ())
+
+    def test_zero_ary_blocked(self):
+        program, _ = parse_program(
+            """
+            go :- ready, not blocked.
+            ready.
+            blocked.
+            """
+        )
+        store = seminaive_evaluate(program, FactStore())
+        assert not store.contains("go", ())
+
+    def test_duplicate_rules_harmless(self):
+        program, _ = parse_program(
+            """
+            p(X) :- e(X).
+            p(X) :- e(X).
+            """
+        )
+        store = seminaive_evaluate(program, FactStore({"e": [(1,)]}))
+        assert store.get("p") == {(1,)}
+
+    def test_self_loop_edge(self):
+        program, _ = parse_program(
+            "path(X, Y) :- edge(X, Y). path(X, Z) :- edge(X, Y), path(Y, Z)."
+        )
+        edb = FactStore({"edge": [(1, 1), (1, 2)]})
+        store = seminaive_evaluate(program, edb)
+        assert store.get("path") == {(1, 1), (1, 2)}
+
+    def test_rule_depending_on_missing_edb(self):
+        program, _ = parse_program("p(X) :- ghost(X).")
+        store = seminaive_evaluate(program, FactStore())
+        assert store.count("p") == 0
+
+    def test_deep_strata(self):
+        program, _ = parse_program(
+            """
+            l1(X) :- dom(X), not l0(X).
+            l2(X) :- dom(X), not l1(X).
+            l3(X) :- dom(X), not l2(X).
+            l0(X) :- base(X).
+            """
+        )
+        edb = FactStore({"dom": [(1,), (2,)], "base": [(1,)]})
+        store = seminaive_evaluate(program, edb)
+        assert store.get("l1") == {(2,)}
+        assert store.get("l2") == {(1,)}
+        assert store.get("l3") == {(2,)}
+
+
+class TestEngineRobustness:
+    def test_query_with_all_constants(self):
+        engine = DatalogEngine.from_source(
+            "path(X, Y) :- edge(X, Y). path(X, Z) :- edge(X, Y), path(Y, Z).",
+            edb={"edge": [(1, 2), (2, 3)]},
+        )
+        for strategy in ("naive", "seminaive", "magic", "topdown"):
+            assert engine.query("path(1, 3)", strategy=strategy) == {(1, 3)}
+            assert engine.query("path(3, 1)", strategy=strategy) == set()
+
+    def test_query_on_unknown_predicate(self):
+        engine = DatalogEngine.from_source(
+            "p(X) :- e(X).", edb={"e": [(1,)]}
+        )
+        assert engine.query("ghost(X)") == set()
+
+    def test_large_strongly_connected_component(self):
+        # Mutual recursion across three predicates.
+        program, _ = parse_program(
+            """
+            a(X, Y) :- e(X, Y).
+            a(X, Y) :- b(X, Y).
+            b(X, Y) :- c(X, Y).
+            c(X, Z) :- a(X, Y), e(Y, Z).
+            """
+        )
+        edb = FactStore({"e": [(1, 2), (2, 3), (3, 4)]})
+        from repro.datalog import naive_evaluate
+
+        semi = seminaive_evaluate(program, edb)
+        naive = naive_evaluate(program, edb)
+        assert semi == naive
+        assert (1, 4) in semi.get("a")

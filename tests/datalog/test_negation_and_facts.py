@@ -1,0 +1,135 @@
+"""Tests for stratified negation semantics and the FactStore."""
+
+import pytest
+
+from repro.datalog import (
+    FactStore,
+    holds,
+    negative_facts,
+    parse_program,
+    parse_query,
+    perfect_model,
+)
+from repro.datalog.negation import complement_program, model_difference
+from repro.errors import DatalogError, StratificationError
+
+
+class TestFactStore:
+    def test_add_and_contains(self):
+        store = FactStore()
+        assert store.add("e", (1, 2))
+        assert not store.add("e", (1, 2))  # duplicate
+        assert store.contains("e", (1, 2))
+        assert store.count("e") == 1
+
+    def test_arity_consistency(self):
+        store = FactStore({"e": [(1, 2)]})
+        with pytest.raises(DatalogError):
+            store.add("e", (1, 2, 3))
+
+    def test_merge(self):
+        a = FactStore({"e": [(1,)]})
+        b = FactStore({"e": [(2,)], "f": [(3,)]})
+        added = a.merge(b)
+        assert added == 2
+        assert a.count() == 3
+
+    def test_restrict(self):
+        store = FactStore({"e": [(1,)], "f": [(2,)]})
+        restricted = store.restrict(["e"])
+        assert "f" not in restricted
+
+    def test_active_domain(self):
+        store = FactStore({"e": [(1, "a")]})
+        assert store.active_domain() == {1, "a"}
+
+    def test_equality_ignores_empty_predicates(self):
+        a = FactStore({"e": [(1,)]})
+        b = FactStore({"e": [(1,)], "f": []})
+        assert a == b
+
+    def test_database_roundtrip(self):
+        store = FactStore({"e": [(1, 2), (3, 4)]})
+        db = store.to_database({"e": ("src", "dst")})
+        assert db["e"].schema.attributes == ("src", "dst")
+        back = FactStore.from_database(db)
+        assert back == store
+
+    def test_copy_independent(self):
+        a = FactStore({"e": [(1,)]})
+        b = a.copy()
+        b.add("e", (2,))
+        assert a.count() == 1
+
+
+class TestStratifiedSemantics:
+    def test_perfect_model_win_move_stratified_variant(self):
+        # Complement of reachability: classic stratified program.
+        program, _ = parse_program(
+            """
+            reach(X) :- source(X).
+            reach(Y) :- reach(X), edge(X, Y).
+            node(X) :- edge(X, Y).
+            node(Y) :- edge(X, Y).
+            unreached(X) :- node(X), not reach(X).
+            """
+        )
+        edb = FactStore(
+            {"edge": [(1, 2), (2, 3), (4, 5)], "source": [(1,)]}
+        )
+        model = perfect_model(program, edb)
+        assert model.get("reach") == {(1,), (2,), (3,)}
+        assert model.get("unreached") == {(4,), (5,)}
+
+    def test_perfect_model_rejects_unstratifiable(self):
+        program, _ = parse_program(
+            "win(X) :- move(X, Y), not win(Y)."
+        )
+        with pytest.raises(StratificationError):
+            perfect_model(program, FactStore({"move": [(1, 2)]}))
+
+    def test_holds_cwa(self):
+        program, _ = parse_program("p(X) :- e(X).")
+        model = perfect_model(program, FactStore({"e": [(1,)]}))
+        assert holds(model, parse_query("p(1)"))
+        assert not holds(model, parse_query("p(2)"))  # absence = falsity
+
+    def test_holds_rejects_variables(self):
+        program, _ = parse_program("p(X) :- e(X).")
+        model = perfect_model(program, FactStore({"e": [(1,)]}))
+        with pytest.raises(DatalogError):
+            holds(model, parse_query("p(X)"))
+
+    def test_negative_facts(self):
+        store = FactStore({"p": [(1,), (2,)]})
+        negatives = negative_facts(store, "p", domain={1, 2, 3})
+        assert negatives == {(3,)}
+
+    def test_negative_facts_needs_arity(self):
+        with pytest.raises(ValueError):
+            negative_facts(FactStore(), "empty")
+
+    def test_complement_program(self):
+        program, _ = parse_program("p(X) :- e(X).")
+        extended = complement_program(program, "p", "not_p", "dom")
+        edb = FactStore({"e": [(1,)], "dom": [(1,), (2,), (3,)]})
+        model = perfect_model(extended, edb)
+        assert model.get("not_p") == {(2,), (3,)}
+
+    def test_model_difference(self):
+        a = FactStore({"p": [(1,), (2,)]})
+        b = FactStore({"p": [(1,)]})
+        assert model_difference(a, b).get("p") == {(2,)}
+
+    def test_two_level_negation(self):
+        program, _ = parse_program(
+            """
+            a(X) :- e(X).
+            b(X) :- dom(X), not a(X).
+            c(X) :- dom(X), not b(X).
+            """
+        )
+        edb = FactStore({"e": [(1,)], "dom": [(1,), (2,)]})
+        model = perfect_model(program, edb)
+        assert model.get("b") == {(2,)}
+        assert model.get("c") == {(1,)}

@@ -1,0 +1,112 @@
+"""Tests for the Datalog parser."""
+
+import pytest
+
+from repro.datalog.ast import Comparison, Constant, Literal, Variable
+from repro.datalog.parser import parse_program, parse_query, parse_rule
+from repro.errors import DatalogError, ParseError
+
+
+class TestBasicParsing:
+    def test_fact(self):
+        rule = parse_rule("edge(a, b).")
+        assert rule.is_fact()
+        assert rule.head.ground_tuple({}) == ("a", "b")
+
+    def test_numeric_and_string_constants(self):
+        rule = parse_rule('p(1, 2.5, "hello world").')
+        values = rule.head.ground_tuple({})
+        assert values == (1, 2.5, "hello world")
+
+    def test_negative_number(self):
+        rule = parse_rule("p(-3).")
+        assert rule.head.ground_tuple({}) == (-3,)
+
+    def test_string_escapes(self):
+        rule = parse_rule(r'p("a\"b").')
+        assert rule.head.ground_tuple({}) == ('a"b',)
+
+    def test_variables_uppercase(self):
+        rule = parse_rule("p(X) :- e(X, Y).")
+        assert rule.head.terms[0] == Variable("X")
+
+    def test_underscore_variable(self):
+        rule = parse_rule("p(X) :- e(X, _any).")
+        assert Variable("_any") in rule.body[0].atom.terms
+
+    def test_rule_with_multiple_literals(self):
+        rule = parse_rule("p(X, Z) :- e(X, Y), e(Y, Z).")
+        assert len(rule.body) == 2
+
+    def test_negation(self):
+        rule = parse_rule("p(X) :- node(X), not bad(X).")
+        assert not rule.body[1].positive
+
+    def test_comparison(self):
+        rule = parse_rule("big(X) :- num(X), X > 10.")
+        comp = rule.body[1]
+        assert isinstance(comp, Comparison)
+        assert comp.op == ">"
+
+    def test_comparison_constant_left(self):
+        rule = parse_rule("small(X) :- num(X), 10 >= X.")
+        assert isinstance(rule.body[1], Comparison)
+
+    def test_zero_ary_atom(self):
+        rule = parse_rule("go :- ready.")
+        assert rule.head.arity == 0
+
+    def test_comments(self):
+        program, _ = parse_program(
+            """
+            % a comment
+            p(X) :- e(X).  % trailing comment
+            """
+        )
+        assert len(program) == 1
+
+    def test_query_line(self):
+        program, queries = parse_program("e(1,2). ?- e(1, X).")
+        assert len(program) == 1
+        assert len(queries) == 1
+        assert queries[0].predicate == "e"
+
+    def test_parse_query_helper(self):
+        q = parse_query("path(1, X)")
+        assert q.predicate == "path"
+        assert q.terms[0] == Constant(1)
+
+    def test_parse_query_with_marker(self):
+        assert parse_query("?- p(X).").predicate == "p"
+
+
+class TestErrors:
+    def test_missing_period(self):
+        with pytest.raises(ParseError):
+            parse_program("p(X) :- e(X)")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_program("p(X) :- e(X) & f(X).")
+
+    def test_not_as_predicate(self):
+        with pytest.raises(ParseError):
+            parse_program("not(X) :- e(X).")
+
+    def test_unsafe_rule_rejected_at_parse(self):
+        with pytest.raises(DatalogError):
+            parse_program("p(X, Y) :- e(X).")
+
+    def test_parse_rule_rejects_multiple(self):
+        with pytest.raises(ParseError):
+            parse_rule("e(1). e(2).")
+
+    def test_constant_must_start_comparison(self):
+        with pytest.raises(ParseError):
+            parse_program("p(X) :- e(X), 5.")
+
+    def test_roundtrip_str(self):
+        text = "p(X, Z) :- e(X, Y), not q(Y), X != Z, e(Z, Z)."
+        rule = parse_rule(text)
+        reparsed = parse_rule(str(rule))
+        assert rule == reparsed

@@ -1,0 +1,121 @@
+"""Property-based tests for the Datalog engines (hypothesis).
+
+The central invariants: semi-naive == naive on arbitrary (stratified)
+programs; magic and top-down == the restricted reference on arbitrary
+queries; monotonicity of positive programs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import (
+    FactStore,
+    magic_evaluate,
+    match_query,
+    naive_evaluate,
+    parse_program,
+    parse_query,
+    seminaive_evaluate,
+    topdown_query,
+)
+
+TC = parse_program(
+    "path(X, Y) :- edge(X, Y). path(X, Z) :- edge(X, Y), path(Y, Z)."
+)[0]
+
+SG = parse_program(
+    """
+    sg(X, Y) :- flat(X, Y).
+    sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+    """
+)[0]
+
+NEG = parse_program(
+    """
+    path(X, Y) :- edge(X, Y).
+    path(X, Z) :- edge(X, Y), path(Y, Z).
+    node(X) :- edge(X, Y).
+    node(Y) :- edge(X, Y).
+    island(X, Y) :- node(X), node(Y), not path(X, Y).
+    """
+)[0]
+
+node = st.integers(min_value=0, max_value=7)
+edges = st.sets(st.tuples(node, node), max_size=16)
+
+
+class TestSemiNaiveEqualsNaive:
+    @settings(max_examples=40, deadline=None)
+    @given(edges)
+    def test_tc(self, edge_set):
+        edb = FactStore({"edge": edge_set})
+        assert seminaive_evaluate(TC, edb) == naive_evaluate(TC, edb)
+
+    @settings(max_examples=25, deadline=None)
+    @given(edges, edges, edges)
+    def test_same_generation(self, up, flat, down):
+        edb = FactStore({"up": up, "flat": flat, "down": down})
+        assert seminaive_evaluate(SG, edb) == naive_evaluate(SG, edb)
+
+    @settings(max_examples=20, deadline=None)
+    @given(edges)
+    def test_with_negation(self, edge_set):
+        edb = FactStore({"edge": edge_set})
+        assert seminaive_evaluate(NEG, edb) == naive_evaluate(NEG, edb)
+
+
+class TestQueryDirectedEqualsReference:
+    @settings(max_examples=30, deadline=None)
+    @given(edges, node)
+    def test_magic(self, edge_set, start):
+        edb = FactStore({"edge": edge_set})
+        query = parse_query("path(%d, X)" % start)
+        reference = match_query(seminaive_evaluate(TC, edb), query)
+        assert magic_evaluate(TC, edb, query) == reference
+
+    @settings(max_examples=30, deadline=None)
+    @given(edges, node)
+    def test_topdown(self, edge_set, start):
+        edb = FactStore({"edge": edge_set})
+        query = parse_query("path(%d, X)" % start)
+        reference = match_query(seminaive_evaluate(TC, edb), query)
+        assert topdown_query(TC, edb, query) == reference
+
+    @settings(max_examples=20, deadline=None)
+    @given(edges, node, node)
+    def test_magic_bound_bound(self, edge_set, a, b):
+        edb = FactStore({"edge": edge_set})
+        query = parse_query("path(%d, %d)" % (a, b))
+        reference = match_query(seminaive_evaluate(TC, edb), query)
+        assert magic_evaluate(TC, edb, query) == reference
+
+
+class TestMonotonicity:
+    @settings(max_examples=30, deadline=None)
+    @given(edges, st.tuples(node, node))
+    def test_adding_facts_only_grows_positive_models(self, edge_set, extra):
+        small = FactStore({"edge": edge_set})
+        large = FactStore({"edge": set(edge_set) | {extra}})
+        small_model = seminaive_evaluate(TC, small)
+        large_model = seminaive_evaluate(TC, large)
+        assert small_model.get("path") <= large_model.get("path")
+
+    @settings(max_examples=20, deadline=None)
+    @given(edges)
+    def test_model_is_fixpoint(self, edge_set):
+        # Re-evaluating with the model as EDB adds nothing new.
+        edb = FactStore({"edge": edge_set})
+        model = seminaive_evaluate(TC, edb)
+        again = seminaive_evaluate(TC, model)
+        assert again.get("path") == model.get("path")
+
+    @settings(max_examples=20, deadline=None)
+    @given(edges)
+    def test_path_contains_edges_and_is_transitive(self, edge_set):
+        edb = FactStore({"edge": edge_set})
+        path = seminaive_evaluate(TC, edb).get("path")
+        assert set(edge_set) <= path
+        for (a, b) in path:
+            for (c, d) in path:
+                if b == c:
+                    assert (a, d) in path

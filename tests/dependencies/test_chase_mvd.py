@@ -1,0 +1,168 @@
+"""Tests for the chase and multivalued dependencies."""
+
+import pytest
+
+from repro.dependencies import (
+    FD,
+    MVD,
+    Tableau,
+    chase,
+    chase_implies_fd,
+    chase_implies_mvd,
+    decompose_4nf,
+    fd_as_mvd,
+    is_4nf,
+    is_lossless_join,
+    parse_fds,
+    violating_mvd,
+)
+from repro.errors import ChaseError, DependencyError
+from repro.relational import Relation, RelationSchema
+
+
+class TestTableau:
+    def test_decomposition_tableau_shape(self):
+        t = Tableau.for_decomposition("A B C", ["A B", "B C"])
+        assert len(t.rows) == 2
+        assert t.attributes == ("A", "B", "C")
+
+    def test_fragment_escape_rejected(self):
+        with pytest.raises(ChaseError):
+            Tableau.for_decomposition("A B", ["A Z"])
+
+    def test_pretty_renders(self):
+        t = Tableau.for_decomposition("A B", ["A", "B"])
+        assert "A" in t.pretty()
+
+
+class TestLosslessJoin:
+    def test_classic_lossless(self):
+        assert is_lossless_join("A B C", ["A B", "A C"], parse_fds("A -> B"))
+
+    def test_classic_lossy(self):
+        assert not is_lossless_join(
+            "A B C", ["A B", "B C"], parse_fds("A -> B")
+        )
+
+    def test_binary_criterion(self):
+        # R1 ∩ R2 -> R1 or R1 ∩ R2 -> R2 iff lossless (binary case).
+        fds = parse_fds("B -> C")
+        assert is_lossless_join("A B C", ["A B", "B C"], fds)
+        assert not is_lossless_join("A B C", ["A B", "A C"], fds)
+
+    def test_three_way(self):
+        fds = parse_fds("A -> B; B -> C")
+        assert is_lossless_join("A B C D", ["A B", "B C", "A D"], fds)
+
+    def test_no_dependencies_lossy(self):
+        assert not is_lossless_join("A B C", ["A B", "B C"], [])
+
+    def test_full_fragment_always_lossless(self):
+        assert is_lossless_join("A B", ["A B"], [])
+
+    def test_mvd_makes_lossless(self):
+        # A ->> B means (AB, AC) is lossless even without FDs.
+        assert is_lossless_join("A B C", ["A B", "A C"], [MVD("A", "B")])
+
+
+class TestChaseImplication:
+    def test_fd_transitivity(self):
+        fds = parse_fds("A -> B; B -> C")
+        assert chase_implies_fd(fds, FD("A", "C"), scheme="A B C")
+        assert not chase_implies_fd(fds, FD("C", "A"), scheme="A B C")
+
+    def test_fd_from_mvd_and_fd(self):
+        # A ->> B plus B -> C... use the classical: if A ->> B and B -> C
+        # (C disjoint from B) then A -> C.  Verify the coalescence rule.
+        deps = [MVD("A", "B"), FD("B", "C")]
+        assert chase_implies_fd(deps, FD("A", "C"), scheme="A B C")
+
+    def test_mvd_complementation(self):
+        # A ->> B over ABC implies A ->> C.
+        deps = [MVD("A", "B")]
+        assert chase_implies_mvd(deps, MVD("A", "C"), scheme="A B C")
+
+    def test_fd_is_mvd(self):
+        deps = [FD("A", "B")]
+        assert chase_implies_mvd(deps, MVD("A", "B"), scheme="A B C")
+
+    def test_mvd_does_not_imply_fd(self):
+        deps = [MVD("A", "B")]
+        assert not chase_implies_fd(deps, FD("A", "B"), scheme="A B C")
+
+    def test_mvd_augmentation(self):
+        deps = [MVD("A", "B")]
+        assert chase_implies_mvd(deps, MVD("A C", "B"), scheme="A B C D")
+
+    def test_chase_rejects_unknown_dependency(self):
+        t = Tableau.for_decomposition("A B", ["A B"])
+        with pytest.raises(ChaseError):
+            chase(t, ["not a dependency"])
+
+
+class TestMVD:
+    def test_parse(self):
+        mvd = MVD.parse("A ->> B C")
+        assert mvd.lhs == {"A"}
+        assert mvd.rhs == {"B", "C"}
+
+    def test_parse_requires_arrow(self):
+        with pytest.raises(DependencyError):
+            MVD.parse("A -> B")
+
+    def test_trivial(self):
+        assert MVD("A", "A").is_trivial("A B")
+        assert MVD("A", "B").is_trivial("A B")  # X ∪ Y = R
+        assert not MVD("A", "B").is_trivial("A B C")
+
+    def test_holds_in_relation(self):
+        # course ->> teacher independent of book.
+        rel = Relation(
+            RelationSchema("ctb", ("C", "T", "B")),
+            [
+                ("db", "ann", "ull"),
+                ("db", "ann", "date"),
+                ("db", "bob", "ull"),
+                ("db", "bob", "date"),
+            ],
+        )
+        assert MVD("C", "T").holds_in(rel)
+        broken = Relation(
+            RelationSchema("ctb", ("C", "T", "B")),
+            [("db", "ann", "ull"), ("db", "bob", "date")],
+        )
+        assert not MVD("C", "T").holds_in(broken)
+
+    def test_complement(self):
+        assert MVD("A", "B").complement("A B C") == MVD("A", "C")
+        with pytest.raises(DependencyError):
+            MVD("A", "B").complement("A B")
+
+    def test_fd_as_mvd(self):
+        assert fd_as_mvd(FD("A", "B")) == MVD("A", "B")
+
+
+class Test4NF:
+    def test_violation_detected(self):
+        # course ->> teacher with key course-teacher-book: not 4NF.
+        deps = [MVD("C", "T")]
+        assert not is_4nf("C T B", deps)
+        violation = violating_mvd("C T B", deps)
+        assert violation is not None
+
+    def test_bcnf_like_schema_is_4nf(self):
+        deps = [FD("A", "B C")]
+        assert is_4nf("A B C", deps)
+
+    def test_decompose_4nf(self):
+        deps = [MVD("C", "T")]
+        fragments = decompose_4nf("C T B", deps)
+        assert frozenset({"C", "T"}) in fragments
+        assert frozenset({"C", "B"}) in fragments
+        for fragment in fragments:
+            assert is_4nf(fragment, deps)
+
+    def test_decomposition_lossless(self):
+        deps = [MVD("C", "T")]
+        fragments = decompose_4nf("C T B", deps)
+        assert is_lossless_join("C T B", fragments, deps)

@@ -1,0 +1,111 @@
+"""Tests for minimal covers and candidate keys."""
+
+from repro.dependencies import (
+    FD,
+    candidate_keys,
+    canonical_cover,
+    equivalent,
+    is_candidate_key,
+    is_minimal,
+    is_superkey,
+    key_of,
+    minimal_cover,
+    parse_fds,
+    prime_attributes,
+)
+from repro.dependencies.cover import (
+    remove_extraneous_lhs,
+    remove_redundant_fds,
+    split_rhs,
+)
+
+
+class TestMinimalCover:
+    def test_splits_rhs(self):
+        out = split_rhs(parse_fds("A -> B C"))
+        assert len(out) == 2
+        assert all(len(fd.rhs) == 1 for fd in out)
+
+    def test_removes_extraneous_lhs(self):
+        # In AB -> C with A -> B, B is... rather: A -> B makes B redundant
+        # in AB -> C? (AB-B)+ = A+ = {A, B} must contain C: no. Use the
+        # classical example: A -> B, AB -> C: B extraneous in AB -> C.
+        fds = parse_fds("A -> B; A B -> C")
+        reduced = remove_extraneous_lhs(list(fds))
+        assert FD("A", "C") in reduced
+
+    def test_removes_redundant(self):
+        fds = parse_fds("A -> B; B -> C; A -> C")
+        reduced = remove_redundant_fds(list(fds))
+        assert FD("A", "C") not in reduced
+        assert len(reduced) == 2
+
+    def test_minimal_cover_equivalent(self):
+        fds = parse_fds("A -> B C; B -> C; A B -> D")
+        cover = minimal_cover(fds)
+        assert equivalent(fds, cover)
+        assert is_minimal(cover)
+
+    def test_canonical_cover_merges_lhs(self):
+        fds = parse_fds("A -> B; A -> C")
+        cover = canonical_cover(fds)
+        assert len(cover) == 1
+        assert cover[0].rhs == {"B", "C"}
+
+    def test_empty_cover(self):
+        assert minimal_cover([]) == []
+
+    def test_classic_textbook_example(self):
+        # F = {A -> BC, B -> C, A -> B, AB -> C}; minimal cover is
+        # {A -> B, B -> C}.
+        fds = parse_fds("A -> B C; B -> C; A -> B; A B -> C")
+        cover = minimal_cover(fds)
+        assert sorted(str(fd) for fd in cover) == ["A -> B", "B -> C"]
+
+
+class TestKeys:
+    def test_superkey(self):
+        fds = parse_fds("A -> B; B -> C")
+        assert is_superkey("A", "A B C", fds)
+        assert is_superkey("A C", "A B C", fds)
+        assert not is_superkey("B", "A B C", fds)
+
+    def test_candidate_key(self):
+        fds = parse_fds("A -> B; B -> C")
+        assert is_candidate_key("A", "A B C", fds)
+        assert not is_candidate_key("A C", "A B C", fds)  # not minimal
+        assert not is_candidate_key("B", "A B C", fds)  # not superkey
+
+    def test_all_candidate_keys_cyclic(self):
+        # A -> B, B -> A: both A C and B C are keys of ABC... with C? Use
+        # scheme A B: keys are {A} and {B}.
+        fds = parse_fds("A -> B; B -> A")
+        keys = candidate_keys("A B", fds)
+        assert keys == [frozenset({"A"}), frozenset({"B"})]
+
+    def test_core_attributes_in_every_key(self):
+        # D appears in no rhs: every key contains D.
+        fds = parse_fds("A -> B; B -> C")
+        keys = candidate_keys("A B C D", fds)
+        assert all("D" in key for key in keys)
+        assert keys == [frozenset({"A", "D"})]
+
+    def test_no_fds_whole_scheme_is_key(self):
+        keys = candidate_keys("A B", [])
+        assert keys == [frozenset({"A", "B"})]
+
+    def test_prime_attributes(self):
+        fds = parse_fds("A -> B; B -> A")
+        assert prime_attributes("A B C", fds) == {"A", "B", "C"}
+
+    def test_key_of_is_minimal_superkey(self):
+        fds = parse_fds("A -> B; B -> C")
+        key = key_of(fds, "A B C")
+        assert is_candidate_key(key, "A B C", fds)
+
+    def test_many_keys(self):
+        # Pairwise-equivalent attributes: every single attribute is a key.
+        fds = parse_fds("A -> B; B -> C; C -> A")
+        keys = candidate_keys("A B C", fds)
+        assert len(keys) == 3
+        assert all(len(k) == 1 for k in keys)

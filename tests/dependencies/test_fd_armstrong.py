@@ -1,0 +1,161 @@
+"""Tests for FDs, Armstrong's axioms, closures, and Armstrong relations."""
+
+import pytest
+
+from repro.dependencies import (
+    FD,
+    armstrong_relation,
+    attribute_closure,
+    attrset,
+    closure,
+    derive,
+    equivalent,
+    implies,
+    parse_fds,
+    project,
+    satisfies_all,
+    verify_armstrong,
+    violations,
+)
+from repro.errors import DependencyError
+from repro.relational import Relation, RelationSchema
+
+
+class TestFD:
+    def test_parse(self):
+        fd = FD.parse("A B -> C")
+        assert fd.lhs == {"A", "B"}
+        assert fd.rhs == {"C"}
+
+    def test_parse_unicode_arrow(self):
+        fd = FD.parse("A → B")
+        assert fd.lhs == {"A"}
+
+    def test_parse_requires_arrow(self):
+        with pytest.raises(DependencyError):
+            FD.parse("A B C")
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(DependencyError):
+            FD("A", "")
+
+    def test_trivial(self):
+        assert FD("A B", "A").is_trivial()
+        assert not FD("A", "B").is_trivial()
+
+    def test_decompose(self):
+        parts = FD("A", "B C").decompose()
+        assert FD("A", "B") in parts and FD("A", "C") in parts
+
+    def test_holds_in_relation(self):
+        rel = Relation(
+            RelationSchema("r", ("A", "B")), [(1, "x"), (1, "x"), (2, "y")]
+        )
+        assert FD("A", "B").holds_in(rel)
+        bad = Relation(
+            RelationSchema("r", ("A", "B")), [(1, "x"), (1, "y")]
+        )
+        assert not FD("A", "B").holds_in(bad)
+
+    def test_violations_report(self):
+        rel = Relation(
+            RelationSchema("r", ("A", "B")), [(1, "x"), (1, "y")]
+        )
+        fds = parse_fds("A -> B; B -> A")
+        assert violations(rel, fds) == [FD("A", "B")]
+        assert not satisfies_all(rel, fds)
+
+    def test_attrset_string_forms(self):
+        assert attrset("A B") == attrset("A,B") == attrset(["A", "B"])
+
+
+class TestClosure:
+    FDS = parse_fds("A -> B; B -> C; C D -> E")
+
+    def test_attribute_closure(self):
+        assert attribute_closure("A", self.FDS) == {"A", "B", "C"}
+        assert attribute_closure("A D", self.FDS) == {"A", "B", "C", "D", "E"}
+
+    def test_closure_monotone(self):
+        small = attribute_closure("A", self.FDS)
+        large = attribute_closure("A D", self.FDS)
+        assert small <= large
+
+    def test_closure_idempotent(self):
+        once = attribute_closure("A", self.FDS)
+        twice = attribute_closure(once, self.FDS)
+        assert once == twice
+
+    def test_implies(self):
+        assert implies(self.FDS, FD("A", "C"))
+        assert not implies(self.FDS, FD("C", "A"))
+        assert implies(self.FDS, FD("A D", "E"))
+
+    def test_trivial_always_implied(self):
+        assert implies([], FD("A B", "A"))
+
+    def test_equivalent_sets(self):
+        a = parse_fds("A -> B; B -> C")
+        b = parse_fds("A -> B C; B -> C")
+        assert equivalent(a, b)
+        assert not equivalent(a, parse_fds("A -> B"))
+
+    def test_full_closure_contains_transitivity(self):
+        full = closure(parse_fds("A -> B; B -> C"), "A B C")
+        assert any(
+            fd.lhs == {"A"} and "C" in fd.rhs for fd in full
+        )
+
+    def test_projection(self):
+        projected = project(parse_fds("A -> B; B -> C"), "A C")
+        assert any(
+            fd.lhs == {"A"} and fd.rhs == {"C"} for fd in projected
+        )
+        assert all(fd.attributes() <= {"A", "C"} for fd in projected)
+
+
+class TestDerivations:
+    def test_derivation_ends_with_goal(self):
+        fds = parse_fds("A -> B; B -> C")
+        goal = FD("A", "C")
+        steps = derive(fds, goal)
+        assert steps[-1].fd == goal or any(s.fd == goal for s in steps)
+
+    def test_derivation_premises_valid(self):
+        fds = parse_fds("A -> B; B -> C; C -> D")
+        steps = derive(fds, FD("A", "D"))
+        for i, step in enumerate(steps):
+            assert all(p < i for p in step.premises)
+
+    def test_non_implied_rejected(self):
+        with pytest.raises(DependencyError):
+            derive(parse_fds("A -> B"), FD("B", "A"))
+
+    def test_rules_used_are_armstrong(self):
+        fds = parse_fds("A -> B; B -> C")
+        steps = derive(fds, FD("A", "C"))
+        allowed = {"given", "reflexivity", "augmentation", "transitivity"}
+        assert {s.rule for s in steps} <= allowed
+
+
+class TestArmstrongRelations:
+    def test_witness_for_simple_fds(self):
+        fds = parse_fds("A -> B")
+        rel = armstrong_relation(fds, "A B C")
+        satisfied_ok, violated_ok = verify_armstrong(rel, fds)
+        assert satisfied_ok and violated_ok
+
+    def test_witness_for_chain(self):
+        fds = parse_fds("A -> B; B -> C")
+        rel = armstrong_relation(fds, "A B C")
+        satisfied_ok, violated_ok = verify_armstrong(rel, fds)
+        assert satisfied_ok and violated_ok
+
+    def test_witness_no_fds(self):
+        rel = armstrong_relation([], "A B")
+        satisfied_ok, violated_ok = verify_armstrong(rel, [])
+        assert satisfied_ok and violated_ok
+
+    def test_needs_attributes(self):
+        with pytest.raises(DependencyError):
+            armstrong_relation([], "")

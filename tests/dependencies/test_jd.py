@@ -1,0 +1,125 @@
+"""Tests for join dependencies and fifth normal form."""
+
+import pytest
+
+from repro.dependencies import MVD, parse_fds
+from repro.dependencies.jd import (
+    JD,
+    chase_implies_jd,
+    decompose_5nf,
+    is_5nf,
+    key_fds,
+)
+from repro.errors import DependencyError
+from repro.relational import Relation, RelationSchema
+
+
+class TestJD:
+    def test_construction(self):
+        jd = JD(["A B", "B C"])
+        assert jd.scheme() == {"A", "B", "C"}
+
+    def test_needs_two_components(self):
+        with pytest.raises(DependencyError):
+            JD(["A B"])
+
+    def test_trivial(self):
+        assert JD(["A B C", "A"]).is_trivial("A B C")
+        assert not JD(["A B", "B C"]).is_trivial("A B C")
+
+    def test_equality_unordered(self):
+        assert JD(["A B", "B C"]) == JD(["B C", "A B"])
+
+    def test_from_mvd(self):
+        jd = JD.from_mvd(MVD("A", "B"), "A B C")
+        assert jd == JD(["A B", "A C"])
+
+    def test_holds_in_instance(self):
+        # The classical SPJ (supplier-part-project) style 3-way JD.
+        schema = RelationSchema("spj", ("S", "P", "J"))
+        cyclic = Relation(
+            schema,
+            [
+                ("s1", "p1", "j2"),
+                ("s1", "p2", "j1"),
+                ("s2", "p1", "j1"),
+                ("s1", "p1", "j1"),
+            ],
+        )
+        jd = JD(["S P", "P J", "S J"])
+        assert jd.holds_in(cyclic)
+        broken = Relation(
+            schema,
+            [("s1", "p1", "j2"), ("s1", "p2", "j1"), ("s2", "p1", "j1")],
+        )
+        assert not jd.holds_in(broken)
+
+    def test_binary_jd_is_mvd(self):
+        schema = RelationSchema("ctb", ("C", "T", "B"))
+        rel = Relation(
+            schema,
+            [
+                ("db", "ann", "ull"),
+                ("db", "ann", "date"),
+                ("db", "bob", "ull"),
+                ("db", "bob", "date"),
+            ],
+        )
+        mvd = MVD("C", "T")
+        jd = JD.from_mvd(mvd, "C T B")
+        assert jd.holds_in(rel) == mvd.holds_in(rel)
+
+
+class TestImplication:
+    def test_fd_implies_binary_jd(self):
+        fds = parse_fds("A -> B")
+        assert chase_implies_jd(fds, JD(["A B", "A C"]), scheme="A B C")
+        assert not chase_implies_jd(fds, JD(["A B", "B C"]), scheme="A B C")
+
+    def test_mvd_implies_its_jd(self):
+        deps = [MVD("A", "B")]
+        assert chase_implies_jd(deps, JD(["A B", "A C"]), scheme="A B C")
+
+    def test_no_deps_no_implication(self):
+        assert not chase_implies_jd([], JD(["A B", "B C"]), scheme="A B C")
+
+    def test_trivial_jd_always_implied(self):
+        assert chase_implies_jd([], JD(["A B C", "A"]), scheme="A B C")
+
+    def test_escaping_scheme_rejected(self):
+        with pytest.raises(DependencyError):
+            chase_implies_jd([], JD(["A B", "B Z"]), scheme="A B")
+
+
+class Test5NF:
+    def test_key_fds(self):
+        fds = parse_fds("A -> B; A -> C")
+        keys = key_fds("A B C", fds)
+        assert len(keys) == 1
+        assert keys[0].lhs == {"A"}
+
+    def test_key_implied_jd_is_5nf(self):
+        fds = parse_fds("A -> B C")
+        jds = [JD(["A B", "A C"])]
+        assert is_5nf("A B C", fds, jds)
+
+    def test_cyclic_jd_violates_5nf(self):
+        # The SPJ 3-way JD with key = all attributes: not key-implied.
+        jds = [JD(["S P", "P J", "S J"])]
+        assert not is_5nf("S P J", [], jds)
+
+    def test_trivial_jds_ignored(self):
+        assert is_5nf("A B", [], [JD(["A B", "A"])])
+
+    def test_decompose_5nf_splits_violation(self):
+        jds = [JD(["S P", "P J", "S J"])]
+        fragments = decompose_5nf("S P J", [], jds)
+        assert frozenset({"S", "P"}) in fragments
+        assert frozenset({"P", "J"}) in fragments
+        assert frozenset({"S", "J"}) in fragments
+
+    def test_decompose_5nf_no_violation_keeps_scheme(self):
+        fds = parse_fds("A -> B C")
+        jds = [JD(["A B", "A C"])]
+        fragments = decompose_5nf("A B C", fds, jds)
+        assert fragments == [frozenset({"A", "B", "C"})]

@@ -1,0 +1,170 @@
+"""Tests for normal forms, BCNF decomposition, and 3NF synthesis."""
+
+import pytest
+
+from repro.dependencies import (
+    DesignTool,
+    bcnf_decompose,
+    check_decomposition,
+    decomposition_report,
+    is_2nf,
+    is_3nf,
+    is_bcnf,
+    is_lossless_join,
+    normal_form_level,
+    parse_fds,
+    preserves_dependencies,
+    synthesize_3nf,
+    violates_bcnf,
+)
+from repro.errors import NormalizationError
+
+
+class TestNormalFormTests:
+    def test_bcnf_positive(self):
+        assert is_bcnf("A B", parse_fds("A -> B"))
+
+    def test_bcnf_negative(self):
+        assert not is_bcnf("A B C", parse_fds("A -> B; B -> C"))
+        violation = violates_bcnf("A B C", parse_fds("A -> B; B -> C"))
+        assert violation is not None
+
+    def test_3nf_allows_prime_rhs(self):
+        # Classic: city street -> zip, zip -> city.  3NF but not BCNF.
+        fds = parse_fds("city street -> zip; zip -> city")
+        scheme = "city street zip"
+        assert is_3nf(scheme, fds)
+        assert not is_bcnf(scheme, fds)
+
+    def test_2nf_partial_dependency(self):
+        # Key is AB; B -> C is a partial dependency of non-prime C.
+        fds = parse_fds("A B -> D; B -> C")
+        assert not is_2nf("A B C D", fds)
+
+    def test_2nf_but_not_3nf(self):
+        # Transitive: A -> B -> C with A the key.
+        fds = parse_fds("A -> B; B -> C")
+        scheme = "A B C"
+        assert is_2nf(scheme, fds)
+        assert not is_3nf(scheme, fds)
+
+    def test_levels(self):
+        assert normal_form_level("A B", parse_fds("A -> B")) == "BCNF"
+        assert (
+            normal_form_level(
+                "city street zip",
+                parse_fds("city street -> zip; zip -> city"),
+            )
+            == "3NF"
+        )
+        assert normal_form_level("A B C", parse_fds("A -> B; B -> C")) == "2NF"
+        assert (
+            normal_form_level("A B C D", parse_fds("A B -> D; B -> C"))
+            == "1NF"
+        )
+
+
+class TestBCNFDecomposition:
+    def test_fragments_are_bcnf(self):
+        fds = parse_fds("A -> B; B -> C")
+        fragments = bcnf_decompose("A B C D", fds)
+        for fragment in fragments:
+            assert is_bcnf(fragment, fds), fragment
+
+    def test_lossless(self):
+        fds = parse_fds("A -> B; B -> C")
+        fragments = bcnf_decompose("A B C D", fds)
+        assert is_lossless_join("A B C D", fragments, fds)
+
+    def test_covers_scheme(self):
+        fds = parse_fds("A -> B; B -> C")
+        fragments = bcnf_decompose("A B C D", fds)
+        assert check_decomposition("A B C D", fragments)
+
+    def test_known_preservation_failure(self):
+        # city street -> zip; zip -> city: BCNF decomposition cannot
+        # preserve the first FD — the classical counterexample.
+        fds = parse_fds("city street -> zip; zip -> city")
+        fragments = bcnf_decompose("city street zip", fds)
+        assert is_lossless_join("city street zip", fragments, fds)
+        assert not preserves_dependencies("city street zip", fragments, fds)
+
+    def test_already_bcnf_untouched(self):
+        fds = parse_fds("A -> B C")
+        fragments = bcnf_decompose("A B C", fds)
+        assert fragments == [frozenset({"A", "B", "C"})]
+
+
+class TestThirdNormalFormSynthesis:
+    def test_lossless_and_preserving(self):
+        fds = parse_fds("A -> B; B -> C; C D -> E")
+        scheme = "A B C D E"
+        fragments = synthesize_3nf(scheme, fds)
+        assert is_lossless_join(scheme, fragments, fds)
+        assert preserves_dependencies(scheme, fragments, fds)
+
+    def test_fragments_are_3nf(self):
+        fds = parse_fds("A -> B; B -> C")
+        for fragment in synthesize_3nf("A B C", fds):
+            assert is_3nf(fragment, fds)
+
+    def test_preserves_on_bcnf_failure_case(self):
+        fds = parse_fds("city street -> zip; zip -> city")
+        scheme = "city street zip"
+        fragments = synthesize_3nf(scheme, fds)
+        assert preserves_dependencies(scheme, fragments, fds)
+        assert is_lossless_join(scheme, fragments, fds)
+
+    def test_orphan_attributes_kept(self):
+        fds = parse_fds("A -> B")
+        fragments = synthesize_3nf("A B Z", fds)
+        union = frozenset().union(*fragments)
+        assert "Z" in union
+
+    def test_no_fds(self):
+        fragments = synthesize_3nf("A B", [])
+        assert fragments == [frozenset({"A", "B"})]
+
+    def test_subsumed_fragments_dropped(self):
+        fds = parse_fds("A -> B; A B -> C")
+        fragments = synthesize_3nf("A B C", fds)
+        for f in fragments:
+            assert not any(f < g for g in fragments)
+
+
+class TestReportsAndTool:
+    def test_decomposition_report_fields(self):
+        fds = parse_fds("A -> B; B -> C")
+        report = decomposition_report(
+            "A B C", bcnf_decompose("A B C", fds), fds
+        )
+        assert set(report) == {
+            "fragments",
+            "lossless",
+            "dependency_preserving",
+            "fragment_normal_forms",
+        }
+        assert report["lossless"]
+
+    def test_check_decomposition_rejects_escape(self):
+        with pytest.raises(NormalizationError):
+            check_decomposition("A B", [frozenset({"A", "Z"})])
+
+    def test_check_decomposition_rejects_loss(self):
+        with pytest.raises(NormalizationError):
+            check_decomposition("A B", [frozenset({"A"})])
+
+    def test_design_tool_report(self):
+        tool = DesignTool("A B C D", "A -> B; B -> C")
+        text = tool.report()
+        assert "Candidate keys: AD" in text
+        assert "Normal form: 1NF" in text
+        assert "BCNF decomposition" in text
+
+    def test_design_tool_rejects_foreign_attributes(self):
+        with pytest.raises(ValueError):
+            DesignTool("A B", "A -> Z")
+
+    def test_design_tool_accepts_fd_text(self):
+        tool = DesignTool("A B", "A -> B")
+        assert tool.normal_form() == "BCNF"

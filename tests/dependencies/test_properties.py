@@ -1,0 +1,120 @@
+"""Property-based tests for dependency theory (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dependencies import (
+    FD,
+    armstrong_relation,
+    attribute_closure,
+    bcnf_decompose,
+    candidate_keys,
+    chase_implies_fd,
+    equivalent,
+    implies,
+    is_bcnf,
+    is_lossless_join,
+    minimal_cover,
+    preserves_dependencies,
+    synthesize_3nf,
+)
+
+ATTRS = ("A", "B", "C", "D")
+
+attr_subset = st.sets(st.sampled_from(ATTRS), min_size=1, max_size=3)
+
+
+@st.composite
+def fd_sets(draw):
+    count = draw(st.integers(min_value=0, max_value=4))
+    fds = []
+    for _ in range(count):
+        lhs = draw(attr_subset)
+        rhs = draw(attr_subset)
+        fds.append(FD(lhs, rhs))
+    return fds
+
+
+class TestClosureLaws:
+    @given(fd_sets(), attr_subset)
+    def test_extensive(self, fds, attrs):
+        assert frozenset(attrs) <= attribute_closure(attrs, fds)
+
+    @given(fd_sets(), attr_subset)
+    def test_idempotent(self, fds, attrs):
+        once = attribute_closure(attrs, fds)
+        assert attribute_closure(once, fds) == once
+
+    @given(fd_sets(), attr_subset, attr_subset)
+    def test_monotone(self, fds, a, b):
+        union = frozenset(a) | frozenset(b)
+        assert attribute_closure(a, fds) <= attribute_closure(union, fds)
+
+    @given(fd_sets())
+    def test_given_fds_implied(self, fds):
+        for fd in fds:
+            assert implies(fds, fd)
+
+
+class TestMinimalCoverLaws:
+    @settings(max_examples=50)
+    @given(fd_sets())
+    def test_cover_equivalent(self, fds):
+        assert equivalent(fds, minimal_cover(fds))
+
+    @settings(max_examples=50)
+    @given(fd_sets())
+    def test_cover_rhs_singletons(self, fds):
+        assert all(len(fd.rhs) == 1 for fd in minimal_cover(fds))
+
+
+class TestChaseAgreesWithClosure:
+    @settings(max_examples=40, deadline=None)
+    @given(fd_sets(), attr_subset, attr_subset)
+    def test_implication_agreement(self, fds, lhs, rhs):
+        goal = FD(lhs, rhs)
+        assert implies(fds, goal) == chase_implies_fd(
+            fds, goal, scheme=ATTRS
+        )
+
+
+class TestDecompositions:
+    @settings(max_examples=30, deadline=None)
+    @given(fd_sets())
+    def test_bcnf_fragments_are_bcnf_and_lossless(self, fds):
+        fragments = bcnf_decompose(ATTRS, fds)
+        union = frozenset().union(*fragments)
+        assert union == frozenset(ATTRS)
+        assert is_lossless_join(ATTRS, fragments, fds)
+        for fragment in fragments:
+            if len(fragment) > 2:
+                assert is_bcnf(fragment, fds)
+
+    @settings(max_examples=30, deadline=None)
+    @given(fd_sets())
+    def test_3nf_synthesis_lossless_and_preserving(self, fds):
+        fragments = synthesize_3nf(ATTRS, fds)
+        union = frozenset().union(*fragments)
+        assert union == frozenset(ATTRS)
+        assert is_lossless_join(ATTRS, fragments, fds)
+        assert preserves_dependencies(ATTRS, fragments, fds)
+
+    @settings(max_examples=20, deadline=None)
+    @given(fd_sets())
+    def test_some_fragment_contains_a_key(self, fds):
+        fragments = synthesize_3nf(ATTRS, fds)
+        keys = candidate_keys(ATTRS, fds)
+        assert any(
+            any(key <= fragment for key in keys) for fragment in fragments
+        )
+
+
+class TestArmstrongWitness:
+    @settings(max_examples=15, deadline=None)
+    @given(fd_sets())
+    def test_armstrong_relation_satisfies_all_implied(self, fds):
+        from repro.dependencies import closure
+
+        rel = armstrong_relation(fds, ATTRS)
+        for fd in closure(fds, ATTRS):
+            assert fd.holds_in(rel), str(fd)

@@ -1,0 +1,185 @@
+"""Tests for tables with nulls, certain answers, and the CWA."""
+
+import pytest
+
+from repro.errors import IncompleteInformationError
+from repro.incomplete import (
+    DisjunctiveDatabase,
+    Null,
+    Table,
+    TableDatabase,
+    brute_force_certain_answers,
+    brute_force_possible_answers,
+    cwa_negations,
+    disjunctive_fact,
+    fresh_null,
+    is_positive,
+    naive_certain_answers,
+)
+from repro.relational import (
+    Difference,
+    NaturalJoin,
+    Projection,
+    Relation,
+    RelationRef,
+    RelationSchema,
+    Selection,
+    eq,
+)
+from repro.relational.algebra import Const
+
+
+def table(name, attrs, rows):
+    return Table(
+        Relation(RelationSchema(name, attrs), rows, validate=False)
+    )
+
+
+@pytest.fixture
+def tdb():
+    n1, n2 = Null("a"), Null("b")
+    emp = table(
+        "emp", ("name", "dept"), [("ann", "cs"), ("bob", n1)]
+    )
+    head = table(
+        "head", ("dept", "boss"), [("cs", "carol"), (n2, "dan")]
+    )
+    return TableDatabase([emp, head])
+
+
+class TestNullsAndTables:
+    def test_null_identity(self):
+        assert Null("x") == Null("x")
+        assert Null("x") != Null("y")
+
+    def test_fresh_nulls_distinct(self):
+        assert fresh_null() != fresh_null()
+
+    def test_codd_table_detection(self):
+        n = Null("n")
+        codd = table("r", ("a", "b"), [(1, Null("x")), (2, Null("y"))])
+        naive = table("r", ("a", "b"), [(1, n), (2, n)])
+        assert codd.is_codd_table()
+        assert not naive.is_codd_table()
+
+    def test_complete_table(self):
+        t = table("r", ("a",), [(1,)])
+        assert t.is_complete()
+        assert t.is_codd_table()
+
+    def test_apply_valuation(self):
+        n = Null("n")
+        t = table("r", ("a", "b"), [(1, n)])
+        complete = t.apply_valuation({n: 9})
+        assert (1, 9) in complete
+
+    def test_valuation_must_cover(self):
+        t = table("r", ("a",), [(Null("n"),)])
+        with pytest.raises(IncompleteInformationError):
+            t.apply_valuation({})
+
+    def test_possible_worlds_count(self):
+        t = table("r", ("a", "b"), [(1, Null("x")), (2, Null("y"))])
+        worlds = list(t.possible_worlds({7, 8}))
+        assert len(worlds) == 4
+
+    def test_shared_null_consistent_across_tables(self):
+        n = Null("shared")
+        tdb = TableDatabase(
+            [
+                table("r", ("a",), [(n,)]),
+                table("s", ("b",), [(n,)]),
+            ]
+        )
+        for world in tdb.possible_worlds({1, 2}):
+            (a,) = next(iter(world["r"].tuples))
+            (b,) = next(iter(world["s"].tuples))
+            assert a == b
+
+    def test_null_free_tuples(self):
+        t = table("r", ("a",), [(1,), (Null("n"),)])
+        assert t.null_free_tuples() == {(1,)}
+
+
+class TestCertainAnswers:
+    def test_positive_detection(self):
+        q = Projection(
+            NaturalJoin(RelationRef("emp"), RelationRef("head")),
+            ("name", "boss"),
+        )
+        assert is_positive(q)
+        assert not is_positive(Difference(RelationRef("emp"), RelationRef("emp")))
+        assert not is_positive(
+            Selection(RelationRef("emp"), ~eq("dept", Const("cs")))
+        )
+
+    def test_naive_equals_brute_force(self, tdb):
+        q = Projection(
+            NaturalJoin(RelationRef("emp"), RelationRef("head")),
+            ("name", "boss"),
+        )
+        fast = naive_certain_answers(q, tdb)
+        slow = brute_force_certain_answers(q, tdb)
+        assert set(fast.tuples) == set(slow.tuples) == {("ann", "carol")}
+
+    def test_naive_rejects_nonpositive(self, tdb):
+        q = Difference(RelationRef("emp"), RelationRef("emp"))
+        with pytest.raises(IncompleteInformationError):
+            naive_certain_answers(q, tdb)
+
+    def test_possible_superset_of_certain(self, tdb):
+        q = Projection(
+            NaturalJoin(RelationRef("emp"), RelationRef("head")),
+            ("name", "boss"),
+        )
+        certain = brute_force_certain_answers(q, tdb)
+        possible = brute_force_possible_answers(q, tdb)
+        assert set(certain.tuples) <= set(possible.tuples)
+        assert len(possible) > len(certain)
+
+    def test_certain_on_complete_tables_is_plain_answer(self):
+        tdb = TableDatabase([table("r", ("a",), [(1,), (2,)])])
+        q = Selection(RelationRef("r"), eq("a", Const(1)))
+        fast = naive_certain_answers(q, tdb)
+        assert set(fast.tuples) == {(1,)}
+
+    def test_selection_on_null_not_certain(self):
+        n = Null("n")
+        tdb = TableDatabase([table("r", ("a",), [(n,)])])
+        q = Selection(RelationRef("r"), eq("a", Const(1)))
+        fast = naive_certain_answers(q, tdb)
+        slow = brute_force_certain_answers(q, tdb)
+        assert len(fast) == len(slow) == 0
+
+
+class TestCWA:
+    def test_negations_over_domain(self):
+        negatives = cwa_negations({(1,)}, "p", 1, {1, 2, 3})
+        assert ("not", "p", (2,)) in negatives
+        assert ("not", "p", (1,)) not in negatives
+
+    def test_definite_database_consistent(self):
+        db = DisjunctiveDatabase([{"p": {("a",)}}])
+        assert db.is_definite()
+        assert db.cwa_is_consistent()
+
+    def test_disjunctive_inconsistent(self):
+        db = disjunctive_fact("p", [("a",), ("b",)])
+        assert not db.is_definite()
+        assert not db.cwa_is_consistent()
+
+    def test_certain_vs_possible(self):
+        db = DisjunctiveDatabase(
+            [
+                {"p": {("a",), ("c",)}},
+                {"p": {("b",), ("c",)}},
+            ]
+        )
+        assert db.certainly_holds("p", ("c",))
+        assert not db.certainly_holds("p", ("a",))
+        assert db.possibly_holds("p", ("a",))
+        assert not db.possibly_holds("p", ("z",))
+
+    def test_needs_a_world(self):
+        with pytest.raises(IncompleteInformationError):
+            DisjunctiveDatabase([])

@@ -1,0 +1,108 @@
+"""Property-based tests for incomplete information (hypothesis).
+
+The defining semantics: certain ⊆ answer-in-every-world, possible =
+answer-in-some-world, and naive evaluation computes certain answers for
+positive queries (Imielinski–Lipski) on random tables.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.incomplete import (
+    Null,
+    Table,
+    TableDatabase,
+    brute_force_certain_answers,
+    brute_force_possible_answers,
+    naive_certain_answers,
+)
+from repro.relational import (
+    NaturalJoin,
+    Projection,
+    Relation,
+    RelationRef,
+    RelationSchema,
+    Selection,
+    eq,
+    evaluate,
+)
+from repro.relational.algebra import Const
+
+# Cells: small constants or one of two shared nulls.
+NULL_A = Null("na")
+NULL_B = Null("nb")
+cells = st.one_of(
+    st.integers(min_value=0, max_value=2),
+    st.sampled_from([NULL_A, NULL_B]),
+)
+
+
+@st.composite
+def table_databases(draw):
+    r_rows = draw(
+        st.sets(st.tuples(cells, cells), min_size=1, max_size=3)
+    )
+    s_rows = draw(
+        st.sets(st.tuples(cells, cells), min_size=1, max_size=3)
+    )
+    r = Table(
+        Relation(RelationSchema("r", ("a", "b")), r_rows, validate=False)
+    )
+    s = Table(
+        Relation(RelationSchema("s", ("b", "c")), s_rows, validate=False)
+    )
+    return TableDatabase([r, s])
+
+
+QUERIES = [
+    Projection(NaturalJoin(RelationRef("r"), RelationRef("s")), ("a", "c")),
+    Selection(RelationRef("r"), eq("a", Const(1))),
+    Projection(RelationRef("s"), ("c",)),
+]
+
+
+class TestImielinskiLipski:
+    @settings(max_examples=25, deadline=None)
+    @given(table_databases(), st.sampled_from(range(len(QUERIES))))
+    def test_naive_equals_possible_worlds_intersection(self, tdb, qi):
+        query = QUERIES[qi]
+        fast = naive_certain_answers(query, tdb)
+        slow = brute_force_certain_answers(query, tdb)
+        assert set(fast.tuples) == set(slow.tuples)
+
+    @settings(max_examples=25, deadline=None)
+    @given(table_databases(), st.sampled_from(range(len(QUERIES))))
+    def test_certain_subset_of_possible(self, tdb, qi):
+        query = QUERIES[qi]
+        certain = brute_force_certain_answers(query, tdb)
+        possible = brute_force_possible_answers(query, tdb)
+        assert set(certain.tuples) <= set(possible.tuples)
+
+    @settings(max_examples=25, deadline=None)
+    @given(table_databases(), st.sampled_from(range(len(QUERIES))))
+    def test_every_world_contains_certain(self, tdb, qi):
+        query = QUERIES[qi]
+        domain = set(tdb.constants()) | {"f0", "f1"}
+        certain = set(
+            brute_force_certain_answers(query, tdb, domain=domain).tuples
+        )
+        for world in tdb.possible_worlds(domain):
+            assert certain <= set(evaluate(query, world).tuples)
+
+    @settings(max_examples=20, deadline=None)
+    @given(table_databases())
+    def test_complete_tables_certain_equals_plain(self, tdb):
+        # Ground the nulls: certain answers must equal the plain answer.
+        valuation = {n: 0 for n in tdb.nulls()}
+        grounded = TableDatabase(
+            [
+                Table(tdb[name].apply_valuation(valuation))
+                for name in tdb.names()
+            ]
+        )
+        query = QUERIES[0]
+        fast = naive_certain_answers(query, grounded)
+        plain = evaluate(
+            query, grounded.as_database_with_null_constants()
+        )
+        assert set(fast.tuples) == set(plain.tuples)

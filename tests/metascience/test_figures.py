@@ -1,0 +1,268 @@
+"""Tests for the metascience package: the paper's Figures 1-3 and their
+textual anchors."""
+
+import pytest
+
+from repro.errors import MetascienceError
+from repro.metascience import (
+    AREAS,
+    CRISIS,
+    IMMATURE,
+    LOGIC_DB_ANCHOR,
+    NORMAL,
+    RAW_COUNTS,
+    REVOLUTION,
+    KuhnProcess,
+    ResearchGraph,
+    YEARS,
+    acceleration_experiment,
+    alternation_score,
+    dominant_area,
+    figure2_comparison,
+    figure3_series,
+    figure3_table,
+    has_two_year_harmonic,
+    is_waning,
+    max_derivative_year,
+    pc_memory_series,
+    peak_year,
+    render_figure3,
+    succession_order,
+    totals,
+    trend,
+    two_year_average,
+    two_year_harmonic_strength,
+)
+
+
+class TestFigure3Anchors:
+    """Every quantitative/qualitative claim in §6 and footnote 10."""
+
+    def test_logic_db_footnote10_series_verbatim(self):
+        start = YEARS.index(1986)
+        observed = RAW_COUNTS["logic_databases"][start:start + 7]
+        assert observed == LOGIC_DB_ANCHOR == (10, 14, 9, 18, 13, 16, 14)
+
+    def test_block_of_ten_then_fourteen(self):
+        idx86 = YEARS.index(1986)
+        assert RAW_COUNTS["logic_databases"][idx86] == 10
+        assert RAW_COUNTS["logic_databases"][idx86 + 1] == 14
+
+    def test_timid_before_1986(self):
+        idx86 = YEARS.index(1986)
+        assert all(c <= 5 for c in RAW_COUNTS["logic_databases"][:idx86])
+
+    def test_logic_db_largest_total_volume(self):
+        volume = totals()
+        assert volume["logic_databases"] == max(volume.values())
+
+    def test_logic_db_waning_at_the_end(self):
+        assert is_waning("logic_databases")
+
+    def test_two_traditions_dominant_early(self):
+        for year in (1982, 1983):
+            idx = YEARS.index(year)
+            early_big = (
+                RAW_COUNTS["relational_theory"][idx]
+                + RAW_COUNTS["transaction_processing"][idx]
+            )
+            rest = sum(
+                RAW_COUNTS[a][idx]
+                for a in AREAS
+                if a not in ("relational_theory", "transaction_processing")
+            )
+            assert early_big > 3 * rest
+
+    def test_relational_and_tp_declining(self):
+        assert trend("relational_theory") == "declining"
+        assert trend("transaction_processing") == "declining"
+
+    def test_complex_objects_rising(self):
+        assert trend("complex_objects") == "rising"
+
+    def test_access_methods_modest_flat(self):
+        assert trend("access_methods") == "flat"
+        assert max(RAW_COUNTS["access_methods"]) <= 5
+
+    def test_dominance_shift(self):
+        assert dominant_area(1982) == "relational_theory"
+        assert dominant_area(1989) == "logic_databases"
+        assert dominant_area(1995) == "complex_objects"
+
+    def test_succession_ecosystem_order(self):
+        order = succession_order()
+        assert order.index("relational_theory") < order.index(
+            "logic_databases"
+        ) < order.index("complex_objects")
+
+    def test_fourteen_years(self):
+        assert len(YEARS) == 14
+        for area in AREAS:
+            assert len(RAW_COUNTS[area]) == 14
+
+
+class TestFigure3Series:
+    def test_two_year_average_definition(self):
+        assert two_year_average([2, 4, 6]) == [3.0, 5.0]
+
+    def test_series_starts_1983(self):
+        series = figure3_series("logic_databases")
+        assert series[0][0] == 1983
+        assert len(series) == 13
+
+    def test_table_shape(self):
+        rows = figure3_table()
+        assert len(rows) == 13
+        assert all(len(row) == 6 for row in rows)
+
+    def test_render_contains_all_areas(self):
+        text = render_figure3()
+        for area in AREAS:
+            assert area in text
+
+    def test_smoothing_reduces_alternation(self):
+        raw = RAW_COUNTS["transaction_processing"]
+        smoothed = two_year_average(raw)
+        assert alternation_score(smoothed) <= alternation_score(raw)
+
+    def test_max_derivative_is_a_boom_year(self):
+        # The invited-talk statistic: logic DB's biggest jump is the
+        # 1988->1989 rebound (+9).
+        assert max_derivative_year("logic_databases") == 1989
+
+
+class TestHarmonic:
+    def test_tp_has_strong_harmonic(self):
+        assert has_two_year_harmonic(RAW_COUNTS["transaction_processing"])
+        assert (
+            two_year_harmonic_strength(RAW_COUNTS["transaction_processing"])
+            > 0.5
+        )
+
+    def test_smooth_series_does_not(self):
+        assert not has_two_year_harmonic(RAW_COUNTS["complex_objects"])
+
+    def test_logic_db_window_alternates(self):
+        assert alternation_score(LOGIC_DB_ANCHOR) == 1.0
+
+    def test_pure_zigzag_maximal(self):
+        zigzag = [1, 5, 1, 5, 1, 5, 1, 5]
+        assert two_year_harmonic_strength(zigzag) > 0.95
+
+    def test_monotone_series_zero(self):
+        assert two_year_harmonic_strength([1, 2, 3, 4, 5, 6]) < 0.1
+
+    def test_pc_memory_model_alternates(self):
+        series = pc_memory_series(correction=0.8)
+        assert alternation_score(series) == 1.0
+
+    def test_pc_memory_converges_to_target(self):
+        series = pc_memory_series(target=10.0, correction=0.5, years=40)
+        assert abs(series[-1] - 10.0) < 0.01
+
+    def test_pc_memory_with_drift_declines(self):
+        series = pc_memory_series(target=12.0, drift=-0.7, years=14)
+        assert sum(series[-4:]) < sum(series[:4])
+
+
+class TestFigure2:
+    def test_matched_average_degree(self):
+        reports = figure2_comparison(n=300, seed=1)
+        healthy = reports["healthy"]["average_degree"]
+        crisis = reports["crisis"]["average_degree"]
+        assert abs(healthy - crisis) < 1.0
+
+    def test_healthy_has_giant_component(self):
+        reports = figure2_comparison(n=300, seed=1)
+        assert reports["healthy"]["giant_fraction"] > 0.9
+
+    def test_crisis_longer_theory_practice_paths(self):
+        reports = figure2_comparison(n=300, seed=1)
+        assert (
+            reports["crisis"]["theory_practice_median_distance"]
+            > reports["healthy"]["theory_practice_median_distance"]
+        )
+
+    def test_crisis_more_introverted(self):
+        reports = figure2_comparison(n=300, seed=1)
+        assert (
+            reports["crisis"]["introversion_index"]
+            >= reports["healthy"]["introversion_index"]
+        )
+
+    def test_crisis_larger_diameter(self):
+        reports = figure2_comparison(n=300, seed=1)
+        assert (
+            reports["crisis"]["giant_diameter"]
+            > reports["healthy"]["giant_diameter"]
+        )
+
+    def test_bad_regime_rejected(self):
+        with pytest.raises(MetascienceError):
+            ResearchGraph.generate(n=10, regime="lukewarm")
+
+    def test_unit_level_validated(self):
+        from repro.metascience import ResearchUnit
+
+        with pytest.raises(MetascienceError):
+            ResearchUnit(0, 1.5)
+
+    def test_determinism(self):
+        a = ResearchGraph.generate(n=100, seed=7).health_report()
+        b = ResearchGraph.generate(n=100, seed=7).health_report()
+        assert a == b
+
+
+class TestFigure1Kuhn:
+    def test_stage_cycle_order(self):
+        process = KuhnProcess(seed=1)
+        process.run(2000)
+        stages = [entry[1] for entry in process.history]
+        # After a crisis, the next different stage must be revolution.
+        for i in range(len(stages) - 1):
+            if stages[i] == CRISIS and stages[i + 1] != CRISIS:
+                assert stages[i + 1] == REVOLUTION
+            if stages[i] == REVOLUTION:
+                assert stages[i + 1] == NORMAL
+
+    def test_starts_immature(self):
+        process = KuhnProcess(seed=1)
+        assert process.stage == IMMATURE
+
+    def test_anomalies_reset_by_revolution(self):
+        process = KuhnProcess(seed=2)
+        process.run(2000)
+        for i, (step, stage, anomalies, _p) in enumerate(process.history):
+            if stage == NORMAL and i > 0:
+                previous = process.history[i - 1][1]
+                if previous == REVOLUTION:
+                    assert anomalies == 0
+
+    def test_revolutions_happen(self):
+        process = KuhnProcess(seed=3)
+        process.run(3000)
+        assert process.revolutions() > 5
+
+    def test_acceleration_shortens_cycles(self):
+        rows = acceleration_experiment([0.5, 2.0], steps=4000)
+        slow, fast = rows[0], rows[1]
+        assert fast[1] > slow[1]  # more revolutions
+        assert fast[2] < slow[2]  # shorter cycles
+
+    def test_artifact_drift_accelerates_crises(self):
+        calm = KuhnProcess(seed=4, artifact_drift=0.0)
+        drifty = KuhnProcess(seed=4, artifact_drift=0.01)
+        calm.run(3000)
+        drifty.run(3000)
+        assert drifty.revolutions() >= calm.revolutions()
+
+    def test_stage_durations_accounted(self):
+        process = KuhnProcess(seed=5)
+        process.run(500)
+        durations = process.stage_durations()
+        total = sum(sum(v) for v in durations.values())
+        assert total <= len(process.history)
+
+    def test_invalid_acceleration(self):
+        with pytest.raises(MetascienceError):
+            KuhnProcess(acceleration=0)

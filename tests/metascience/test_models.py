@@ -1,0 +1,146 @@
+"""Tests for the Volterra and Kitcher models."""
+
+import pytest
+
+from repro.errors import MetascienceError
+from repro.metascience import (
+    RAW_COUNTS,
+    best_lag_similarity,
+    conserved_quantity,
+    diversity_experiment,
+    diversity_index,
+    equilibrate,
+    first_peak_times,
+    lotka_volterra,
+    peak_times,
+    predicted_equilibrium,
+    replicator_step,
+    shape_similarity,
+    succession_chain,
+    succession_fit,
+    succession_order,
+    figure3_series,
+)
+
+
+class TestLotkaVolterra:
+    def test_invariant_conserved(self):
+        xs, ys = lotka_volterra(2.0, 1.0, steps=4000)
+        v0 = conserved_quantity(xs[0], ys[0])
+        v_end = conserved_quantity(xs[-1], ys[-1])
+        assert abs(v_end - v0) / abs(v0) < 1e-3
+
+    def test_oscillation(self):
+        xs, _ys = lotka_volterra(2.0, 1.0, steps=5000)
+        # Prey must both rise above and fall below its start.
+        assert max(xs) > xs[0] * 1.2
+        assert min(xs) < xs[0]
+
+    def test_predator_lags_prey(self):
+        xs, ys = lotka_volterra(2.0, 1.0, steps=3000)
+        assert peak_times([xs, ys])[0] != peak_times([xs, ys])[1]
+
+    def test_positive_start_required(self):
+        with pytest.raises(MetascienceError):
+            lotka_volterra(0.0, 1.0)
+
+
+class TestSuccessionChain:
+    def test_staggered_first_peaks(self):
+        histories = succession_chain()
+        peaks = first_peak_times(histories)
+        assert all(p is not None for p in peaks)
+        assert peaks == sorted(peaks)
+        assert len(set(peaks)) == len(peaks)
+
+    def test_chain_needs_two_species(self):
+        with pytest.raises(MetascienceError):
+            succession_chain(n_species=1)
+
+    def test_initial_length_checked(self):
+        with pytest.raises(MetascienceError):
+            succession_chain(n_species=3, initial=[1.0])
+
+    def test_populations_stay_positive(self):
+        histories = succession_chain()
+        for history in histories:
+            assert all(value > 0 for value in history)
+
+
+class TestShapeFit:
+    def test_self_similarity_is_one(self):
+        series = [1.0, 2.0, 3.0, 2.0, 1.0]
+        assert shape_similarity(series, series) == pytest.approx(1.0)
+
+    def test_anti_similarity(self):
+        rising = [1.0, 2.0, 3.0]
+        falling = [3.0, 2.0, 1.0]
+        assert shape_similarity(rising, falling) == pytest.approx(-1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(MetascienceError):
+            shape_similarity([1.0], [1.0, 2.0])
+
+    def test_best_lag_finds_window(self):
+        from repro.metascience.volterra import resample
+
+        histories = succession_chain()
+        wave = histories[1]
+        coarse = resample(wave, 200)
+        series = coarse[30:43]  # a window at the function's own resolution
+        corr, offset = best_lag_similarity(wave, series)
+        assert corr > 0.99
+        assert offset == 30
+
+    def test_pods_volterra_fit_strong(self):
+        """The §6 claim: Figure 3's curves recall Volterra solutions."""
+        data = figure3_series()
+        order = [a for a in succession_order() if a != "access_methods"]
+        ordered = {a: [v for _, v in data[a]] for a in order}
+        fit = succession_fit(ordered)
+        assert all(corr > 0.8 for corr in fit.values()), fit
+
+
+class TestKitcher:
+    def test_interior_equilibrium_proportional_to_quality(self):
+        qualities = [3.0, 2.0, 1.0]
+        shares = equilibrate(qualities, sharing=1.0)
+        predicted = predicted_equilibrium(qualities, sharing=1.0)
+        for observed, expected in zip(shares, predicted):
+            assert observed == pytest.approx(expected, abs=0.01)
+
+    def test_sharing_sustains_diversity(self):
+        rows = diversity_experiment([3.0, 2.0, 1.0])
+        by_sharing = {sharing: div for sharing, _s, div in rows}
+        assert by_sharing[0.0] < 0.1        # monoculture
+        assert by_sharing[1.0] > 0.9        # diversity
+
+    def test_winner_takes_all_without_sharing(self):
+        rows = diversity_experiment([3.0, 2.0, 1.0], sharings=(0.0,))
+        _sharing, shares, _div = rows[0]
+        assert max(shares) > 0.99
+        assert shares[0] == max(shares)  # the best tradition wins
+
+    def test_shares_stay_normalized(self):
+        shares = [0.5, 0.3, 0.2]
+        for _ in range(50):
+            shares = replicator_step(shares, [2.0, 1.0, 1.0])
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_diversity_index(self):
+        assert diversity_index([1.0, 0.0]) == 0.0
+        import math
+
+        assert diversity_index([0.5, 0.5]) == pytest.approx(math.log(2))
+
+    def test_no_interior_equilibrium_without_sharing(self):
+        with pytest.raises(MetascienceError):
+            predicted_equilibrium([1.0, 2.0], sharing=0.0)
+
+    def test_needs_two_traditions(self):
+        with pytest.raises(MetascienceError):
+            equilibrate([1.0])
+
+    def test_initial_shares_must_sum_to_one(self):
+        with pytest.raises(MetascienceError):
+            equilibrate([1.0, 2.0], initial=[0.9, 0.9])

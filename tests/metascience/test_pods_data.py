@@ -1,0 +1,50 @@
+"""Tests for the PODS dataset access API."""
+
+from repro.metascience.pods_data import (
+    AREA_LABELS,
+    AREAS,
+    RAW_COUNTS,
+    YEARS,
+    counts,
+    dataset,
+    series,
+    totals,
+    year_index,
+)
+
+
+class TestDatasetAPI:
+    def test_series_pairs_years_with_counts(self):
+        pairs = series("logic_databases")
+        assert pairs[0] == (1982, 1)
+        assert pairs[year_index(1986)] == (1986, 10)
+        assert len(pairs) == 14
+
+    def test_counts_matches_raw(self):
+        for area in AREAS:
+            assert counts(area) == RAW_COUNTS[area]
+
+    def test_dataset_covers_all_areas(self):
+        data = dataset()
+        assert set(data) == set(AREAS)
+        for area, pairs in data.items():
+            assert [year for year, _ in pairs] == list(YEARS)
+
+    def test_year_index(self):
+        assert year_index(1982) == 0
+        assert year_index(1995) == 13
+
+    def test_totals_sum_correctly(self):
+        volume = totals()
+        for area in AREAS:
+            assert volume[area] == sum(RAW_COUNTS[area])
+
+    def test_labels_exist_for_all_areas(self):
+        assert set(AREA_LABELS) == set(AREAS)
+        assert all(isinstance(v, str) and v for v in AREA_LABELS.values())
+
+    def test_counts_are_nonnegative_ints(self):
+        for area in AREAS:
+            for value in RAW_COUNTS[area]:
+                assert isinstance(value, int)
+                assert value >= 0

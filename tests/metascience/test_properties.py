@@ -1,0 +1,98 @@
+"""Property-based tests for the metascience models (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metascience import (
+    alternation_score,
+    detrend,
+    diversity_index,
+    equilibrate,
+    pc_memory_series,
+    predicted_equilibrium,
+    two_year_average,
+    two_year_harmonic_strength,
+)
+
+series_values = st.lists(
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    min_size=4,
+    max_size=16,
+)
+
+
+class TestSignalProperties:
+    @given(series_values)
+    def test_two_year_average_is_linear(self, values):
+        doubled = [2 * v for v in values]
+        smoothed = two_year_average(values)
+        smoothed_doubled = two_year_average(doubled)
+        for a, b in zip(smoothed, smoothed_doubled):
+            assert math.isclose(b, 2 * a, abs_tol=1e-9)
+
+    @given(series_values)
+    def test_two_year_average_bounded_by_extremes(self, values):
+        smoothed = two_year_average(values)
+        for value in smoothed:
+            assert min(values) - 1e-9 <= value <= max(values) + 1e-9
+
+    @given(
+        st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+        st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+        st.integers(min_value=4, max_value=20),
+    )
+    def test_detrend_kills_lines(self, slope, intercept, n):
+        line = [slope * i + intercept for i in range(n)]
+        residual = detrend(line)
+        assert all(abs(v) < 1e-6 for v in residual)
+
+    @given(series_values)
+    def test_harmonic_strength_in_unit_interval(self, values):
+        strength = two_year_harmonic_strength(values)
+        assert 0.0 <= strength <= 1.0 + 1e-9
+
+    @given(st.integers(min_value=4, max_value=12))
+    def test_pure_zigzag_alternates_fully(self, n):
+        zigzag = [float(i % 2) for i in range(2 * n)]
+        assert alternation_score(zigzag) == 1.0
+
+    @given(
+        st.floats(min_value=0.1, max_value=0.95, allow_nan=False),
+        st.floats(min_value=5.0, max_value=20.0, allow_nan=False),
+    )
+    def test_pc_memory_converges(self, correction, target):
+        series = pc_memory_series(
+            target=target, correction=correction, start=target + 7, years=60
+        )
+        assert abs(series[-1] - target) < 0.5
+
+
+class TestKitcherProperties:
+    qualities = st.lists(
+        st.floats(min_value=0.5, max_value=5.0, allow_nan=False),
+        min_size=2,
+        max_size=4,
+    )
+
+    @settings(max_examples=30, deadline=None)
+    @given(qualities)
+    def test_equilibrium_matches_prediction(self, qs):
+        shares = equilibrate(qs, sharing=1.0, steps=3000)
+        predicted = predicted_equilibrium(qs, sharing=1.0)
+        for observed, expected in zip(shares, predicted):
+            assert abs(observed - expected) < 0.05
+
+    @settings(max_examples=30, deadline=None)
+    @given(qualities)
+    def test_shares_always_a_distribution(self, qs):
+        shares = equilibrate(qs, sharing=1.0, steps=500)
+        assert abs(sum(shares) - 1.0) < 1e-6
+        assert all(s >= 0 for s in shares)
+
+    @settings(max_examples=30, deadline=None)
+    @given(qualities)
+    def test_diversity_bounded_by_log_n(self, qs):
+        shares = equilibrate(qs, sharing=1.0, steps=500)
+        assert diversity_index(shares) <= math.log(len(qs)) + 1e-9

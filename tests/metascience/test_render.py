@@ -1,0 +1,60 @@
+"""Tests for the figure renderers."""
+
+from repro.metascience import (
+    KuhnProcess,
+    ResearchGraph,
+    render_figure1,
+    render_figure2,
+)
+
+
+class TestFigure1Renderer:
+    def test_contains_cycle_diagram(self):
+        process = KuhnProcess(seed=1)
+        process.run(100)
+        text = render_figure1(process)
+        assert "normal science" in text
+        assert "revolution" in text
+        assert "new paradigm" in text
+
+    def test_timeline_glyphs_match_history(self):
+        process = KuhnProcess(seed=1)
+        process.run(60)
+        text = render_figure1(process, width=1000)
+        timeline = [
+            line.strip()
+            for line in text.splitlines()
+            if set(line.strip()) <= set(".=!^") and line.strip()
+        ]
+        assert timeline
+        assert len(timeline[0]) == len(process.history)
+
+    def test_wraps_long_runs(self):
+        process = KuhnProcess(seed=1)
+        process.run(200)
+        text = render_figure1(process, width=40)
+        glyph_lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("  ") and set(line.strip()) <= set(".=!^")
+        ]
+        assert len(glyph_lines) >= 5
+
+
+class TestFigure2Renderer:
+    def test_contains_histogram_and_metrics(self):
+        graph = ResearchGraph.generate(n=80, seed=4)
+        text = render_figure2(graph)
+        assert "spectrum" in text
+        assert "giant_fraction" in text
+        assert "#" in text
+
+    def test_bucket_counts_sum_to_units(self):
+        graph = ResearchGraph.generate(n=80, seed=4)
+        text = render_figure2(graph)
+        counts = [
+            int(line.rsplit("(", 1)[1].rstrip(")"))
+            for line in text.splitlines()
+            if line.strip().endswith(")") and "|" in line
+        ]
+        assert sum(counts) == 80

@@ -1,0 +1,195 @@
+"""Tests for the relational-algebra AST, type checking, and evaluation."""
+
+import pytest
+
+from repro.errors import AlgebraError, SchemaError
+from repro.relational import (
+    And,
+    Antijoin,
+    Attr,
+    Comparison,
+    Const,
+    ConstantRelation,
+    Database,
+    Difference,
+    Division,
+    Intersection,
+    NaturalJoin,
+    Not,
+    Or,
+    Product,
+    Projection,
+    Relation,
+    RelationRef,
+    RelationSchema,
+    Rename,
+    Selection,
+    Semijoin,
+    ThetaJoin,
+    Union,
+    eq,
+    evaluate,
+    gt,
+    lt,
+    neq,
+    relation_names,
+)
+
+
+@pytest.fixture
+def db():
+    return Database.from_dict(
+        {
+            "emp": (
+                ("name", "dept", "salary"),
+                [
+                    ("ann", "cs", 100),
+                    ("bob", "cs", 80),
+                    ("cal", "ee", 90),
+                ],
+            ),
+            "dept": (("dept", "head"), [("cs", "ann"), ("ee", "cal")]),
+        }
+    )
+
+
+class TestConditions:
+    def test_comparison_str_coerces_to_attr(self):
+        c = Comparison("salary", ">", 85)
+        assert isinstance(c.left, Attr)
+        assert isinstance(c.right, Const)
+
+    def test_unknown_operator(self):
+        with pytest.raises(AlgebraError):
+            Comparison("a", "~", "b")
+
+    def test_condition_sugar(self):
+        c = eq("a", 1) & gt("b", 2) | ~lt("c", 3)
+        assert isinstance(c, Or)
+
+    def test_and_flattens(self):
+        c = And(eq("a", 1), And(eq("b", 2), eq("c", 3)))
+        assert len(c.parts) == 3
+
+    def test_attributes_collected(self):
+        c = And(eq("a", "b"), Not(gt("c", 1)))
+        assert c.attributes() == {"a", "b", "c"}
+
+    def test_mixed_type_order_comparison_is_false(self, db):
+        expr = Selection(RelationRef("emp"), gt("name", 5))
+        assert len(evaluate(expr, db)) == 0
+
+    def test_neq(self, db):
+        expr = Selection(RelationRef("emp"), neq("dept", Const("cs")))
+        assert len(evaluate(expr, db)) == 1
+
+
+class TestEvaluation:
+    def test_relation_ref(self, db):
+        assert len(evaluate(RelationRef("emp"), db)) == 3
+
+    def test_selection(self, db):
+        expr = Selection(RelationRef("emp"), gt("salary", 85))
+        assert {t[0] for t in evaluate(expr, db)} == {"ann", "cal"}
+
+    def test_selection_string_const(self, db):
+        expr = Selection(RelationRef("emp"), eq("dept", Const("cs")))
+        assert len(evaluate(expr, db)) == 2
+
+    def test_projection(self, db):
+        out = evaluate(Projection(RelationRef("emp"), ("dept",)), db)
+        assert set(out.tuples) == {("cs",), ("ee",)}
+
+    def test_rename_then_join(self, db):
+        boss = Rename(RelationRef("dept"), {"head": "name"})
+        out = evaluate(NaturalJoin(RelationRef("emp"), boss), db)
+        # Heads joined with their own rows.
+        assert {t[0] for t in out} == {"ann", "cal"}
+
+    def test_product_requires_disjoint(self, db):
+        with pytest.raises(SchemaError):
+            Product(RelationRef("emp"), RelationRef("emp")).schema(db.schema())
+
+    def test_union_difference_intersection(self, db):
+        cs = Selection(RelationRef("emp"), eq("dept", Const("cs")))
+        rich = Selection(RelationRef("emp"), gt("salary", 85))
+        assert len(evaluate(Union(cs, rich), db)) == 3
+        assert len(evaluate(Difference(cs, rich), db)) == 1
+        assert len(evaluate(Intersection(cs, rich), db)) == 1
+
+    def test_theta_join(self, db):
+        expr = ThetaJoin(
+            RelationRef("emp"),
+            Rename(RelationRef("dept"), {"dept": "d2"}),
+            eq("dept", "d2"),
+        )
+        assert len(evaluate(expr, db)) == 3
+
+    def test_semijoin_antijoin(self, db):
+        cs_dept = Selection(RelationRef("dept"), eq("dept", Const("cs")))
+        semi = evaluate(Semijoin(RelationRef("emp"), cs_dept), db)
+        anti = evaluate(Antijoin(RelationRef("emp"), cs_dept), db)
+        assert len(semi) == 2
+        assert len(anti) == 1
+
+    def test_division(self, db):
+        takes = Database.from_dict(
+            {
+                "takes": (
+                    ("student", "course"),
+                    [("s1", "c1"), ("s1", "c2"), ("s2", "c1")],
+                ),
+                "core": (("course",), [("c1",), ("c2",)]),
+            }
+        )
+        out = evaluate(
+            Division(RelationRef("takes"), RelationRef("core")), takes
+        )
+        assert set(out.tuples) == {("s1",)}
+
+    def test_constant_relation(self, db):
+        lit = Relation(RelationSchema("k", ("v",)), [(42,)])
+        out = evaluate(ConstantRelation(lit), db)
+        assert set(out.tuples) == {(42,)}
+
+    def test_unknown_attribute_in_selection(self, db):
+        expr = Selection(RelationRef("emp"), eq("nope", 1))
+        with pytest.raises(SchemaError):
+            expr.schema(db.schema())
+
+    def test_duplicate_projection_rejected(self):
+        with pytest.raises(AlgebraError):
+            Projection(RelationRef("emp"), ("a", "a"))
+
+    def test_fluent_builders(self, db):
+        out = (
+            RelationRef("emp")
+            .select(gt("salary", 85))
+            .project("name")
+        )
+        assert {t[0] for t in evaluate(out, db)} == {"ann", "cal"}
+
+
+class TestIntrospection:
+    def test_relation_names(self):
+        expr = Union(
+            NaturalJoin(RelationRef("a"), RelationRef("b")),
+            Projection(RelationRef("c"), ("x",)),
+        )
+        assert relation_names(expr) == {"a", "b", "c"}
+
+    def test_size(self):
+        expr = Selection(RelationRef("a"), eq("x", 1))
+        assert expr.size() == 2
+
+    def test_str_rendering(self, db):
+        expr = Projection(
+            Selection(RelationRef("emp"), gt("salary", 85)), ("name",)
+        )
+        text = str(expr)
+        assert "sigma" in text and "pi" in text
+
+    def test_schema_inference(self, db):
+        expr = NaturalJoin(RelationRef("emp"), RelationRef("dept"))
+        schema = expr.schema(db.schema())
+        assert schema.attributes == ("name", "dept", "salary", "head")

@@ -1,0 +1,239 @@
+"""Tests for the relational calculus: formulas, safety, evaluation."""
+
+import pytest
+
+from repro.errors import CalculusError
+from repro.relational import (
+    AndF,
+    Compare,
+    Cst,
+    Database,
+    Exists,
+    Forall,
+    Implies,
+    NotF,
+    OrF,
+    Query,
+    RelAtom,
+    Var,
+    evaluate_query,
+    is_safe_range,
+)
+from repro.relational.calculus import (
+    constants_of,
+    eliminate_sugar,
+    push_negations,
+    range_restricted_variables,
+    rename_apart,
+    satisfies,
+    to_srnf,
+)
+
+
+@pytest.fixture
+def db():
+    return Database.from_dict(
+        {
+            "parent": (
+                ("p", "c"),
+                [("ann", "bob"), ("bob", "cal"), ("ann", "dee")],
+            ),
+            "person": (
+                ("name",),
+                [("ann",), ("bob",), ("cal",), ("dee",)],
+            ),
+        }
+    )
+
+
+class TestFormulaBasics:
+    def test_free_variables(self):
+        f = Exists(
+            "m",
+            AndF(
+                RelAtom("parent", [Var("x"), Var("m")]),
+                RelAtom("parent", [Var("m"), Var("y")]),
+            ),
+        )
+        assert f.free_variables() == {"x", "y"}
+
+    def test_query_head_must_match_free(self):
+        f = RelAtom("person", [Var("x")])
+        with pytest.raises(CalculusError):
+            Query(["x", "y"], f)
+
+    def test_duplicate_head_rejected(self):
+        f = RelAtom("parent", [Var("x"), Var("x")])
+        with pytest.raises(CalculusError):
+            Query(["x", "x"], f)
+
+    def test_term_coercion(self):
+        atom = RelAtom("p", ["x", 42])
+        assert isinstance(atom.terms[0], Var)
+        assert isinstance(atom.terms[1], Cst)
+
+    def test_constants_of(self):
+        f = AndF(
+            RelAtom("p", [Cst(1), Var("x")]), Compare(Var("x"), "<", Cst(5))
+        )
+        assert constants_of(f) == {1, 5}
+
+
+class TestNormalization:
+    def test_forall_desugars(self):
+        f = Forall("x", RelAtom("p", [Var("x")]))
+        core = eliminate_sugar(f)
+        assert isinstance(core, NotF)
+        assert isinstance(core.part, Exists)
+
+    def test_implies_desugars(self):
+        f = Implies(RelAtom("p", [Var("x")]), RelAtom("q", [Var("x")]))
+        core = eliminate_sugar(f)
+        assert isinstance(core, OrF)
+
+    def test_double_negation_cancels(self):
+        f = NotF(NotF(RelAtom("p", [Var("x")])))
+        assert isinstance(push_negations(f), RelAtom)
+
+    def test_de_morgan(self):
+        f = NotF(AndF(RelAtom("p", [Var("x")]), RelAtom("q", [Var("x")])))
+        pushed = push_negations(f)
+        assert isinstance(pushed, OrF)
+        assert all(isinstance(p, NotF) for p in pushed.parts)
+
+    def test_negated_comparison_flips(self):
+        f = NotF(Compare(Var("x"), "<", Var("y")))
+        pushed = push_negations(f)
+        assert isinstance(pushed, Compare)
+        assert pushed.op == ">="
+
+    def test_rename_apart_hygiene(self):
+        # x is both free and bound: the bound one must be renamed.
+        f = AndF(
+            RelAtom("p", [Var("x")]),
+            Exists("x", RelAtom("q", [Var("x")])),
+        )
+        renamed = rename_apart(f)
+        exists = renamed.parts[1]
+        assert exists.variables[0] != "x"
+        assert renamed.free_variables() == {"x"}
+
+
+class TestSafety:
+    def test_atom_is_safe(self):
+        assert is_safe_range(RelAtom("p", [Var("x"), Var("y")]))
+
+    def test_lone_negation_unsafe(self):
+        assert not is_safe_range(NotF(RelAtom("p", [Var("x")])))
+
+    def test_guarded_negation_safe(self):
+        f = AndF(
+            RelAtom("person", [Var("x")]),
+            NotF(RelAtom("q", [Var("x")])),
+        )
+        assert is_safe_range(f)
+
+    def test_lone_comparison_unsafe(self):
+        assert not is_safe_range(Compare(Var("x"), "<", Var("y")))
+
+    def test_equality_to_constant_safe(self):
+        assert is_safe_range(Compare(Var("x"), "=", Cst(3)))
+
+    def test_union_needs_both_sides_ranged(self):
+        f = OrF(
+            RelAtom("p", [Var("x")]),
+            Compare(Var("x"), "<", Cst(3)),
+        )
+        assert not is_safe_range(f)
+
+    def test_equality_propagation(self):
+        f = AndF(
+            RelAtom("p", [Var("x")]),
+            Compare(Var("x"), "=", Var("y")),
+        )
+        srnf = to_srnf(f)
+        assert range_restricted_variables(srnf) == {"x", "y"}
+
+    def test_unsafe_quantification(self):
+        # exists x over a variable never ranged.
+        f = Exists("x", Compare(Var("x"), "<", Var("y")))
+        assert not is_safe_range(f)
+
+
+class TestEvaluation:
+    def test_atom_query(self, db):
+        q = Query(["p", "c"], RelAtom("parent", [Var("p"), Var("c")]))
+        assert len(evaluate_query(q, db)) == 3
+
+    def test_join_via_exists(self, db):
+        q = Query(
+            ["g", "c"],
+            Exists(
+                "m",
+                AndF(
+                    RelAtom("parent", [Var("g"), Var("m")]),
+                    RelAtom("parent", [Var("m"), Var("c")]),
+                ),
+            ),
+        )
+        assert set(evaluate_query(q, db).tuples) == {("ann", "cal")}
+
+    def test_negation(self, db):
+        q = Query(
+            ["x"],
+            AndF(
+                RelAtom("person", [Var("x")]),
+                NotF(Exists("y", RelAtom("parent", [Var("x"), Var("y")]))),
+            ),
+        )
+        assert set(evaluate_query(q, db).tuples) == {("cal",), ("dee",)}
+
+    def test_forall(self, db):
+        # People all of whose children are 'cal' (vacuously true for
+        # childless people).
+        q = Query(
+            ["x"],
+            AndF(
+                RelAtom("person", [Var("x")]),
+                Forall(
+                    "y",
+                    Implies(
+                        RelAtom("parent", [Var("x"), Var("y")]),
+                        Compare(Var("y"), "=", Cst("cal")),
+                    ),
+                ),
+            ),
+        )
+        assert set(evaluate_query(q, db).tuples) == {
+            ("bob",),
+            ("cal",),
+            ("dee",),
+        }
+
+    def test_boolean_query_yes(self, db):
+        q = Query([], Exists(("x",), RelAtom("person", [Var("x")])))
+        assert len(evaluate_query(q, db)) == 1  # {()}
+
+    def test_boolean_query_no(self, db):
+        q = Query(
+            [],
+            Exists(("x",), RelAtom("parent", [Var("x"), Var("x")])),
+        )
+        assert len(evaluate_query(q, db)) == 0
+
+    def test_constants_enter_domain(self, db):
+        # A constant not in the database can still be compared.
+        q = Query(
+            ["x"],
+            AndF(
+                RelAtom("person", [Var("x")]),
+                Compare(Var("x"), "!=", Cst("zed")),
+            ),
+        )
+        assert len(evaluate_query(q, db)) == 4
+
+    def test_satisfies_unbound_raises(self, db):
+        with pytest.raises(CalculusError):
+            satisfies(
+                RelAtom("person", [Var("x")]), {}, db, db.active_domain()
+            )

@@ -1,0 +1,151 @@
+"""Tests for the calculus text syntax."""
+
+import pytest
+
+from repro.errors import CalculusError, ParseError
+from repro.relational import (
+    Database,
+    evaluate_query,
+    is_safe_range,
+)
+from repro.relational.calculus import (
+    AndF,
+    Compare,
+    Exists,
+    Forall,
+    Implies,
+    NotF,
+    OrF,
+    RelAtom,
+)
+from repro.relational.calculus_parser import parse_calculus, parse_formula
+
+
+@pytest.fixture
+def db():
+    return Database.from_dict(
+        {
+            "parent": (
+                ("p", "c"),
+                [("ann", "bob"), ("bob", "cal"), ("ann", "dee")],
+            ),
+            "person": (
+                ("name",),
+                [("ann",), ("bob",), ("cal",), ("dee",)],
+            ),
+        }
+    )
+
+
+class TestParsing:
+    def test_simple_atom_query(self):
+        q = parse_calculus("{(x, y) | parent(x, y)}")
+        assert tuple(q.head) == ("x", "y")
+        assert isinstance(q.formula, RelAtom)
+
+    def test_exists(self):
+        q = parse_calculus(
+            "{(g) | exists m . exists c . "
+            "(parent(g, m) and parent(m, c))}"
+        )
+        assert isinstance(q.formula, Exists)
+
+    def test_multi_variable_quantifier(self):
+        f = parse_formula("exists m, c . (parent(g, m) and parent(m, c))")
+        assert isinstance(f, Exists)
+        assert f.variables == ("m", "c")
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        f = parse_formula("person(x) or person(y) and person(z)")
+        assert isinstance(f, OrF)
+        assert isinstance(f.parts[1], AndF)
+
+    def test_implication_right_associative(self):
+        f = parse_formula("person(x) -> person(y) -> person(z)")
+        assert isinstance(f, Implies)
+        assert isinstance(f.consequent, Implies)
+
+    def test_implies_keyword(self):
+        f = parse_formula("person(x) implies person(y)")
+        assert isinstance(f, Implies)
+
+    def test_not_and_parens(self):
+        f = parse_formula("not (person(x) or person(y))")
+        assert isinstance(f, NotF)
+        assert isinstance(f.part, OrF)
+
+    def test_forall(self):
+        f = parse_formula("forall y . (parent(x, y) -> person(y))")
+        assert isinstance(f, Forall)
+
+    def test_constants(self):
+        f = parse_formula("parent('ann', x) and x != 5")
+        assert isinstance(f, AndF)
+        assert isinstance(f.parts[1], Compare)
+
+    def test_string_escape(self):
+        f = parse_formula("name(x, 'O''Hara')")
+        assert f.terms[1].value == "O'Hara"
+
+    def test_boolean_query(self):
+        q = parse_calculus("{() | exists x . person(x)}")
+        assert q.head == ()
+
+
+class TestSemantics:
+    def test_parsed_query_evaluates(self, db):
+        q = parse_calculus(
+            "{(g, c) | exists m . (parent(g, m) and parent(m, c))}"
+        )
+        assert set(evaluate_query(q, db).tuples) == {("ann", "cal")}
+
+    def test_childless_query(self, db):
+        q = parse_calculus(
+            "{(x) | person(x) and not exists y . parent(x, y)}"
+        )
+        assert is_safe_range(q.formula)
+        assert set(evaluate_query(q, db).tuples) == {("cal",), ("dee",)}
+
+    def test_forall_query(self, db):
+        q = parse_calculus(
+            "{(x) | person(x) and "
+            "forall y . (parent(x, y) -> y = 'cal')}"
+        )
+        assert set(evaluate_query(q, db).tuples) == {
+            ("bob",), ("cal",), ("dee",),
+        }
+
+    def test_parsed_query_through_codd(self, db):
+        from repro.relational import check_codd_equivalence
+
+        q = parse_calculus(
+            "{(x) | person(x) and not exists y . parent(x, y)}"
+        )
+        _, _, equal = check_codd_equivalence(q, db)
+        assert equal
+
+
+class TestErrors:
+    def test_empty(self):
+        with pytest.raises(ParseError):
+            parse_calculus("")
+
+    def test_missing_bar(self):
+        with pytest.raises(ParseError):
+            parse_calculus("{(x) parent(x, y)}")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_calculus("{(x, y) | parent(x, y)} extra")
+
+    def test_head_free_variable_mismatch(self):
+        with pytest.raises(CalculusError):
+            parse_calculus("{(x) | parent(x, y)}")
+
+    def test_bad_comparison(self):
+        with pytest.raises(ParseError):
+            parse_formula("x ~ y")
+
+    def test_missing_dot_after_quantifier(self):
+        with pytest.raises(ParseError):
+            parse_formula("exists x person(x)")

@@ -1,0 +1,268 @@
+"""Tests for Codd's Theorem: translations in both directions."""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.relational import (
+    AndF,
+    Compare,
+    Cst,
+    Database,
+    Difference,
+    Division,
+    Exists,
+    NaturalJoin,
+    NotF,
+    OrF,
+    Projection,
+    Query,
+    RelAtom,
+    RelationRef,
+    Rename,
+    Selection,
+    Semijoin,
+    Union,
+    Var,
+    algebra_to_calculus,
+    calculus_to_algebra,
+    check_codd_equivalence,
+    eq,
+    evaluate,
+    evaluate_query,
+    gt,
+)
+from repro.relational.algebra import Const
+
+
+@pytest.fixture
+def db():
+    return Database.from_dict(
+        {
+            "parent": (
+                ("p", "c"),
+                [("ann", "bob"), ("bob", "cal"), ("ann", "dee")],
+            ),
+            "person": (
+                ("name",),
+                [("ann",), ("bob",), ("cal",), ("dee",)],
+            ),
+            "age": (
+                ("name", "years"),
+                [("ann", 60), ("bob", 35), ("cal", 8), ("dee", 30)],
+            ),
+        }
+    )
+
+
+def roundtrip_calculus(query, db):
+    """calculus -> algebra -> evaluate, compared against the oracle."""
+    reference = evaluate_query(query, db)
+    expr = calculus_to_algebra(query, db.schema())
+    translated = evaluate(expr, db)
+    assert set(reference.tuples) == set(translated.tuples), str(query)
+    assert translated.schema.attributes == tuple(query.head)
+    return translated
+
+
+class TestCalculusToAlgebra:
+    def test_atom(self, db):
+        q = Query(["p", "c"], RelAtom("parent", [Var("p"), Var("c")]))
+        assert len(roundtrip_calculus(q, db)) == 3
+
+    def test_atom_with_constant(self, db):
+        q = Query(["c"], RelAtom("parent", [Cst("ann"), Var("c")]))
+        out = roundtrip_calculus(q, db)
+        assert set(out.tuples) == {("bob",), ("dee",)}
+
+    def test_atom_with_repeated_variable(self, db):
+        q = Query(["x"], RelAtom("parent", [Var("x"), Var("x")]))
+        assert len(roundtrip_calculus(q, db)) == 0
+
+    def test_conjunction_join(self, db):
+        q = Query(
+            ["g", "c"],
+            Exists(
+                "m",
+                AndF(
+                    RelAtom("parent", [Var("g"), Var("m")]),
+                    RelAtom("parent", [Var("m"), Var("c")]),
+                ),
+            ),
+        )
+        out = roundtrip_calculus(q, db)
+        assert set(out.tuples) == {("ann", "cal")}
+
+    def test_disjunction(self, db):
+        q = Query(
+            ["x"],
+            OrF(
+                Exists("y", RelAtom("parent", [Var("x"), Var("y")])),
+                Exists("y", RelAtom("parent", [Var("y"), Var("x")])),
+            ),
+        )
+        assert len(roundtrip_calculus(q, db)) == 4
+
+    def test_negation_antijoin(self, db):
+        q = Query(
+            ["x"],
+            AndF(
+                RelAtom("person", [Var("x")]),
+                NotF(Exists("y", RelAtom("parent", [Var("x"), Var("y")]))),
+            ),
+        )
+        out = roundtrip_calculus(q, db)
+        assert set(out.tuples) == {("cal",), ("dee",)}
+
+    def test_comparison_selection(self, db):
+        q = Query(
+            ["n"],
+            Exists(
+                "a",
+                AndF(
+                    RelAtom("age", [Var("n"), Var("a")]),
+                    Compare(Var("a"), ">", Cst(30)),
+                ),
+            ),
+        )
+        out = roundtrip_calculus(q, db)
+        assert set(out.tuples) == {("ann",), ("bob",)}
+
+    def test_variable_equality_extension(self, db):
+        # y ranged only through x = y.
+        q = Query(
+            ["x", "y"],
+            AndF(
+                RelAtom("person", [Var("x")]),
+                Compare(Var("x"), "=", Var("y")),
+            ),
+        )
+        out = roundtrip_calculus(q, db)
+        assert all(a == b for a, b in out.tuples)
+        assert len(out) == 4
+
+    def test_constant_equality_singleton(self, db):
+        q = Query(
+            ["x"],
+            AndF(
+                RelAtom("person", [Var("x")]),
+                Compare(Var("x"), "=", Cst("ann")),
+            ),
+        )
+        assert set(roundtrip_calculus(q, db).tuples) == {("ann",)}
+
+    def test_unsafe_rejected(self, db):
+        q = Query(["x"], NotF(RelAtom("person", [Var("x")])))
+        with pytest.raises(TranslationError):
+            calculus_to_algebra(q, db.schema())
+
+    def test_unsafe_comparison_rejected(self, db):
+        q = Query(["x", "y"], Compare(Var("x"), "<", Var("y")))
+        with pytest.raises(TranslationError):
+            calculus_to_algebra(q, db.schema())
+
+    def test_forall_via_desugaring(self, db):
+        # Everyone whose every child is also a parent.
+        q = Query(
+            ["x"],
+            AndF(
+                RelAtom("person", [Var("x")]),
+                Forall_children_are_parents("x"),
+            ),
+        )
+        roundtrip_calculus(q, db)
+
+
+def Forall_children_are_parents(var):
+    from repro.relational import Forall, Implies
+
+    return Forall(
+        "ch",
+        Implies(
+            RelAtom("parent", [Var(var), Var("ch")]),
+            Exists("gc", RelAtom("parent", [Var("ch"), Var("gc")])),
+        ),
+    )
+
+
+class TestAlgebraToCalculus:
+    def check(self, expr, db):
+        query = algebra_to_calculus(expr, db.schema())
+        reference = evaluate(expr, db)
+        translated = evaluate_query(query, db)
+        assert set(reference.tuples) == set(translated.tuples), str(expr)
+        return query
+
+    def test_relation_ref(self, db):
+        self.check(RelationRef("parent"), db)
+
+    def test_selection(self, db):
+        self.check(Selection(RelationRef("age"), gt("years", 30)), db)
+
+    def test_projection(self, db):
+        self.check(Projection(RelationRef("parent"), ("c",)), db)
+
+    def test_rename(self, db):
+        self.check(Rename(RelationRef("parent"), {"p": "x"}), db)
+
+    def test_natural_join(self, db):
+        expr = NaturalJoin(
+            Rename(RelationRef("parent"), {"p": "gp", "c": "p"}),
+            RelationRef("parent"),
+        )
+        self.check(expr, db)
+
+    def test_union(self, db):
+        expr = Union(
+            Projection(RelationRef("parent"), ("p",)).rename({"p": "n"}),
+            Projection(RelationRef("parent"), ("c",)).rename({"c": "n"}),
+        )
+        self.check(expr, db)
+
+    def test_difference(self, db):
+        expr = Difference(
+            Rename(RelationRef("person"), {"name": "n"}),
+            Projection(RelationRef("parent"), ("p",)).rename({"p": "n"}),
+        )
+        query = self.check(expr, db)
+        assert evaluate_query(query, db).tuples == {("cal",), ("dee",)}
+
+    def test_semijoin(self, db):
+        expr = Semijoin(
+            RelationRef("age"),
+            Rename(RelationRef("parent"), {"p": "name", "c": "kid"}),
+        )
+        self.check(expr, db)
+
+    def test_division(self, db):
+        takes = Database.from_dict(
+            {
+                "takes": (
+                    ("student", "course"),
+                    [("s1", "c1"), ("s1", "c2"), ("s2", "c1")],
+                ),
+                "core": (("course",), [("c1",), ("c2",)]),
+            }
+        )
+        expr = Division(RelationRef("takes"), RelationRef("core"))
+        self.check(expr, takes)
+
+    def test_selection_with_constant(self, db):
+        expr = Selection(RelationRef("parent"), eq("p", Const("ann")))
+        self.check(expr, db)
+
+    def test_result_is_safe_range(self, db):
+        from repro.relational import is_safe_range
+
+        expr = Difference(
+            Rename(RelationRef("person"), {"name": "n"}),
+            Projection(RelationRef("parent"), ("p",)).rename({"p": "n"}),
+        )
+        query = algebra_to_calculus(expr, db.schema())
+        assert is_safe_range(query.formula)
+
+
+class TestCheckEquivalence:
+    def test_confirms(self, db):
+        q = Query(["p", "c"], RelAtom("parent", [Var("p"), Var("c")]))
+        _, _, equal = check_codd_equivalence(q, db)
+        assert equal

@@ -1,0 +1,128 @@
+"""Domain (in)dependence: the theory behind the safe-range restriction.
+
+Safety exists because unsafe queries are *domain dependent*: their
+answers change when the quantification domain grows, so they denote no
+database-only query at all.  These tests demonstrate the phenomenon
+directly — the executable justification for why Codd's Theorem restricts
+to safe-range calculus.
+"""
+
+from repro.relational import (
+    AndF,
+    Compare,
+    Cst,
+    Database,
+    Exists,
+    Forall,
+    NotF,
+    Query,
+    RelAtom,
+    Var,
+    evaluate_query,
+    is_safe_range,
+)
+
+
+def db():
+    return Database.from_dict(
+        {
+            "p": (("a",), [(1,), (2,)]),
+        }
+    )
+
+
+class TestDomainDependence:
+    def test_negation_is_domain_dependent(self):
+        # {x | not p(x)} grows with the domain: no database answer.
+        query = Query(["x"], NotF(RelAtom("p", [Var("x")])))
+        assert not is_safe_range(query.formula)
+        small = evaluate_query(query, db(), domain={1, 2, 3})
+        large = evaluate_query(query, db(), domain={1, 2, 3, 4, 5})
+        assert len(small) == 1
+        assert len(large) == 3
+        assert set(small.tuples) < set(large.tuples)
+
+    def test_disequality_is_domain_dependent(self):
+        query = Query(
+            ["x", "y"],
+            AndF(
+                RelAtom("p", [Var("x")]),
+                Compare(Var("x"), "!=", Var("y")),
+            ),
+        )
+        assert not is_safe_range(query.formula)
+        small = evaluate_query(query, db(), domain={1, 2})
+        large = evaluate_query(query, db(), domain={1, 2, 9})
+        assert len(large) > len(small)
+
+    def test_safe_queries_are_domain_independent(self):
+        # The guarded version of the same query is stable under domain
+        # growth — exactly what safe-range purchases.
+        query = Query(
+            ["x", "y"],
+            AndF(
+                RelAtom("p", [Var("x")]),
+                RelAtom("p", [Var("y")]),
+                Compare(Var("x"), "!=", Var("y")),
+            ),
+        )
+        assert is_safe_range(query.formula)
+        small = evaluate_query(query, db(), domain={1, 2})
+        large = evaluate_query(query, db(), domain={1, 2, 9, 10})
+        assert set(small.tuples) == set(large.tuples)
+
+    def test_safe_negation_is_domain_independent(self):
+        query = Query(
+            ["x"],
+            AndF(
+                RelAtom("p", [Var("x")]),
+                NotF(
+                    Exists(
+                        "y",
+                        AndF(
+                            RelAtom("p", [Var("y")]),
+                            Compare(Var("y"), ">", Var("x")),
+                        ),
+                    )
+                ),
+            ),
+        )
+        assert is_safe_range(query.formula)
+        small = evaluate_query(query, db(), domain={1, 2})
+        large = evaluate_query(query, db(), domain={1, 2, 3, 4})
+        assert set(small.tuples) == set(large.tuples) == {(2,)}
+
+    def test_universal_quantification_domain_dependent_form(self):
+        # forall y . p(y): true only when the whole domain is in p.
+        query = Query([], Forall("y", RelAtom("p", [Var("y")])))
+        assert not is_safe_range(query.formula)
+        over_p = evaluate_query(query, db(), domain={1, 2})
+        over_more = evaluate_query(query, db(), domain={1, 2, 3})
+        assert len(over_p) == 1  # yes over exactly p's values
+        assert len(over_more) == 0  # no once the domain grows
+
+    def test_guarded_universal_is_safe_and_stable(self):
+        query = Query(
+            [],
+            NotF(
+                Exists(
+                    "y",
+                    AndF(
+                        RelAtom("p", [Var("y")]),
+                        Compare(Var("y"), ">", Cst(10)),
+                    ),
+                )
+            ),
+        )
+        # "no p-value exceeds 10": a negated *sentence* is safe-range
+        # (rr = free = {}), domain independent, and — via Codd — even
+        # compilable to algebra as a 0-ary complement.
+        assert is_safe_range(query.formula)
+        a = evaluate_query(query, db(), domain={1, 2})
+        b = evaluate_query(query, db(), domain={1, 2, 3})
+        assert a.tuples == b.tuples == {()}
+
+        from repro.relational import calculus_to_algebra, evaluate
+
+        expr = calculus_to_algebra(query, db().schema())
+        assert evaluate(expr, db()).tuples == {()}

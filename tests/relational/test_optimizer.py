@@ -1,0 +1,201 @@
+"""Tests for the algebraic optimizer."""
+
+import pytest
+
+from repro.relational import (
+    Database,
+    NaturalJoin,
+    Product,
+    Projection,
+    RelationRef,
+    Rename,
+    Selection,
+    ThetaJoin,
+    Union,
+    eq,
+    evaluate,
+    gt,
+)
+from repro.relational.algebra import And, Attr, Comparison, Const
+from repro.relational.optimizer import (
+    cascade_selections,
+    estimate_cardinality,
+    form_joins,
+    optimize,
+    push_selections,
+    reorder_joins,
+)
+
+
+@pytest.fixture
+def db():
+    return Database.from_dict(
+        {
+            "big": (
+                ("a", "b"),
+                [(i, i % 10) for i in range(50)],
+            ),
+            "small": (("b", "c"), [(1, "x"), (2, "y")]),
+            "tiny": (("c", "d"), [("x", 0)]),
+        }
+    )
+
+
+class TestCascade:
+    def test_and_splits(self, db):
+        expr = Selection(
+            RelationRef("big"), And(eq("a", 1), gt("b", 0))
+        )
+        cascaded = cascade_selections(expr)
+        assert isinstance(cascaded, Selection)
+        assert isinstance(cascaded.child, Selection)
+        assert evaluate(cascaded, db) == evaluate(expr, db)
+
+
+class TestPushdown:
+    def test_through_union(self, db):
+        expr = Selection(
+            Union(RelationRef("big"), RelationRef("big")), eq("a", 1)
+        )
+        pushed = push_selections(expr, db.schema())
+        assert isinstance(pushed, Union)
+        assert evaluate(pushed, db) == evaluate(expr, db)
+
+    def test_through_projection_when_covered(self, db):
+        expr = Selection(
+            Projection(RelationRef("big"), ("a",)), eq("a", 1)
+        )
+        pushed = push_selections(expr, db.schema())
+        assert isinstance(pushed, Projection)
+        assert evaluate(pushed, db) == evaluate(expr, db)
+
+    def test_blocked_by_projection_when_not_covered(self, db):
+        expr = Selection(
+            Projection(RelationRef("big"), ("a",)), eq("a", 1)
+        )
+        # Condition on a projected-away attribute can't be pushed.
+        blocked = Selection(Projection(RelationRef("big"), ("b",)), eq("b", 1))
+        pushed = push_selections(blocked, db.schema())
+        assert evaluate(pushed, db) == evaluate(blocked, db)
+
+    def test_through_rename_rewrites_attrs(self, db):
+        expr = Selection(
+            Rename(RelationRef("big"), {"a": "x"}), eq("x", 1)
+        )
+        pushed = push_selections(expr, db.schema())
+        assert isinstance(pushed, Rename)
+        assert evaluate(pushed, db) == evaluate(expr, db)
+
+    def test_into_join_side(self, db):
+        expr = Selection(
+            NaturalJoin(RelationRef("big"), RelationRef("small")),
+            eq("a", 1),
+        )
+        pushed = push_selections(expr, db.schema())
+        assert isinstance(pushed, NaturalJoin)
+        assert isinstance(pushed.left, Selection)
+        assert evaluate(pushed, db) == evaluate(expr, db)
+
+    def test_cross_side_condition_stays(self, db):
+        expr = Selection(
+            Product(
+                Rename(RelationRef("big"), {"b": "bb"}),
+                RelationRef("small"),
+            ),
+            eq("bb", "b"),
+        )
+        pushed = push_selections(expr, db.schema())
+        assert isinstance(pushed, Selection)  # cannot sink: spans sides
+        assert evaluate(pushed, db) == evaluate(expr, db)
+
+    def test_through_difference_left_only(self, db):
+        expr = Selection(
+            __import__("repro.relational", fromlist=["Difference"]).Difference(
+                RelationRef("big"), RelationRef("big")
+            ),
+            eq("a", 1),
+        )
+        pushed = push_selections(expr, db.schema())
+        assert evaluate(pushed, db) == evaluate(expr, db)
+
+
+class TestJoinFormation:
+    def test_product_plus_eq_becomes_theta(self, db):
+        expr = Selection(
+            Product(
+                Rename(RelationRef("big"), {"b": "bb"}),
+                RelationRef("small"),
+            ),
+            Comparison(Attr("bb"), "=", Attr("b")),
+        )
+        formed = form_joins(expr, db.schema())
+        assert isinstance(formed, ThetaJoin)
+        assert evaluate(formed, db) == evaluate(expr, db)
+
+    def test_same_side_condition_not_converted(self, db):
+        expr = Selection(
+            Product(
+                Rename(RelationRef("big"), {"b": "bb"}),
+                RelationRef("small"),
+            ),
+            Comparison(Attr("a"), "=", Attr("bb")),
+        )
+        formed = form_joins(expr, db.schema())
+        assert isinstance(formed, Selection)
+
+
+class TestEstimation:
+    def test_base_relation(self, db):
+        assert estimate_cardinality(RelationRef("big"), db) == 50.0
+
+    def test_selection_reduces(self, db):
+        expr = Selection(RelationRef("big"), eq("a", 1))
+        assert estimate_cardinality(expr, db) == pytest.approx(5.0)
+
+    def test_range_selection(self, db):
+        expr = Selection(RelationRef("big"), gt("a", 1))
+        assert estimate_cardinality(expr, db) == pytest.approx(50 / 3)
+
+    def test_join_estimate(self, db):
+        expr = NaturalJoin(RelationRef("big"), RelationRef("small"))
+        est = estimate_cardinality(expr, db)
+        assert est == pytest.approx(50 * 2 / 50)
+
+    def test_product_estimate(self, db):
+        expr = Product(
+            Rename(RelationRef("big"), {"b": "bb", "a": "aa"}),
+            RelationRef("small"),
+        )
+        assert estimate_cardinality(expr, db) == 100.0
+
+
+class TestReordering:
+    def test_three_way_join_reordered_and_equal(self, db):
+        expr = NaturalJoin(
+            NaturalJoin(RelationRef("big"), RelationRef("small")),
+            RelationRef("tiny"),
+        )
+        reordered = reorder_joins(expr, db)
+        from repro.relational import same_content
+
+        assert same_content(evaluate(reordered, db), evaluate(expr, db))
+
+
+class TestPipeline:
+    def test_optimize_preserves_semantics(self, db):
+        expr = Selection(
+            NaturalJoin(
+                NaturalJoin(RelationRef("big"), RelationRef("small")),
+                RelationRef("tiny"),
+            ),
+            And(eq("a", 1), eq("d", 0)),
+        )
+        optimized = optimize(expr, db)
+        from repro.relational import same_content
+
+        assert same_content(evaluate(optimized, db), evaluate(expr, db))
+
+    def test_optimize_without_db_still_safe(self, db):
+        expr = Selection(RelationRef("big"), And(eq("a", 1), gt("b", 0)))
+        optimized = optimize(expr)
+        assert evaluate(optimized, db) == evaluate(expr, db)

@@ -1,0 +1,143 @@
+"""Tests for relation and database schemas."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.types import ANY, INTEGER, STRING
+
+
+class TestRelationSchema:
+    def test_basic_construction(self):
+        schema = RelationSchema("r", ("a", "b"))
+        assert schema.arity == 2
+        assert schema.attributes == ("a", "b")
+        assert list(schema) == ["a", "b"]
+        assert len(schema) == 2
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", ("a", "a"))
+
+    def test_empty_attribute_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", ("a", ""))
+
+    def test_non_string_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", ("a", 3))
+
+    def test_zero_ary_schema_allowed(self):
+        schema = RelationSchema("bool", ())
+        assert schema.arity == 0
+        assert schema.validate_tuple(()) == ()
+
+    def test_position_lookup(self):
+        schema = RelationSchema("r", ("a", "b", "c"))
+        assert schema.position("b") == 1
+        with pytest.raises(SchemaError):
+            schema.position("z")
+
+    def test_contains(self):
+        schema = RelationSchema("r", ("a", "b"))
+        assert "a" in schema
+        assert "z" not in schema
+
+    def test_domains_default_to_any(self):
+        schema = RelationSchema("r", ("a",))
+        assert schema.domain_of("a") == ANY
+
+    def test_explicit_domains(self):
+        schema = RelationSchema("r", ("a", "b"), (INTEGER, STRING))
+        assert schema.domain_of("a") == INTEGER
+        schema.validate_tuple((1, "x"))
+        with pytest.raises(SchemaError):
+            schema.validate_tuple(("x", 1))
+
+    def test_domain_count_mismatch(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", ("a", "b"), (INTEGER,))
+
+    def test_arity_mismatch_in_validate(self):
+        schema = RelationSchema("r", ("a", "b"))
+        with pytest.raises(SchemaError):
+            schema.validate_tuple((1,))
+
+    def test_project(self):
+        schema = RelationSchema("r", ("a", "b", "c"))
+        projected = schema.project(("c", "a"))
+        assert projected.attributes == ("c", "a")
+
+    def test_rename(self):
+        schema = RelationSchema("r", ("a", "b"))
+        renamed = schema.rename({"a": "x"})
+        assert renamed.attributes == ("x", "b")
+
+    def test_rename_unknown_attribute(self):
+        schema = RelationSchema("r", ("a",))
+        with pytest.raises(SchemaError):
+            schema.rename({"z": "x"})
+
+    def test_prefixed(self):
+        schema = RelationSchema("r", ("a", "b"))
+        assert schema.prefixed("t").attributes == ("t.a", "t.b")
+
+    def test_concat_clash_rejected(self):
+        left = RelationSchema("r", ("a", "b"))
+        right = RelationSchema("s", ("b", "c"))
+        with pytest.raises(SchemaError):
+            left.concat(right)
+
+    def test_concat(self):
+        left = RelationSchema("r", ("a",))
+        right = RelationSchema("s", ("b",))
+        assert left.concat(right).attributes == ("a", "b")
+
+    def test_join_schema(self):
+        left = RelationSchema("r", ("a", "b"))
+        right = RelationSchema("s", ("b", "c"))
+        assert left.join_schema(right).attributes == ("a", "b", "c")
+
+    def test_shared_attributes(self):
+        left = RelationSchema("r", ("a", "b"))
+        right = RelationSchema("s", ("b", "c"))
+        assert left.shared_attributes(right) == ("b",)
+
+    def test_union_compatibility(self):
+        a = RelationSchema("r", ("a", "b"))
+        b = RelationSchema("s", ("a", "b"))
+        c = RelationSchema("t", ("b", "a"))
+        assert a.is_union_compatible(b)
+        assert not a.is_union_compatible(c)
+        with pytest.raises(SchemaError):
+            a.require_union_compatible(c)
+
+    def test_equality_and_hash(self):
+        a = RelationSchema("r", ("a", "b"))
+        b = RelationSchema("other_name", ("a", "b"))
+        assert a == b  # name is not part of schema identity
+        assert hash(a) == hash(b)
+
+
+class TestDatabaseSchema:
+    def test_add_and_lookup(self):
+        db = DatabaseSchema([RelationSchema("r", ("a",))])
+        assert "r" in db
+        assert db["r"].attributes == ("a",)
+
+    def test_duplicate_name_rejected(self):
+        db = DatabaseSchema([RelationSchema("r", ("a",))])
+        with pytest.raises(SchemaError):
+            db.add(RelationSchema("r", ("b",)))
+
+    def test_missing_relation(self):
+        db = DatabaseSchema()
+        with pytest.raises(SchemaError):
+            db["nope"]
+
+    def test_names_sorted(self):
+        db = DatabaseSchema(
+            [RelationSchema("z", ("a",)), RelationSchema("a", ("b",))]
+        )
+        assert db.names() == ["a", "z"]
+        assert len(db) == 2

@@ -1,0 +1,153 @@
+"""Tests for the SQL frontend."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.relational import Database
+from repro.relational.sql_frontend import parse_sql, run_sql
+
+
+@pytest.fixture
+def db():
+    return Database.from_dict(
+        {
+            "emp": (
+                ("name", "dept", "salary"),
+                [("ann", "cs", 100), ("bob", "cs", 80), ("cal", "ee", 90)],
+            ),
+            "dept": (("dept", "head"), [("cs", "ann"), ("ee", "cal")]),
+        }
+    )
+
+
+class TestBasics:
+    def test_select_star(self, db):
+        out = run_sql("SELECT * FROM emp", db)
+        assert len(out) == 3
+        assert out.schema.attributes == ("name", "dept", "salary")
+
+    def test_column_list(self, db):
+        out = run_sql("SELECT e.name FROM emp e", db)
+        assert {t[0] for t in out} == {"ann", "bob", "cal"}
+
+    def test_bare_columns_when_unambiguous(self, db):
+        out = run_sql("SELECT name FROM emp WHERE salary > 85", db)
+        assert {t[0] for t in out} == {"ann", "cal"}
+
+    def test_string_literal(self, db):
+        out = run_sql("SELECT name FROM emp WHERE dept = 'cs'", db)
+        assert len(out) == 2
+
+    def test_string_literal_with_quote_escape(self, db):
+        out = run_sql("SELECT name FROM emp WHERE dept = 'it''s'", db)
+        assert len(out) == 0
+
+    def test_float_literal(self, db):
+        out = run_sql("SELECT name FROM emp WHERE salary > 89.5", db)
+        assert len(out) == 2
+
+    def test_and_or_not_precedence(self, db):
+        out = run_sql(
+            "SELECT name FROM emp WHERE dept = 'cs' AND salary > 90 "
+            "OR dept = 'ee'",
+            db,
+        )
+        assert {t[0] for t in out} == {"ann", "cal"}
+
+    def test_not(self, db):
+        out = run_sql("SELECT name FROM emp WHERE NOT dept = 'cs'", db)
+        assert {t[0] for t in out} == {"cal"}
+
+    def test_parentheses(self, db):
+        out = run_sql(
+            "SELECT name FROM emp WHERE dept = 'cs' AND "
+            "(salary > 90 OR salary < 85)",
+            db,
+        )
+        assert {t[0] for t in out} == {"ann", "bob"}
+
+    def test_self_join(self, db):
+        out = run_sql(
+            "SELECT e1.name FROM emp e1, emp e2 "
+            "WHERE e1.dept = e2.dept AND e1.salary > e2.salary",
+            db,
+        )
+        assert {t[0] for t in out} == {"ann"}
+
+    def test_join_two_tables(self, db):
+        out = run_sql(
+            "SELECT e.name, d.head FROM emp e, dept d WHERE e.dept = d.dept",
+            db,
+        )
+        assert len(out) == 3
+
+    def test_as_alias_output(self, db):
+        out = run_sql("SELECT e.name AS who FROM emp e", db)
+        assert out.schema.attributes == ("who",)
+
+    def test_distinct_accepted(self, db):
+        out = run_sql("SELECT DISTINCT e.dept FROM emp e", db)
+        assert len(out) == 2
+
+    def test_case_insensitive_keywords(self, db):
+        out = run_sql("select name from emp where salary >= 90", db)
+        assert len(out) == 2
+
+    def test_not_equal_both_spellings(self, db):
+        a = run_sql("SELECT name FROM emp WHERE dept <> 'cs'", db)
+        b = run_sql("SELECT name FROM emp WHERE dept != 'cs'", db)
+        assert a == b
+
+
+class TestSetOperators:
+    def test_union(self, db):
+        out = run_sql(
+            "SELECT e.name AS n FROM emp e UNION SELECT d.head AS n FROM dept d",
+            db,
+        )
+        assert len(out) == 3
+
+    def test_except(self, db):
+        out = run_sql(
+            "SELECT e.name AS n FROM emp e EXCEPT SELECT d.head AS n FROM dept d",
+            db,
+        )
+        assert {t[0] for t in out} == {"bob"}
+
+    def test_intersect(self, db):
+        out = run_sql(
+            "SELECT e.name AS n FROM emp e INTERSECT "
+            "SELECT d.head AS n FROM dept d",
+            db,
+        )
+        assert {t[0] for t in out} == {"ann", "cal"}
+
+
+class TestErrors:
+    def test_empty_statement(self):
+        with pytest.raises(ParseError):
+            parse_sql("")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT * FROM emp extra stuff ,")
+
+    def test_ambiguous_column(self, db):
+        with pytest.raises(ParseError):
+            run_sql("SELECT dept FROM emp e, dept d", db)
+
+    def test_unknown_column(self, db):
+        with pytest.raises(ParseError):
+            run_sql("SELECT nope FROM emp", db)
+
+    def test_duplicate_aliases(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT * FROM emp e, dept e")
+
+    def test_output_name_clash(self, db):
+        with pytest.raises(ParseError):
+            run_sql("SELECT e.dept, d.dept FROM emp e, dept d", db)
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT ; FROM emp")

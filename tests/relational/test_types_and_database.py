@@ -1,0 +1,117 @@
+"""Tests for domains and the Database container."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import (
+    ANY,
+    BOOLEAN,
+    Database,
+    FLOAT,
+    INTEGER,
+    Relation,
+    RelationSchema,
+    STRING,
+)
+from repro.relational.types import Domain, domain_by_name
+
+
+class TestDomains:
+    def test_any_accepts_hashables(self):
+        assert 1 in ANY
+        assert "x" in ANY
+        assert (1, 2) in ANY
+
+    def test_any_rejects_unhashable(self):
+        assert [1] not in ANY
+
+    def test_integer(self):
+        assert 3 in INTEGER
+        assert 3.0 not in INTEGER
+        assert True not in INTEGER  # bools are not theory integers
+
+    def test_string(self):
+        assert "x" in STRING
+        assert 1 not in STRING
+
+    def test_float_accepts_ints(self):
+        assert 1 in FLOAT
+        assert 1.5 in FLOAT
+        assert True not in FLOAT
+
+    def test_boolean(self):
+        assert True in BOOLEAN
+        assert 1 not in BOOLEAN
+
+    def test_validate_raises(self):
+        with pytest.raises(SchemaError):
+            INTEGER.validate("x")
+
+    def test_custom_domain(self):
+        even = Domain("even", lambda v: isinstance(v, int) and v % 2 == 0)
+        assert 2 in even
+        assert 3 not in even
+
+    def test_domain_identity_by_name(self):
+        assert Domain("integer") == INTEGER
+
+    def test_domain_by_name(self):
+        assert domain_by_name("string") is STRING
+        with pytest.raises(SchemaError):
+            domain_by_name("nope")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Domain("")
+
+
+class TestDatabase:
+    def test_from_dict_and_lookup(self):
+        db = Database.from_dict({"r": (("a",), [(1,)])})
+        assert "r" in db
+        assert len(db["r"]) == 1
+
+    def test_duplicate_add_rejected(self):
+        db = Database.from_dict({"r": (("a",), [(1,)])})
+        with pytest.raises(SchemaError):
+            db.add(Relation(RelationSchema("r", ("b",)), [(2,)]))
+
+    def test_replace_allows_overwrite(self):
+        db = Database.from_dict({"r": (("a",), [(1,)])})
+        db.replace(Relation(RelationSchema("r", ("a",)), [(2,)]))
+        assert (2,) in db["r"]
+
+    def test_remove(self):
+        db = Database.from_dict({"r": (("a",), [(1,)])})
+        db.remove("r")
+        assert "r" not in db
+        with pytest.raises(SchemaError):
+            db.remove("r")
+
+    def test_missing_lookup(self):
+        with pytest.raises(SchemaError):
+            Database()["nope"]
+
+    def test_active_domain_and_totals(self):
+        db = Database.from_dict(
+            {"r": (("a", "b"), [(1, "x")]), "s": (("c",), [(2,)])}
+        )
+        assert db.active_domain() == {1, 2, "x"}
+        assert db.total_tuples() == 2
+
+    def test_schema_roundtrip(self):
+        db = Database.from_dict({"r": (("a", "b"), [(1, 2)])})
+        schema = db.schema()
+        assert schema["r"].attributes == ("a", "b")
+
+    def test_copy_is_shallow_but_independent(self):
+        db = Database.from_dict({"r": (("a",), [(1,)])})
+        copy = db.copy()
+        copy.remove("r")
+        assert "r" in db
+
+    def test_names_sorted(self):
+        db = Database.from_dict(
+            {"z": (("a",), []), "a": (("b",), [])}
+        )
+        assert db.names() == ["a", "z"]

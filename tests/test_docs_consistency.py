@@ -1,0 +1,102 @@
+"""Docs-consistency tests: DESIGN.md's inventory matches the code.
+
+A reproduction whose design document drifts from its tree is quietly
+lying; these tests keep the two honest.
+"""
+
+import os
+import re
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src", "repro")
+
+
+def read(name):
+    with open(os.path.join(ROOT, name)) as handle:
+        return handle.read()
+
+
+class TestDesignInventory:
+    def test_every_inventoried_module_exists(self):
+        design = read("DESIGN.md")
+        block = design.split("```")[1]  # the src/repro tree block
+        for line in block.splitlines():
+            match = re.match(r"\s+(\w+\.py)\s", line)
+            if not match:
+                continue
+            filename = match.group(1)
+            found = False
+            for _dirpath, _dirs, files in os.walk(SRC):
+                if filename in files:
+                    found = True
+                    break
+            assert found, "DESIGN.md lists %s but it does not exist" % filename
+
+    def test_every_package_is_inventoried(self):
+        design = read("DESIGN.md")
+        packages = [
+            name
+            for name in os.listdir(SRC)
+            if os.path.isdir(os.path.join(SRC, name))
+            and not name.startswith("__")
+        ]
+        for package in packages:
+            assert package + "/" in design, (
+                "package %s missing from DESIGN.md" % package
+            )
+
+    def test_every_bench_in_index(self):
+        design = read("DESIGN.md")
+        benches = [
+            name
+            for name in os.listdir(os.path.join(ROOT, "benchmarks"))
+            if name.startswith("test_") and name.endswith(".py")
+        ]
+        for bench in benches:
+            assert bench in design, (
+                "bench %s missing from DESIGN.md's index" % bench
+            )
+
+
+class TestExperimentsDocument:
+    def test_references_every_artifact(self):
+        experiments = read("EXPERIMENTS.md")
+        results_dir = os.path.join(ROOT, "benchmarks", "results")
+        if not os.path.isdir(results_dir):
+            return  # benches not yet run in this checkout
+        for name in os.listdir(results_dir):
+            assert name in experiments, (
+                "artifact %s not referenced in EXPERIMENTS.md" % name
+            )
+
+    def test_covers_all_three_figures(self):
+        experiments = read("EXPERIMENTS.md")
+        for figure in ("Figure 1", "Figure 2", "Figure 3"):
+            assert figure in experiments
+
+
+class TestReadme:
+    def test_mentions_every_package(self):
+        readme = read("README.md")
+        packages = [
+            name
+            for name in os.listdir(SRC)
+            if os.path.isdir(os.path.join(SRC, name))
+            and not name.startswith("__")
+        ]
+        for package in packages:
+            assert package + "/" in readme, (
+                "package %s missing from README architecture" % package
+            )
+
+    def test_mentions_every_example(self):
+        readme = read("README.md")
+        examples = [
+            name
+            for name in os.listdir(os.path.join(ROOT, "examples"))
+            if name.endswith(".py")
+        ]
+        for example in examples:
+            assert example in readme, (
+                "example %s missing from README" % example
+            )

@@ -1,0 +1,83 @@
+"""Tests for the exception hierarchy: every subsystem error is a ReproError."""
+
+import pytest
+
+from repro.errors import (
+    AlgebraError,
+    CalculusError,
+    ChaseError,
+    ComplexityError,
+    DatalogError,
+    DeadlockError,
+    DependencyError,
+    HypergraphError,
+    IncompleteInformationError,
+    MetascienceError,
+    NormalizationError,
+    ParseError,
+    RelationError,
+    ReproError,
+    SchedulerError,
+    SchemaError,
+    StratificationError,
+    TransactionError,
+    TranslationError,
+)
+
+ALL_ERRORS = (
+    AlgebraError,
+    CalculusError,
+    ChaseError,
+    ComplexityError,
+    DatalogError,
+    DeadlockError,
+    DependencyError,
+    HypergraphError,
+    IncompleteInformationError,
+    MetascienceError,
+    NormalizationError,
+    ParseError,
+    RelationError,
+    SchedulerError,
+    SchemaError,
+    StratificationError,
+    TransactionError,
+    TranslationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error_type", ALL_ERRORS)
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+
+    def test_stratification_is_datalog(self):
+        assert issubclass(StratificationError, DatalogError)
+
+    def test_deadlock_is_scheduler_is_transaction(self):
+        assert issubclass(DeadlockError, SchedulerError)
+        assert issubclass(SchedulerError, TransactionError)
+
+    def test_parse_error_carries_position(self):
+        error = ParseError("bad", position=7, text="SELECT ;")
+        assert error.position == 7
+        assert error.text == "SELECT ;"
+
+    def test_deadlock_carries_victims(self):
+        error = DeadlockError("cycle", victims=(1, 2))
+        assert error.victims == (1, 2)
+
+    def test_one_except_catches_everything(self):
+        from repro.relational import Database
+
+        with pytest.raises(ReproError):
+            Database()["missing"]
+
+    def test_subsystem_errors_raised_from_real_paths(self):
+        from repro.datalog import parse_program
+        from repro.dependencies import FD
+
+        with pytest.raises(ReproError):
+            parse_program("p(X) :- .")
+        with pytest.raises(ReproError):
+            FD("A", "")

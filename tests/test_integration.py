@@ -1,0 +1,232 @@
+"""Cross-package integration tests.
+
+These exercise the seams: SQL vs algebra vs calculus vs Datalog on the
+same data; Yannakakis vs the SQL join; design-tool decompositions chased
+for losslessness and then *executed* on data; the workbench as the glue.
+"""
+
+import pytest
+
+from repro import MetatheoryWorkbench
+from repro.acyclic import Hypergraph, yannakakis_join
+from repro.datalog import DatalogEngine, FactStore
+from repro.dependencies import DesignTool, parse_fds, satisfies_all
+from repro.relational import (
+    Database,
+    NaturalJoin,
+    Projection,
+    Query,
+    RelAtom,
+    Relation,
+    RelationRef,
+    RelationSchema,
+    Var,
+    evaluate,
+    evaluate_query,
+    same_content,
+)
+from repro.relational.sql_frontend import run_sql
+
+
+@pytest.fixture
+def company():
+    return Database.from_dict(
+        {
+            "works": (
+                ("emp", "dept"),
+                [("ann", "cs"), ("bob", "cs"), ("cal", "ee"), ("dee", "me")],
+            ),
+            "located": (
+                ("dept", "city"),
+                [("cs", "sd"), ("ee", "sd"), ("me", "la")],
+            ),
+        }
+    )
+
+
+class TestFourLanguagesOneQuery:
+    """The same query in SQL, algebra, calculus, and Datalog."""
+
+    def test_all_agree(self, company):
+        expected = {("ann",), ("bob",), ("cal",)}
+
+        sql_answer = run_sql(
+            "SELECT w.emp FROM works w, located l "
+            "WHERE w.dept = l.dept AND l.city = 'sd'",
+            company,
+        )
+        assert set(sql_answer.tuples) == expected
+
+        algebra_answer = evaluate(
+            Projection(
+                NaturalJoin(
+                    RelationRef("works"),
+                    RelationRef("located").select(
+                        __import__(
+                            "repro.relational", fromlist=["eq"]
+                        ).eq("city", __import__(
+                            "repro.relational", fromlist=["Const"]
+                        ).Const("sd"))
+                    ),
+                ),
+                ("emp",),
+            ),
+            company,
+        )
+        assert set(algebra_answer.tuples) == expected
+
+        from repro.relational import AndF, Cst, Exists
+
+        calculus_answer = evaluate_query(
+            Query(
+                ["e"],
+                Exists(
+                    "d",
+                    AndF(
+                        RelAtom("works", [Var("e"), Var("d")]),
+                        RelAtom("located", [Var("d"), Cst("sd")]),
+                    ),
+                ),
+            ),
+            company,
+        )
+        assert set(calculus_answer.tuples) == expected
+
+        engine = DatalogEngine.from_source(
+            "in_sd(E) :- works(E, D), located(D, sd).",
+            edb=FactStore.from_database(company),
+        )
+        assert engine.query("in_sd(X)") == expected
+
+
+class TestYannakakisVsSQL:
+    def test_full_join_matches(self, company):
+        hypergraph = Hypergraph.from_schema(company.schema())
+        fast = yannakakis_join(hypergraph, company)
+        slow = run_sql(
+            "SELECT w.emp, w.dept, l.city FROM works w, located l "
+            "WHERE w.dept = l.dept",
+            company,
+        )
+        aligned = slow.rename(
+            dict(zip(slow.schema.attributes, ("emp", "dept", "city")))
+        )
+        assert same_content(fast, aligned)
+
+
+class TestDesignToDataPipeline:
+    """Normalize a scheme, then execute the decomposition on an instance
+    and verify the join reconstructs it (losslessness, on real data)."""
+
+    def test_bcnf_decomposition_reconstructs(self):
+        fds = parse_fds("emp -> dept; dept -> city")
+        tool = DesignTool("emp dept city", fds)
+        report = tool.bcnf()
+        assert report["lossless"]
+
+        instance = Relation(
+            RelationSchema("u", ("city", "dept", "emp")),
+            [
+                ("sd", "cs", "ann"),
+                ("sd", "cs", "bob"),
+                ("la", "me", "dee"),
+            ],
+        )
+        assert satisfies_all(instance, fds)
+
+        fragments = [sorted(f) for f in report["fragments"]]
+        projections = [instance.project(f) for f in fragments]
+        joined = projections[0]
+        for projection in projections[1:]:
+            joined = joined.natural_join(projection)
+        assert same_content(
+            joined.project(("city", "dept", "emp")), instance
+        )
+
+    def test_violating_instance_reconstruction_can_fail(self):
+        # Lossy decomposition on data violating the FD used to split.
+        instance = Relation(
+            RelationSchema("u", ("a", "b", "c")),
+            [(1, 2, 3), (4, 2, 5)],
+        )
+        left = instance.project(("a", "b"))
+        right = instance.project(("b", "c"))
+        rejoined = left.natural_join(right)
+        assert len(rejoined) > len(instance)  # spurious tuples
+
+
+class TestDatalogOverDesignOutput:
+    def test_reachability_over_decomposed_schema(self):
+        wb = MetatheoryWorkbench.from_dict(
+            {
+                "edge": (("src", "dst"), [(1, 2), (2, 3), (3, 4)]),
+            }
+        )
+        engine = wb.datalog(
+            "reach(X, Y) :- edge(X, Y). reach(X, Z) :- reach(X, Y), edge(Y, Z)."
+        )
+        for strategy in ("naive", "seminaive", "magic", "topdown"):
+            assert engine.query("reach(1, X)", strategy=strategy) == {
+                (1, 2),
+                (1, 3),
+                (1, 4),
+            }
+
+
+class TestIncompleteToCertainPipeline:
+    def test_certain_answers_via_workbench_algebra(self):
+        from repro.incomplete import (
+            Null,
+            Table,
+            TableDatabase,
+            brute_force_certain_answers,
+            naive_certain_answers,
+        )
+
+        n = Null("dept_of_bob")
+        works = Table(
+            Relation(
+                RelationSchema("works", ("emp", "dept")),
+                [("ann", "cs"), ("bob", n)],
+                validate=False,
+            )
+        )
+        located = Table(
+            Relation(
+                RelationSchema("located", ("dept", "city")),
+                [("cs", "sd")],
+                validate=False,
+            )
+        )
+        tdb = TableDatabase([works, located])
+        q = Projection(
+            NaturalJoin(RelationRef("works"), RelationRef("located")),
+            ("emp", "city"),
+        )
+        fast = naive_certain_answers(q, tdb)
+        slow = brute_force_certain_answers(q, tdb)
+        assert set(fast.tuples) == set(slow.tuples) == {("ann", "sd")}
+
+
+class TestTransactionsOverWorkloads:
+    def test_all_three_schedulers_serializable_and_comparable(self):
+        from repro.transactions import (
+            WorkloadConfig,
+            generate_schedule,
+            is_conflict_serializable,
+            optimistic,
+            timestamp_order,
+            two_phase_lock,
+        )
+
+        config = WorkloadConfig(
+            num_transactions=8,
+            ops_per_transaction=4,
+            num_items=6,
+            hot_access_probability=0.5,
+            seed=42,
+        )
+        schedule = generate_schedule(config)
+        for runner in (two_phase_lock, timestamp_order, optimistic):
+            output, stats = runner(schedule)
+            assert is_conflict_serializable(output), runner.__name__

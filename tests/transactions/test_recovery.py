@@ -1,0 +1,95 @@
+"""Tests for the recoverability hierarchy RC > ACA > ST."""
+
+from repro.transactions import (
+    avoids_cascading_aborts,
+    cascading_abort_set,
+    is_recoverable,
+    is_strict,
+    parse_schedule,
+    recovery_class,
+)
+
+
+class TestClasses:
+    def test_strict_example(self):
+        s = parse_schedule("w1(x) c1 r2(x) w2(x) c2")
+        assert is_strict(s)
+        assert avoids_cascading_aborts(s)
+        assert is_recoverable(s)
+        assert recovery_class(s) == "ST"
+
+    def test_aca_not_strict(self):
+        # t2 overwrites t1's uncommitted write (dirty write) but never
+        # reads dirty data: ACA, not ST.
+        s = parse_schedule("w1(x) w2(x) c1 c2")
+        assert not is_strict(s)
+        assert avoids_cascading_aborts(s)
+        assert recovery_class(s) == "ACA"
+
+    def test_rc_not_aca(self):
+        # t2 reads t1's uncommitted write but commits after t1: RC only.
+        s = parse_schedule("w1(x) r2(x) c1 c2")
+        assert is_recoverable(s)
+        assert not avoids_cascading_aborts(s)
+        assert recovery_class(s) == "RC"
+
+    def test_not_recoverable(self):
+        # t2 reads from t1 and commits first.
+        s = parse_schedule("w1(x) r2(x) c2 c1")
+        assert not is_recoverable(s)
+        assert recovery_class(s) == "none"
+
+    def test_reader_never_commits_is_fine(self):
+        s = parse_schedule("w1(x) r2(x) c1")
+        assert is_recoverable(s)
+
+    def test_writer_aborts_after_reader_commit(self):
+        s = parse_schedule("w1(x) r2(x) c2 a1")
+        assert not is_recoverable(s)
+
+
+class TestHierarchy:
+    def test_containment_chain_on_random_schedules(self):
+        from repro.transactions import WorkloadConfig, generate_schedule
+
+        for seed in range(30):
+            config = WorkloadConfig(
+                num_transactions=5, ops_per_transaction=3, num_items=4,
+                seed=seed,
+            )
+            s = generate_schedule(config)
+            if is_strict(s):
+                assert avoids_cascading_aborts(s), seed
+            if avoids_cascading_aborts(s):
+                assert is_recoverable(s), seed
+
+    def test_serializability_orthogonal_to_recovery(self):
+        # Serializable but not recoverable.
+        s = parse_schedule("w1(x) r2(x) c2 c1")
+        from repro.transactions import is_conflict_serializable
+
+        assert is_conflict_serializable(s)
+        assert not is_recoverable(s)
+        # Strict but not serializable (write cycle across items).
+        s2 = parse_schedule("r1(x) r2(y) w1(y) w2(x) c1 c2")
+        # r1(x) r2(y) then w1(y): t1 writes y after t2 read it (not dirty),
+        # w2(x) after t1 read x.  No dirty access at all: strict.
+        assert is_strict(s2)
+        assert not is_conflict_serializable(s2)
+
+
+class TestCascades:
+    def test_cascading_set(self):
+        s = parse_schedule("w1(x) r2(x) w2(y) r3(y)")
+        doomed = cascading_abort_set(s, 1)
+        assert doomed == {2, 3}
+
+    def test_no_cascade_when_committed_reads(self):
+        s = parse_schedule("w1(x) c1 r2(x)")
+        assert cascading_abort_set(s, 1) == {2}  # direct reader only
+        # Note: reads-from is recorded regardless of commit; ACA is the
+        # property that prevents the cascade mattering.
+
+    def test_isolated_failure(self):
+        s = parse_schedule("w1(x) r2(y) c2")
+        assert cascading_abort_set(s, 1) == set()

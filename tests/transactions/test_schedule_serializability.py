@@ -1,0 +1,176 @@
+"""Tests for schedules and serializability theory."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.transactions import (
+    Op,
+    Schedule,
+    conflicts,
+    equivalent_serial_schedule,
+    is_blind_write_free,
+    is_conflict_serializable,
+    is_view_serializable,
+    parse_schedule,
+    precedence_graph,
+    serialization_order,
+    transaction,
+    view_equivalent,
+)
+
+
+class TestScheduleBasics:
+    def test_parse(self):
+        s = parse_schedule("r1(x) w2(y) c1 a2")
+        assert len(s) == 4
+        assert s[0] == Op.read(1, "x")
+        assert s.committed() == {1}
+        assert s.aborted() == {2}
+
+    def test_parse_errors(self):
+        with pytest.raises(TransactionError):
+            parse_schedule("z1(x)")
+        with pytest.raises(TransactionError):
+            parse_schedule("c1(x)")
+
+    def test_ops_after_terminal_rejected(self):
+        with pytest.raises(TransactionError):
+            parse_schedule("c1 r1(x)")
+
+    def test_transactions_in_order(self):
+        s = parse_schedule("r2(x) r1(y) c2 c1")
+        assert s.transactions() == [2, 1]
+
+    def test_is_serial(self):
+        assert parse_schedule("r1(x) w1(y) c1 r2(x) c2").is_serial()
+        assert not parse_schedule("r1(x) r2(x) c1 c2").is_serial()
+
+    def test_committed_projection(self):
+        s = parse_schedule("r1(x) r2(x) a2 c1")
+        proj = s.committed_projection()
+        assert proj.transactions() == [1]
+
+    def test_active_and_complete(self):
+        s = parse_schedule("r1(x) r2(y) c1")
+        assert s.active() == [2]
+        assert not s.is_complete()
+
+    def test_serial_constructor(self):
+        txns = {1: transaction(1, [("r", "x")]), 2: transaction(2, [("w", "x")])}
+        s = Schedule.serial(txns, [2, 1])
+        assert s.is_serial()
+        assert s.transactions() == [2, 1]
+
+    def test_conflicts_with(self):
+        assert Op.read(1, "x").conflicts_with(Op.write(2, "x"))
+        assert not Op.read(1, "x").conflicts_with(Op.read(2, "x"))
+        assert not Op.write(1, "x").conflicts_with(Op.write(1, "x"))
+        assert not Op.write(1, "x").conflicts_with(Op.write(2, "y"))
+
+
+class TestConflictSerializability:
+    def test_serializable_example(self):
+        s = parse_schedule("r1(x) w1(x) r2(x) w2(y) c1 c2")
+        assert is_conflict_serializable(s)
+        assert serialization_order(s) == [1, 2]
+
+    def test_classic_nonserializable(self):
+        s = parse_schedule("r1(x) r2(y) w2(x) w1(y) c1 c2")
+        assert not is_conflict_serializable(s)
+        with pytest.raises(TransactionError):
+            serialization_order(s)
+
+    def test_serial_always_serializable(self):
+        s = parse_schedule("r1(x) w1(y) c1 r2(y) w2(x) c2")
+        assert s.is_serial()
+        assert is_conflict_serializable(s)
+
+    def test_aborted_txn_excluded(self):
+        # The cycle involves t2, which aborted: committed projection fine.
+        s = parse_schedule("r1(x) r2(y) w2(x) w1(y) c1 a2")
+        assert is_conflict_serializable(s)
+
+    def test_precedence_graph_edges(self):
+        s = parse_schedule("w1(x) r2(x) c1 c2")
+        graph = precedence_graph(s)
+        assert graph[1] == {2}
+        assert graph[2] == set()
+
+    def test_conflicts_listing(self):
+        s = parse_schedule("w1(x) r2(x) w2(x) c1 c2")
+        pairs = conflicts(s)
+        assert (Op.write(1, "x"), Op.read(2, "x")) in pairs
+        assert (Op.write(1, "x"), Op.write(2, "x")) in pairs
+
+    def test_equivalent_serial_schedule(self):
+        s = parse_schedule("r1(x) r2(x) w1(y) w2(z) c1 c2")
+        serial = equivalent_serial_schedule(s)
+        assert serial.is_serial()
+        assert view_equivalent(s, serial) or is_conflict_serializable(serial)
+
+
+class TestViewSerializability:
+    def test_vsr_but_not_csr(self):
+        # The classical blind-write example.
+        s = parse_schedule(
+            "w1(x) w2(x) w2(y) c2 w1(y) w3(x) w3(y) c3 c1"
+        )
+        assert not is_conflict_serializable(s)
+        assert is_view_serializable(s)
+
+    def test_csr_implies_vsr(self):
+        s = parse_schedule("r1(x) w1(x) r2(x) c1 c2")
+        assert is_conflict_serializable(s)
+        assert is_view_serializable(s)
+
+    def test_not_vsr(self):
+        s = parse_schedule("r1(x) r2(y) w2(x) w1(y) c1 c2")
+        assert not is_view_serializable(s)
+
+    def test_limit_guard(self):
+        ops = []
+        for txn in range(1, 11):
+            ops.append(Op.read(txn, "x"))
+            ops.append(Op.commit(txn))
+        with pytest.raises(TransactionError):
+            is_view_serializable(Schedule(ops))
+
+    def test_blind_write_free_detection(self):
+        assert is_blind_write_free(parse_schedule("r1(x) w1(x) c1"))
+        assert not is_blind_write_free(parse_schedule("w1(x) c1"))
+
+    def test_view_equivalent_same_schedule(self):
+        s = parse_schedule("r1(x) w1(x) c1")
+        assert view_equivalent(s, s)
+
+    def test_without_blind_writes_vsr_equals_csr(self):
+        # Random-ish small cases: whenever every write is preceded by a
+        # read, the two notions coincide.
+        import itertools
+        import random
+
+        rng = random.Random(4)
+        for _ in range(15):
+            ops = []
+            for txn in (1, 2):
+                for item in rng.sample(["x", "y"], 2):
+                    ops.append(Op.read(txn, item))
+                    if rng.random() < 0.7:
+                        ops.append(Op.write(txn, item))
+            rng.shuffle(ops)
+            by_txn = {}
+            ordered = []
+            for op in ops:
+                by_txn.setdefault(op.txn, []).append(op)
+            # Rebuild as a valid interleaving.
+            queues = {t: list(v) for t, v in by_txn.items()}
+            alive = [t for t in queues if queues[t]]
+            while alive:
+                t = rng.choice(alive)
+                ordered.append(queues[t].pop(0))
+                if not queues[t]:
+                    alive.remove(t)
+            ordered += [Op.commit(1), Op.commit(2)]
+            s = Schedule(ordered)
+            if is_blind_write_free(s):
+                assert is_conflict_serializable(s) == is_view_serializable(s)

@@ -1,0 +1,150 @@
+"""Tests for the 2PL, timestamp-ordering, and optimistic schedulers."""
+
+import pytest
+
+from repro.transactions import (
+    WorkloadConfig,
+    generate_schedule,
+    is_conflict_serializable,
+    optimistic,
+    parse_schedule,
+    timestamp_order,
+    two_phase_lock,
+)
+
+
+class TestTwoPhaseLocking:
+    def test_noconflict_passthrough(self):
+        s = parse_schedule("r1(x) r2(y) c1 c2")
+        out, stats = two_phase_lock(s)
+        assert list(out.ops) == list(s.ops)
+        assert not stats["aborted"]
+
+    def test_conflicting_op_waits(self):
+        s = parse_schedule("w1(x) r2(x) c1 c2")
+        out, stats = two_phase_lock(s)
+        # t2's read must wait for t1's commit under strict 2PL.
+        positions = {str(op): i for i, op in enumerate(out.ops)}
+        assert positions["r2(x)"] > positions["c1"]
+        assert stats["wait_events"] >= 1
+
+    def test_deadlock_broken_by_abort(self):
+        s = parse_schedule("r1(x) r2(y) w1(y) w2(x) c1 c2")
+        out, stats = two_phase_lock(s)
+        assert len(stats["aborted"]) == 1
+        assert is_conflict_serializable(out)
+
+    def test_shared_locks_allow_concurrent_reads(self):
+        s = parse_schedule("r1(x) r2(x) c1 c2")
+        out, stats = two_phase_lock(s)
+        assert stats["wait_events"] == 0
+
+    def test_upgrade_blocks_on_other_reader(self):
+        s = parse_schedule("r1(x) r2(x) w1(x) c2 c1")
+        out, stats = two_phase_lock(s)
+        assert is_conflict_serializable(out)
+
+    def test_output_always_serializable(self):
+        for seed in range(25):
+            config = WorkloadConfig(
+                num_transactions=6,
+                ops_per_transaction=4,
+                num_items=5,
+                hot_access_probability=0.6,
+                seed=seed,
+            )
+            out, _ = two_phase_lock(generate_schedule(config))
+            assert is_conflict_serializable(out), seed
+
+    def test_basic_2pl_also_serializable(self):
+        for seed in range(10):
+            config = WorkloadConfig(
+                num_transactions=5, ops_per_transaction=3, num_items=4,
+                seed=seed,
+            )
+            out, _ = two_phase_lock(generate_schedule(config), strict=False)
+            assert is_conflict_serializable(out), seed
+
+    def test_strict_output_is_strict(self):
+        from repro.transactions import is_strict
+
+        for seed in range(10):
+            config = WorkloadConfig(
+                num_transactions=5, ops_per_transaction=3, num_items=4,
+                seed=seed,
+            )
+            out, _ = two_phase_lock(generate_schedule(config), strict=True)
+            assert is_strict(out), seed
+
+
+class TestTimestampOrdering:
+    def test_in_order_accepted(self):
+        s = parse_schedule("r1(x) w1(x) c1 r2(x) c2")
+        out, stats = timestamp_order(s)
+        assert not stats["aborted"]
+
+    def test_late_write_aborts(self):
+        # t1 starts first (ts 0), t2 reads x (ts 1), then t1 writes x:
+        # write below read-ts -> abort t1.
+        s = parse_schedule("r1(y) r2(x) w1(x) c2 c1")
+        out, stats = timestamp_order(s)
+        assert stats["aborted"] == {1}
+
+    def test_thomas_write_rule_skips(self):
+        # w1 after w2 on x with ts1 < ts2: obsolete write skipped.
+        s = parse_schedule("r1(y) w2(x) c2 w1(x) c1")
+        out_strict, stats_strict = timestamp_order(s)
+        assert stats_strict["aborted"] == {1}
+        out_thomas, stats_thomas = timestamp_order(s, thomas_write_rule=True)
+        assert not stats_thomas["aborted"]
+        assert stats_thomas["skipped_writes"] == 1
+
+    def test_output_serializable(self):
+        for seed in range(25):
+            config = WorkloadConfig(
+                num_transactions=6, ops_per_transaction=4, num_items=5,
+                hot_access_probability=0.6, seed=seed,
+            )
+            out, _ = timestamp_order(generate_schedule(config))
+            assert is_conflict_serializable(out), seed
+
+
+class TestOptimistic:
+    def test_no_overlap_commits(self):
+        s = parse_schedule("r1(x) w1(x) c1 r2(x) c2")
+        out, stats = optimistic(s)
+        assert not stats["aborted"]
+
+    def test_read_write_conflict_aborts_reader(self):
+        s = parse_schedule("r1(x) r2(x) w2(x) c2 w1(y) c1")
+        out, stats = optimistic(s)
+        assert stats["aborted"] == {1}
+
+    def test_write_write_no_read_ok(self):
+        # Backward validation checks read sets only.
+        s = parse_schedule("w1(x) w2(x) c2 c1")
+        out, stats = optimistic(s)
+        assert not stats["aborted"]
+
+    def test_committed_projection_serializable(self):
+        for seed in range(25):
+            config = WorkloadConfig(
+                num_transactions=6, ops_per_transaction=4, num_items=5,
+                hot_access_probability=0.6, seed=seed,
+            )
+            out, _ = optimistic(generate_schedule(config))
+            assert is_conflict_serializable(out), seed
+
+    def test_high_contention_aborts_more(self):
+        low = WorkloadConfig(
+            num_transactions=10, ops_per_transaction=5, num_items=40,
+            write_ratio=0.6, hot_access_probability=0.0, seed=5,
+        )
+        high = WorkloadConfig(
+            num_transactions=10, ops_per_transaction=5, num_items=40,
+            write_ratio=0.6, hot_access_probability=0.95, hot_fraction=0.05,
+            seed=5,
+        )
+        _, low_stats = optimistic(generate_schedule(low))
+        _, high_stats = optimistic(generate_schedule(high))
+        assert len(high_stats["aborted"]) >= len(low_stats["aborted"])
