@@ -24,6 +24,20 @@ def write_artifact(name, text):
     return path
 
 
+def write_stats(name, sections):
+    """Write labelled engine-statistics dumps to benchmarks/results/.
+
+    Args:
+        name: artifact file name.
+        sections: iterable of ``(label, EngineStatistics)`` pairs; each is
+            rendered via :meth:`EngineStatistics.format`.
+    """
+    blocks = [
+        "%s\n%s" % (label, stats.format()) for label, stats in sections
+    ]
+    return write_artifact(name, "\n\n".join(blocks))
+
+
 def format_table(header, rows):
     """Plain-text table with aligned columns."""
     rendered = [tuple(str(v) for v in row) for row in rows]

@@ -1,0 +1,207 @@
+"""Indexed-store bench: persistent indexes + planner vs the seed path.
+
+The tentpole physical-layer claim, measured: keeping per-predicate,
+per-position hash indexes *incrementally maintained* across semi-naive
+deltas (instead of rebuilding a transient index per rule firing) cuts
+the facts scanned by the engine by large constant factors — ≥5x on
+transitive closure over a mixed 1k-edge graph and on same-generation,
+~3x on the pure 1k chain (where the irreducible delta enumeration
+dominates; the table shows why).
+
+Methodology: both configurations run the same semi-naive engine on the
+same EDB and must produce *identical fixpoints*; the only difference is
+physical (``indexed``/``planned`` off = the seed path).  "Facts scanned"
+counts every tuple iterated out of a fact collection, including
+persistent-index build scans; O(1) probes into a maintained index are
+counted separately as probes.  Full counter tables land in
+``results/indexed_store.txt``.
+"""
+
+import pytest
+
+from repro.core.random_instances import (
+    chain_edges,
+    edge_store,
+    random_graph_edges,
+    same_generation_program,
+    same_generation_store,
+    transitive_closure_program,
+)
+from repro.datalog import EngineStatistics, seminaive_evaluate
+
+from .conftest import format_table, write_artifact, write_stats
+
+pytestmark = pytest.mark.slow
+
+
+def hybrid_edges(chain_n=400, random_m=600, seed=7):
+    """A 1k-edge graph: a 400-chain plus 600 disjoint random edges.
+
+    The random component (on its own node set) keeps the edge relation
+    large while contributing few long paths — the regime where the seed
+    path's per-firing rescans of ``edge`` dominate and indexing pays off
+    most.
+    """
+    shifted = [
+        (a + 10_000, b + 10_000)
+        for a, b in random_graph_edges(random_m, random_m, seed=seed)
+    ]
+    return chain_edges(chain_n) + shifted
+
+
+def run_config(program, edb, indexed, planned):
+    stats = EngineStatistics()
+    store = seminaive_evaluate(
+        program, edb, stats=stats, indexed=indexed, planned=planned
+    )
+    return stats, store
+
+
+def compare(program, edb, result_predicate):
+    """Seed path vs indexed+planned on one workload; fixpoints must match."""
+    new_stats, new_store = run_config(program, edb, True, True)
+    old_stats, old_store = run_config(program, edb, False, False)
+    assert new_store == old_store, "physical change must not change answers"
+    ratio = old_stats.facts_scanned / max(new_stats.facts_scanned, 1)
+    return {
+        "facts": new_store.count(result_predicate),
+        "old": old_stats,
+        "new": new_stats,
+        "ratio": ratio,
+    }
+
+
+def test_indexed_store_scan_reduction(benchmark):
+    tc = transitive_closure_program()
+    sg_edb = same_generation_store(30, 6, seed=1)
+    workloads = [
+        ("tc chain-1000", tc, edge_store(chain_edges(1000)), "path"),
+        ("tc hybrid-1000", tc, edge_store(hybrid_edges()), "path"),
+        (
+            "tc random-1000",
+            tc,
+            edge_store(random_graph_edges(1500, 1000, seed=11)),
+            "path",
+        ),
+        ("sg depth=30 width=6", same_generation_program(), sg_edb, "sg"),
+        (
+            "sg depth=40 width=8",
+            same_generation_program(),
+            same_generation_store(40, 8, seed=1),
+            "sg",
+        ),
+    ]
+
+    def run_all():
+        return {
+            label: compare(program, edb, predicate)
+            for label, program, edb, predicate in workloads
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # The headline claims: >=5x fewer tuples scanned on the mixed
+    # 1k-edge transitive closure and on same-generation...
+    assert results["tc hybrid-1000"]["ratio"] >= 5.0, results
+    assert results["sg depth=30 width=6"]["ratio"] >= 5.0, results
+    assert results["sg depth=40 width=8"]["ratio"] >= 5.0, results
+    # ...and the honest footnote: the pure chain is bounded by its own
+    # delta enumeration (about two thirds of the seed's scans there were
+    # index rebuilds; the remaining third is the differential itself).
+    assert results["tc chain-1000"]["ratio"] >= 2.5, results
+    assert results["tc random-1000"]["ratio"] >= 2.0, results
+    # Indexing must also strictly reduce materialized intermediates via
+    # the planner's bound-first ordering -- never increase them.
+    for label, outcome in results.items():
+        assert (
+            outcome["new"].tuples_materialized
+            <= outcome["old"].tuples_materialized
+        ), label
+
+    rows = [
+        (
+            label,
+            outcome["facts"],
+            outcome["old"].facts_scanned,
+            outcome["new"].facts_scanned,
+            outcome["new"].index_probes,
+            outcome["new"].index_builds,
+            "%.2fx" % outcome["ratio"],
+        )
+        for label, outcome in results.items()
+    ]
+    table = format_table(
+        (
+            "workload",
+            "derived facts",
+            "seed scans",
+            "indexed scans",
+            "probes",
+            "index builds",
+            "scan reduction",
+        ),
+        rows,
+    )
+    write_artifact(
+        "indexed_store.txt",
+        "semi-naive engine, seed path (no indexes, no planner) vs "
+        "indexed+planned\nfixpoints verified identical per workload\n\n"
+        + table,
+    )
+    # Full counter dumps for the two headline workloads.
+    write_stats(
+        "indexed_store_counters.txt",
+        [
+            ("tc hybrid-1000 / seed path", results["tc hybrid-1000"]["old"]),
+            ("tc hybrid-1000 / indexed+planned", results["tc hybrid-1000"]["new"]),
+            ("sg depth=30 width=6 / seed path", results["sg depth=30 width=6"]["old"]),
+            (
+                "sg depth=30 width=6 / indexed+planned",
+                results["sg depth=30 width=6"]["new"],
+            ),
+        ],
+    )
+
+
+def test_ablation_knobs_compose(benchmark):
+    """One knob at a time on the hybrid workload.
+
+    The measured (and initially surprising) interaction: *neither* knob
+    helps alone on linear transitive closure.  Without the planner, the
+    in-order pipeline reads ``edge`` before anything is bound, so the
+    indexed store has nothing to probe; without the indexes, the
+    planner's bound-first order still ends in transient-index scans.
+    Only the composition — delta literal first, remaining literals
+    probing persistent indexes on the variables the delta just bound —
+    turns per-round rescans into O(1) probes.
+    """
+    tc = transitive_closure_program()
+    edb = edge_store(hybrid_edges())
+
+    def run_all():
+        out = {}
+        for indexed, planned in [
+            (False, False),
+            (True, False),
+            (False, True),
+            (True, True),
+        ]:
+            stats, store = run_config(tc, edb, indexed, planned)
+            out[(indexed, planned)] = (stats, store)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    stores = [store for _, store in results.values()]
+    assert all(store == stores[0] for store in stores[1:])
+    baseline = results[(False, False)][0].facts_scanned
+    # No configuration may scan more than the seed path.
+    for (indexed, planned), (stats, _) in results.items():
+        assert stats.facts_scanned <= baseline, (indexed, planned)
+    # Indexing without planning never gets a bound literal to probe.
+    assert results[(True, False)][0].index_probes == 0
+    # The composition is where the reduction lives.
+    combined = results[(True, True)][0]
+    assert combined.index_probes > 0
+    assert combined.facts_scanned * 5 <= baseline
+    assert combined.facts_scanned < results[(True, False)][0].facts_scanned
+    assert combined.facts_scanned < results[(False, True)][0].facts_scanned

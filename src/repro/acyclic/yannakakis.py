@@ -9,6 +9,13 @@ dangling (eventually-discarded) tuple.
 The ``test_acyclic_joins`` benchmark compares this against the naive
 fold-the-joins plan, reproducing the classical blowup the algorithm
 exists to avoid.
+
+Physical note: :class:`~repro.relational.relation.Relation` caches its
+per-key hash indexes (immutable relations never invalidate them), so the
+repeated semijoin/join passes here — the same relation probed on the same
+shared key during the upward sweep, the downward sweep, and the final
+join phase — build each index once and reuse it, with no code in this
+module having to manage that.
 """
 
 from __future__ import annotations

@@ -31,12 +31,20 @@ STRATEGIES = ("naive", "seminaive", "magic", "topdown")
 
 
 class DatalogEngine:
-    """A program plus an extensional database, evaluable four ways."""
+    """A program plus an extensional database, evaluable four ways.
 
-    def __init__(self, program, edb=None):
+    ``indexed`` and ``planned`` select the physical configuration shared
+    by every strategy (persistent hash indexes and the greedy join-order
+    planner, both on by default); the defaults reproduce the seed's
+    *semantics* while changing its physical plan.
+    """
+
+    def __init__(self, program, edb=None, indexed=True, planned=True):
         if not isinstance(program, Program):
             raise DatalogError("expected a Program, got %r" % (program,))
         self.program = program
+        self.indexed = indexed
+        self.planned = planned
         if edb is None:
             self.edb = FactStore()
         elif isinstance(edb, FactStore):
@@ -50,18 +58,25 @@ class DatalogEngine:
     # -- constructors -------------------------------------------------------
 
     @classmethod
-    def from_source(cls, source, edb=None):
+    def from_source(cls, source, edb=None, indexed=True, planned=True):
         """Parse program text (ignoring any ``?-`` lines) and wrap it."""
         program, _ = parse_program(source)
-        return cls(program, edb)
+        return cls(program, edb, indexed=indexed, planned=planned)
 
     # -- full evaluation ------------------------------------------------------
 
-    def evaluate(self, strategy="seminaive"):
+    def evaluate(self, strategy="seminaive", stats=None):
         """Compute the full minimal model with the given strategy.
 
         ``magic`` and ``topdown`` are query-directed and have no
         "evaluate everything" mode; asking for them here raises.
+
+        Args:
+            strategy: ``"naive"`` or ``"seminaive"``.
+            stats: optional
+                :class:`~repro.datalog.stats.EngineStatistics` collecting
+                work counters.  Passing one bypasses the model cache (a
+                cached model has no work to count).
 
         Returns:
             The model as a :class:`~repro.datalog.facts.FactStore`.
@@ -79,19 +94,34 @@ class DatalogEngine:
                 "unknown strategy %r (use one of %s)"
                 % (strategy, ", ".join(STRATEGIES))
             )
+        if stats is not None:
+            return evaluator(
+                self.program,
+                self.edb,
+                stats=stats,
+                indexed=self.indexed,
+                planned=self.planned,
+            )
         if strategy not in self._model_cache:
-            self._model_cache[strategy] = evaluator(self.program, self.edb)
+            self._model_cache[strategy] = evaluator(
+                self.program,
+                self.edb,
+                indexed=self.indexed,
+                planned=self.planned,
+            )
         return self._model_cache[strategy]
 
     # -- queries ---------------------------------------------------------------
 
-    def query(self, query_atom, strategy="seminaive"):
+    def query(self, query_atom, strategy="seminaive", stats=None):
         """Answer one query atom.
 
         Args:
             query_atom: an :class:`~repro.datalog.ast.Atom` or query text
                 like ``"path(1, X)"``.
             strategy: one of :data:`STRATEGIES`.
+            stats: optional
+                :class:`~repro.datalog.stats.EngineStatistics`.
 
         Returns:
             A set of ground tuples of the query predicate matching the
@@ -102,14 +132,28 @@ class DatalogEngine:
         if not isinstance(query_atom, Atom):
             raise DatalogError("expected an Atom or text, got %r" % (query_atom,))
         if strategy in ("naive", "seminaive"):
-            store = self.evaluate(strategy)
+            store = self.evaluate(strategy, stats=stats)
             return match_query(store, query_atom)
         if strategy == "magic":
             if query_atom.predicate not in self.program.idb_predicates():
                 return match_query(self._edb_with_facts(), query_atom)
-            return magic_evaluate(self.program, self.edb, query_atom)
+            return magic_evaluate(
+                self.program,
+                self.edb,
+                query_atom,
+                stats=stats,
+                indexed=self.indexed,
+                planned=self.planned,
+            )
         if strategy == "topdown":
-            return topdown_query(self.program, self.edb, query_atom)
+            return topdown_query(
+                self.program,
+                self.edb,
+                query_atom,
+                stats=stats,
+                indexed=self.indexed,
+                planned=self.planned,
+            )
         raise DatalogError(
             "unknown strategy %r (use one of %s)"
             % (strategy, ", ".join(STRATEGIES))
@@ -134,13 +178,17 @@ class DatalogEngine:
         )
 
 
-def cross_check(program, edb, query_atom, strategies=STRATEGIES):
+def cross_check(
+    program, edb, query_atom, strategies=STRATEGIES, indexed=True, planned=True
+):
     """Answer the same query under several strategies; return the results.
 
     The integration tests use this to assert all engines agree — the
-    library's own Berkeley–IBM-style experiment.
+    library's own Berkeley–IBM-style experiment.  ``indexed``/``planned``
+    select the physical configuration, so the differential suite can run
+    the comparison both with and without the new machinery.
     """
-    engine = DatalogEngine(program, edb)
+    engine = DatalogEngine(program, edb, indexed=indexed, planned=planned)
     if isinstance(query_atom, str):
         query_atom = parse_query(query_atom)
     return {

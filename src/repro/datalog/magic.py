@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from ..errors import DatalogError
 from .ast import Atom, Constant, Literal, Program, Rule, Variable
+from .facts import FactStore
 from .seminaive import seminaive_evaluate
 
 #: Separator used to build adorned/magic predicate names.  Deliberately
@@ -124,6 +125,19 @@ def magic_transform(program, query_atom):
         if (predicate, adornment) in seen:
             continue
         seen.add((predicate, adornment))
+        # Program-text facts of an IDB predicate become magic-guarded
+        # adorned facts; ``rules_for`` skips bodyless rules, so without
+        # this they would vanish from the rewritten program (the
+        # differential suite pins this against the naive engine).
+        for rule in program.rules:
+            if rule.body or rule.head.predicate != predicate:
+                continue
+            adorned_rules.append(
+                Rule(
+                    Atom(adorned_name(predicate, adornment), rule.head.terms),
+                    (),
+                )
+            )
         for rule in program.rules_for(predicate):
             bound = {
                 t.name
@@ -229,8 +243,15 @@ def match_query(store, query_atom):
     return answers
 
 
-def magic_evaluate(program, edb, query_atom):
+def magic_evaluate(
+    program, edb, query_atom, stats=None, indexed=True, planned=True
+):
     """Answer a query via magic-sets rewriting + semi-naive evaluation.
+
+    The physical knobs (``stats``/``indexed``/``planned``) pass straight
+    through to the underlying semi-naive run: magic is a *logical*
+    optimization and composes with the indexed store and the join
+    planner unchanged.
 
     Returns:
         The set of ground tuples (full query-predicate tuples) matching
@@ -239,6 +260,16 @@ def magic_evaluate(program, edb, query_atom):
         :func:`match_query` returns, but computed goal-directedly.
     """
     transform = magic_transform(program, query_atom)
-    store = seminaive_evaluate(transform.program, edb)
+    # The rewritten program keeps none of the original text facts, so
+    # EDB-predicate facts from the program text must ride along in the
+    # base store (IDB text facts travel as magic-guarded adorned facts).
+    base = edb.copy() if edb is not None else FactStore()
+    idb = program.idb_predicates()
+    for predicate, values in program.facts():
+        if predicate not in idb:
+            base.add(predicate, values)
+    store = seminaive_evaluate(
+        transform.program, base, stats=stats, indexed=indexed, planned=planned
+    )
     renamed = Atom(transform.query_predicate, query_atom.terms)
     return match_query(store, renamed)

@@ -5,36 +5,48 @@ positive literal indexes its fact set on the currently-bound positions and
 probes it with every binding; comparisons and negated literals filter as
 soon as their variables are bound (safety guarantees they eventually are).
 
-Both the naive and semi-naive engines call :func:`evaluate_rule`; the
-semi-naive engine additionally designates one body position to read from a
-*delta* store (the differential trick that gives it its edge — see the
-``test_datalog_strategies`` benchmark).
+Two physical regimes coexist:
+
+* **Scan** — the fact source is a plain tuple collection; a transient
+  hash index is built per call (the seed behaviour, kept as the
+  measurable baseline and as the fallback for unindexed stores and
+  pattern-free probes).
+* **Probe** — the fact source is a
+  :class:`~repro.datalog.indexing.PredicateView`; the store's persistent
+  index for the atom's bound-position pattern is fetched (built once,
+  maintained incrementally) and probed per binding.
+
+On top of either regime, :func:`evaluate_rule` can run the greedy
+join-order planner (``planned=True``, the default): positive literals
+execute most-bound/smallest-first with an early exit when any positive
+source is empty, while comparisons and negations still apply at the
+earliest point their variables are bound.  ``planned=False`` reproduces
+the seed's left-to-right pipeline exactly.
+
+All engines call :func:`evaluate_rule`; the semi-naive engine
+additionally designates one body position to read from a *delta* store
+(the differential trick that gives it its edge — see the
+``test_datalog_strategies`` benchmark).  Work is charged to an optional
+:class:`~repro.datalog.stats.EngineStatistics`.
 """
 
 from __future__ import annotations
 
 from ..errors import DatalogError
 from .ast import Comparison, Constant, Literal, Variable
+from .planner import has_empty_source, plan_order
 
 
-def extend_bindings(bindings, atom, tuples):
-    """Hash-join a binding list with the facts for one positive literal.
-
-    Args:
-        bindings: list of dicts (variable name -> value); all dicts bind
-            the same variable set (an invariant of left-to-right rule
-            evaluation).
-        atom: the literal's atom.
-        tuples: the fact set for the literal's predicate.
+def _key_specs(atom, bound_vars):
+    """Classify each atom position against the current bound set.
 
     Returns:
-        The extended binding list.
+        ``(key_specs, out_specs)`` where ``key_specs`` holds
+        ``(position, kind, payload)`` with kind in ``const|var|dup`` and
+        ``out_specs`` holds ``(position, name)`` for fresh variables.
     """
-    if not bindings:
-        return []
-    bound_vars = set(bindings[0])
-    key_specs = []  # (position, kind, payload): kind in const|var|dup
-    out_specs = []  # (position, variable name) for newly bound variables
+    key_specs = []
+    out_specs = []
     first_position = {}
     for i, term in enumerate(atom.terms):
         if isinstance(term, Constant):
@@ -46,35 +58,89 @@ def extend_bindings(bindings, atom, tuples):
         else:
             first_position[term.name] = i
             out_specs.append((i, term.name))
+    return key_specs, out_specs
 
-    var_names = [payload for _, kind, payload in key_specs if kind == "var"]
-    index = {}
-    for tup in tuples:
-        admissible = True
-        for position, kind, payload in key_specs:
-            if kind == "const" and tup[position] != payload:
-                admissible = False
-                break
-            if kind == "dup" and tup[position] != tup[payload]:
-                admissible = False
-                break
-        if not admissible:
-            continue
-        key = tuple(
-            tup[position]
-            for position, kind, _ in key_specs
-            if kind == "var"
-        )
-        index.setdefault(key, []).append(tup)
 
+def extend_bindings(bindings, atom, tuples, stats=None):
+    """Hash-join a binding list with the facts for one positive literal.
+
+    Args:
+        bindings: list of dicts (variable name -> value); all dicts bind
+            the same variable set (an invariant of rule evaluation).
+        atom: the literal's atom.
+        tuples: the fact source for the literal's predicate — a plain
+            tuple collection (scan regime) or a
+            :class:`~repro.datalog.indexing.PredicateView` (probe
+            regime).
+        stats: optional work counters.
+
+    Returns:
+        The extended binding list.
+    """
+    if not bindings or not len(tuples):
+        return []
+    bound_vars = set(bindings[0])
+    key_specs, out_specs = _key_specs(atom, bound_vars)
+    probe_specs = [spec for spec in key_specs if spec[1] != "dup"]
+    dup_specs = [
+        (position, payload)
+        for position, kind, payload in key_specs
+        if kind == "dup"
+    ]
+
+    index_for = getattr(tuples, "index_for", None)
     extended = []
-    for binding in bindings:
-        key = tuple(binding[name] for name in var_names)
-        for tup in index.get(key, ()):
-            new_binding = dict(binding)
-            for position, name in out_specs:
-                new_binding[name] = tup[position]
-            extended.append(new_binding)
+    if index_for is not None and probe_specs:
+        # Probe regime: persistent index on the bound-position pattern.
+        table = index_for(tuple(spec[0] for spec in probe_specs), stats)
+        for binding in bindings:
+            key = tuple(
+                payload if kind == "const" else binding[payload]
+                for _, kind, payload in probe_specs
+            )
+            if stats is not None:
+                stats.index_probes += 1
+            for tup in table.get(key, ()):
+                if any(tup[p] != tup[q] for p, q in dup_specs):
+                    continue
+                new_binding = dict(binding)
+                for position, name in out_specs:
+                    new_binding[name] = tup[position]
+                extended.append(new_binding)
+    else:
+        # Scan regime: one transient index per call (the seed path).
+        var_names = [payload for _, kind, payload in probe_specs if kind == "var"]
+        index = {}
+        scanned = 0
+        for tup in tuples:
+            scanned += 1
+            admissible = True
+            for position, kind, payload in key_specs:
+                if kind == "const" and tup[position] != payload:
+                    admissible = False
+                    break
+                if kind == "dup" and tup[position] != tup[payload]:
+                    admissible = False
+                    break
+            if not admissible:
+                continue
+            key = tuple(
+                tup[position]
+                for position, kind, _ in key_specs
+                if kind == "var"
+            )
+            index.setdefault(key, []).append(tup)
+        if stats is not None:
+            stats.facts_scanned += scanned
+        for binding in bindings:
+            key = tuple(binding[name] for name in var_names)
+            for tup in index.get(key, ()):
+                new_binding = dict(binding)
+                for position, name in out_specs:
+                    new_binding[name] = tup[position]
+                extended.append(new_binding)
+    if stats is not None:
+        stats.tuples_materialized += len(extended)
     return extended
 
 
@@ -91,19 +157,126 @@ def _filter_comparison(bindings, comparison):
     return [b for b in bindings if comparison.evaluate(b)]
 
 
-def evaluate_rule(rule, lookup, delta_lookup=None, delta_at=None):
+def evaluate_rule(
+    rule,
+    lookup,
+    delta_lookup=None,
+    delta_at=None,
+    stats=None,
+    planned=True,
+):
     """All head tuples derivable by one rule against the given fact views.
 
     Args:
         rule: the rule to fire.
-        lookup: callable ``predicate -> set of tuples`` (the full store).
+        lookup: callable ``predicate -> fact source`` (the full store);
+            sources may be plain tuple sets or indexed views.
         delta_lookup: optional callable for the differential store.
         delta_at: index into ``rule.body``; that positive literal reads
             from ``delta_lookup`` instead of ``lookup`` (semi-naive mode).
+        stats: optional :class:`~repro.datalog.stats.EngineStatistics`.
+        planned: run the greedy join-order planner (default) or the
+            seed's left-to-right pipeline.
 
     Returns:
         A set of ground head tuples.
     """
+    if stats is not None:
+        stats.rule_firings += 1
+    if planned:
+        bindings = _evaluate_planned(rule, lookup, delta_lookup, delta_at, stats)
+    else:
+        bindings = _evaluate_inorder(rule, lookup, delta_lookup, delta_at, stats)
+    return {rule.head.ground_tuple(b) for b in bindings}
+
+
+def _source_for(lookup, delta_lookup, delta_at, position):
+    if delta_at is not None and position == delta_at:
+        return delta_lookup
+    return lookup
+
+
+def _split_body(rule):
+    """Partition the body into positive literals and deferred guards."""
+    positives = []
+    guards = []
+    for i, item in enumerate(rule.body):
+        if isinstance(item, Literal) and item.positive:
+            positives.append((i, item))
+        elif isinstance(item, (Literal, Comparison)):
+            guards.append(item)
+        else:
+            raise DatalogError("unknown body item %r" % (item,))
+    return positives, guards
+
+
+def _require_resolved(rule, pending, bindings):
+    """Safety postcondition: no guard may remain once bindings survive."""
+    if pending and bindings:
+        raise DatalogError(
+            "rule %s left unbound body items %s (safety bug)"
+            % (rule, "; ".join(map(str, pending)))
+        )
+
+
+def _evaluate_planned(rule, lookup, delta_lookup, delta_at, stats):
+    """Greedy-ordered evaluation with eager guards and early exit."""
+    positives, pending = _split_body(rule)
+
+    def settle(bindings):
+        """Apply every guard whose variables are bound; repeat to fixpoint.
+
+        Binding equalities (``X = c``) may bind fresh variables, which can
+        unlock further guards — hence the loop.
+        """
+        nonlocal pending
+        progress = True
+        while progress and bindings and pending:
+            progress = False
+            still = []
+            bound = set(bindings[0])
+            for item in pending:
+                if isinstance(item, Comparison):
+                    if item.variables() <= bound:
+                        bindings = _filter_comparison(bindings, item)
+                        progress = True
+                    elif item.op == "=" and _binds_fresh(item, bound):
+                        bindings = _apply_binding_equality(bindings, item)
+                        bound = set(bindings[0]) if bindings else bound
+                        progress = True
+                    else:
+                        still.append(item)
+                elif item.variables() <= bound:
+                    bindings = _filter_negative(
+                        bindings, item.atom, lookup(item.atom.predicate)
+                    )
+                    progress = True
+                else:
+                    still.append(item)
+            pending = still
+        return bindings
+
+    sources = {
+        i: _source_for(lookup, delta_lookup, delta_at, i)(item.atom.predicate)
+        for i, item in positives
+    }
+    # Early exit: an empty positive source proves the body unsatisfiable.
+    if has_empty_source(positives, sources):
+        return []
+
+    bindings = settle([{}])
+    sizes = {i: len(sources[i]) for i, _ in positives}
+    for i, item in plan_order(positives, sizes, delta_at):
+        if not bindings:
+            return []
+        bindings = extend_bindings(bindings, item.atom, sources[i], stats)
+        bindings = settle(bindings)
+    _require_resolved(rule, pending, bindings)
+    return bindings
+
+
+def _evaluate_inorder(rule, lookup, delta_lookup, delta_at, stats):
+    """The seed's left-to-right pipeline (the measurable baseline)."""
     bindings = [{}]
     pending = []  # comparisons / negative literals awaiting their variables
 
@@ -127,15 +300,11 @@ def evaluate_rule(rule, lookup, delta_lookup=None, delta_at=None):
 
     for i, item in enumerate(rule.body):
         if not bindings:
-            return set()
+            return []
         if isinstance(item, Literal) and item.positive:
-            source = (
-                delta_lookup
-                if delta_at is not None and i == delta_at
-                else lookup
-            )
+            source = _source_for(lookup, delta_lookup, delta_at, i)
             bindings = extend_bindings(
-                bindings, item.atom, source(item.atom.predicate)
+                bindings, item.atom, source(item.atom.predicate), stats
             )
             flush_pending()
         elif isinstance(item, Comparison):
@@ -158,12 +327,8 @@ def evaluate_rule(rule, lookup, delta_lookup=None, delta_at=None):
             raise DatalogError("unknown body item %r" % (item,))
 
     flush_pending()
-    if pending:
-        raise DatalogError(
-            "rule %s left unbound body items %s (safety bug)"
-            % (rule, "; ".join(map(str, pending)))
-        )
-    return {rule.head.ground_tuple(b) for b in bindings}
+    _require_resolved(rule, pending, bindings)
+    return bindings
 
 
 def _binds_fresh(comparison, bound):

@@ -9,16 +9,28 @@ the paper-era optimizations (semi-naive, magic sets) are measured against.
 
 Stratified negation is supported: strata are evaluated in order, so
 negated predicates are complete before any rule reads them.
+
+Physical knobs (shared by all engines): ``indexed`` keeps the working
+store in an :class:`~repro.datalog.indexing.IndexedFactStore` so rule
+bodies probe persistent hash indexes instead of rescanning; ``planned``
+runs the greedy join-order planner; ``stats`` collects work counters.
 """
 
 from __future__ import annotations
 
 from .analysis import rules_by_stratum
-from .facts import FactStore
+from .indexing import working_store
 from .matching import evaluate_rule
 
 
-def naive_evaluate(program, edb=None, max_iterations=None):
+def naive_evaluate(
+    program,
+    edb=None,
+    max_iterations=None,
+    stats=None,
+    indexed=True,
+    planned=True,
+):
     """Compute the (stratified) minimal model of ``program`` over ``edb``.
 
     Args:
@@ -28,14 +40,40 @@ def naive_evaluate(program, edb=None, max_iterations=None):
         max_iterations: optional safety cap per stratum; the fixpoint of a
             Datalog program always terminates, so this is only a guard for
             debugging engine changes.
+        stats: optional :class:`~repro.datalog.stats.EngineStatistics`.
+        indexed: keep facts in an indexed store (persistent probe
+            indexes) instead of plain sets.
+        planned: greedy join-order planning per rule firing.
 
     Returns:
         A :class:`FactStore` holding EDB and all derived IDB facts.
     """
-    store = edb.copy() if edb is not None else FactStore()
+    store, _ = _fixpoint(
+        program, edb, max_iterations, stats, indexed, planned
+    )
+    return store
+
+
+def naive_iterations(
+    program, edb=None, stats=None, indexed=True, planned=True
+):
+    """Like :func:`naive_evaluate` but also count fixpoint rounds.
+
+    Returns:
+        ``(store, rounds)`` where ``rounds`` sums the per-stratum rounds
+        (including each stratum's final no-change round).  Used by the
+        benchmarks to report work alongside wall-clock time.
+    """
+    return _fixpoint(program, edb, None, stats, indexed, planned)
+
+
+def _fixpoint(program, edb, max_iterations, stats, indexed, planned):
+    store = working_store(edb, indexed)
+    lookup = store.view if indexed else store.get
     for predicate, values in program.facts():
         store.add(predicate, values)
 
+    rounds = 0
     for stratum_rules in rules_by_stratum(program):
         if not stratum_rules:
             continue
@@ -44,38 +82,17 @@ def naive_evaluate(program, edb=None, max_iterations=None):
         while changed:
             changed = False
             iterations += 1
+            rounds += 1
+            if stats is not None:
+                stats.iterations += 1
             if max_iterations is not None and iterations > max_iterations:
                 raise RuntimeError(
                     "naive evaluation exceeded %d iterations" % max_iterations
                 )
             for rule in stratum_rules:
-                derived = evaluate_rule(rule, store.get)
-                if store.add_all(rule.head.predicate, derived):
-                    changed = True
-    return store
-
-
-def naive_iterations(program, edb=None):
-    """Like :func:`naive_evaluate` but also count fixpoint rounds.
-
-    Returns:
-        ``(store, rounds)`` where ``rounds`` sums the per-stratum rounds
-        (including each stratum's final no-change round).  Used by the
-        benchmarks to report work alongside wall-clock time.
-    """
-    store = edb.copy() if edb is not None else FactStore()
-    for predicate, values in program.facts():
-        store.add(predicate, values)
-    rounds = 0
-    for stratum_rules in rules_by_stratum(program):
-        if not stratum_rules:
-            continue
-        changed = True
-        while changed:
-            changed = False
-            rounds += 1
-            for rule in stratum_rules:
-                derived = evaluate_rule(rule, store.get)
+                derived = evaluate_rule(
+                    rule, lookup, stats=stats, planned=planned
+                )
                 if store.add_all(rule.head.predicate, derived):
                     changed = True
     return store, rounds

@@ -1,0 +1,99 @@
+"""Greedy join-order planning for rule bodies.
+
+The classical lesson — rediscovered by pattern-based Datalog engines —
+is that rule syntax makes selectivity visible without any statistics: an
+atom whose arguments are constants or already-bound variables can be
+answered by an index probe instead of a scan, so the planner just orders
+a body's positive literals greedily:
+
+1. the semi-naive *delta* literal always goes first (it is the
+   differential driver and, after the first rounds, the smallest input);
+2. otherwise prefer the literal with the most bound key positions
+   (constants + variables bound so far) — **most-bound first**;
+3. break ties by current relation size — **smallest-relation first**;
+4. break remaining ties by original body position (determinism).
+
+The plan is computed per firing from live relation sizes (they change
+every fixpoint round), which costs O(k^2) for a k-literal body — noise
+next to the joins it orders.  :func:`has_empty_source` backs the
+planner's early-exit: any positive literal over an empty relation proves
+the rule derives nothing this firing.
+
+Ordering only the *positive* literals is semantics-preserving: positive
+conjunction is commutative, and comparisons/negations are applied by the
+matching layer as soon as their variables are bound regardless of where
+they sat in the body text.
+"""
+
+from __future__ import annotations
+
+from .ast import Constant, Variable
+
+
+def bound_positions(atom, bound_vars):
+    """Number of probe-key positions the atom offers right now.
+
+    A position counts when it holds a constant or a variable already in
+    ``bound_vars`` — exactly the positions ``extend_bindings`` can put in
+    an index key.
+    """
+    count = 0
+    for term in atom.terms:
+        if isinstance(term, Constant):
+            count += 1
+        elif isinstance(term, Variable) and term.name in bound_vars:
+            count += 1
+    return count
+
+
+def plan_order(positives, sizes, delta_at=None, bound_vars=()):
+    """Greedily order a rule body's positive literals.
+
+    Args:
+        positives: list of ``(body_index, literal)`` pairs.
+        sizes: mapping ``body_index -> len(relation)`` (live sizes).
+        delta_at: body index of the semi-naive delta literal, if any.
+        bound_vars: variable names already bound before any literal runs
+            (e.g. by an ``X = c`` equality).
+
+    Returns:
+        The same pairs, reordered: delta literal first, then repeatedly
+        the most-bound / smallest / leftmost remaining literal.
+    """
+    remaining = list(positives)
+    bound = set(bound_vars)
+    order = []
+
+    def take(pair):
+        remaining.remove(pair)
+        order.append(pair)
+        bound.update(pair[1].atom.variables())
+
+    if delta_at is not None:
+        for pair in remaining:
+            if pair[0] == delta_at:
+                take(pair)
+                break
+    while remaining:
+        take(
+            min(
+                remaining,
+                key=lambda pair: (
+                    -bound_positions(pair[1].atom, bound),
+                    sizes[pair[0]],
+                    pair[0],
+                ),
+            )
+        )
+    return order
+
+
+def has_empty_source(positives, sources):
+    """True when some positive literal reads an empty relation.
+
+    The planner's early exit: a conjunction with an empty positive
+    conjunct is unsatisfiable, so the rule can be skipped without
+    scanning anything (the guard the empty-predicate regression tests
+    pin down).
+    """
+    return any(len(sources[index]) == 0 for index, _ in positives)

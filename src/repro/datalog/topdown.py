@@ -14,6 +14,16 @@ tables, which is the simplest terminating formulation of tabling (answers
 grow monotonically, so the fixpoint is the correct minimal model restricted
 to relevant subgoals).
 
+The physical layer is shared with the bottom-up engines: EDB facts live
+in an :class:`~repro.datalog.indexing.IndexedFactStore` (when ``indexed``,
+the default) and every literal is solved through
+:func:`~repro.datalog.matching.extend_bindings`, so EDB literals with
+bound arguments become persistent-index probes instead of scans.  Body
+order is *not* replanned: in top-down evaluation the literal order is the
+sideways-information-passing strategy that decides which subgoals get
+tabled, so it is part of the method, not a free physical choice
+(``planned`` is accepted for interface symmetry and affects nothing).
+
 Scope: positive programs, like the magic module (and for the same
 classical reasons).
 """
@@ -22,7 +32,10 @@ from __future__ import annotations
 
 from ..errors import DatalogError
 from .ast import Comparison, Constant
+from .facts import FactStore
+from .indexing import IndexedFactStore
 from .magic import match_query
+from .matching import extend_bindings
 
 
 class _Subgoal:
@@ -56,20 +69,33 @@ class TopDownEngine:
     (sound, since Datalog is monotone).
     """
 
-    def __init__(self, program, edb):
+    def __init__(self, program, edb, stats=None, indexed=True, planned=True):
         if program.has_negation():
             raise DatalogError(
                 "top-down tabling is implemented for positive programs"
             )
         self.program = program
-        self.edb = edb
         self.idb = program.idb_predicates()
+        self.stats = stats
         self.tables = {}  # subgoal key -> set of answer tuples
         self.subgoals = {}  # subgoal key -> _Subgoal
         self._new_subgoals = False
-        self._program_facts = {}
+        # EDB + program-text facts, in one (indexed) store.  Text facts
+        # for IDB predicates seed the answer tables instead (resolution
+        # only fires body-ful rules, so they would otherwise be lost —
+        # the differential suite pins this).
+        facts = IndexedFactStore() if indexed else FactStore()
+        if edb is not None:
+            for predicate in edb.predicates():
+                facts.add_all(predicate, edb.get(predicate))
+        self._idb_facts = {}
         for predicate, values in program.facts():
-            self._program_facts.setdefault(predicate, set()).add(values)
+            if predicate in self.idb:
+                self._idb_facts.setdefault(predicate, set()).add(values)
+            else:
+                facts.add(predicate, values)
+        self.edb = facts
+        self._lookup = facts.view if indexed else facts.get
 
     # -- public API ------------------------------------------------------
 
@@ -93,9 +119,7 @@ class TopDownEngine:
     # -- internals -------------------------------------------------------------
 
     def _edb_facts(self, predicate):
-        base = set(self.edb.get(predicate))
-        base |= self._program_facts.get(predicate, set())
-        return base
+        return self._lookup(predicate)
 
     def _subgoal_for(self, atom, binding=None):
         binding = binding or {}
@@ -112,7 +136,11 @@ class TopDownEngine:
     def _register(self, subgoal):
         key = subgoal.key()
         if key not in self.tables:
-            self.tables[key] = set()
+            self.tables[key] = {
+                values
+                for values in self._idb_facts.get(subgoal.predicate, ())
+                if subgoal.matches(values)
+            }
             self.subgoals[key] = subgoal
             self._new_subgoals = True
             return True
@@ -123,6 +151,8 @@ class TopDownEngine:
         while changed:
             changed = False
             self._new_subgoals = False
+            if self.stats is not None:
+                self.stats.iterations += 1
             # Iterate over a snapshot: resolution can add subgoals.
             for key in list(self.tables):
                 subgoal = self.subgoals[key]
@@ -136,6 +166,8 @@ class TopDownEngine:
 
     def _resolve(self, subgoal):
         for rule in self.program.rules_for(subgoal.predicate):
+            if self.stats is not None:
+                self.stats.rule_firings += 1
             bindings = self._unify_head(rule.head, subgoal)
             if bindings is None:
                 continue
@@ -168,38 +200,24 @@ class TopDownEngine:
 
     def _solve_literal(self, literal, bindings):
         atom = literal.atom
+        if atom.predicate not in self.idb:
+            return extend_bindings(
+                bindings, atom, self._edb_facts(atom.predicate), self.stats
+            )
+        # Group bindings by call pattern so each subgoal is registered
+        # (and its answer table joined) once; the fixpoint loop
+        # re-resolves until the tables are stable.
+        groups = {}
+        for binding in bindings:
+            subgoal = self._subgoal_for(atom, binding)
+            self._register(subgoal)
+            groups.setdefault(subgoal.key(), []).append(binding)
         out = []
-        if atom.predicate in self.idb:
-            # Group bindings by call pattern so each subgoal is registered
-            # once; consume current table contents (the fixpoint loop
-            # re-resolves until stable).
-            for binding in bindings:
-                subgoal = self._subgoal_for(atom, binding)
-                self._register(subgoal)
-                answers = self.tables[subgoal.key()]
-                out.extend(self._extend(binding, atom, answers))
-        else:
-            facts = self._edb_facts(atom.predicate)
-            for binding in bindings:
-                out.extend(self._extend(binding, atom, facts))
+        for key, group in groups.items():
+            out.extend(
+                extend_bindings(group, atom, self.tables[key], self.stats)
+            )
         return out
-
-    @staticmethod
-    def _extend(binding, atom, tuples):
-        for tup in tuples:
-            new_binding = dict(binding)
-            ok = True
-            for term, value in zip(atom.terms, tup):
-                if isinstance(term, Constant):
-                    if term.value != value:
-                        ok = False
-                        break
-                else:
-                    if new_binding.setdefault(term.name, value) != value:
-                        ok = False
-                        break
-            if ok:
-                yield new_binding
 
 
 class _StoreView:
@@ -217,6 +235,11 @@ class _StoreView:
         return frozenset()
 
 
-def topdown_query(program, edb, query_atom):
+def topdown_query(
+    program, edb, query_atom, stats=None, indexed=True, planned=True
+):
     """One-shot top-down query (fresh tables)."""
-    return TopDownEngine(program, edb).query(query_atom)
+    engine = TopDownEngine(
+        program, edb, stats=stats, indexed=indexed, planned=planned
+    )
+    return engine.query(query_atom)

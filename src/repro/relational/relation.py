@@ -27,7 +27,7 @@ class Relation:
             by operators whose outputs are correct by construction).
     """
 
-    __slots__ = ("schema", "tuples")
+    __slots__ = ("schema", "tuples", "_indexes")
 
     def __init__(self, schema, tuples=(), validate=True):
         if not isinstance(schema, RelationSchema):
@@ -39,6 +39,32 @@ class Relation:
             )
         else:
             self.tuples = frozenset(tuples)
+        self._indexes = None
+
+    def _key_index(self, positions):
+        """Cached hash index ``{key: [tuples]}`` on a position pattern.
+
+        Relations are immutable, so an index never needs invalidating:
+        built once on first use, it serves every later join/semijoin on
+        the same key — e.g. the repeated semijoin sweeps of Yannakakis'
+        full reducer probe one index per (relation, shared-key) pair.
+        """
+        if self._indexes is None:
+            self._indexes = {}
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for t in self.tuples:
+                key = tuple(t[p] for p in positions)
+                index.setdefault(key, []).append(t)
+            self._indexes[positions] = index
+        return index
+
+    def cached_index_patterns(self):
+        """Position patterns currently cached (observability for tests)."""
+        if self._indexes is None:
+            return []
+        return sorted(self._indexes)
 
     # -- constructors -----------------------------------------------------
 
@@ -168,11 +194,7 @@ class Relation:
             for a in other.schema.attributes
             if a not in self.schema
         ]
-        # Build hash table on the smaller side for the shared-key lookup.
-        index = {}
-        for t in other.tuples:
-            key = tuple(t[p] for p in right_pos)
-            index.setdefault(key, []).append(t)
+        index = other._key_index(tuple(right_pos))
         out = []
         for s in self.tuples:
             key = tuple(s[p] for p in left_pos)
@@ -189,7 +211,7 @@ class Relation:
         if not shared:
             return self if other.tuples else Relation.empty(self.schema)
         right_pos = [other.schema.position(a) for a in shared]
-        keys = {tuple(t[p] for p in right_pos) for t in other.tuples}
+        keys = other._key_index(tuple(right_pos))
         left_pos = [self.schema.position(a) for a in shared]
         return Relation(
             self.schema,
@@ -203,7 +225,7 @@ class Relation:
         if not shared:
             return Relation.empty(self.schema) if other.tuples else self
         right_pos = [other.schema.position(a) for a in shared]
-        keys = {tuple(t[p] for p in right_pos) for t in other.tuples}
+        keys = other._key_index(tuple(right_pos))
         left_pos = [self.schema.position(a) for a in shared]
         return Relation(
             self.schema,

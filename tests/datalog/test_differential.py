@@ -1,0 +1,124 @@
+"""Cross-engine differential testing on randomized Datalog programs.
+
+The library's own fuzzing harness: generate random safe positive programs
+and random EDBs, then demand that all four engines — naive, semi-naive,
+magic sets, and top-down tabling — agree on every query, under every
+physical configuration (with and without the indexed store and the join
+planner).  Engine-equivalence is the one theorem every optimization in
+the logic-database era had to preserve; here it doubles as the oracle
+that the new physical layer changed plans, not answers.
+
+The fixed-program tests at the bottom pin two historical disagreement
+bugs: program-text facts of IDB predicates were dropped by magic and
+top-down, and EDB-predicate text facts were dropped by magic.
+"""
+
+import pytest
+
+from repro.core.random_instances import random_edb, random_positive_program
+from repro.datalog import (
+    Atom,
+    FactStore,
+    Variable,
+    cross_check,
+    match_query,
+    naive_evaluate,
+    parse_program,
+)
+
+#: (indexed, planned) configurations every differential case runs under.
+CONFIGS = [(True, True), (False, False)]
+
+#: Number of randomized programs per configuration (the acceptance
+#: criterion asks for at least 100).
+NUM_SEEDS = 100
+
+
+def _case(seed):
+    """Deterministic (program, edb, queries) triple for one seed."""
+    program = random_positive_program(
+        num_idb=3,
+        num_edb=2,
+        rules_per_idb=2,
+        max_body=3,
+        arity=2,
+        seed=seed,
+    )
+    edb = random_edb(
+        ["e0", "e1"], domain_size=6, facts_per_pred=10, arity=2, seed=seed
+    )
+    # One fully-free and one bound query per IDB predicate: the free one
+    # checks the whole fixpoint slice, the bound one exercises the
+    # goal-directed machinery (magic seeds, top-down call patterns).
+    queries = []
+    for predicate in ("p0", "p1", "p2"):
+        queries.append(Atom(predicate, (Variable("Q1"), Variable("Q2"))))
+        queries.append(Atom(predicate, (seed % 6, Variable("Q2"))))
+    return program, edb, queries
+
+
+@pytest.mark.parametrize("indexed,planned", CONFIGS)
+@pytest.mark.parametrize("seed", range(NUM_SEEDS))
+def test_engines_agree_on_random_programs(seed, indexed, planned):
+    program, edb, queries = _case(seed)
+    reference_store = naive_evaluate(
+        program, edb, indexed=indexed, planned=planned
+    )
+    for query in queries:
+        reference = match_query(reference_store, query)
+        answers = cross_check(
+            program, edb, query, indexed=indexed, planned=planned
+        )
+        for strategy, result in answers.items():
+            assert result == reference, (
+                "strategy %r disagrees with naive on seed %d, query %s "
+                "(indexed=%s planned=%s)"
+                % (strategy, seed, query, indexed, planned)
+            )
+
+
+@pytest.mark.parametrize("seed", range(0, NUM_SEEDS, 7))
+def test_physical_configs_agree_with_each_other(seed):
+    """The physical knobs must never change any engine's answers."""
+    program, edb, queries = _case(seed)
+    for query in queries:
+        baseline = cross_check(
+            program, edb, query, indexed=False, planned=False
+        )
+        optimized = cross_check(
+            program, edb, query, indexed=True, planned=True
+        )
+        assert baseline == optimized
+
+
+FACTY = """
+    e(1, 2).
+    p(8, 9).
+    p(X, Y) :- e(X, Y).
+    p(X, Z) :- e(X, Y), p(Y, Z).
+"""
+
+
+@pytest.mark.parametrize("indexed,planned", CONFIGS)
+def test_program_text_facts_survive_every_engine(indexed, planned):
+    """IDB facts (``p(8,9).``) and EDB facts (``e(1,2).``) in the program
+    text must reach every engine's answers — magic used to drop both and
+    top-down the former."""
+    program, _ = parse_program(FACTY)
+    edb = FactStore({"e": [(2, 3)]})
+    query = Atom("p", (Variable("X"), Variable("Y")))
+    expected = {(1, 2), (2, 3), (1, 3), (8, 9)}
+    answers = cross_check(program, edb, query, indexed=indexed, planned=planned)
+    for strategy, result in answers.items():
+        assert result == expected, strategy
+
+
+@pytest.mark.parametrize("indexed,planned", CONFIGS)
+def test_bound_query_on_text_fact(indexed, planned):
+    program, _ = parse_program(FACTY)
+    query = Atom("p", (8, Variable("Y")))
+    answers = cross_check(
+        program, FactStore(), query, indexed=indexed, planned=planned
+    )
+    for strategy, result in answers.items():
+        assert result == {(8, 9)}, strategy

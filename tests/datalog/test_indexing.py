@@ -1,0 +1,185 @@
+"""Tests for the indexed fact store and its incremental maintenance.
+
+The load-bearing property: an index built once stays correct as facts
+arrive (no per-iteration rebuild), which is what lets the semi-naive loop
+probe instead of scan.  Also covers the delta-aware evaluation contract:
+a differential firing reads the delta exactly where asked and never
+produces facts the full firing would not.
+"""
+
+from repro.datalog import (
+    EngineStatistics,
+    FactStore,
+    IndexedFactStore,
+    naive_evaluate,
+    parse_program,
+    parse_rule,
+    seminaive_evaluate,
+    working_store,
+)
+from repro.datalog.matching import evaluate_rule
+
+
+def _brute_force_index(tuples, positions):
+    table = {}
+    for tup in tuples:
+        table.setdefault(tuple(tup[p] for p in positions), []).append(tup)
+    return table
+
+
+class TestIndexFor:
+    def test_matches_brute_force(self):
+        facts = [(1, 2), (1, 3), (2, 3), (4, 4)]
+        store = IndexedFactStore({"e": facts})
+        for positions in [(0,), (1,), (0, 1), (1, 0)]:
+            expected = _brute_force_index(store.get("e"), positions)
+            actual = store.index_for("e", positions)
+            assert {k: sorted(v) for k, v in actual.items()} == {
+                k: sorted(v) for k, v in expected.items()
+            }
+
+    def test_indexes_are_lazy(self):
+        store = IndexedFactStore({"e": [(1, 2)]})
+        assert store.index_patterns("e") == []
+        store.index_for("e", (0,))
+        assert store.index_patterns("e") == [(0,)]
+
+    def test_build_charged_once(self):
+        store = IndexedFactStore({"e": [(1, 2), (2, 3)]})
+        stats = EngineStatistics()
+        store.index_for("e", (0,), stats)
+        store.index_for("e", (0,), stats)  # warm: no new build, no scan
+        assert stats.index_builds == 1
+        assert stats.facts_scanned == 2
+
+    def test_empty_predicate_index(self):
+        store = IndexedFactStore()
+        assert store.index_for("nothing", (0,)) == {}
+
+
+class TestIncrementalMaintenance:
+    def test_add_updates_existing_indexes(self):
+        store = IndexedFactStore({"e": [(1, 2)]})
+        index = store.index_for("e", (0,))
+        store.add("e", (1, 3))
+        store.add("e", (5, 6))
+        assert sorted(index[(1,)]) == [(1, 2), (1, 3)]
+        assert index[(5,)] == [(5, 6)]
+
+    def test_no_rebuild_after_adds(self):
+        store = IndexedFactStore({"e": [(1, 2)]})
+        stats = EngineStatistics()
+        store.index_for("e", (0,), stats)
+        store.add("e", (2, 3))
+        store.index_for("e", (0,), stats)
+        assert stats.index_builds == 1  # maintained, not rebuilt
+
+    def test_duplicate_add_leaves_indexes_alone(self):
+        store = IndexedFactStore({"e": [(1, 2)]})
+        index = store.index_for("e", (0,))
+        assert not store.add("e", (1, 2))
+        assert index[(1,)] == [(1, 2)]
+
+    def test_maintenance_covers_all_patterns(self):
+        store = IndexedFactStore({"e": [(1, 2)]})
+        by_first = store.index_for("e", (0,))
+        by_second = store.index_for("e", (1,))
+        store.add("e", (3, 2))
+        assert by_first[(3,)] == [(3, 2)]
+        assert sorted(by_second[(2,)]) == [(1, 2), (3, 2)]
+
+
+class TestViews:
+    def test_view_tracks_mutation(self):
+        store = IndexedFactStore({"e": [(1, 2)]})
+        view = store.view("e")
+        assert len(view) == 1 and (1, 2) in view
+        store.add("e", (2, 3))
+        assert len(view) == 2
+        assert set(view) == {(1, 2), (2, 3)}
+
+    def test_view_exposes_store_indexes(self):
+        store = IndexedFactStore({"e": [(1, 2)]})
+        assert store.view("e").index_for((1,)) == {(2,): [(1, 2)]}
+        assert store.index_patterns("e") == [(1,)]
+
+
+class TestCopies:
+    def test_copy_is_independent_and_unindexed(self):
+        store = IndexedFactStore({"e": [(1, 2)]})
+        store.index_for("e", (0,))
+        clone = store.copy()
+        assert isinstance(clone, IndexedFactStore)
+        assert clone.get("e") == {(1, 2)}
+        assert clone.index_patterns("e") == []  # rebuilt lazily
+        clone.add("e", (9, 9))
+        assert not store.contains("e", (9, 9))
+
+    def test_restrict_keeps_only_named_predicates(self):
+        store = IndexedFactStore({"e": [(1, 2)], "f": [(3,)]})
+        sub = store.restrict(["e"])
+        assert isinstance(sub, IndexedFactStore)
+        assert sub.predicates() == ["e"]
+
+    def test_working_store_copies_edb(self):
+        edb = FactStore({"e": [(1, 2)]})
+        for indexed in (True, False):
+            store = working_store(edb, indexed)
+            assert isinstance(store, IndexedFactStore) == indexed
+            store.add("e", (7, 8))
+            assert not edb.contains("e", (7, 8))
+
+    def test_engines_do_not_mutate_edb(self):
+        program, _ = parse_program(
+            "path(X, Y) :- edge(X, Y). path(X, Z) :- edge(X, Y), path(Y, Z)."
+        )
+        edb = FactStore({"edge": [(0, 1), (1, 2)]})
+        naive_evaluate(program, edb)
+        seminaive_evaluate(program, edb)
+        assert edb.count() == 2 and edb.predicates() == ["edge"]
+
+
+class TestDeltaContract:
+    """The delta-aware lookup: restricted exactly where asked, no more."""
+
+    RULE = "p(X, Z) :- e(X, Y), e(Y, Z)."
+
+    def test_delta_restricts_one_position(self):
+        rule = parse_rule(self.RULE)
+        store = IndexedFactStore({"e": [(1, 2), (2, 3)]})
+        delta = FactStore({"e": [(1, 2)]})
+        at_first = evaluate_rule(
+            rule, store.view, delta_lookup=delta.get, delta_at=0
+        )
+        at_second = evaluate_rule(
+            rule, store.view, delta_lookup=delta.get, delta_at=1
+        )
+        assert at_first == {(1, 3)}  # delta (1,2) then full e
+        assert at_second == set()  # full e then delta at position 1
+
+    def test_delta_union_covers_full_firing(self):
+        """Firing once per delta position reproduces the full result when
+        the delta is the whole relation — and never exceeds it."""
+        rule = parse_rule(self.RULE)
+        store = IndexedFactStore({"e": [(1, 2), (2, 3), (3, 4)]})
+        full = evaluate_rule(rule, store.view)
+        delta = FactStore({"e": store.get("e")})
+        union = set()
+        for position in (0, 1):
+            derived = evaluate_rule(
+                rule, store.view, delta_lookup=delta.get, delta_at=position
+            )
+            assert derived <= full
+            union |= derived
+        assert union == full
+
+    def test_seminaive_never_double_derives(self):
+        """Every fact lands in exactly one round's delta: with the whole
+        EDB as round-0 input, total derivations equal the fixpoint size."""
+        program, _ = parse_program(
+            "path(X, Y) :- edge(X, Y). path(X, Z) :- edge(X, Y), path(Y, Z)."
+        )
+        edb = FactStore({"edge": [(i, i + 1) for i in range(8)]})
+        store = seminaive_evaluate(program, edb)
+        reference = naive_evaluate(program, edb)
+        assert store == reference

@@ -1,0 +1,173 @@
+"""Tests for the greedy join-order planner and its early exit.
+
+Covers the ordering heuristics (delta first, most-bound first,
+smallest-relation tiebreak), the empty-source early exit (with counter
+evidence that nothing was scanned or probed), and the empty-predicate
+safety regression: a pending negation must not be reported as a safety
+bug when the bindings have already died out.
+"""
+
+import pytest
+
+from repro.datalog import (
+    EngineStatistics,
+    FactStore,
+    IndexedFactStore,
+    cross_check,
+    naive_evaluate,
+    parse_program,
+    parse_rule,
+    plan_order,
+)
+from repro.datalog.matching import evaluate_rule
+from repro.datalog.planner import bound_positions, has_empty_source
+
+
+def _positives(rule):
+    return [(i, item) for i, item in enumerate(rule.body)]
+
+
+class TestPlanOrder:
+    def test_delta_literal_goes_first(self):
+        rule = parse_rule("p(X, Z) :- big(X, Y), d(Y, Z).")
+        order = plan_order(_positives(rule), {0: 1, 1: 1000}, delta_at=1)
+        assert [i for i, _ in order] == [1, 0]
+
+    def test_most_bound_first(self):
+        # After big(X, Y) nothing is bound; the constant-carrying atom
+        # offers a probe key immediately, so it goes first.
+        rule = parse_rule("p(X, Y) :- big(X, Y), anchor(1, X).")
+        order = plan_order(_positives(rule), {0: 5, 1: 5})
+        assert [i for i, _ in order] == [1, 0]
+
+    def test_smallest_relation_breaks_ties(self):
+        rule = parse_rule("p(X, Y) :- a(X, Y), b(X, Y).")
+        order = plan_order(_positives(rule), {0: 100, 1: 3})
+        assert [i for i, _ in order] == [1, 0]
+
+    def test_body_position_breaks_remaining_ties(self):
+        rule = parse_rule("p(X, Y) :- a(X, Y), b(X, Y).")
+        order = plan_order(_positives(rule), {0: 7, 1: 7})
+        assert [i for i, _ in order] == [0, 1]
+
+    def test_bound_variables_count_as_probe_positions(self):
+        rule = parse_rule("p(X, Y) :- big(A, W), tiny(B, C), join(X, Y).")
+        # X pre-bound: join(X, Y) is half-bound and beats the unbound
+        # atoms despite tiny being the smallest relation.
+        order = plan_order(
+            _positives(rule), {0: 10, 1: 2, 2: 10}, bound_vars={"X"}
+        )
+        assert order[0][0] == 2
+
+    def test_bound_positions_counts_constants_and_bound_vars(self):
+        rule = parse_rule("p(X, Y) :- q(1, X, Y).")
+        atom = rule.body[0].atom
+        assert bound_positions(atom, set()) == 1
+        assert bound_positions(atom, {"X"}) == 2
+        assert bound_positions(atom, {"X", "Y"}) == 3
+
+
+class TestEarlyExit:
+    def test_has_empty_source(self):
+        rule = parse_rule("p(X, Y) :- a(X, Y), b(X, Y).")
+        positives = _positives(rule)
+        assert has_empty_source(positives, {0: set(), 1: {(1, 2)}})
+        assert not has_empty_source(positives, {0: {(1, 2)}, 1: {(1, 2)}})
+
+    def test_empty_predicate_skips_all_work(self):
+        """An empty body predicate must cost zero scans and zero probes."""
+        rule = parse_rule("p(X, Z) :- e(X, Y), missing(Y, Z).")
+        store = IndexedFactStore({"e": [(i, i + 1) for i in range(100)]})
+        stats = EngineStatistics()
+        derived = evaluate_rule(rule, store.view, stats=stats)
+        assert derived == set()
+        assert stats.facts_scanned == 0
+        assert stats.index_probes == 0
+        assert stats.tuples_materialized == 0
+
+    def test_unplanned_pipeline_still_scans(self):
+        """The baseline has no early exit when the empty atom comes last
+        (that asymmetry is part of what the benchmark measures)."""
+        rule = parse_rule("p(X, Z) :- e(X, Y), missing(Y, Z).")
+        store = FactStore({"e": [(i, i + 1) for i in range(100)]})
+        stats = EngineStatistics()
+        derived = evaluate_rule(rule, store.get, stats=stats, planned=False)
+        assert derived == set()
+        assert stats.facts_scanned == 100
+
+
+class TestEmptyPredicateSafetyRegression:
+    """A rule body can die out before a negation's variables are bound;
+    that is an empty result, not a safety violation (seed bug)."""
+
+    RULE = "p(X, Y) :- e(X), g(Y), not h(X, Y)."
+
+    @pytest.mark.parametrize("planned", [True, False])
+    def test_negation_pending_when_bindings_die(self, planned):
+        rule = parse_rule(self.RULE)
+        store = FactStore({"e": [(1,)], "h": [(1, 2)]})  # g is empty
+        derived = evaluate_rule(rule, store.get, stats=None, planned=planned)
+        assert derived == set()
+
+    @pytest.mark.parametrize("indexed,planned", [(True, True), (False, False)])
+    def test_whole_engine_handles_empty_body_predicate(self, indexed, planned):
+        program, _ = parse_program(
+            """
+            h(X, Y) :- e(X), e(Y).
+            p(X, Y) :- e(X), g(Y), not h(X, Y).
+            """
+        )
+        edb = FactStore({"e": [(1,), (2,)]})  # g has no facts at all
+        store = naive_evaluate(program, edb, indexed=indexed, planned=planned)
+        assert store.get("p") == frozenset()
+
+    def test_comparison_pending_when_bindings_die(self):
+        rule = parse_rule("p(X, Y) :- e(X), g(Y), X < Y.")
+        store = FactStore({"e": [(1,)]})
+        for planned in (True, False):
+            assert evaluate_rule(rule, store.get, planned=planned) == set()
+
+
+class TestPlannerPreservesSemantics:
+    def test_planned_and_unplanned_agree_with_negation_and_comparisons(self):
+        program, _ = parse_program(
+            """
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- edge(X, Y), path(Y, Z).
+            node(X) :- edge(X, Y).
+            node(Y) :- edge(X, Y).
+            unreachable(X, Y) :- node(X), node(Y), not path(X, Y), X != Y.
+            """
+        )
+        edb = FactStore({"edge": [(0, 1), (1, 2), (3, 4)]})
+        planned = naive_evaluate(program, edb, planned=True)
+        unplanned = naive_evaluate(program, edb, planned=False)
+        assert planned == unplanned
+
+    def test_equality_binding_variable_survives_planning(self):
+        # Y is bound only by the equality; the planner must not starve it.
+        rule = parse_rule("p(X, Y) :- e(X), Y = 7.")
+        store = FactStore({"e": [(1,), (2,)]})
+        for planned in (True, False):
+            assert evaluate_rule(rule, store.get, planned=planned) == {
+                (1, 7),
+                (2, 7),
+            }
+
+    def test_cross_check_on_constant_heavy_program(self):
+        program, _ = parse_program(
+            """
+            reach(X) :- start(X).
+            reach(Y) :- reach(X), edge(X, Y).
+            hit(X) :- reach(X), target(X).
+            """
+        )
+        edb = FactStore(
+            {
+                "start": [(0,)],
+                "edge": [(i, i + 1) for i in range(20)],
+                "target": [(5,), (19,), (25,)],
+            }
+        )
+        answers = cross_check(program, edb, "hit(X)")
+        assert all(a == {(5,), (19,)} for a in answers.values())

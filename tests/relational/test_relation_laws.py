@@ -1,0 +1,185 @@
+"""Algebraic laws of relation operators, and index-cache consistency.
+
+The operators in :mod:`repro.relational.relation` now answer joins and
+semijoins from cached per-key hash indexes.  These tests state the
+operator laws the cache must preserve — commutativity/associativity of
+natural join up to column order, semijoin containment, product
+cardinality — and check warm-vs-cold consistency explicitly: a relation
+that has already built indexes must answer exactly like a fresh copy.
+
+The empty-relation cases (zero tuples *and* zero attributes) are the
+regression net for the degenerate inputs hash-join code paths
+classically get wrong.
+"""
+
+import pytest
+
+from repro.core.random_instances import random_database
+from repro.relational.relation import Relation, same_content
+from repro.relational.schema import RelationSchema
+
+
+def _pair(seed):
+    db = random_database(
+        num_relations=2, arity=2, rows=12, domain_size=5, seed=seed
+    )
+    names = db.names()
+    return db[names[0]], db[names[1]]
+
+
+def _triple(seed):
+    db = random_database(
+        num_relations=3, arity=2, rows=10, domain_size=5, seed=seed
+    )
+    names = db.names()
+    return db[names[0]], db[names[1]], db[names[2]]
+
+
+SEEDS = range(12)
+
+
+class TestJoinLaws:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_join_commutes_up_to_column_order(self, seed):
+        r, s = _pair(seed)
+        assert same_content(r.natural_join(s), s.natural_join(r))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_join_associates_up_to_column_order(self, seed):
+        r, s, t = _triple(seed)
+        assert same_content(
+            r.natural_join(s).natural_join(t),
+            r.natural_join(s.natural_join(t)),
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_join_is_idempotent(self, seed):
+        r, _ = _pair(seed)
+        assert r.natural_join(r) == r
+
+    def test_join_without_shared_attributes_is_product(self):
+        r = Relation(RelationSchema("r", ("a", "b")), [(1, 2), (3, 4)])
+        s = Relation(RelationSchema("s", ("c",)), [(7,), (8,)])
+        assert same_content(r.natural_join(s), r.product(s))
+
+
+class TestSemijoinLaws:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_semijoin_contained_in_self(self, seed):
+        r, s = _pair(seed)
+        assert r.semijoin(s).tuples <= r.tuples
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_semijoin_is_join_support(self, seed):
+        r, s = _pair(seed)
+        joined = r.natural_join(s)
+        supported = joined.project(r.schema.attributes)
+        assert r.semijoin(s) == supported
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_semijoin_fully_shared_is_intersection(self, seed):
+        r, _ = _pair(seed)
+        s = Relation(
+            r.schema,
+            list(r.tuples)[: len(r.tuples) // 2] + [(99, 99)],
+            validate=False,
+        )
+        assert r.semijoin(s) == r.intersection(s)
+        assert r.antijoin(s) == r.difference(s)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_semijoin_antijoin_partition(self, seed):
+        r, s = _pair(seed)
+        semi = r.semijoin(s)
+        anti = r.antijoin(s)
+        assert semi.tuples | anti.tuples == r.tuples
+        assert not semi.tuples & anti.tuples
+
+
+class TestProductLaws:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_product_cardinality(self, seed):
+        r, s = _pair(seed)
+        s = s.rename(dict(zip(s.schema.attributes, ("c", "d"))))
+        assert len(r.product(s)) == len(r) * len(s)
+
+
+class TestIndexCacheConsistency:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_warm_equals_cold(self, seed):
+        """A relation with warm index caches answers like a fresh copy."""
+        r, s = _pair(seed)
+        warm_r = Relation(r.schema, r.tuples, validate=False)
+        warm_s = Relation(s.schema, s.tuples, validate=False)
+        # Warm up every operator's index pattern.
+        warm_r.natural_join(warm_s)
+        warm_s.natural_join(warm_r)
+        warm_r.semijoin(warm_s)
+        warm_r.antijoin(warm_s)
+        assert warm_s.cached_index_patterns()
+        # Cold relations (no cache) must give identical answers.
+        assert warm_r.natural_join(warm_s) == r.natural_join(s)
+        assert warm_r.semijoin(warm_s) == r.semijoin(s)
+        assert warm_r.antijoin(warm_s) == r.antijoin(s)
+
+    def test_cache_is_per_pattern(self):
+        """Indexes live on the probed (right) side, one per key pattern."""
+        r = Relation(RelationSchema("r", ("a", "b")), [(1, 2), (1, 3)])
+        s = Relation(RelationSchema("s", ("a", "b")), [(1, 2)])
+        r.semijoin(s)  # keys (a, b) -> pattern (0, 1) on s
+        s.semijoin(r)  # keys (a, b) -> pattern (0, 1) on r
+        just_a = Relation(RelationSchema("y", ("a", "c")), [(1, 9)])
+        just_a.semijoin(r)  # keys (a,) -> pattern (0,) on r
+        assert s.cached_index_patterns() == [(0, 1)]
+        assert r.cached_index_patterns() == [(0,), (0, 1)]
+
+    def test_fresh_relation_has_no_cache(self):
+        r = Relation(RelationSchema("r", ("a",)), [(1,)])
+        assert r.cached_index_patterns() == []
+
+
+class TestEmptyRelations:
+    """Zero-tuple and zero-attribute degenerate cases."""
+
+    def _nonempty(self):
+        return Relation(RelationSchema("r", ("a", "b")), [(1, 2), (2, 3)])
+
+    def test_join_with_empty_is_empty(self):
+        r = self._nonempty()
+        empty = Relation.empty(RelationSchema("s", ("b", "c")))
+        assert len(r.natural_join(empty)) == 0
+        assert len(empty.natural_join(r)) == 0
+
+    def test_semijoin_with_empty_is_empty(self):
+        r = self._nonempty()
+        empty = Relation.empty(RelationSchema("s", ("b", "c")))
+        assert len(r.semijoin(empty)) == 0
+        assert r.antijoin(empty) == r
+
+    def test_product_with_empty_is_empty(self):
+        r = self._nonempty()
+        empty = Relation.empty(RelationSchema("s", ("c", "d")))
+        assert len(r.product(empty)) == 0
+
+    def test_disjoint_semijoin_against_empty(self):
+        """No shared attributes: semijoin degenerates to TRUE/FALSE."""
+        r = self._nonempty()
+        empty = Relation.empty(RelationSchema("s", ("c", "d")))
+        assert len(r.semijoin(empty)) == 0
+        assert r.antijoin(empty) == r
+
+    def test_zero_attribute_relations(self):
+        """The 0-ary relations: DUM (no tuples) and DEE (empty tuple)."""
+        dum = Relation.empty(RelationSchema("dum", ()))
+        dee = Relation(RelationSchema("dee", ()), [()], validate=False)
+        r = self._nonempty()
+        # Product with DEE is identity on tuples; with DUM it is empty.
+        assert r.product(dee).tuples == r.tuples
+        assert len(r.product(dum)) == 0
+        # Natural join mirrors the products (no shared attributes).
+        assert r.natural_join(dee).tuples == r.tuples
+        assert len(r.natural_join(dum)) == 0
+        # Semijoin: DEE supports everything, DUM supports nothing.
+        assert r.semijoin(dee) == r
+        assert len(r.semijoin(dum)) == 0
+        assert dee.natural_join(dee) == dee
