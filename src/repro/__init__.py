@@ -28,6 +28,7 @@ from . import (
     dependencies,
     incomplete,
     metascience,
+    plan,
     relational,
     transactions,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "dependencies",
     "incomplete",
     "metascience",
+    "plan",
     "relational",
     "transactions",
     "__version__",

@@ -12,6 +12,7 @@ import random
 from ..datalog.ast import Atom, Literal, Program, Rule
 from ..datalog.facts import FactStore
 from ..dependencies.fd import FD
+from ..relational import algebra as ra
 from ..relational.database import Database
 from ..relational.relation import Relation
 from ..relational.schema import RelationSchema
@@ -213,6 +214,110 @@ def random_database(
         }
         db.add(Relation(schema, tuples))
     return db
+
+
+def random_algebra_expression(db, seed=0, size=4):
+    """A random, schema-valid algebra expression over ``db``.
+
+    Covers every core operator — selection, projection, rename, natural
+    join, theta join, product, union, difference, intersection,
+    semijoin, antijoin, division — with operands constructed so the
+    expression always type-checks (disjoint schemas for products,
+    union-compatible sides for set operations, proper-subset divisors).
+    Deterministic in ``seed``; the differential executor tests sweep
+    seeds to compare the streaming executor against the legacy tree
+    walk on the results.
+    """
+    rng = random.Random(seed)
+    db_schema = db.schema()
+    names = db.names()
+    domain = sorted(db.active_domain()) or [0, 1]
+    counter = [0]
+    comparison_ops = ("=", "!=", "<", "<=", ">", ">=")
+
+    def fresh():
+        counter[0] += 1
+        return "x%d" % counter[0]
+
+    def fresh_base():
+        """A base relation with every attribute renamed fresh (so its
+        schema is disjoint from anything built so far)."""
+        name = rng.choice(names)
+        mapping = {a: fresh() for a in db_schema[name].attributes}
+        return ra.Rename(ra.RelationRef(name), mapping), tuple(
+            mapping[a] for a in db_schema[name].attributes
+        )
+
+    def random_condition(attrs):
+        left = ra.Attr(rng.choice(attrs))
+        if rng.random() < 0.4 and len(attrs) > 1:
+            right = ra.Attr(rng.choice(attrs))
+        else:
+            right = ra.Const(rng.choice(domain))
+        return ra.Comparison(left, rng.choice(comparison_ops), right)
+
+    expr = ra.RelationRef(rng.choice(names))
+    for _ in range(size):
+        attrs = list(expr.schema(db_schema).attributes)
+        kinds = [
+            "select", "project", "rename", "join", "semijoin", "antijoin",
+            "union", "difference", "intersection", "theta", "product",
+        ]
+        if len(attrs) >= 2:
+            kinds.append("divide")
+        kind = rng.choice(kinds)
+        if kind == "select":
+            expr = ra.Selection(expr, random_condition(attrs))
+        elif kind == "project":
+            keep = [a for a in attrs if rng.random() < 0.7] or attrs[:1]
+            expr = ra.Projection(expr, tuple(keep))
+        elif kind == "rename":
+            expr = ra.Rename(expr, {rng.choice(attrs): fresh()})
+        elif kind == "join":
+            expr = ra.NaturalJoin(expr, ra.RelationRef(rng.choice(names)))
+        elif kind == "semijoin":
+            expr = ra.Semijoin(expr, ra.RelationRef(rng.choice(names)))
+        elif kind == "antijoin":
+            expr = ra.Antijoin(expr, ra.RelationRef(rng.choice(names)))
+        elif kind in ("union", "difference", "intersection"):
+            node = {
+                "union": ra.Union,
+                "difference": ra.Difference,
+                "intersection": ra.Intersection,
+            }[kind]
+            # A filtered copy of the expression itself is always
+            # union-compatible with it (subtrees are immutable, sharing
+            # is safe).
+            expr = node(expr, ra.Selection(expr, random_condition(attrs)))
+        elif kind == "theta":
+            right, right_attrs = fresh_base()
+            condition = ra.Comparison(
+                ra.Attr(rng.choice(attrs)),
+                rng.choice(comparison_ops),
+                ra.Attr(rng.choice(right_attrs)),
+            )
+            if rng.random() < 0.5:
+                condition = ra.And(
+                    condition,
+                    ra.Comparison(
+                        ra.Attr(rng.choice(right_attrs)),
+                        rng.choice(comparison_ops),
+                        ra.Const(rng.choice(domain)),
+                    ),
+                )
+            expr = ra.ThetaJoin(expr, right, condition)
+        elif kind == "product":
+            right, _ = fresh_base()
+            expr = ra.Product(expr, right)
+        else:  # divide
+            divisor_attr = rng.choice(attrs)
+            values = rng.sample(domain, rng.randint(1, min(2, len(domain))))
+            divisor = Relation(
+                RelationSchema("divisor", (divisor_attr,)),
+                [(v,) for v in values],
+            )
+            expr = ra.Division(expr, ra.ConstantRelation(divisor))
+    return expr
 
 
 def random_fds(attributes, count=4, max_side=2, seed=0):

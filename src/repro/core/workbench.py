@@ -22,6 +22,9 @@ from ..datalog.engine import DatalogEngine
 from ..datalog.facts import FactStore
 from ..datalog.parser import parse_program
 from ..dependencies.design import DesignTool
+from ..plan.cache import PlanCache
+from ..plan.executor import execute_physical
+from ..plan.logical import canonicalize, plan_key
 from ..relational.algebra import evaluate
 from ..relational.calculus import evaluate_query
 from ..relational.codd import (
@@ -37,8 +40,11 @@ from ..relational.sql_frontend import parse_sql
 class MetatheoryWorkbench:
     """A database plus every classical way of querying and analyzing it."""
 
-    def __init__(self, db=None):
+    def __init__(self, db=None, plan_cache_size=128):
         self.db = db if db is not None else Database()
+        self.plan_cache = PlanCache(plan_cache_size)
+        self._parse_cache = {}
+        self._parse_cache_token = None
 
     @classmethod
     def from_dict(cls, data):
@@ -46,21 +52,77 @@ class MetatheoryWorkbench:
         return cls(Database.from_dict(data))
 
     # -- querying ------------------------------------------------------------
+    #
+    # Every relational entry point compiles into one pipeline:
+    # front-end -> canonical logical plan -> optimizer -> physical plan ->
+    # streaming executor.  ``executor=False`` falls back to the legacy
+    # materialize-everything tree walk (the differential oracle),
+    # mirroring the ``indexed=False`` opt-out of the Datalog layer.
 
-    def sql(self, text, optimized=True):
-        """Run a SQL statement; returns a Relation."""
+    def _sync_caches(self):
+        """Flush compiled-plan caches when the database schema changed."""
+        token = self.db.schema_token()
+        if token != self._parse_cache_token:
+            self._parse_cache.clear()
+            self.plan_cache.clear()
+            self._parse_cache_token = token
+
+    def _run_pipeline(self, expr, optimized, stats):
+        self._sync_caches()
+        canonical = canonicalize(expr, self.db.schema())
+        key = (plan_key(canonical), bool(optimized))
+        plan = self.plan_cache.get(key)
+        if plan is None:
+            plan = (
+                canonicalize(optimize(canonical, self.db), self.db.schema())
+                if optimized
+                else canonical
+            )
+            self.plan_cache.put(key, plan)
+        relation, _tally = execute_physical(plan, self.db, stats)
+        return relation
+
+    def _cached_parse(self, kind, text, parse):
+        self._sync_caches()
+        key = (kind, text)
+        expr = self._parse_cache.get(key)
+        if expr is None:
+            expr = parse(text)
+            self._parse_cache[key] = expr
+        return expr
+
+    def sql(self, text, optimized=True, executor=True, stats=None):
+        """Run a SQL statement; returns a Relation.
+
+        Args:
+            text: the SQL text.
+            optimized: run the algebraic optimizer over the canonical
+                plan.
+            executor: compile through the shared pipeline and run on the
+                streaming executor (default); False reproduces the
+                legacy tree-walk path bit for bit.
+            stats: optional
+                :class:`~repro.datalog.stats.EngineStatistics` charged
+                with the executor's work.
+        """
+        if executor:
+            expr = self._cached_parse("sql", text, parse_sql)
+            return self._run_pipeline(expr, optimized, stats)
         expr = parse_sql(text)
         if optimized:
             expr = optimize(expr, self.db)
         return evaluate(expr, self.db)
 
-    def algebra(self, expr, optimized=False):
+    def algebra(self, expr, optimized=False, executor=True, stats=None):
         """Evaluate a relational-algebra expression."""
+        if executor:
+            return self._run_pipeline(expr, optimized, stats)
         if optimized:
             expr = optimize(expr, self.db)
         return evaluate(expr, self.db)
 
-    def calculus(self, query, via="algebra"):
+    def calculus(self, query, via="algebra", optimized=False, executor=True,
+                 stats=None):
         """Evaluate a safe calculus query.
 
         Args:
@@ -69,6 +131,10 @@ class MetatheoryWorkbench:
             via: "algebra" compiles through Codd's translation (the
                 production path); "direct" uses active-domain enumeration
                 (the semantics oracle).
+            optimized: run the algebraic optimizer (algebra path only).
+            executor: run the compiled algebra on the streaming executor
+                (default); False uses the legacy tree walk.
+            stats: optional EngineStatistics charged with executor work.
         """
         if isinstance(query, str):
             from ..relational.calculus_parser import parse_calculus
@@ -77,6 +143,10 @@ class MetatheoryWorkbench:
         if via == "direct":
             return evaluate_query(query, self.db)
         expr = calculus_to_algebra(query, self.db.schema())
+        if executor:
+            return self._run_pipeline(expr, optimized, stats)
+        if optimized:
+            expr = optimize(expr, self.db)
         return evaluate(expr, self.db)
 
     def codd_check(self, query):
@@ -96,14 +166,18 @@ class MetatheoryWorkbench:
 
     # -- Datalog ------------------------------------------------------------------
 
-    def datalog(self, source):
+    def datalog(self, source, executor=True):
         """A Datalog engine whose EDB is this workbench's database.
 
         Any ``?-`` queries in the source are ignored here; use the
-        returned engine's ``.query``.
+        returned engine's ``.query``.  Non-recursive programs run as
+        algebra plans on the shared streaming executor by default;
+        ``executor=False`` forces the fixpoint machinery.
         """
         program, _queries = parse_program(source)
-        return DatalogEngine(program, FactStore.from_database(self.db))
+        return DatalogEngine(
+            program, FactStore.from_database(self.db), executor=executor
+        )
 
     # -- schema analysis ----------------------------------------------------------
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 from ..errors import DatalogError
 from .ast import Atom, Program
 from .facts import FactStore
+from .lowering import is_lowerable, lowered_evaluate
 from .magic import magic_evaluate, match_query
 from .naive import naive_evaluate
 from .parser import parse_program, parse_query
@@ -36,15 +37,21 @@ class DatalogEngine:
     ``indexed`` and ``planned`` select the physical configuration shared
     by every strategy (persistent hash indexes and the greedy join-order
     planner, both on by default); the defaults reproduce the seed's
-    *semantics* while changing its physical plan.
+    *semantics* while changing its physical plan.  ``executor`` routes
+    *non-recursive* programs through the shared relational pipeline
+    (lowered to algebra plans, run on the streaming executor) for the
+    bottom-up strategies; recursive programs always use the fixpoint
+    machinery, and ``executor=False`` forces it everywhere.
     """
 
-    def __init__(self, program, edb=None, indexed=True, planned=True):
+    def __init__(self, program, edb=None, indexed=True, planned=True,
+                 executor=True):
         if not isinstance(program, Program):
             raise DatalogError("expected a Program, got %r" % (program,))
         self.program = program
         self.indexed = indexed
         self.planned = planned
+        self.executor = executor
         if edb is None:
             self.edb = FactStore()
         elif isinstance(edb, FactStore):
@@ -58,10 +65,13 @@ class DatalogEngine:
     # -- constructors -------------------------------------------------------
 
     @classmethod
-    def from_source(cls, source, edb=None, indexed=True, planned=True):
+    def from_source(cls, source, edb=None, indexed=True, planned=True,
+                    executor=True):
         """Parse program text (ignoring any ``?-`` lines) and wrap it."""
         program, _ = parse_program(source)
-        return cls(program, edb, indexed=indexed, planned=planned)
+        return cls(
+            program, edb, indexed=indexed, planned=planned, executor=executor
+        )
 
     # -- full evaluation ------------------------------------------------------
 
@@ -94,6 +104,17 @@ class DatalogEngine:
                 "unknown strategy %r (use one of %s)"
                 % (strategy, ", ".join(STRATEGIES))
             )
+        if self.executor and is_lowerable(self.program):
+            # Non-recursive: one pass through the relational pipeline is
+            # the whole fixpoint, whatever bottom-up strategy was asked
+            # for.  Recursion falls through to the iterating engines.
+            if stats is not None:
+                return lowered_evaluate(self.program, self.edb, stats=stats)
+            if "plan" not in self._model_cache:
+                self._model_cache["plan"] = lowered_evaluate(
+                    self.program, self.edb
+                )
+            return self._model_cache["plan"]
         if stats is not None:
             return evaluator(
                 self.program,
@@ -179,16 +200,19 @@ class DatalogEngine:
 
 
 def cross_check(
-    program, edb, query_atom, strategies=STRATEGIES, indexed=True, planned=True
+    program, edb, query_atom, strategies=STRATEGIES, indexed=True,
+    planned=True, executor=True
 ):
     """Answer the same query under several strategies; return the results.
 
     The integration tests use this to assert all engines agree — the
-    library's own Berkeley–IBM-style experiment.  ``indexed``/``planned``
-    select the physical configuration, so the differential suite can run
-    the comparison both with and without the new machinery.
+    library's own Berkeley–IBM-style experiment.  ``indexed``/``planned``/
+    ``executor`` select the physical configuration, so the differential
+    suite can run the comparison both with and without the new machinery.
     """
-    engine = DatalogEngine(program, edb, indexed=indexed, planned=planned)
+    engine = DatalogEngine(
+        program, edb, indexed=indexed, planned=planned, executor=executor
+    )
     if isinstance(query_atom, str):
         query_atom = parse_query(query_atom)
     return {

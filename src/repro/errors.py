@@ -44,6 +44,10 @@ class ParseError(ReproError):
         self.text = text
 
 
+class PlanError(ReproError):
+    """A query plan could not be canonicalized, optimized, or executed."""
+
+
 class DatalogError(ReproError):
     """A Datalog program is malformed (unsafe rule, bad arity, etc.)."""
 

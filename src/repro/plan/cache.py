@@ -1,0 +1,59 @@
+"""The workbench's plan cache.
+
+Keyed by :func:`~repro.plan.logical.plan_key` of the canonical logical
+plan (plus whatever discriminators the caller folds in, e.g. whether the
+optimizer ran), so the same query arriving through *different*
+front-ends — SQL text, a calculus formula, a hand-built algebra tree —
+hits the same cache entry whenever it canonicalizes to the same plan.
+"""
+
+from __future__ import annotations
+
+
+class PlanCache:
+    """A bounded FIFO-evicting mapping with hit/miss counters."""
+
+    __slots__ = ("capacity", "hits", "misses", "_entries")
+
+    def __init__(self, capacity=128):
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries = {}
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    def get(self, key):
+        """The cached value, or None; counts a hit or a miss."""
+        entry = self._entries.get(key, _MISSING)
+        if entry is _MISSING:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key, value):
+        if key not in self._entries and len(self._entries) >= self.capacity:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[key] = value
+
+    def stats(self):
+        """``{"hits", "misses", "size"}`` snapshot (for tests/reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._entries),
+        }
+
+    def clear(self):
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_MISSING = object()

@@ -1,0 +1,71 @@
+"""The pull-based executor and the tree-walk work meter.
+
+:func:`execute` runs any algebra expression through the full pipeline —
+canonicalize, select physical operators, pull the root — and returns a
+:class:`~repro.relational.relation.Relation` identical to what the
+legacy tree-walk :func:`~repro.relational.algebra.evaluate` produces
+(same attribute order, same tuples).  Work is charged to an optional
+:class:`~repro.datalog.stats.EngineStatistics`.
+
+:func:`measure_treewalk` runs the *legacy* evaluator under the same
+counters: every non-leaf node's fully-materialized result is charged to
+``tuples_materialized``, and the largest single node result is the peak.
+That is the honest cost model of a materialize-everything tree walk, and
+it is what the pipeline benchmark compares the streaming executor
+against.
+"""
+
+from __future__ import annotations
+
+from ..datalog.stats import EngineStatistics
+from ..relational import algebra as ra
+from ..relational.relation import Relation
+from .logical import canonicalize
+from .physical import Tally, build_physical
+
+
+def execute_physical(expr, db, stats=None):
+    """Run an already-canonical plan; return ``(relation, tally)``.
+
+    The final result set counts toward ``tuples_materialized`` (it is a
+    buffer like any other), symmetric with :func:`measure_treewalk`,
+    which charges the root node's result too.
+    """
+    tally = Tally(stats if stats is not None else EngineStatistics())
+    root = build_physical(expr, db, tally)
+    out = set()
+    for t in root.tuples():
+        if t not in out:
+            out.add(t)
+            tally.buffered(len(out))
+    return Relation(root.schema, out, validate=False), tally
+
+
+def execute(expr, db, stats=None):
+    """Compile ``expr`` through the pipeline and run it over ``db``."""
+    canonical = canonicalize(expr, db.schema())
+    relation, _ = execute_physical(canonical, db, stats)
+    return relation
+
+
+def measure_treewalk(expr, db):
+    """Legacy tree-walk evaluation with work accounting.
+
+    Returns ``(relation, stats, peak)`` where ``stats`` charges every
+    non-leaf node's materialized result size to ``tuples_materialized``
+    and ``peak`` is the largest single intermediate.
+    """
+    stats = EngineStatistics()
+    peak = [0]
+
+    def counting(node, database):
+        result = ra.dispatch(node, database, counting)
+        if not isinstance(node, (ra.RelationRef, ra.ConstantRelation)):
+            size = len(result)
+            stats.tuples_materialized += size
+            if size > peak[0]:
+                peak[0] = size
+        return result
+
+    result = counting(expr, db)
+    return result, stats, peak[0]

@@ -1,0 +1,129 @@
+"""Logical-plan canonicalization and plan keys.
+
+A *canonical* logical plan is an algebra tree built exclusively from the
+core node types of :mod:`repro.relational.algebra`.  Front-ends are free
+to emit extension nodes (the SQL frontend defers column resolution, the
+Codd translation renames positionally); :func:`canonicalize` resolves
+them against a concrete database schema via the ``canonicalize_node``
+protocol, so the optimizer and the physical layer only ever see the core
+operators.
+
+:func:`plan_key` maps a canonical plan to a hashable structural key —
+two queries with the same key are the same logical plan, which is what
+the workbench's :class:`~repro.plan.cache.PlanCache` is keyed on.
+"""
+
+from __future__ import annotations
+
+from ..errors import PlanError
+from ..relational import algebra as ra
+
+#: Core binary set/join operators, tagged for key construction.
+_BINARY_TAGS = {
+    ra.Product: "product",
+    ra.NaturalJoin: "join",
+    ra.Semijoin: "semijoin",
+    ra.Antijoin: "antijoin",
+    ra.Union: "union",
+    ra.Difference: "difference",
+    ra.Intersection: "intersection",
+    ra.Division: "division",
+}
+
+
+def canonicalize(expr, db_schema):
+    """Resolve ``expr`` into a canonical (core-operator-only) plan.
+
+    Args:
+        expr: any :class:`~repro.relational.algebra.AlgebraExpr`,
+            possibly containing front-end extension nodes.
+        db_schema: the :class:`~repro.relational.schema.DatabaseSchema`
+            the plan will run against (extension nodes need it to
+            resolve names).
+
+    Returns:
+        An equivalent expression containing only core algebra nodes.
+
+    Raises:
+        PlanError: on nodes that neither are core operators nor
+            implement ``canonicalize_node``.
+    """
+    if isinstance(expr, (ra.RelationRef, ra.ConstantRelation)):
+        return expr
+    if isinstance(expr, ra.Selection):
+        return ra.Selection(canonicalize(expr.child, db_schema), expr.condition)
+    if isinstance(expr, ra.Projection):
+        return ra.Projection(
+            canonicalize(expr.child, db_schema), expr.attributes
+        )
+    if isinstance(expr, ra.Rename):
+        return ra.Rename(canonicalize(expr.child, db_schema), expr.mapping)
+    if isinstance(expr, ra.ThetaJoin):
+        return ra.ThetaJoin(
+            canonicalize(expr.left, db_schema),
+            canonicalize(expr.right, db_schema),
+            expr.condition,
+        )
+    if type(expr) in _BINARY_TAGS:
+        return type(expr)(
+            canonicalize(expr.left, db_schema),
+            canonicalize(expr.right, db_schema),
+        )
+    custom = getattr(expr, "canonicalize_node", None)
+    if custom is not None:
+        return custom(db_schema, lambda e: canonicalize(e, db_schema))
+    raise PlanError(
+        "cannot canonicalize %r: not a core operator and no "
+        "canonicalize_node hook" % (expr,)
+    )
+
+
+def is_canonical(expr):
+    """True when the tree contains only core algebra node types."""
+    if isinstance(expr, (ra.RelationRef, ra.ConstantRelation)):
+        return True
+    if isinstance(expr, (ra.Selection, ra.Projection, ra.Rename)):
+        return is_canonical(expr.child)
+    if isinstance(expr, ra.ThetaJoin) or type(expr) in _BINARY_TAGS:
+        return is_canonical(expr.left) and is_canonical(expr.right)
+    return False
+
+
+def plan_key(expr):
+    """A hashable structural key for a canonical plan.
+
+    Condition ASTs already define value equality/hashing, so they embed
+    directly; relation literals embed as (attributes, tuples).
+
+    Raises:
+        PlanError: on non-canonical nodes (canonicalize first).
+    """
+    if isinstance(expr, ra.RelationRef):
+        return ("ref", expr.name)
+    if isinstance(expr, ra.ConstantRelation):
+        return (
+            "const",
+            expr.relation.schema.attributes,
+            expr.relation.tuples,
+        )
+    if isinstance(expr, ra.Selection):
+        return ("select", expr.condition, plan_key(expr.child))
+    if isinstance(expr, ra.Projection):
+        return ("project", expr.attributes, plan_key(expr.child))
+    if isinstance(expr, ra.Rename):
+        return (
+            "rename",
+            tuple(sorted(expr.mapping.items())),
+            plan_key(expr.child),
+        )
+    if isinstance(expr, ra.ThetaJoin):
+        return (
+            "theta",
+            expr.condition,
+            plan_key(expr.left),
+            plan_key(expr.right),
+        )
+    tag = _BINARY_TAGS.get(type(expr))
+    if tag is not None:
+        return (tag, plan_key(expr.left), plan_key(expr.right))
+    raise PlanError("cannot key non-canonical node %r" % (expr,))

@@ -1,0 +1,640 @@
+"""Physical operators: the streaming Volcano-style layer.
+
+Each operator exposes ``schema`` (computed at plan-build time, no data
+touched) and ``tuples()`` — a generator that pulls from its children on
+demand.  Work is charged to a :class:`Tally`, which wraps an
+:class:`~repro.datalog.stats.EngineStatistics` (the same counters the
+Datalog engines use) and tracks the largest single operator buffer:
+
+* ``facts_scanned`` — tuples enumerated out of a stored relation
+  (scans and index-build passes);
+* ``index_probes`` — hash lookups, whether into a
+  :class:`~repro.relational.relation.Relation`'s cached key index or an
+  operator-built hash table;
+* ``index_builds`` — hash tables/key indexes constructed;
+* ``tuples_materialized`` — tuples *buffered* by an operator (hash-join
+  build sides, dedup sets, set-operation right sides, the final result)
+  — streamed-through tuples are free, which is the executor's whole
+  point.
+
+Physical operator selection (:func:`build_physical`) maps each canonical
+logical node to an operator; when a join's right input is a base
+relation, the join probes the relation's cached
+:meth:`~repro.relational.relation.Relation._key_index` instead of
+building its own table, so repeated queries share build work.
+"""
+
+from __future__ import annotations
+
+from ..errors import PlanError
+from ..relational import algebra as ra
+from ..relational.relation import Relation
+
+# ---------------------------------------------------------------------------
+# Work accounting
+# ---------------------------------------------------------------------------
+
+
+class Tally:
+    """Executor work counters: an EngineStatistics plus buffer peaks."""
+
+    __slots__ = ("stats", "peak_buffer")
+
+    def __init__(self, stats):
+        self.stats = stats
+        self.peak_buffer = 0
+
+    def scanned(self, count=1):
+        self.stats.facts_scanned += count
+
+    def probed(self, count=1):
+        self.stats.index_probes += count
+
+    def built(self):
+        self.stats.index_builds += 1
+
+    def buffered(self, buffer_size):
+        """One tuple entered an operator buffer now holding buffer_size."""
+        self.stats.tuples_materialized += 1
+        if buffer_size > self.peak_buffer:
+            self.peak_buffer = buffer_size
+
+
+# ---------------------------------------------------------------------------
+# Operators
+# ---------------------------------------------------------------------------
+
+
+class PhysicalOp:
+    """Base class: a schema plus a pull-based tuple generator."""
+
+    __slots__ = ("schema", "tally")
+
+    def tuples(self):
+        raise NotImplementedError
+
+    def describe(self):
+        """One-line operator tree rendering (for tests and EXPLAIN)."""
+        return type(self).__name__.lstrip("_")
+
+
+class Scan(PhysicalOp):
+    """Enumerate a stored relation (base or literal)."""
+
+    __slots__ = ("relation",)
+
+    def __init__(self, relation, tally):
+        self.relation = relation
+        self.schema = relation.schema
+        self.tally = tally
+
+    def tuples(self):
+        for t in self.relation.tuples:
+            self.tally.scanned()
+            yield t
+
+    def describe(self):
+        return "Scan(%s)" % self.relation.schema.name
+
+
+class Select(PhysicalOp):
+    """Streaming filter; nothing buffered."""
+
+    __slots__ = ("child", "condition", "_test")
+
+    def __init__(self, child, condition, tally):
+        self.child = child
+        self.condition = condition
+        self.schema = child.schema
+        self._test = condition.compile(child.schema)
+        self.tally = tally
+
+    def tuples(self):
+        test = self._test
+        for t in self.child.tuples():
+            if test(t):
+                yield t
+
+    def describe(self):
+        return "Select[%s](%s)" % (self.condition, self.child.describe())
+
+
+class Project(PhysicalOp):
+    """Streaming projection; buffers only the emitted (distinct) tuples."""
+
+    __slots__ = ("child", "attributes", "_positions")
+
+    def __init__(self, child, attributes, tally):
+        self.child = child
+        self.attributes = tuple(attributes)
+        self._positions = [child.schema.position(a) for a in self.attributes]
+        self.schema = child.schema.project(self.attributes)
+        self.tally = tally
+
+    def tuples(self):
+        positions = self._positions
+        seen = set()
+        for t in self.child.tuples():
+            out = tuple(t[p] for p in positions)
+            if out not in seen:
+                seen.add(out)
+                self.tally.buffered(len(seen))
+                yield out
+
+    def describe(self):
+        return "Project[%s](%s)" % (
+            ",".join(self.attributes),
+            self.child.describe(),
+        )
+
+
+class RenameOp(PhysicalOp):
+    """Pure schema change; tuples pass through untouched."""
+
+    __slots__ = ("child", "mapping")
+
+    def __init__(self, child, mapping, tally):
+        self.child = child
+        self.mapping = dict(mapping)
+        self.schema = child.schema.rename(self.mapping)
+        self.tally = tally
+
+    def tuples(self):
+        return self.child.tuples()
+
+    def describe(self):
+        return "Rename(%s)" % self.child.describe()
+
+
+class _BaseIndex:
+    """Probe handle over a base Relation's cached key index."""
+
+    __slots__ = ("relation", "positions", "tally")
+
+    def __init__(self, relation, positions, tally):
+        self.relation = relation
+        self.positions = tuple(positions)
+        self.tally = tally
+
+    def mapping(self):
+        cached = self.positions in set(self.relation.cached_index_patterns())
+        index = self.relation._key_index(self.positions)
+        if not cached:
+            # First use builds the index with one pass over the relation;
+            # later queries (and the legacy evaluator) reuse it for free.
+            self.tally.built()
+            self.tally.scanned(len(self.relation))
+        return index
+
+
+class _BuiltIndex:
+    """Hash table built by draining a child operator once."""
+
+    __slots__ = ("child", "positions", "tally")
+
+    def __init__(self, child, positions, tally):
+        self.child = child
+        self.positions = tuple(positions)
+        self.tally = tally
+
+    def mapping(self):
+        index = {}
+        self.tally.built()
+        count = 0
+        for t in self.child.tuples():
+            key = tuple(t[p] for p in self.positions)
+            index.setdefault(key, []).append(t)
+            count += 1
+            self.tally.buffered(count)
+        return index
+
+
+class HashJoin(PhysicalOp):
+    """Natural join: stream the left input, probe a right-side hash index.
+
+    The right side is either a base relation (probe its cached key
+    index) or any operator (drain it once into a build table).  Output
+    column order matches :meth:`Relation.natural_join`: left attributes,
+    then the right side's new ones.
+    """
+
+    __slots__ = ("left", "_index", "_left_positions", "_extra_positions")
+
+    def __init__(self, left, right_schema, index, tally):
+        self.left = left
+        shared = left.schema.shared_attributes(right_schema)
+        self.schema = left.schema.join_schema(right_schema)
+        self._left_positions = [left.schema.position(a) for a in shared]
+        self._extra_positions = [
+            right_schema.position(a)
+            for a in right_schema.attributes
+            if a not in left.schema
+        ]
+        self._index = index
+        self.tally = tally
+
+    def tuples(self):
+        index = self._index.mapping()
+        left_positions = self._left_positions
+        extra_positions = self._extra_positions
+        for s in self.left.tuples():
+            key = tuple(s[p] for p in left_positions)
+            self.tally.probed()
+            for t in index.get(key, ()):
+                yield s + tuple(t[p] for p in extra_positions)
+
+    def describe(self):
+        return "HashJoin(%s)" % self.left.describe()
+
+
+class ThetaJoinOp(PhysicalOp):
+    """Theta join: hash on cross-side equality conjuncts when present,
+    nested loop otherwise — either way the condition filters during
+    enumeration, never after a materialized product."""
+
+    __slots__ = (
+        "left",
+        "right",
+        "condition",
+        "_left_key_positions",
+        "_right_key_positions",
+        "_residual",
+    )
+
+    def __init__(self, left, right, condition, tally):
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.schema = left.schema.concat(right.schema)
+        left_attrs = set(left.schema.attributes)
+        right_attrs = set(right.schema.attributes)
+        equi, residual = _split_equi_conjuncts(
+            condition, left_attrs, right_attrs
+        )
+        self._left_key_positions = [
+            left.schema.position(a) for a, _ in equi
+        ]
+        self._right_key_positions = [
+            right.schema.position(b) for _, b in equi
+        ]
+        self._residual = (
+            residual.compile(self.schema) if residual is not None else None
+        )
+        self.tally = tally
+
+    def tuples(self):
+        residual = self._residual
+        if self._right_key_positions:
+            index = _BuiltIndex(
+                self.right, self._right_key_positions, self.tally
+            ).mapping()
+            left_positions = self._left_key_positions
+            for s in self.left.tuples():
+                key = tuple(s[p] for p in left_positions)
+                self.tally.probed()
+                for t in index.get(key, ()):
+                    combined = s + t
+                    if residual is None or residual(combined):
+                        yield combined
+        else:
+            right_tuples = []
+            for t in self.right.tuples():
+                right_tuples.append(t)
+                self.tally.buffered(len(right_tuples))
+            for s in self.left.tuples():
+                for t in right_tuples:
+                    combined = s + t
+                    if residual is None or residual(combined):
+                        yield combined
+
+    def describe(self):
+        kind = "hash" if self._right_key_positions else "loop"
+        return "ThetaJoin:%s(%s, %s)" % (
+            kind,
+            self.left.describe(),
+            self.right.describe(),
+        )
+
+
+class ProductOp(PhysicalOp):
+    """Cartesian product: buffer the right side once, stream the left."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left, right, tally):
+        self.left = left
+        self.right = right
+        self.schema = left.schema.concat(right.schema)
+        self.tally = tally
+
+    def tuples(self):
+        right_tuples = []
+        for t in self.right.tuples():
+            right_tuples.append(t)
+            self.tally.buffered(len(right_tuples))
+        for s in self.left.tuples():
+            for t in right_tuples:
+                yield s + t
+
+    def describe(self):
+        return "Product(%s, %s)" % (
+            self.left.describe(),
+            self.right.describe(),
+        )
+
+
+class UnionOp(PhysicalOp):
+    """Pipelined union: stream both inputs through one dedup set."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left, right, tally):
+        left.schema.require_union_compatible(right.schema, "union")
+        self.left = left
+        self.right = right
+        self.schema = left.schema
+        self.tally = tally
+
+    def tuples(self):
+        seen = set()
+        for source in (self.left, self.right):
+            for t in source.tuples():
+                if t not in seen:
+                    seen.add(t)
+                    self.tally.buffered(len(seen))
+                    yield t
+
+    def describe(self):
+        return "Union(%s, %s)" % (self.left.describe(), self.right.describe())
+
+
+class _RightSetOp(PhysicalOp):
+    """Shared shape: buffer the right side as a set, stream the left."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left, right, tally, operation):
+        left.schema.require_union_compatible(right.schema, operation)
+        self.left = left
+        self.right = right
+        self.schema = left.schema
+        self.tally = tally
+
+    def _right_set(self):
+        members = set()
+        for t in self.right.tuples():
+            members.add(t)
+            self.tally.buffered(len(members))
+        return members
+
+    def describe(self):
+        return "%s(%s, %s)" % (
+            type(self).__name__.rstrip("Op"),
+            self.left.describe(),
+            self.right.describe(),
+        )
+
+
+class DifferenceOp(_RightSetOp):
+    __slots__ = ()
+
+    def __init__(self, left, right, tally):
+        super().__init__(left, right, tally, "difference")
+
+    def tuples(self):
+        members = self._right_set()
+        for t in self.left.tuples():
+            self.tally.probed()
+            if t not in members:
+                yield t
+
+
+class IntersectionOp(_RightSetOp):
+    __slots__ = ()
+
+    def __init__(self, left, right, tally):
+        super().__init__(left, right, tally, "intersection")
+
+    def tuples(self):
+        members = self._right_set()
+        for t in self.left.tuples():
+            self.tally.probed()
+            if t in members:
+                yield t
+
+
+class SemijoinOp(PhysicalOp):
+    """Left semijoin/antijoin: probe a key set built from the right.
+
+    Mirrors :meth:`Relation.semijoin`/``antijoin`` exactly, including
+    the no-shared-attributes degeneration (right emptiness decides).
+    When the right input is a base relation, its cached key index
+    serves as the key set.
+    """
+
+    __slots__ = ("left", "right", "_index", "_left_positions", "negated")
+
+    def __init__(self, left, right, index, tally, negated=False):
+        self.left = left
+        self.right = right
+        shared = left.schema.shared_attributes(right.schema)
+        self.schema = left.schema
+        self._left_positions = [left.schema.position(a) for a in shared]
+        self._index = index  # None when no shared attributes
+        self.negated = negated
+        self.tally = tally
+
+    def tuples(self):
+        if self._index is None:
+            right_nonempty = False
+            for _ in self.right.tuples():
+                right_nonempty = True
+                break
+            keep_all = right_nonempty != self.negated
+            if keep_all:
+                for t in self.left.tuples():
+                    yield t
+            return
+        keys = self._index.mapping()
+        left_positions = self._left_positions
+        negated = self.negated
+        for t in self.left.tuples():
+            self.tally.probed()
+            if (tuple(t[p] for p in left_positions) in keys) != negated:
+                yield t
+
+    def describe(self):
+        name = "Antijoin" if self.negated else "Semijoin"
+        return "%s(%s)" % (name, self.left.describe())
+
+
+class DivisionOp(PhysicalOp):
+    """Division: materialize both sides, reuse Relation.divide."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left, right, tally):
+        self.left = left
+        self.right = right
+        divisor = set(right.schema.attributes)
+        self.schema = left.schema.project(
+            tuple(a for a in left.schema.attributes if a not in divisor)
+        )
+        self.tally = tally
+
+    def tuples(self):
+        left_rel = _materialize(self.left, self.tally)
+        right_rel = _materialize(self.right, self.tally)
+        for t in left_rel.divide(right_rel).tuples:
+            yield t
+
+    def describe(self):
+        return "Division(%s, %s)" % (
+            self.left.describe(),
+            self.right.describe(),
+        )
+
+
+def _materialize(op, tally):
+    out = set()
+    for t in op.tuples():
+        out.add(t)
+        tally.buffered(len(out))
+    return Relation(op.schema, out, validate=False)
+
+
+def _split_equi_conjuncts(condition, left_attrs, right_attrs):
+    """Partition a theta condition into hashable cross-side equalities
+    and a residual condition (None when fully consumed)."""
+    parts = (
+        list(condition.parts) if isinstance(condition, ra.And) else [condition]
+    )
+    equi = []
+    residual = []
+    for part in parts:
+        pair = _cross_equality(part, left_attrs, right_attrs)
+        if pair is not None:
+            equi.append(pair)
+        else:
+            residual.append(part)
+    if not residual:
+        return equi, None
+    return equi, residual[0] if len(residual) == 1 else ra.And(*residual)
+
+
+def _cross_equality(part, left_attrs, right_attrs):
+    if (
+        isinstance(part, ra.Comparison)
+        and part.op == "="
+        and isinstance(part.left, ra.Attr)
+        and isinstance(part.right, ra.Attr)
+    ):
+        a, b = part.left.name, part.right.name
+        if a in left_attrs and b in right_attrs:
+            return (a, b)
+        if b in left_attrs and a in right_attrs:
+            return (b, a)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Physical operator selection
+# ---------------------------------------------------------------------------
+
+
+def build_physical(expr, db, tally):
+    """Select physical operators for a canonical logical plan.
+
+    Args:
+        expr: a canonical :class:`~repro.relational.algebra.AlgebraExpr`.
+        db: the :class:`~repro.relational.database.Database` to run over.
+        tally: the :class:`Tally` all operators charge work to.
+
+    Returns:
+        The root :class:`PhysicalOp`.
+    """
+    if isinstance(expr, ra.RelationRef):
+        return Scan(db[expr.name], tally)
+    if isinstance(expr, ra.ConstantRelation):
+        return Scan(expr.relation, tally)
+    if isinstance(expr, ra.Selection):
+        return Select(build_physical(expr.child, db, tally), expr.condition, tally)
+    if isinstance(expr, ra.Projection):
+        return Project(
+            build_physical(expr.child, db, tally), expr.attributes, tally
+        )
+    if isinstance(expr, ra.Rename):
+        return RenameOp(build_physical(expr.child, db, tally), expr.mapping, tally)
+    if isinstance(expr, ra.NaturalJoin):
+        left = build_physical(expr.left, db, tally)
+        # No shared attributes degenerates to a product through the
+        # single empty-key bucket, exactly like Relation.natural_join.
+        if isinstance(expr.right, ra.RelationRef):
+            relation = db[expr.right.name]
+            schema = relation.schema
+            shared = left.schema.shared_attributes(schema)
+            positions = tuple(schema.position(a) for a in shared)
+            index = _BaseIndex(relation, positions, tally)
+        else:
+            right = build_physical(expr.right, db, tally)
+            schema = right.schema
+            shared = left.schema.shared_attributes(schema)
+            positions = tuple(schema.position(a) for a in shared)
+            index = _BuiltIndex(right, positions, tally)
+        return HashJoin(left, schema, index, tally)
+    if isinstance(expr, ra.ThetaJoin):
+        return ThetaJoinOp(
+            build_physical(expr.left, db, tally),
+            build_physical(expr.right, db, tally),
+            expr.condition,
+            tally,
+        )
+    if isinstance(expr, ra.Product):
+        return ProductOp(
+            build_physical(expr.left, db, tally),
+            build_physical(expr.right, db, tally),
+            tally,
+        )
+    if isinstance(expr, ra.Union):
+        return UnionOp(
+            build_physical(expr.left, db, tally),
+            build_physical(expr.right, db, tally),
+            tally,
+        )
+    if isinstance(expr, ra.Difference):
+        return DifferenceOp(
+            build_physical(expr.left, db, tally),
+            build_physical(expr.right, db, tally),
+            tally,
+        )
+    if isinstance(expr, ra.Intersection):
+        return IntersectionOp(
+            build_physical(expr.left, db, tally),
+            build_physical(expr.right, db, tally),
+            tally,
+        )
+    if isinstance(expr, (ra.Semijoin, ra.Antijoin)):
+        left = build_physical(expr.left, db, tally)
+        if isinstance(expr.right, ra.RelationRef):
+            relation = db[expr.right.name]
+            right = Scan(relation, tally)
+            shared = left.schema.shared_attributes(relation.schema)
+            positions = tuple(relation.schema.position(a) for a in shared)
+            index = (
+                _BaseIndex(relation, positions, tally) if shared else None
+            )
+        else:
+            right = build_physical(expr.right, db, tally)
+            shared = left.schema.shared_attributes(right.schema)
+            positions = tuple(right.schema.position(a) for a in shared)
+            index = _BuiltIndex(right, positions, tally) if shared else None
+        return SemijoinOp(
+            left, right, index, tally, negated=isinstance(expr, ra.Antijoin)
+        )
+    if isinstance(expr, ra.Division):
+        return DivisionOp(
+            build_physical(expr.left, db, tally),
+            build_physical(expr.right, db, tally),
+            tally,
+        )
+    raise PlanError("no physical operator for %r (canonicalize first)" % (expr,))

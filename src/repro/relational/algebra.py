@@ -643,43 +643,56 @@ def evaluate(expr, db):
     Returns:
         The result :class:`~repro.relational.relation.Relation`.
     """
+    return dispatch(expr, db, evaluate)
+
+
+def dispatch(expr, db, recurse):
+    """One evaluation step, recursing through ``recurse(child, db)``.
+
+    This is :func:`evaluate`'s body with the recursion made injectable so
+    that instrumented walks (e.g. the plan executor's tree-walk work
+    accounting) can observe every intermediate result without duplicating
+    the dispatch.
+    """
     if isinstance(expr, RelationRef):
         return db[expr.name]
     if isinstance(expr, ConstantRelation):
         return expr.relation
     if isinstance(expr, Selection):
-        child = evaluate(expr.child, db)
+        child = recurse(expr.child, db)
         test = expr.condition.compile(child.schema)
         return child.select(test)
     if isinstance(expr, Projection):
-        return evaluate(expr.child, db).project(expr.attributes)
+        return recurse(expr.child, db).project(expr.attributes)
     if isinstance(expr, Rename):
-        return evaluate(expr.child, db).rename(expr.mapping)
+        return recurse(expr.child, db).rename(expr.mapping)
     if isinstance(expr, Product):
-        return evaluate(expr.left, db).product(evaluate(expr.right, db))
+        return recurse(expr.left, db).product(recurse(expr.right, db))
     if isinstance(expr, NaturalJoin):
-        return evaluate(expr.left, db).natural_join(evaluate(expr.right, db))
+        return recurse(expr.left, db).natural_join(recurse(expr.right, db))
     if isinstance(expr, Semijoin):
-        return evaluate(expr.left, db).semijoin(evaluate(expr.right, db))
+        return recurse(expr.left, db).semijoin(recurse(expr.right, db))
     if isinstance(expr, Antijoin):
-        return evaluate(expr.left, db).antijoin(evaluate(expr.right, db))
+        return recurse(expr.left, db).antijoin(recurse(expr.right, db))
     if isinstance(expr, Union):
-        return evaluate(expr.left, db).union(evaluate(expr.right, db))
+        return recurse(expr.left, db).union(recurse(expr.right, db))
     if isinstance(expr, Difference):
-        return evaluate(expr.left, db).difference(evaluate(expr.right, db))
+        return recurse(expr.left, db).difference(recurse(expr.right, db))
     if isinstance(expr, Intersection):
-        return evaluate(expr.left, db).intersection(evaluate(expr.right, db))
+        return recurse(expr.left, db).intersection(recurse(expr.right, db))
     if isinstance(expr, Division):
-        return evaluate(expr.left, db).divide(evaluate(expr.right, db))
+        return recurse(expr.left, db).divide(recurse(expr.right, db))
     if isinstance(expr, ThetaJoin):
-        prod = evaluate(expr.left, db).product(evaluate(expr.right, db))
-        test = expr.condition.compile(prod.schema)
-        return prod.select(test)
+        left = recurse(expr.left, db)
+        right = recurse(expr.right, db)
+        schema = left.schema.concat(right.schema)
+        test = expr.condition.compile(schema)
+        return left.theta_join(right, test)
     # Extension point: nodes defined outside this module (e.g. the Codd
     # translation's positional rename) evaluate themselves.
     custom = getattr(expr, "evaluate_node", None)
     if custom is not None:
-        return custom(db, evaluate)
+        return custom(db, recurse)
     raise AlgebraError("unknown algebra expression %r" % (expr,))
 
 

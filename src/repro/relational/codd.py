@@ -187,6 +187,21 @@ class _PositionalRename(ra.AlgebraExpr):
         )
         return Relation(schema, base.tuples, validate=False)
 
+    def canonicalize_node(self, db_schema, recurse):
+        child = recurse(self.child)
+        base = child.schema(db_schema)
+        if base.arity != len(self.handles):
+            raise TranslationError(
+                "atom arity %d does not match relation %r arity %d"
+                % (len(self.handles), base.name, base.arity)
+            )
+        mapping = {
+            old: new
+            for old, new in zip(base.attributes, self.handles)
+            if old != new
+        }
+        return ra.Rename(child, mapping) if mapping else child
+
     def __repr__(self):
         return "_PositionalRename(%r, %r)" % (self.child, list(self.handles))
 

@@ -96,6 +96,18 @@ class Database:
         """The :class:`DatabaseSchema` of this instance."""
         return DatabaseSchema(r.schema for r in self.relations())
 
+    def schema_token(self):
+        """A hashable fingerprint of the schema (names and attributes).
+
+        Caches keyed on compiled plans (e.g. the workbench's parse and
+        plan caches) use this to detect that relations were added,
+        removed, or re-shaped and their entries must be discarded.
+        """
+        return tuple(
+            (name, self._relations[name].schema.attributes)
+            for name in self.names()
+        )
+
     def active_domain(self):
         """All values occurring anywhere in the database.
 

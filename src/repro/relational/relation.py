@@ -202,6 +202,26 @@ class Relation:
                 out.append(s + tuple(t[p] for p in extra_pos))
         return Relation(out_schema, out, validate=False)
 
+    def theta_join(self, other, predicate):
+        """Theta join: pairs satisfying ``predicate(combined_tuple)``.
+
+        Schema and output equal ``self.product(other).select(predicate)``,
+        but the predicate is applied *during* enumeration so rejected
+        pairs are never materialized — on a selective condition the
+        intermediate stays at output size instead of |self|·|other|.
+        """
+        out_schema = self.schema.concat(other.schema)
+        return Relation(
+            out_schema,
+            (
+                s + t
+                for s in self.tuples
+                for t in other.tuples
+                if predicate(s + t)
+            ),
+            validate=False,
+        )
+
     def semijoin(self, other):
         """Left semijoin: tuples of self that join with some tuple of other.
 

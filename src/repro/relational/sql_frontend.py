@@ -303,6 +303,11 @@ class _QualifyRelation(ra.AlgebraExpr):
             base.schema.prefixed(self.alias), base.tuples, validate=False
         )
 
+    def canonicalize_node(self, db_schema, recurse):
+        base = db_schema[self.relation]
+        mapping = {a: "%s.%s" % (self.alias, a) for a in base.attributes}
+        return ra.Rename(ra.RelationRef(self.relation), mapping)
+
     def __repr__(self):
         return "_QualifyRelation(%r, %r)" % (self.relation, self.alias)
 
@@ -366,6 +371,10 @@ class _DeferredSelection(ra.AlgebraExpr):
         condition = self._condition(child.schema)
         return child.select(condition.compile(child.schema))
 
+    def canonicalize_node(self, db_schema, recurse):
+        child = recurse(self.child)
+        return ra.Selection(child, self._condition(child.schema(db_schema)))
+
     def children(self):
         return (self.child,)
 
@@ -422,6 +431,13 @@ class _DeferredProjection(ra.AlgebraExpr):
             child.project(qualified)
             .rename(dict(zip(qualified, outputs)), name="result")
         )
+
+    def canonicalize_node(self, db_schema, recurse):
+        child = recurse(self.child)
+        qualified, outputs = self._plan(child.schema(db_schema))
+        expr = ra.Projection(child, tuple(qualified))
+        mapping = {q: o for q, o in zip(qualified, outputs) if q != o}
+        return ra.Rename(expr, mapping) if mapping else expr
 
     def children(self):
         return (self.child,)

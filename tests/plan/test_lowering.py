@@ -1,0 +1,310 @@
+"""Front-end → canonical logical plan: every language, one plan shape.
+
+These tests pin the lowering contracts: SQL text, calculus via Codd, and
+non-recursive Datalog all canonicalize to core-operator-only trees; the
+same logical query arriving through different front-ends hits the same
+plan-cache entry; and ``executor=False`` reproduces the legacy paths bit
+for bit.
+"""
+
+import pytest
+
+from repro.core.workbench import MetatheoryWorkbench
+from repro.datalog.engine import DatalogEngine
+from repro.datalog.lowering import (
+    is_lowerable,
+    lower_program,
+    lower_rule,
+    lowered_evaluate,
+)
+from repro.datalog.naive import naive_evaluate
+from repro.datalog.parser import parse_program, parse_rule
+from repro.errors import DatalogError, PlanError
+from repro.plan import canonicalize, is_canonical, plan_key
+from repro.relational import algebra as ra
+from repro.relational.codd import calculus_to_algebra
+from repro.relational.calculus_parser import parse_calculus
+from repro.relational.sql_frontend import parse_sql
+
+
+def company_workbench():
+    return MetatheoryWorkbench.from_dict({
+        "works": (
+            ("emp", "dept"),
+            [("ann", "toys"), ("bob", "shoes"), ("cal", "toys")],
+        ),
+        "located": (("dept", "city"), [("toys", "sd"), ("shoes", "la")]),
+    })
+
+
+class TestCanonicalization:
+    def test_sql_plan_is_canonical(self):
+        wb = company_workbench()
+        expr = parse_sql(
+            "SELECT w.emp FROM works w, located l "
+            "WHERE w.dept = l.dept AND l.city = 'sd'"
+        )
+        assert not is_canonical(expr)
+        canonical = canonicalize(expr, wb.db.schema())
+        assert is_canonical(canonical)
+
+    def test_sql_canonical_plan_shape(self):
+        """SELECT e FROM r is exactly rename-project-rename-scan."""
+        wb = MetatheoryWorkbench.from_dict(
+            {"r": (("a", "b"), [(1, 2)])}
+        )
+        canonical = canonicalize(
+            parse_sql("SELECT x.a FROM r x"), wb.db.schema()
+        )
+        expected = ra.Rename(
+            ra.Projection(
+                ra.Rename(
+                    ra.RelationRef("r"), {"a": "x.a", "b": "x.b"}
+                ),
+                ("x.a",),
+            ),
+            {"x.a": "a"},
+        )
+        assert plan_key(canonical) == plan_key(expected)
+
+    def test_calculus_plan_is_canonical(self):
+        wb = company_workbench()
+        query = parse_calculus(
+            "{(x) | exists d. (works(x, d) and located(d, 'sd'))}"
+        )
+        expr = calculus_to_algebra(query, wb.db.schema())
+        canonical = canonicalize(expr, wb.db.schema())
+        assert is_canonical(canonical)
+
+    def test_core_trees_pass_through_unchanged(self):
+        wb = company_workbench()
+        expr = ra.NaturalJoin(
+            ra.RelationRef("works"), ra.RelationRef("located")
+        )
+        assert plan_key(canonicalize(expr, wb.db.schema())) == plan_key(expr)
+
+    def test_unknown_node_raises_plan_error(self):
+        class Alien(ra.AlgebraExpr):
+            pass
+
+        with pytest.raises(PlanError):
+            canonicalize(Alien(), company_workbench().db.schema())
+
+    def test_plan_key_rejects_non_canonical(self):
+        expr = parse_sql("SELECT x.a FROM r x")
+        with pytest.raises(PlanError):
+            plan_key(expr)
+
+    def test_plan_key_is_structural(self):
+        left = ra.Selection(
+            ra.RelationRef("works"),
+            ra.Comparison(ra.Attr("emp"), "=", ra.Const("ann")),
+        )
+        right = ra.Selection(
+            ra.RelationRef("works"),
+            ra.Comparison(ra.Attr("emp"), "=", ra.Const("ann")),
+        )
+        assert left is not right
+        assert plan_key(left) == plan_key(right)
+        other = ra.Selection(
+            ra.RelationRef("works"),
+            ra.Comparison(ra.Attr("emp"), "=", ra.Const("bob")),
+        )
+        assert plan_key(left) != plan_key(other)
+
+
+class TestPlanCache:
+    def test_repeated_sql_hits_cache(self):
+        wb = company_workbench()
+        q = "SELECT w.emp FROM works w"
+        wb.sql(q)
+        assert wb.plan_cache.stats()["misses"] == 1
+        wb.sql(q)
+        wb.sql(q)
+        assert wb.plan_cache.stats()["hits"] == 2
+        assert wb.plan_cache.stats()["misses"] == 1
+
+    def test_same_plan_through_different_front_ends_shares_entry(self):
+        wb = company_workbench()
+        expr = ra.NaturalJoin(
+            ra.RelationRef("works"), ra.RelationRef("located")
+        )
+        wb.algebra(expr)
+        assert wb.plan_cache.stats() == {"hits": 0, "misses": 1, "size": 1}
+        wb.algebra(
+            ra.NaturalJoin(ra.RelationRef("works"), ra.RelationRef("located"))
+        )
+        assert wb.plan_cache.stats()["hits"] == 1
+        assert wb.plan_cache.stats()["size"] == 1
+
+    def test_optimized_and_unoptimized_are_distinct_entries(self):
+        wb = company_workbench()
+        q = "SELECT w.emp FROM works w"
+        wb.sql(q, optimized=True)
+        wb.sql(q, optimized=False)
+        assert wb.plan_cache.stats()["size"] == 2
+
+    def test_schema_change_flushes_caches(self):
+        wb = company_workbench()
+        q = "SELECT w.emp FROM works w"
+        wb.sql(q)
+        wb.db.remove("located")
+        wb.sql(q)
+        assert wb.plan_cache.stats() == {"hits": 0, "misses": 1, "size": 1}
+
+    def test_cache_capacity_evicts_fifo(self):
+        from repro.plan import PlanCache
+
+        cache = PlanCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert len(cache) == 2
+        assert cache.get("a") is None
+        assert cache.get("c") == 3
+
+
+class TestLegacyEquality:
+    """executor=False reproduces the legacy paths bit for bit."""
+
+    def test_sql(self):
+        wb = company_workbench()
+        for q in (
+            "SELECT w.emp FROM works w",
+            "SELECT w.emp, l.city FROM works w, located l "
+            "WHERE w.dept = l.dept",
+            "SELECT * FROM works w WHERE w.dept = 'toys'",
+        ):
+            for optimized in (True, False):
+                fast = wb.sql(q, optimized=optimized)
+                legacy = wb.sql(q, optimized=optimized, executor=False)
+                assert fast == legacy
+
+    def test_calculus(self):
+        wb = company_workbench()
+        q = "{(x) | exists d. (works(x, d) and located(d, 'sd'))}"
+        assert wb.calculus(q) == wb.calculus(q, executor=False)
+        assert wb.calculus(q) == wb.calculus(q, via="direct")
+
+    def test_algebra(self):
+        wb = company_workbench()
+        expr = ra.Semijoin(
+            ra.RelationRef("works"),
+            ra.Selection(
+                ra.RelationRef("located"),
+                ra.Comparison(ra.Attr("city"), "=", ra.Const("sd")),
+            ),
+        )
+        assert wb.algebra(expr) == wb.algebra(expr, executor=False)
+
+
+class TestDatalogLowering:
+    def test_single_rule_plan_shape(self):
+        """A one-atom rule lowers to rename-project-rename-scan."""
+        rule = parse_rule("out(X) :- edge(X, Y).")
+        expected = ra.Rename(
+            ra.Projection(
+                ra.Rename(
+                    ra.RelationRef("edge"), {"c0": "__p0", "c1": "__p1"}
+                ),
+                ("__p0", "__p1"),
+            ),
+            {"__p0": "X", "__p1": "Y"},
+        )
+        expected = ra.Rename(
+            ra.Projection(expected, ("X",)), {"X": "c0"}
+        )
+        assert plan_key(lower_rule(rule)) == plan_key(expected)
+
+    def test_multi_rule_predicate_unions(self):
+        program, _ = parse_program(
+            "out(X) :- p(X).\nout(X) :- q(X).\n"
+        )
+        plans = dict(lower_program(program))
+        assert isinstance(plans["out"], ra.Union)
+
+    def test_negation_lowers_to_antijoin(self):
+        program, _ = parse_program("out(X) :- p(X), not q(X).")
+        plans = dict(lower_program(program))
+
+        def has_antijoin(node):
+            if isinstance(node, ra.Antijoin):
+                return True
+            return any(has_antijoin(c) for c in node.children())
+
+        assert has_antijoin(plans["out"])
+
+    def test_recursive_program_not_lowerable(self):
+        program, _ = parse_program(
+            "path(X, Y) :- edge(X, Y).\n"
+            "path(X, Z) :- edge(X, Y), path(Y, Z).\n"
+        )
+        assert not is_lowerable(program)
+        with pytest.raises(DatalogError):
+            lower_program(program)
+
+    @pytest.mark.parametrize("source", [
+        # constants in body and head
+        "out(X, 1) :- edge(X, 2).",
+        # repeated variable in body atom and in head
+        "loop(X) :- edge(X, X).\npair(X, X) :- edge(X, Y).",
+        # comparison binding a fresh variable, and a filter
+        "big(X, C) :- edge(X, Y), C = 9, X < Y.",
+        # negation, including over a derived predicate
+        "a(X) :- edge(X, Y).\nb(X) :- edge(Y, X), not a(X).",
+        # ground negation
+        "ok(X) :- edge(X, Y), not edge(2, 2).",
+        # IDB predicate with program-text facts on top of rules
+        "extra(9, 9).\nextra(X, Y) :- edge(X, Y).",
+        # cascaded derived predicates (dependency order matters)
+        "d1(X) :- edge(X, Y).\nd2(X) :- d1(X), edge(X, Y).\n"
+        "d3(X, Y) :- d2(X), edge(X, Y).",
+    ])
+    def test_lowered_model_matches_naive(self, source):
+        program, _ = parse_program(
+            source + "\nedge(1, 2). edge(2, 3). edge(3, 3). edge(2, 2)."
+        )
+        assert is_lowerable(program)
+        reference = naive_evaluate(program, None)
+        lowered = lowered_evaluate(program, None)
+        for predicate in set(reference.predicates()) | set(
+            lowered.predicates()
+        ):
+            assert lowered.get(predicate) == reference.get(predicate), (
+                predicate
+            )
+
+    def test_engine_routes_non_recursive_through_plans(self):
+        program, _ = parse_program(
+            "edge(1, 2). edge(2, 3).\nout(X) :- edge(X, Y)."
+        )
+        engine = DatalogEngine(program)
+        engine.evaluate("seminaive")
+        assert "plan" in engine._model_cache
+        legacy = DatalogEngine(program, executor=False)
+        legacy.evaluate("seminaive")
+        assert "plan" not in legacy._model_cache
+        assert legacy._model_cache["seminaive"].get("out") == (
+            engine._model_cache["plan"].get("out")
+        )
+
+    def test_engine_keeps_fixpoint_for_recursion(self):
+        program, _ = parse_program(
+            "edge(1, 2). edge(2, 3).\n"
+            "path(X, Y) :- edge(X, Y).\n"
+            "path(X, Z) :- edge(X, Y), path(Y, Z).\n"
+        )
+        engine = DatalogEngine(program)
+        model = engine.evaluate("seminaive")
+        assert "plan" not in engine._model_cache
+        assert (1, 3) in model.get("path")
+
+    def test_workbench_datalog_executor_flag(self):
+        wb = company_workbench()
+        engine = wb.datalog("in_sd(E) :- works(E, D), located(D, sd).")
+        assert engine.executor
+        assert engine.query("in_sd(X)") == {("ann",), ("cal",)}
+        legacy = wb.datalog(
+            "in_sd(E) :- works(E, D), located(D, sd).", executor=False
+        )
+        assert legacy.query("in_sd(X)") == {("ann",), ("cal",)}

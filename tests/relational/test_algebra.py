@@ -125,6 +125,42 @@ class TestEvaluation:
         )
         assert len(evaluate(expr, db)) == 3
 
+    def test_theta_join_filters_during_enumeration(self):
+        """Regression: evaluate() used to build the full |L|·|R| cross
+        product and select afterwards.  On a selective condition the
+        materialized work must stay sub-quadratic (output-sized, not
+        product-sized)."""
+        from repro.plan import measure_treewalk
+
+        n = 40
+        db = Database.from_dict(
+            {
+                "l": (("a",), [(i,) for i in range(n)]),
+                "r": (("b",), [(i,) for i in range(n)]),
+            }
+        )
+        expr = ThetaJoin(RelationRef("l"), RelationRef("r"), eq("a", "b"))
+        result, stats, peak = measure_treewalk(expr, db)
+        assert len(result) == n  # the diagonal
+        assert stats.tuples_materialized < n * n
+        assert stats.tuples_materialized == n
+        assert peak == n
+
+    def test_theta_join_does_not_call_product(self, db, monkeypatch):
+        """The legacy evaluator must not route theta joins through
+        Relation.product anymore."""
+
+        def boom(self, other):
+            raise AssertionError("theta join materialized a product")
+
+        monkeypatch.setattr(Relation, "product", boom)
+        expr = ThetaJoin(
+            RelationRef("emp"),
+            Rename(RelationRef("dept"), {"dept": "d2"}),
+            eq("dept", "d2"),
+        )
+        assert len(evaluate(expr, db)) == 3
+
     def test_semijoin_antijoin(self, db):
         cs_dept = Selection(RelationRef("dept"), eq("dept", Const("cs")))
         semi = evaluate(Semijoin(RelationRef("emp"), cs_dept), db)
