@@ -6,11 +6,22 @@ per-experiment index).  Because ``pytest --benchmark-only`` captures
 stdout, each bench also writes its table to
 ``benchmarks/results/<name>.txt`` so the regenerated figures survive the
 run as artifacts; EXPERIMENTS.md records the paper-vs-measured reading.
+
+Measurement discipline (the observability layer's contract): a bench
+records every number it measures into a
+:class:`~repro.obs.metrics.MetricsRegistry` and derives its printed
+table *from the registry* — so the human-readable table and the
+machine-readable ``*_metrics.json`` artifact cannot drift apart.
+Trace-producing benches write rendered span trees via
+:func:`write_trace`.
 """
 
 from __future__ import annotations
 
+import json
 import os
+
+from repro.obs import render_trace
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -36,6 +47,27 @@ def write_stats(name, sections):
         "%s\n%s" % (label, stats.format()) for label, stats in sections
     ]
     return write_artifact(name, "\n\n".join(blocks))
+
+
+def write_json(name, payload):
+    """Write a JSON artifact (machine-readable twin of a table)."""
+    return write_artifact(
+        name, json.dumps(payload, indent=2, sort_keys=True)
+    )
+
+
+def write_metrics(name, registry):
+    """Write a registry's canonical flat dump as a JSON artifact.
+
+    This is the single source of truth a bench's printed table is
+    derived from; committing it makes the raw measurements diffable.
+    """
+    return write_json(name, registry.dump())
+
+
+def write_trace(name, tracer):
+    """Write a tracer's rendered span forest to benchmarks/results/."""
+    return write_artifact(name, render_trace(tracer))
 
 
 def format_table(header, rows):

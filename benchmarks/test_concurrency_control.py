@@ -14,9 +14,16 @@ safety property is asserted, not assumed.
 Paper claim (shape): 2PL degrades gracefully (waits, few aborts) while
 OCC's abort rate climbs with contention, and timestamp ordering sits in
 between — the classical reading of why locking won in products.
-Table in results/concurrency_control.txt.
+
+The sweep records every tally into a MetricsRegistry (the table derives
+from it; raw dump in results/concurrency_control_metrics.json), and one
+high-contention workload runs under a real tracer so the lock-wait /
+validation / abort event stream lands in
+results/concurrency_control_trace.txt.  Table in
+results/concurrency_control.txt.
 """
 
+from repro.obs import MetricsRegistry, Tracer
 from repro.transactions import (
     WorkloadConfig,
     generate_schedule,
@@ -26,7 +33,7 @@ from repro.transactions import (
     two_phase_lock,
 )
 
-from .conftest import format_table, write_artifact
+from .conftest import format_table, write_artifact, write_metrics, write_trace
 
 CONTENTION_LEVELS = (0.0, 0.5, 0.9)
 SEEDS = range(6)
@@ -40,13 +47,10 @@ BASE = dict(
 
 
 def run_sweep():
-    rows = []
+    """Run the sweep, recording every tally into a MetricsRegistry."""
+    registry = MetricsRegistry()
     for level in CONTENTION_LEVELS:
-        tallies = {
-            "2pl": [0, 0, 0],  # committed, aborted, waits
-            "to": [0, 0, 0],
-            "occ": [0, 0, 0],
-        }
+        label = "%.1f" % level
         for seed in SEEDS:
             config = WorkloadConfig(
                 hot_access_probability=level, seed=seed, **BASE
@@ -55,38 +59,77 @@ def run_sweep():
 
             out, stats = two_phase_lock(schedule)
             assert is_conflict_serializable(out)
-            tallies["2pl"][0] += len(out.committed())
-            tallies["2pl"][1] += len(stats["aborted"])
-            tallies["2pl"][2] += stats["wait_events"]
+            registry.counter(
+                "cc_committed", scheduler="2pl", hot=label
+            ).inc(len(out.committed()))
+            registry.counter(
+                "cc_aborted", scheduler="2pl", hot=label
+            ).inc(len(stats["aborted"]))
+            registry.counter(
+                "cc_waits", scheduler="2pl", hot=label
+            ).inc(stats["wait_events"])
 
             out, stats = timestamp_order(schedule)
             assert is_conflict_serializable(out)
-            tallies["to"][0] += len(out.committed())
-            tallies["to"][1] += len(stats["aborted"])
+            registry.counter(
+                "cc_committed", scheduler="to", hot=label
+            ).inc(len(out.committed()))
+            registry.counter(
+                "cc_aborted", scheduler="to", hot=label
+            ).inc(len(stats["aborted"]))
 
             out, stats = optimistic(schedule)
             assert is_conflict_serializable(out)
-            tallies["occ"][0] += len(out.committed())
-            tallies["occ"][1] += len(stats["aborted"])
-        total_txns = BASE["num_transactions"] * len(SEEDS)
+            registry.counter(
+                "cc_committed", scheduler="occ", hot=label
+            ).inc(len(out.committed()))
+            registry.counter(
+                "cc_aborted", scheduler="occ", hot=label
+            ).inc(len(stats["aborted"]))
+    return registry
+
+
+def sweep_rows(registry):
+    """The printed table's rows, derived from the registry dump."""
+    total_txns = BASE["num_transactions"] * len(SEEDS)
+    rows = []
+    for level in CONTENTION_LEVELS:
+        label = "%.1f" % level
+        value = lambda metric, scheduler: registry.value(
+            metric, scheduler=scheduler, hot=label
+        )
         rows.append(
             (
                 level,
                 total_txns,
-                tallies["2pl"][0],
-                tallies["2pl"][1],
-                tallies["2pl"][2],
-                tallies["to"][0],
-                tallies["to"][1],
-                tallies["occ"][0],
-                tallies["occ"][1],
+                value("cc_committed", "2pl"),
+                value("cc_aborted", "2pl"),
+                value("cc_waits", "2pl"),
+                value("cc_committed", "to"),
+                value("cc_aborted", "to"),
+                value("cc_committed", "occ"),
+                value("cc_aborted", "occ"),
             )
         )
     return rows
 
 
+def trace_one_contended_run():
+    """One high-contention workload under a real tracer, all schedulers."""
+    tracer = Tracer()
+    config = WorkloadConfig(
+        hot_access_probability=CONTENTION_LEVELS[-1], seed=0, **BASE
+    )
+    schedule = generate_schedule(config)
+    two_phase_lock(schedule, tracer=tracer)
+    timestamp_order(schedule, tracer=tracer)
+    optimistic(schedule, tracer=tracer)
+    return tracer
+
+
 def test_concurrency_control_sweep(benchmark):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    registry = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = sweep_rows(registry)
 
     low, high = rows[0], rows[-1]
     # Shape: contention raises abort rates for the abort-based schemes.
@@ -115,3 +158,5 @@ def test_concurrency_control_sweep(benchmark):
         rows,
     )
     write_artifact("concurrency_control.txt", table)
+    write_metrics("concurrency_control_metrics.json", registry)
+    write_trace("concurrency_control_trace.txt", trace_one_contended_run())

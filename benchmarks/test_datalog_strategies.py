@@ -14,7 +14,10 @@ recursive queries".  The beautiful ideas, raced:
 
 Paper claims (shape): semi-naive beats naive, increasingly with size;
 magic beats computing the full closure when the query is bound; the
-non-recursive rewrite also wins.  Tables in results/datalog_strategies.txt.
+non-recursive rewrite also wins.  Tables in results/datalog_strategies.txt,
+raw measurements in results/datalog_strategies_metrics.json, and a traced
+semi-naive + magic fixpoint (per-stratum, per-round spans with delta
+sizes and counter deltas) in results/datalog_fixpoint_trace.txt.
 """
 
 import time
@@ -27,6 +30,7 @@ from repro.core.random_instances import (
     transitive_closure_program,
 )
 from repro.datalog import (
+    EngineStatistics,
     magic_evaluate,
     match_query,
     naive_evaluate,
@@ -34,8 +38,9 @@ from repro.datalog import (
     parse_query,
     seminaive_evaluate,
 )
+from repro.obs import MetricsRegistry, Tracer
 
-from .conftest import format_table, write_artifact
+from .conftest import format_table, write_artifact, write_metrics, write_trace
 
 SIZES = (20, 40, 80)
 
@@ -46,37 +51,53 @@ def timed(fn, *args):
     return time.perf_counter() - start, result
 
 
-def full_closure_rows():
+GRAPHS = ("chain", "cycle", "random")
+
+
+def full_closure_measure(registry):
     program = transitive_closure_program()
-    rows = []
-    for label, edges_factory in (
-        ("chain", chain_edges),
-        ("cycle", cycle_edges),
-        ("random", lambda n: random_graph_edges(n, 2 * n, seed=3)),
-    ):
+    factories = {
+        "chain": chain_edges,
+        "cycle": cycle_edges,
+        "random": lambda n: random_graph_edges(n, 2 * n, seed=3),
+    }
+    for label in GRAPHS:
         for n in SIZES:
-            edb = edge_store(edges_factory(n))
+            edb = edge_store(factories[label](n))
             naive_s, naive_model = timed(naive_evaluate, program, edb)
             semi_s, semi_model = timed(seminaive_evaluate, program, edb)
             assert naive_model == semi_model
+            for metric, value in (
+                ("closure_path_facts", naive_model.count("path")),
+                ("closure_naive_ms", round(naive_s * 1000, 1)),
+                ("closure_seminaive_ms", round(semi_s * 1000, 1)),
+                ("closure_speedup", round(naive_s / max(semi_s, 1e-9), 1)),
+            ):
+                registry.gauge(metric, graph=label, n=n).set(value)
+
+
+def full_closure_rows(registry):
+    rows = []
+    for label in GRAPHS:
+        for n in SIZES:
+            value = lambda metric: registry.value(metric, graph=label, n=n)
             rows.append(
                 (
                     label,
                     n,
-                    naive_model.count("path"),
-                    round(naive_s * 1000, 1),
-                    round(semi_s * 1000, 1),
-                    round(naive_s / max(semi_s, 1e-9), 1),
+                    value("closure_path_facts"),
+                    value("closure_naive_ms"),
+                    value("closure_seminaive_ms"),
+                    value("closure_speedup"),
                 )
             )
     return rows
 
 
-def bound_query_rows():
+def bound_query_measure(registry):
     from repro.datalog import topdown_query
 
     program = transitive_closure_program()
-    rows = []
     for n in SIZES:
         edb = edge_store(chain_edges(n))
         query = parse_query("path(%d, X)" % (n - 5))
@@ -86,27 +107,37 @@ def bound_query_rows():
         td_s, td_answers = timed(topdown_query, program, edb, query)
         assert answers == reference
         assert td_answers == reference
-        rows.append(
-            (
-                n,
-                len(answers),
-                round(semi_s * 1000, 1),
-                round(magic_s * 1000, 1),
-                round(td_s * 1000, 1),
-                round(semi_s / max(magic_s, 1e-9), 1),
-            )
+        for metric, value in (
+            ("bound_answers", len(answers)),
+            ("bound_seminaive_ms", round(semi_s * 1000, 1)),
+            ("bound_magic_ms", round(magic_s * 1000, 1)),
+            ("bound_topdown_ms", round(td_s * 1000, 1)),
+            ("bound_magic_speedup", round(semi_s / max(magic_s, 1e-9), 1)),
+        ):
+            registry.gauge(metric, n=n).set(value)
+
+
+def bound_query_rows(registry):
+    return [
+        (
+            n,
+            registry.value("bound_answers", n=n),
+            registry.value("bound_seminaive_ms", n=n),
+            registry.value("bound_magic_ms", n=n),
+            registry.value("bound_topdown_ms", n=n),
+            registry.value("bound_magic_speedup", n=n),
         )
-    return rows
+        for n in SIZES
+    ]
 
 
-def nonrecursive_rows():
+def nonrecursive_measure(registry):
     """[Ra2]: magic on a non-recursive bound query (4-way join chain)."""
     program, _ = parse_program(
         """
         j(A, D) :- e1(A, B), e2(B, C), e3(C, D).
         """
     )
-    rows = []
     for n in SIZES:
         edb = edge_store(chain_edges(n), predicate="e1")
         edb.add_all("e2", chain_edges(n))
@@ -116,24 +147,53 @@ def nonrecursive_rows():
         reference = match_query(model, query)
         magic_s, answers = timed(magic_evaluate, program, edb, query)
         assert answers == reference
-        rows.append(
-            (
-                n,
-                len(answers),
-                round(semi_s * 1000, 2),
-                round(magic_s * 1000, 2),
-                round(semi_s / max(magic_s, 1e-9), 1),
-            )
+        for metric, value in (
+            ("nonrec_answers", len(answers)),
+            ("nonrec_full_ms", round(semi_s * 1000, 2)),
+            ("nonrec_magic_ms", round(magic_s * 1000, 2)),
+            ("nonrec_speedup", round(semi_s / max(magic_s, 1e-9), 1)),
+        ):
+            registry.gauge(metric, n=n).set(value)
+
+
+def nonrecursive_rows(registry):
+    return [
+        (
+            n,
+            registry.value("nonrec_answers", n=n),
+            registry.value("nonrec_full_ms", n=n),
+            registry.value("nonrec_magic_ms", n=n),
+            registry.value("nonrec_speedup", n=n),
         )
-    return rows
+        for n in SIZES
+    ]
+
+
+def trace_fixpoints():
+    """Trace one semi-naive closure and one magic query (mid size)."""
+    tracer = Tracer()
+    stats = EngineStatistics()
+    program = transitive_closure_program()
+    n = SIZES[1]
+    edb = edge_store(chain_edges(n))
+    seminaive_evaluate(program, edb, stats=stats, tracer=tracer)
+    magic_evaluate(
+        program, edb, parse_query("path(%d, X)" % (n - 5)),
+        stats=EngineStatistics(), tracer=tracer,
+    )
+    return tracer
 
 
 def test_datalog_strategies(benchmark):
-    closure_rows = benchmark.pedantic(
-        full_closure_rows, rounds=1, iterations=1
+    registry = MetricsRegistry()
+    benchmark.pedantic(
+        full_closure_measure, args=(registry,), rounds=1, iterations=1
     )
-    bound_rows = bound_query_rows()
-    nonrec_rows = nonrecursive_rows()
+    bound_query_measure(registry)
+    nonrecursive_measure(registry)
+    closure_rows = full_closure_rows(registry)
+    bound_rows = bound_query_rows(registry)
+    nonrec_rows = nonrecursive_rows(registry)
 
     # Shape: semi-naive wins the full closure, more so at larger n.
     chain_speedups = [r[5] for r in closure_rows if r[0] == "chain"]
@@ -171,3 +231,5 @@ def test_datalog_strategies(benchmark):
         ),
     ]
     write_artifact("datalog_strategies.txt", "\n".join(sections))
+    write_metrics("datalog_strategies_metrics.json", registry)
+    write_trace("datalog_fixpoint_trace.txt", trace_fixpoints())

@@ -9,7 +9,10 @@ joins, a selective theta join, and a lowered non-recursive Datalog
 program — using the same EngineStatistics counters, and asserts the
 executor materializes strictly fewer tuples on every workload.
 
-Table in results/query_pipeline.txt.
+Every measured number is recorded into a MetricsRegistry; the printed
+table, the assertions, and the JSON artifact all derive from the
+registry dump.  Table in results/query_pipeline.txt, raw metrics in
+results/query_pipeline_metrics.json.
 """
 
 import random
@@ -20,6 +23,7 @@ from repro.datalog.facts import FactStore
 from repro.datalog.lowering import lower_program
 from repro.datalog.parser import parse_program
 from repro.datalog.stats import EngineStatistics
+from repro.obs import MetricsRegistry
 from repro.plan import canonicalize, execute_physical, measure_treewalk
 from repro.relational import (
     Database,
@@ -34,7 +38,7 @@ from repro.relational import (
 from repro.relational.optimizer import optimize
 from repro.relational.sql_frontend import parse_sql
 
-from .conftest import format_table, write_artifact
+from .conftest import format_table, write_artifact, write_metrics
 
 pytestmark = pytest.mark.slow
 
@@ -183,26 +187,39 @@ def test_pipeline_materialization(capsys):
     n, tw, ex = measure_datalog(DATALOG_PROGRAM, edges)
     rows.append(("datalog (lowered)", n, tw, ex))
 
-    table_rows = []
+    # Record every measurement into the registry; everything below —
+    # assertions, the printed table, the JSON artifact — reads it back.
+    registry = MetricsRegistry()
+    workload_names = []
     for name, n, (tw_stats, tw_peak), (ex_stats, ex_peak) in rows:
+        workload_names.append(name)
+        for metric, value in (
+            ("pipeline_result_rows", n),
+            ("pipeline_treewalk_materialized", tw_stats.tuples_materialized),
+            ("pipeline_treewalk_peak", tw_peak),
+            ("pipeline_executor_materialized", ex_stats.tuples_materialized),
+            ("pipeline_executor_peak", ex_peak),
+            ("pipeline_executor_probes", ex_stats.index_probes),
+        ):
+            registry.gauge(metric, workload=name).set(value)
+
+    table_rows = []
+    for name in workload_names:
+        value = lambda metric: registry.value(metric, workload=name)
+        tw_mat = value("pipeline_treewalk_materialized")
+        ex_mat = value("pipeline_executor_materialized")
         # The acceptance criterion: strictly fewer materialized tuples.
-        assert ex_stats.tuples_materialized < tw_stats.tuples_materialized, (
-            name
-        )
-        ratio = (
-            tw_stats.tuples_materialized / ex_stats.tuples_materialized
-            if ex_stats.tuples_materialized
-            else float("inf")
-        )
+        assert ex_mat < tw_mat, name
+        ratio = tw_mat / ex_mat if ex_mat else float("inf")
         table_rows.append(
             (
                 name,
-                n,
-                tw_stats.tuples_materialized,
-                tw_peak,
-                ex_stats.tuples_materialized,
-                ex_peak,
-                ex_stats.index_probes,
+                value("pipeline_result_rows"),
+                tw_mat,
+                value("pipeline_treewalk_peak"),
+                ex_mat,
+                value("pipeline_executor_peak"),
+                value("pipeline_executor_probes"),
                 "%.1fx" % ratio,
             )
         )
@@ -227,5 +244,6 @@ def test_pipeline_materialization(capsys):
         "the executor)\n\n" + table
     )
     write_artifact("query_pipeline.txt", text)
+    write_metrics("query_pipeline_metrics.json", registry)
     with capsys.disabled():
         print("\n" + text)

@@ -1,0 +1,107 @@
+"""Observability tour: EXPLAIN ANALYZE, traces, and metrics.
+
+The paper judges a field by measuring it; this example applies the same
+discipline to the engines themselves.  One workbench, four front-ends,
+and every layer reporting what it actually did:
+
+* ``wb.explain_analyze(sql)`` — the annotated operator tree (rows,
+  inclusive wall-clock time, scan/probe/build counters, peak buffers)
+  plus plan/parse cache outcomes;
+* a traced Datalog fixpoint — per-stratum, per-round spans with delta
+  sizes and counter deltas;
+* a traced transaction schedule — lock waits and aborts as events;
+* a :class:`MetricsRegistry` dump — the flat, machine-readable view the
+  benchmarks derive their tables from.
+
+Run:  python examples/observability.py
+"""
+
+from repro import MetatheoryWorkbench
+from repro.datalog import EngineStatistics, seminaive_evaluate
+from repro.datalog.facts import FactStore
+from repro.datalog.parser import parse_program
+from repro.obs import MetricsRegistry, Tracer, render_metrics, render_trace
+from repro.transactions import (
+    WorkloadConfig,
+    generate_schedule,
+    two_phase_lock,
+)
+
+
+def build_workbench():
+    return MetatheoryWorkbench.from_dict(
+        {
+            "emp": (
+                ("eid", "dept"),
+                [(1, 10), (2, 10), (3, 20), (4, 20), (5, 30)],
+            ),
+            "dept": (("dept", "loc"), [(10, 100), (20, 200), (30, 100)]),
+            "loc": (("loc", "city"), [(100, "athens"), (200, "berlin")]),
+        }
+    )
+
+
+def main():
+    wb = build_workbench()
+    sql = (
+        "SELECT emp.eid, loc.city FROM emp, dept, loc "
+        "WHERE emp.dept = dept.dept AND dept.loc = loc.loc"
+    )
+
+    print("=== EXPLAIN ANALYZE: a three-table SQL join ===")
+    print(wb.explain_analyze(sql).render())
+
+    print("\n=== Second run: the caches warm up ===")
+    print(wb.explain_analyze(sql).render().splitlines()[0])
+
+    print("\n=== Same data, other front-ends ===")
+    for query in (
+        "{(x) | exists d . emp(x, d)}",
+        "colleagues(X, Y) :- emp(X, D), emp(Y, D).",
+    ):
+        result = wb.explain_analyze(query)
+        print(
+            "%-8s -> %d rows via %s"
+            % (result.kind, result.report.rows, ", ".join(
+                sorted({op.split("[")[0] for op in result.operators()[:4]})
+            ))
+        )
+
+    print("\n=== A traced semi-naive fixpoint (transitive closure) ===")
+    tracer = Tracer()
+    program, _ = parse_program(
+        "path(X, Y) :- edge(X, Y). path(X, Z) :- edge(X, Y), path(Y, Z)."
+    )
+    edb = FactStore({"edge": [(i, i + 1) for i in range(8)]})
+    seminaive_evaluate(
+        program, edb, stats=EngineStatistics(), tracer=tracer
+    )
+    print(render_trace(tracer))
+
+    print("\n=== A traced 2PL run under contention ===")
+    tracer = Tracer()
+    schedule = generate_schedule(
+        WorkloadConfig(
+            num_transactions=6,
+            ops_per_transaction=4,
+            num_items=10,
+            hot_fraction=0.2,
+            hot_access_probability=0.9,
+            seed=2,
+        )
+    )
+    two_phase_lock(schedule, tracer=tracer)
+    print(render_trace(tracer))
+
+    print("\n=== The metrics registry: one source of truth ===")
+    registry = MetricsRegistry()
+    wb.plan_cache.publish(registry)
+    stats = EngineStatistics()
+    wb.sql(sql, stats=stats)
+    for field, value in stats.as_dict().items():
+        registry.gauge("executor_%s" % field).set(value)
+    print(render_metrics(registry))
+
+
+if __name__ == "__main__":
+    main()

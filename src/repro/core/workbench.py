@@ -22,8 +22,10 @@ from ..datalog.engine import DatalogEngine
 from ..datalog.facts import FactStore
 from ..datalog.parser import parse_program
 from ..dependencies.design import DesignTool
+from ..obs.trace import ensure_tracer
 from ..plan.cache import PlanCache
 from ..plan.executor import execute_physical
+from ..plan.explain import explain_datalog, run_explained
 from ..plan.logical import canonicalize, plan_key
 from ..relational.algebra import evaluate
 from ..relational.calculus import evaluate_query
@@ -40,9 +42,10 @@ from ..relational.sql_frontend import parse_sql
 class MetatheoryWorkbench:
     """A database plus every classical way of querying and analyzing it."""
 
-    def __init__(self, db=None, plan_cache_size=128):
+    def __init__(self, db=None, plan_cache_size=128, tracer=None):
         self.db = db if db is not None else Database()
         self.plan_cache = PlanCache(plan_cache_size)
+        self.tracer = ensure_tracer(tracer)
         self._parse_cache = {}
         self._parse_cache_token = None
 
@@ -149,6 +152,108 @@ class MetatheoryWorkbench:
             expr = optimize(expr, self.db)
         return evaluate(expr, self.db)
 
+    # -- observability ------------------------------------------------------------
+
+    def _detect_kind(self, query):
+        from ..relational.algebra import AlgebraExpr
+        from ..relational.calculus import Query
+
+        if isinstance(query, AlgebraExpr):
+            return "algebra"
+        if isinstance(query, Query):
+            return "calculus"
+        if isinstance(query, str):
+            text = query.strip()
+            if text.startswith("{"):
+                return "calculus"
+            if ":-" in text or "?-" in text:
+                return "datalog"
+            return "sql"
+        raise TypeError(
+            "cannot explain %r; pass SQL/calculus/Datalog text, an "
+            "algebra expression, or a calculus Query" % (query,)
+        )
+
+    def explain_analyze(self, query, kind=None, optimized=True, stats=None,
+                        tracer=None):
+        """Run a query with per-operator instrumentation: EXPLAIN ANALYZE.
+
+        Accepts the same inputs as the query methods — SQL text, an
+        algebra expression, a calculus query (object or ``{...}`` text),
+        or Datalog source — and returns an
+        :class:`~repro.plan.explain.ExplainResult`: the ordinary query
+        result plus an annotated operator tree (rows, wall-clock time,
+        scan/probe/build/materialize counters, peak buffers per
+        operator) and the plan/parse cache outcomes for this run.
+
+        The result is identical to the uninstrumented path (the
+        differential tests pin this); only the accounting differs.
+
+        Args:
+            query: the query, in any front-end.
+            kind: force the front-end ("sql", "algebra", "calculus",
+                "datalog") instead of auto-detecting from the input.
+            optimized: run the algebraic optimizer (relational kinds).
+            stats: optional EngineStatistics; charged the same work an
+                uninstrumented run would charge.
+            tracer: optional :class:`~repro.obs.trace.Tracer`; the
+                annotated tree is mirrored into it as nested spans.
+                Defaults to the workbench's tracer (a no-op unless one
+                was passed at construction).
+
+        Raises:
+            DatalogError: for recursive Datalog programs, which need the
+                fixpoint engines (trace those via
+                :meth:`datalog` with a tracer-carrying engine).
+        """
+        tracer = ensure_tracer(tracer) if tracer is not None else self.tracer
+        if kind is None:
+            kind = self._detect_kind(query)
+
+        if kind == "datalog":
+            program, _queries = parse_program(query)
+            return explain_datalog(
+                program,
+                edb=FactStore.from_database(self.db),
+                stats=stats,
+                tracer=tracer,
+            )
+
+        self._sync_caches()
+        parse_cache_hit = None
+        if kind == "sql":
+            parse_cache_hit = ("sql", query) in self._parse_cache
+            expr = self._cached_parse("sql", query, parse_sql)
+        elif kind == "calculus":
+            if isinstance(query, str):
+                from ..relational.calculus_parser import parse_calculus
+
+                parse_cache_hit = ("calculus", query) in self._parse_cache
+                query = self._cached_parse("calculus", query, parse_calculus)
+            expr = calculus_to_algebra(query, self.db.schema())
+        elif kind == "algebra":
+            expr = query
+        else:
+            raise ValueError("unknown query kind %r" % (kind,))
+
+        canonical = canonicalize(expr, self.db.schema())
+        key = (plan_key(canonical), bool(optimized))
+        plan_cache_hit = key in self.plan_cache
+        plan = self.plan_cache.get(key)
+        if plan is None:
+            plan = (
+                canonicalize(optimize(canonical, self.db), self.db.schema())
+                if optimized
+                else canonical
+            )
+            self.plan_cache.put(key, plan)
+        result = run_explained(
+            plan, self.db, stats=stats, tracer=tracer, kind=kind
+        )
+        result.plan_cache_hit = plan_cache_hit
+        result.parse_cache_hit = parse_cache_hit
+        return result
+
     def codd_check(self, query):
         """Run :func:`~repro.relational.codd.check_codd_equivalence`.
 
@@ -176,7 +281,8 @@ class MetatheoryWorkbench:
         """
         program, _queries = parse_program(source)
         return DatalogEngine(
-            program, FactStore.from_database(self.db), executor=executor
+            program, FactStore.from_database(self.db), executor=executor,
+            tracer=self.tracer,
         )
 
     # -- schema analysis ----------------------------------------------------------

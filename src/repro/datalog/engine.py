@@ -18,6 +18,7 @@ Example::
 from __future__ import annotations
 
 from ..errors import DatalogError
+from ..obs.trace import ensure_tracer
 from .ast import Atom, Program
 from .facts import FactStore
 from .lowering import is_lowerable, lowered_evaluate
@@ -45,13 +46,14 @@ class DatalogEngine:
     """
 
     def __init__(self, program, edb=None, indexed=True, planned=True,
-                 executor=True):
+                 executor=True, tracer=None):
         if not isinstance(program, Program):
             raise DatalogError("expected a Program, got %r" % (program,))
         self.program = program
         self.indexed = indexed
         self.planned = planned
         self.executor = executor
+        self.tracer = ensure_tracer(tracer)
         if edb is None:
             self.edb = FactStore()
         elif isinstance(edb, FactStore):
@@ -66,11 +68,12 @@ class DatalogEngine:
 
     @classmethod
     def from_source(cls, source, edb=None, indexed=True, planned=True,
-                    executor=True):
+                    executor=True, tracer=None):
         """Parse program text (ignoring any ``?-`` lines) and wrap it."""
         program, _ = parse_program(source)
         return cls(
-            program, edb, indexed=indexed, planned=planned, executor=executor
+            program, edb, indexed=indexed, planned=planned,
+            executor=executor, tracer=tracer,
         )
 
     # -- full evaluation ------------------------------------------------------
@@ -86,7 +89,9 @@ class DatalogEngine:
             stats: optional
                 :class:`~repro.datalog.stats.EngineStatistics` collecting
                 work counters.  Passing one bypasses the model cache (a
-                cached model has no work to count).
+                cached model has no work to count).  An enabled engine
+                tracer bypasses it too, for the same reason: a cache hit
+                would emit no spans.
 
         Returns:
             The model as a :class:`~repro.datalog.facts.FactStore`.
@@ -104,24 +109,28 @@ class DatalogEngine:
                 "unknown strategy %r (use one of %s)"
                 % (strategy, ", ".join(STRATEGIES))
             )
+        observed = stats is not None or self.tracer.enabled
         if self.executor and is_lowerable(self.program):
             # Non-recursive: one pass through the relational pipeline is
             # the whole fixpoint, whatever bottom-up strategy was asked
             # for.  Recursion falls through to the iterating engines.
-            if stats is not None:
-                return lowered_evaluate(self.program, self.edb, stats=stats)
+            if observed:
+                return lowered_evaluate(
+                    self.program, self.edb, stats=stats, tracer=self.tracer
+                )
             if "plan" not in self._model_cache:
                 self._model_cache["plan"] = lowered_evaluate(
                     self.program, self.edb
                 )
             return self._model_cache["plan"]
-        if stats is not None:
+        if observed:
             return evaluator(
                 self.program,
                 self.edb,
                 stats=stats,
                 indexed=self.indexed,
                 planned=self.planned,
+                tracer=self.tracer,
             )
         if strategy not in self._model_cache:
             self._model_cache[strategy] = evaluator(
@@ -165,6 +174,7 @@ class DatalogEngine:
                 stats=stats,
                 indexed=self.indexed,
                 planned=self.planned,
+                tracer=self.tracer,
             )
         if strategy == "topdown":
             return topdown_query(
@@ -174,6 +184,7 @@ class DatalogEngine:
                 stats=stats,
                 indexed=self.indexed,
                 planned=self.planned,
+                tracer=self.tracer,
             )
         raise DatalogError(
             "unknown strategy %r (use one of %s)"

@@ -20,6 +20,7 @@ predicate's relation has columns ``c0..c{n-1}``.
 from __future__ import annotations
 
 from ..errors import DatalogError
+from ..obs.trace import NULL_TRACER
 from ..relational import algebra as ra
 from ..relational.database import Database
 from ..relational.relation import Relation
@@ -236,7 +237,7 @@ def _program_arities(program):
     return arities
 
 
-def lowered_evaluate(program, edb=None, stats=None):
+def lowered_evaluate(program, edb=None, stats=None, tracer=NULL_TRACER):
     """The minimal model of a non-recursive program, via algebra plans.
 
     Semantics match :func:`~repro.datalog.naive.naive_evaluate`: the
@@ -272,13 +273,20 @@ def lowered_evaluate(program, edb=None, stats=None):
         )
 
     db_schema = db.schema()
-    for predicate, expr in lower_program(program):
-        plan = canonicalize(expr, db_schema)
-        result, _tally = execute_physical(plan, db, stats)
-        store.add_all(predicate, result.tuples)
-        db.replace(
-            Relation(
-                db[predicate].schema, store.get(predicate), validate=False
+    with tracer.span("datalog_lowered", stats=stats) as program_span:
+        plans = lower_program(program)
+        for predicate, expr in plans:
+            with tracer.span(
+                "predicate", stats=stats, predicate=predicate
+            ) as span:
+                plan = canonicalize(expr, db_schema)
+                result, _tally = execute_physical(plan, db, stats)
+                span.set(rows=len(result))
+            store.add_all(predicate, result.tuples)
+            db.replace(
+                Relation(
+                    db[predicate].schema, store.get(predicate), validate=False
+                )
             )
-        )
+        program_span.set(predicates=len(plans))
     return store

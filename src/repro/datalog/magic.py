@@ -32,6 +32,7 @@ classical core this module reproduces.
 from __future__ import annotations
 
 from ..errors import DatalogError
+from ..obs.trace import NULL_TRACER
 from .ast import Atom, Constant, Literal, Program, Rule, Variable
 from .facts import FactStore
 from .seminaive import seminaive_evaluate
@@ -244,7 +245,8 @@ def match_query(store, query_atom):
 
 
 def magic_evaluate(
-    program, edb, query_atom, stats=None, indexed=True, planned=True
+    program, edb, query_atom, stats=None, indexed=True, planned=True,
+    tracer=NULL_TRACER,
 ):
     """Answer a query via magic-sets rewriting + semi-naive evaluation.
 
@@ -259,7 +261,12 @@ def magic_evaluate(
         :func:`~repro.datalog.seminaive.seminaive_evaluate` followed by
         :func:`match_query` returns, but computed goal-directedly.
     """
-    transform = magic_transform(program, query_atom)
+    with tracer.span("magic_rewrite", query=str(query_atom)) as span:
+        transform = magic_transform(program, query_atom)
+        span.set(
+            adorned_rules=transform.adorned_rule_count,
+            magic_rules=transform.magic_rule_count,
+        )
     # The rewritten program keeps none of the original text facts, so
     # EDB-predicate facts from the program text must ride along in the
     # base store (IDB text facts travel as magic-guarded adorned facts).
@@ -269,7 +276,8 @@ def magic_evaluate(
         if predicate not in idb:
             base.add(predicate, values)
     store = seminaive_evaluate(
-        transform.program, base, stats=stats, indexed=indexed, planned=planned
+        transform.program, base, stats=stats, indexed=indexed,
+        planned=planned, tracer=tracer,
     )
     renamed = Atom(transform.query_predicate, query_atom.terms)
     return match_query(store, renamed)

@@ -18,6 +18,7 @@ runs the greedy join-order planner; ``stats`` collects work counters.
 
 from __future__ import annotations
 
+from ..obs.trace import NULL_TRACER
 from .analysis import rules_by_stratum
 from .indexing import working_store
 from .matching import evaluate_rule
@@ -30,6 +31,7 @@ def naive_evaluate(
     stats=None,
     indexed=True,
     planned=True,
+    tracer=NULL_TRACER,
 ):
     """Compute the (stratified) minimal model of ``program`` over ``edb``.
 
@@ -44,18 +46,23 @@ def naive_evaluate(
         indexed: keep facts in an indexed store (persistent probe
             indexes) instead of plain sets.
         planned: greedy join-order planning per rule firing.
+        tracer: optional :class:`~repro.obs.trace.Tracer`; emits one
+            span per stratum and per fixpoint round (with the new-fact
+            count and, when ``stats`` is given, the round's counter
+            deltas).  No-op by default.
 
     Returns:
         A :class:`FactStore` holding EDB and all derived IDB facts.
     """
     store, _ = _fixpoint(
-        program, edb, max_iterations, stats, indexed, planned
+        program, edb, max_iterations, stats, indexed, planned, tracer
     )
     return store
 
 
 def naive_iterations(
-    program, edb=None, stats=None, indexed=True, planned=True
+    program, edb=None, stats=None, indexed=True, planned=True,
+    tracer=NULL_TRACER,
 ):
     """Like :func:`naive_evaluate` but also count fixpoint rounds.
 
@@ -64,19 +71,24 @@ def naive_iterations(
         (including each stratum's final no-change round).  Used by the
         benchmarks to report work alongside wall-clock time.
     """
-    return _fixpoint(program, edb, None, stats, indexed, planned)
+    return _fixpoint(program, edb, None, stats, indexed, planned, tracer)
 
 
-def _fixpoint(program, edb, max_iterations, stats, indexed, planned):
+def _fixpoint(program, edb, max_iterations, stats, indexed, planned,
+              tracer=NULL_TRACER):
     store = working_store(edb, indexed)
     lookup = store.view if indexed else store.get
     for predicate, values in program.facts():
         store.add(predicate, values)
 
     rounds = 0
-    for stratum_rules in rules_by_stratum(program):
+    for index, stratum_rules in enumerate(rules_by_stratum(program)):
         if not stratum_rules:
             continue
+        stratum_span = tracer.begin(
+            "stratum", stats=stats, strategy="naive", index=index,
+            rules=len(stratum_rules),
+        )
         iterations = 0
         changed = True
         while changed:
@@ -89,10 +101,17 @@ def _fixpoint(program, edb, max_iterations, stats, indexed, planned):
                 raise RuntimeError(
                     "naive evaluation exceeded %d iterations" % max_iterations
                 )
-            for rule in stratum_rules:
-                derived = evaluate_rule(
-                    rule, lookup, stats=stats, planned=planned
-                )
-                if store.add_all(rule.head.predicate, derived):
-                    changed = True
+            with tracer.span(
+                "iteration", stats=stats, round=iterations
+            ) as round_span:
+                before = store.count()
+                for rule in stratum_rules:
+                    derived = evaluate_rule(
+                        rule, lookup, stats=stats, planned=planned
+                    )
+                    if store.add_all(rule.head.predicate, derived):
+                        changed = True
+                round_span.set(new_facts=store.count() - before)
+        stratum_span.set(rounds=iterations)
+        tracer.end(stratum_span)
     return store, rounds

@@ -28,6 +28,8 @@ Counter semantics (shared by all engines, see ``matching.py``):
 
 from __future__ import annotations
 
+import json
+
 #: Counter fields, in display order.
 FIELDS = (
     "facts_scanned",
@@ -68,6 +70,24 @@ class EngineStatistics:
             setattr(snapshot, field, getattr(self, field))
         return snapshot
 
+    def diff(self, before):
+        """Counter deltas since the ``before`` snapshot (a new instance).
+
+        The span-attachment primitive: ``snapshot = stats.copy()`` when a
+        span opens, ``stats.diff(snapshot)`` when it closes — each span
+        carries exactly the work accrued during its lifetime.
+        """
+        delta = EngineStatistics()
+        for field in FIELDS:
+            setattr(
+                delta, field, getattr(self, field) - getattr(before, field)
+            )
+        return delta
+
+    def as_json(self):
+        """The counters as a JSON object string (stable field order)."""
+        return json.dumps(self.as_dict())
+
     def __eq__(self, other):
         if not isinstance(other, EngineStatistics):
             return NotImplemented
@@ -78,8 +98,14 @@ class EngineStatistics:
         return "EngineStatistics(%s)" % ", ".join(parts)
 
     def format(self):
-        """One counter per line, aligned — for benchmark artifacts."""
-        width = max(len(f) for f in FIELDS)
+        """One counter per line, aligned — for benchmark artifacts.
+
+        Delegates to :meth:`as_dict`, so the text, JSON, and dict views
+        always agree on fields and order.
+        """
+        counters = self.as_dict()
+        width = max(len(field) for field in counters)
         return "\n".join(
-            "%s  %d" % (f.ljust(width), getattr(self, f)) for f in FIELDS
+            "%s  %d" % (field.ljust(width), value)
+            for field, value in counters.items()
         )

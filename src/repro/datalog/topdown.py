@@ -31,6 +31,7 @@ classical reasons).
 from __future__ import annotations
 
 from ..errors import DatalogError
+from ..obs.trace import NULL_TRACER
 from .ast import Comparison, Constant
 from .facts import FactStore
 from .indexing import IndexedFactStore
@@ -69,7 +70,8 @@ class TopDownEngine:
     (sound, since Datalog is monotone).
     """
 
-    def __init__(self, program, edb, stats=None, indexed=True, planned=True):
+    def __init__(self, program, edb, stats=None, indexed=True, planned=True,
+                 tracer=NULL_TRACER):
         if program.has_negation():
             raise DatalogError(
                 "top-down tabling is implemented for positive programs"
@@ -77,6 +79,7 @@ class TopDownEngine:
         self.program = program
         self.idb = program.idb_predicates()
         self.stats = stats
+        self.tracer = tracer
         self.tables = {}  # subgoal key -> set of answer tuples
         self.subgoals = {}  # subgoal key -> _Subgoal
         self._new_subgoals = False
@@ -105,9 +108,13 @@ class TopDownEngine:
         if query_atom.predicate not in self.idb:
             facts = self._edb_facts(query_atom.predicate)
             return {t for t in facts if subgoal.matches(t)}
-        self._register(subgoal)
-        self._fixpoint()
-        answers = self.tables[subgoal.key()]
+        with self.tracer.span(
+            "topdown_query", stats=self.stats, goal=repr(subgoal)
+        ) as span:
+            self._register(subgoal)
+            self._fixpoint()
+            answers = self.tables[subgoal.key()]
+            span.set(tables=len(self.tables), answers=len(answers))
         # Repeated variables in the query still need filtering.
         pseudo = match_query(_StoreView(query_atom.predicate, answers), query_atom)
         return pseudo
@@ -148,18 +155,27 @@ class TopDownEngine:
 
     def _fixpoint(self):
         changed = True
+        rounds = 0
         while changed:
             changed = False
             self._new_subgoals = False
+            rounds += 1
             if self.stats is not None:
                 self.stats.iterations += 1
-            # Iterate over a snapshot: resolution can add subgoals.
-            for key in list(self.tables):
-                subgoal = self.subgoals[key]
-                before = len(self.tables[key])
-                self._resolve(subgoal)
-                if len(self.tables[key]) != before:
-                    changed = True
+            with self.tracer.span(
+                "iteration", stats=self.stats, round=rounds
+            ) as span:
+                grew = 0
+                # Iterate over a snapshot: resolution can add subgoals.
+                for key in list(self.tables):
+                    subgoal = self.subgoals[key]
+                    before = len(self.tables[key])
+                    self._resolve(subgoal)
+                    after = len(self.tables[key])
+                    if after != before:
+                        changed = True
+                        grew += after - before
+                span.set(subgoals=len(self.tables), new_answers=grew)
             # A freshly discovered subgoal needs at least one resolution
             # pass even if no table grew this round.
             changed = changed or self._new_subgoals
@@ -236,10 +252,12 @@ class _StoreView:
 
 
 def topdown_query(
-    program, edb, query_atom, stats=None, indexed=True, planned=True
+    program, edb, query_atom, stats=None, indexed=True, planned=True,
+    tracer=NULL_TRACER,
 ):
     """One-shot top-down query (fresh tables)."""
     engine = TopDownEngine(
-        program, edb, stats=stats, indexed=indexed, planned=planned
+        program, edb, stats=stats, indexed=indexed, planned=planned,
+        tracer=tracer,
     )
     return engine.query(query_atom)

@@ -48,6 +48,10 @@ class PlanError(ReproError):
     """A query plan could not be canonicalized, optimized, or executed."""
 
 
+class ObservabilityError(ReproError):
+    """A tracing/metrics instrument was misused (type clash, bad value)."""
+
+
 class DatalogError(ReproError):
     """A Datalog program is malformed (unsafe rule, bad arity, etc.)."""
 

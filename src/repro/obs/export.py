@@ -1,0 +1,109 @@
+"""Exporters: traces and metrics as text trees, JSON lines, flat dumps.
+
+Three views over the same recorded data:
+
+* :func:`render_trace` — a pretty-printed span tree for humans
+  (EXPLAIN-style indentation, millisecond timings, attributes and
+  counter deltas inline);
+* :func:`trace_json_lines` — one JSON object per span, depth-annotated,
+  for machine consumption (benchmark artifacts, CI uploads);
+* :func:`render_metrics` — the registry's flat dump as aligned text
+  (``metrics.MetricsRegistry.as_json_lines`` is its JSON twin).
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def _format_value(value):
+    if isinstance(value, float):
+        return "%.4g" % value
+    return str(value)
+
+
+def _span_line(span):
+    parts = [span.name]
+    if span.kind == "event":
+        parts.append("[event]")
+    elif span.elapsed is not None:
+        parts.append("%.3fms" % (span.elapsed * 1e3))
+    for key in sorted(span.attributes):
+        parts.append("%s=%s" % (key, _format_value(span.attributes[key])))
+    if span.counters:
+        nonzero = [
+            "%s=%d" % (field, count)
+            for field, count in span.counters.items()
+            if count
+        ]
+        if nonzero:
+            parts.append("{%s}" % " ".join(nonzero))
+    return "  ".join(parts)
+
+
+def render_trace(tracer, indent="  "):
+    """The tracer's span forest as an indented text tree."""
+    lines = []
+    for depth, span in tracer.walk():
+        lines.append("%s%s" % (indent * depth, _span_line(span)))
+    return "\n".join(lines)
+
+
+def trace_json_lines(tracer):
+    """One JSON object per span (pre-order, with depth), as JSON lines."""
+    lines = []
+    for depth, span in tracer.walk():
+        record = {
+            "name": span.name,
+            "kind": span.kind,
+            "depth": depth,
+            "elapsed_ms": (
+                None if span.elapsed is None else span.elapsed * 1e3
+            ),
+        }
+        if span.attributes:
+            record["attributes"] = {
+                key: _jsonable(value)
+                for key, value in span.attributes.items()
+            }
+        if span.counters:
+            record["counters"] = dict(span.counters)
+        lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines)
+
+
+def _jsonable(value):
+    try:
+        json.dumps(value)
+        return value
+    except TypeError:
+        return repr(value)
+
+
+def render_metrics(registry):
+    """The registry dump as aligned ``name{labels}  values`` lines."""
+    rows = []
+    for entry in registry.dump():
+        labels = ",".join(
+            "%s=%s" % (k, v) for k, v in sorted(entry["labels"].items())
+        )
+        name = entry["name"] + ("{%s}" % labels if labels else "")
+        if entry["type"] == "histogram":
+            value = "count=%d sum=%s min=%s max=%s mean=%s" % (
+                entry["count"],
+                _format_value(entry["sum"]),
+                _format_value(entry["min"]) if entry["min"] is not None else "-",
+                _format_value(entry["max"]) if entry["max"] is not None else "-",
+                _format_value(entry["mean"]),
+            )
+        else:
+            value = _format_value(entry["value"])
+        rows.append((name, entry["type"], value))
+    if not rows:
+        return ""
+    width = max(len(name) for name, _, _ in rows)
+    kind_width = max(len(kind) for _, kind, _ in rows)
+    return "\n".join(
+        "%s  %s  %s" % (name.ljust(width), kind.ljust(kind_width), value)
+        for name, kind, value in rows
+    )

@@ -1,0 +1,183 @@
+"""A process-wide metrics registry: counters, gauges, histograms.
+
+Where spans (``trace.py``) capture *one run's* structure, the registry
+accumulates *named series* across runs — plan-cache hit rates, per-
+workload scan counts, scheduler abort totals.  Series are identified by
+``(name, labels)``; the benchmarks use labels to key one metric per
+workload and then derive their printed tables from :meth:`dump` — the
+single source of truth for every number that lands in an artifact.
+
+All instruments are plain objects with no locks (matching the library's
+single-threaded execution model) and no background machinery: a
+registry is a dictionary you can always inspect, dump, or throw away.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import ObservabilityError
+
+
+def _label_key(labels):
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name, labels):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ObservabilityError("counters only go up; use a gauge")
+        self.value += amount
+        return self
+
+    def snapshot(self):
+        return {"value": self.value}
+
+
+class Gauge:
+    """A value that can go anywhere (sizes, ratios, timestamps)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name, labels):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+        return self
+
+    def add(self, amount):
+        self.value += amount
+        return self
+
+    def snapshot(self):
+        return {"value": self.value}
+
+
+class Histogram:
+    """Streaming summary of observations: count/sum/min/max/mean."""
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max")
+
+    kind = "histogram"
+
+    def __init__(self, name, labels):
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        return self
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self):
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named, labeled series of counters/gauges/histograms."""
+
+    __slots__ = ("_series",)
+
+    def __init__(self):
+        self._series = {}
+
+    def _instrument(self, cls, name, labels):
+        key = (name, _label_key(labels))
+        series = self._series.get(key)
+        if series is None:
+            series = cls(name, dict(labels))
+            self._series[key] = series
+        elif not isinstance(series, cls):
+            raise ObservabilityError(
+                "metric %r already registered as a %s" % (name, series.kind)
+            )
+        return series
+
+    def counter(self, name, **labels):
+        """Get-or-create the counter for ``(name, labels)``."""
+        return self._instrument(Counter, name, labels)
+
+    def gauge(self, name, **labels):
+        return self._instrument(Gauge, name, labels)
+
+    def histogram(self, name, **labels):
+        return self._instrument(Histogram, name, labels)
+
+    def value(self, name, **labels):
+        """The current value of a counter/gauge series (KeyError if absent)."""
+        series = self._series[(name, _label_key(labels))]
+        return series.value
+
+    def series(self):
+        """All instruments, in registration order."""
+        return list(self._series.values())
+
+    def dump(self):
+        """The flat metrics dump: one dict per series, registration order.
+
+        This is the canonical machine-readable form — artifacts, JSON
+        exports, and benchmark tables are all derived from it.
+        """
+        return [
+            {
+                "type": series.kind,
+                "name": series.name,
+                "labels": dict(series.labels),
+                **series.snapshot(),
+            }
+            for series in self._series.values()
+        ]
+
+    def as_json_lines(self):
+        """The dump as JSON lines (one series per line)."""
+        return "\n".join(
+            json.dumps(entry, sort_keys=True) for entry in self.dump()
+        )
+
+    def clear(self):
+        self._series.clear()
+
+    def __len__(self):
+        return len(self._series)
+
+    def __repr__(self):
+        return "MetricsRegistry(%d series)" % len(self._series)
+
+
+#: The process-wide default registry (long-lived processes; tests and
+#: benchmarks usually make their own).
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,264 @@
+"""Span-based tracing: runtime behavior as first-class data.
+
+A :class:`Tracer` records a tree of :class:`Span` objects — named,
+nested, wall-clock-timed regions of work — plus zero-duration *events*
+(lock waits, aborts).  Spans can snapshot any counter object exposing
+``copy()``/``diff()``/``as_dict()`` (in practice
+:class:`~repro.datalog.stats.EngineStatistics`), so each span carries
+the counter *deltas* accrued during its lifetime without any per-counter
+bookkeeping at the instrumentation site.
+
+Tracing is strictly opt-in and zero-cost when off: the default tracer
+everywhere is :data:`NULL_TRACER`, a no-op singleton whose ``span()``
+returns one shared null context manager — no Span objects are allocated
+on the default path (a tier-1 test pins this).
+
+Usage::
+
+    tracer = Tracer()
+    with tracer.span("stratum", index=0) as span:
+        ...
+        span.set(rounds=3)
+    tracer.event("deadlock_abort", txn=2)
+    print(render_trace(tracer))          # see repro.obs.export
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Span:
+    """One named, timed region of work (or a zero-duration event).
+
+    Attributes:
+        name: the span's label.
+        kind: ``"span"`` or ``"event"``.
+        attributes: free-form key/value annotations.
+        children: nested spans, in start order.
+        elapsed: wall-clock seconds (None while the span is open).
+        counters: counter deltas accrued during the span (dict), when a
+            stats object was attached; else None.
+    """
+
+    __slots__ = (
+        "name",
+        "kind",
+        "attributes",
+        "children",
+        "elapsed",
+        "counters",
+        "_tracer",
+        "_stats",
+        "_snapshot",
+        "_start",
+    )
+
+    def __init__(self, tracer, name, stats=None, attributes=None,
+                 kind="span"):
+        self.name = name
+        self.kind = kind
+        self.attributes = dict(attributes) if attributes else {}
+        self.children = []
+        self.elapsed = None
+        self.counters = None
+        self._tracer = tracer
+        self._stats = stats
+        self._snapshot = None
+        self._start = None
+
+    def start(self):
+        """Attach under the tracer's current span and start the clock."""
+        tracer = self._tracer
+        stack = tracer._stack
+        parent = stack[-1] if stack else None
+        (parent.children if parent is not None else tracer.roots).append(self)
+        stack.append(self)
+        if self._stats is not None:
+            self._snapshot = self._stats.copy()
+        self._start = tracer._clock()
+        return self
+
+    def finish(self):
+        """Stop the clock, capture counter deltas, pop the stack."""
+        tracer = self._tracer
+        if self.elapsed is None:
+            self.elapsed = tracer._clock() - self._start
+        if self._snapshot is not None:
+            self.counters = self._stats.diff(self._snapshot).as_dict()
+        stack = tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        return self
+
+    def set(self, **attributes):
+        """Annotate the span; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.finish()
+        return False
+
+    def walk(self, depth=0):
+        """Yield ``(depth, span)`` pairs, pre-order."""
+        yield depth, self
+        for child in self.children:
+            for pair in child.walk(depth + 1):
+                yield pair
+
+    def __repr__(self):
+        timing = (
+            "open" if self.elapsed is None else "%.3fms" % (self.elapsed * 1e3)
+        )
+        return "Span(%s, %s, %d children)" % (
+            self.name, timing, len(self.children)
+        )
+
+
+class Tracer:
+    """Collects a forest of spans for one traced workload.
+
+    Not thread-safe (nesting is a per-tracer stack); use one tracer per
+    logical activity, like one EngineStatistics per engine run.
+    """
+
+    enabled = True
+
+    __slots__ = ("roots", "_stack", "_clock")
+
+    def __init__(self, clock=time.perf_counter):
+        self.roots = []
+        self._stack = []
+        self._clock = clock
+
+    def span(self, name, stats=None, **attributes):
+        """A new (unstarted) span; use as a context manager."""
+        return Span(self, name, stats=stats, attributes=attributes)
+
+    def begin(self, name, stats=None, **attributes):
+        """Start a span without ``with`` (pair with :meth:`end`)."""
+        return self.span(name, stats=stats, **attributes).start()
+
+    def end(self, span):
+        span.finish()
+        return span
+
+    def event(self, name, **attributes):
+        """Record a zero-duration event under the current span."""
+        span = Span(self, name, attributes=attributes, kind="event")
+        parent = self._stack[-1] if self._stack else None
+        (parent.children if parent is not None else self.roots).append(span)
+        span.elapsed = 0.0
+        return span
+
+    def current(self):
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    def walk(self):
+        """Yield ``(depth, span)`` across all roots, pre-order."""
+        for root in self.roots:
+            for pair in root.walk():
+                yield pair
+
+    def spans(self, name=None, kind=None):
+        """All recorded spans, optionally filtered by name/kind."""
+        return [
+            span
+            for _, span in self.walk()
+            if (name is None or span.name == name)
+            and (kind is None or span.kind == kind)
+        ]
+
+    def clear(self):
+        self.roots = []
+        self._stack = []
+
+    def __repr__(self):
+        return "Tracer(%d roots, %d open)" % (
+            len(self.roots), len(self._stack)
+        )
+
+
+class _NullSpan:
+    """The shared do-nothing span; every call site gets this instance."""
+
+    __slots__ = ()
+
+    name = "null"
+    kind = "null"
+    attributes = {}
+    children = ()
+    elapsed = 0.0
+    counters = None
+
+    def start(self):
+        return self
+
+    def finish(self):
+        return self
+
+    def set(self, **attributes):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+class NullTracer:
+    """The disabled tracer: a no-op singleton, zero allocation per use.
+
+    Every method returns the shared :class:`_NullSpan` (or nothing), so
+    instrumented code can call ``tracer.span(...)`` unconditionally.
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+    roots = ()
+
+    def span(self, name, stats=None, **attributes):
+        return _NULL_SPAN
+
+    def begin(self, name, stats=None, **attributes):
+        return _NULL_SPAN
+
+    def end(self, span):
+        return span
+
+    def event(self, name, **attributes):
+        return _NULL_SPAN
+
+    def current(self):
+        return None
+
+    def walk(self):
+        return iter(())
+
+    def spans(self, name=None, kind=None):
+        return []
+
+    def clear(self):
+        pass
+
+    def __repr__(self):
+        return "NullTracer()"
+
+
+_NULL_SPAN = _NullSpan()
+
+#: The process-wide disabled tracer: the default everywhere.
+NULL_TRACER = NullTracer()
+
+
+def ensure_tracer(tracer):
+    """``tracer`` or the null singleton — the idiom for defaults."""
+    return NULL_TRACER if tracer is None else tracer

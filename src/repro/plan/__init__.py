@@ -23,6 +23,11 @@ pipeline:
   differential oracle and benchmark baseline.
 * :mod:`~repro.plan.cache` — the canonical-plan-keyed plan cache the
   workbench uses to skip parse/optimize on repeated queries.
+* :mod:`~repro.plan.explain` — EXPLAIN ANALYZE: the instrumented twin
+  of the executor (:func:`~repro.plan.explain.run_explained`), which
+  annotates every physical operator with rows, wall-clock time, and
+  per-operator counters, and mirrors the finished tree into a
+  :class:`~repro.obs.trace.Tracer`.
 
 The legacy materialize-everything tree-walk
 (:func:`~repro.relational.algebra.evaluate`) stays available behind
@@ -32,16 +37,21 @@ The legacy materialize-everything tree-walk
 
 from .cache import PlanCache
 from .executor import execute, execute_physical, measure_treewalk
+from .explain import ExplainResult, OpReport, explain_datalog, run_explained
 from .logical import canonicalize, is_canonical, plan_key
 from .physical import build_physical
 
 __all__ = [
+    "ExplainResult",
+    "OpReport",
     "PlanCache",
     "build_physical",
     "canonicalize",
     "execute",
     "execute_physical",
+    "explain_datalog",
     "is_canonical",
     "measure_treewalk",
     "plan_key",
+    "run_explained",
 ]

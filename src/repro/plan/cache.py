@@ -5,20 +5,27 @@ plan (plus whatever discriminators the caller folds in, e.g. whether the
 optimizer ran), so the same query arriving through *different*
 front-ends — SQL text, a calculus formula, a hand-built algebra tree —
 hits the same cache entry whenever it canonicalizes to the same plan.
+
+Effectiveness is observable: the cache counts hits, misses, and
+evictions (:meth:`PlanCache.stats`), and :meth:`PlanCache.publish`
+pushes the counts into a :class:`~repro.obs.metrics.MetricsRegistry` so
+traces and benchmark artifacts can report cache behavior from the same
+source of truth.
 """
 
 from __future__ import annotations
 
 
 class PlanCache:
-    """A bounded FIFO-evicting mapping with hit/miss counters."""
+    """A bounded FIFO-evicting mapping with hit/miss/eviction counters."""
 
-    __slots__ = ("capacity", "hits", "misses", "_entries")
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries")
 
     def __init__(self, capacity=128):
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._entries = {}
 
     def __len__(self):
@@ -40,20 +47,30 @@ class PlanCache:
         if key not in self._entries and len(self._entries) >= self.capacity:
             oldest = next(iter(self._entries))
             del self._entries[oldest]
+            self.evictions += 1
         self._entries[key] = value
 
     def stats(self):
-        """``{"hits", "misses", "size"}`` snapshot (for tests/reports)."""
+        """``{"hits", "misses", "evictions", "size"}`` snapshot."""
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
             "size": len(self._entries),
         }
 
+    def publish(self, registry, name="plan_cache", **labels):
+        """Record the current counters into a metrics registry."""
+        for field, value in self.stats().items():
+            registry.gauge("%s_%s" % (name, field), **labels).set(value)
+        return registry
+
     def clear(self):
+        """Drop all entries and reset every counter (schema changed)."""
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
 
 _MISSING = object()

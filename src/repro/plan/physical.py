@@ -70,8 +70,21 @@ class PhysicalOp:
 
     __slots__ = ("schema", "tally")
 
+    #: Names of the slots holding child operators, in plan order.  The
+    #: EXPLAIN ANALYZE layer walks (and re-binds) children through this,
+    #: so it must list every slot an operator pulls tuples from.
+    child_slots = ()
+
     def tuples(self):
         raise NotImplementedError
+
+    def children(self):
+        """Child operators, in plan order."""
+        return tuple(getattr(self, slot) for slot in self.child_slots)
+
+    def label(self):
+        """Short node label (non-recursive; EXPLAIN tree lines)."""
+        return type(self).__name__.lstrip("_")
 
     def describe(self):
         """One-line operator tree rendering (for tests and EXPLAIN)."""
@@ -93,6 +106,9 @@ class Scan(PhysicalOp):
             self.tally.scanned()
             yield t
 
+    def label(self):
+        return "Scan(%s)" % self.relation.schema.name
+
     def describe(self):
         return "Scan(%s)" % self.relation.schema.name
 
@@ -101,6 +117,8 @@ class Select(PhysicalOp):
     """Streaming filter; nothing buffered."""
 
     __slots__ = ("child", "condition", "_test")
+
+    child_slots = ("child",)
 
     def __init__(self, child, condition, tally):
         self.child = child
@@ -115,6 +133,9 @@ class Select(PhysicalOp):
             if test(t):
                 yield t
 
+    def label(self):
+        return "Select[%s]" % (self.condition,)
+
     def describe(self):
         return "Select[%s](%s)" % (self.condition, self.child.describe())
 
@@ -123,6 +144,8 @@ class Project(PhysicalOp):
     """Streaming projection; buffers only the emitted (distinct) tuples."""
 
     __slots__ = ("child", "attributes", "_positions")
+
+    child_slots = ("child",)
 
     def __init__(self, child, attributes, tally):
         self.child = child
@@ -141,6 +164,9 @@ class Project(PhysicalOp):
                 self.tally.buffered(len(seen))
                 yield out
 
+    def label(self):
+        return "Project[%s]" % ",".join(self.attributes)
+
     def describe(self):
         return "Project[%s](%s)" % (
             ",".join(self.attributes),
@@ -152,6 +178,8 @@ class RenameOp(PhysicalOp):
     """Pure schema change; tuples pass through untouched."""
 
     __slots__ = ("child", "mapping")
+
+    child_slots = ("child",)
 
     def __init__(self, child, mapping, tally):
         self.child = child
@@ -220,6 +248,8 @@ class HashJoin(PhysicalOp):
 
     __slots__ = ("left", "_index", "_left_positions", "_extra_positions")
 
+    child_slots = ("left",)
+
     def __init__(self, left, right_schema, index, tally):
         self.left = left
         shared = left.schema.shared_attributes(right_schema)
@@ -243,6 +273,13 @@ class HashJoin(PhysicalOp):
             for t in index.get(key, ()):
                 yield s + tuple(t[p] for p in extra_positions)
 
+    def label(self):
+        shared = [
+            self.left.schema.attributes[p] for p in self._left_positions
+        ]
+        side = "base" if isinstance(self._index, _BaseIndex) else "built"
+        return "HashJoin:%s[%s]" % (side, ",".join(shared))
+
     def describe(self):
         return "HashJoin(%s)" % self.left.describe()
 
@@ -260,6 +297,8 @@ class ThetaJoinOp(PhysicalOp):
         "_right_key_positions",
         "_residual",
     )
+
+    child_slots = ("left", "right")
 
     def __init__(self, left, right, condition, tally):
         self.left = left
@@ -307,6 +346,10 @@ class ThetaJoinOp(PhysicalOp):
                     if residual is None or residual(combined):
                         yield combined
 
+    def label(self):
+        kind = "hash" if self._right_key_positions else "loop"
+        return "ThetaJoin:%s[%s]" % (kind, self.condition)
+
     def describe(self):
         kind = "hash" if self._right_key_positions else "loop"
         return "ThetaJoin:%s(%s, %s)" % (
@@ -320,6 +363,8 @@ class ProductOp(PhysicalOp):
     """Cartesian product: buffer the right side once, stream the left."""
 
     __slots__ = ("left", "right")
+
+    child_slots = ("left", "right")
 
     def __init__(self, left, right, tally):
         self.left = left
@@ -348,6 +393,8 @@ class UnionOp(PhysicalOp):
 
     __slots__ = ("left", "right")
 
+    child_slots = ("left", "right")
+
     def __init__(self, left, right, tally):
         left.schema.require_union_compatible(right.schema, "union")
         self.left = left
@@ -373,6 +420,8 @@ class _RightSetOp(PhysicalOp):
 
     __slots__ = ("left", "right")
 
+    child_slots = ("left", "right")
+
     def __init__(self, left, right, tally, operation):
         left.schema.require_union_compatible(right.schema, operation)
         self.left = left
@@ -386,6 +435,9 @@ class _RightSetOp(PhysicalOp):
             members.add(t)
             self.tally.buffered(len(members))
         return members
+
+    def label(self):
+        return type(self).__name__.rstrip("Op")
 
     def describe(self):
         return "%s(%s, %s)" % (
@@ -434,6 +486,8 @@ class SemijoinOp(PhysicalOp):
 
     __slots__ = ("left", "right", "_index", "_left_positions", "negated")
 
+    child_slots = ("left", "right")
+
     def __init__(self, left, right, index, tally, negated=False):
         self.left = left
         self.right = right
@@ -463,6 +517,9 @@ class SemijoinOp(PhysicalOp):
             if (tuple(t[p] for p in left_positions) in keys) != negated:
                 yield t
 
+    def label(self):
+        return "Antijoin" if self.negated else "Semijoin"
+
     def describe(self):
         name = "Antijoin" if self.negated else "Semijoin"
         return "%s(%s)" % (name, self.left.describe())
@@ -472,6 +529,8 @@ class DivisionOp(PhysicalOp):
     """Division: materialize both sides, reuse Relation.divide."""
 
     __slots__ = ("left", "right")
+
+    child_slots = ("left", "right")
 
     def __init__(self, left, right, tally):
         self.left = left

@@ -23,6 +23,7 @@ property test over random workloads.
 from __future__ import annotations
 
 from ..errors import SchedulerError
+from ..obs.trace import ensure_tracer
 from .schedule import READ, WRITE, Op, Schedule
 
 #: Lock modes.
@@ -99,16 +100,31 @@ class TwoPhaseLockingScheduler:
             (including injected aborts for deadlock victims).
         aborted: transaction ids aborted by deadlock resolution.
         wait_events: number of times an operation had to wait.
+
+    A ``tracer`` (default: the no-op singleton) receives a ``lock_wait``
+    event per wait and a ``deadlock_abort`` event per victim, under one
+    ``2pl_run`` span per :meth:`run`.
     """
 
-    def __init__(self, strict=True):
+    def __init__(self, strict=True, tracer=None):
         self.strict = strict
+        self.tracer = ensure_tracer(tracer)
         self.output = None
         self.aborted = set()
         self.wait_events = 0
 
     def run(self, schedule):
         """Execute the requested schedule; returns the output schedule."""
+        with self.tracer.span(
+            "2pl_run", ops=len(schedule.ops), strict=self.strict
+        ) as span:
+            output = self._run(schedule)
+            span.set(
+                waits=self.wait_events, aborts=len(self.aborted)
+            )
+        return output
+
+    def _run(self, schedule):
         remaining = {
             txn: list(schedule.ops_of(txn)) for txn in schedule.transactions()
         }
@@ -141,6 +157,10 @@ class TwoPhaseLockingScheduler:
                         blockers = locks.blockers(txn, op.item, needed)
                         blocked[txn] = blockers
                         self.wait_events += 1
+                        self.tracer.event(
+                            "lock_wait", txn=txn, item=op.item, mode=needed,
+                            blockers=sorted(blockers),
+                        )
                         victim = self._deadlock_victim(blocked)
                         if victim is not None:
                             self._abort(victim, locks, remaining, blocked,
@@ -259,6 +279,7 @@ class TwoPhaseLockingScheduler:
         ]
 
     def _abort(self, victim, locks, remaining, blocked, stream, executed):
+        self.tracer.event("deadlock_abort", txn=victim)
         self.aborted.add(victim)
         locks.release_all(victim)
         blocked.pop(victim, None)
@@ -281,14 +302,14 @@ def _reaches(graph, source, target):
     return False
 
 
-def two_phase_lock(schedule, strict=True):
+def two_phase_lock(schedule, strict=True, tracer=None):
     """One-shot convenience: run the 2PL scheduler on a requested schedule.
 
     Returns:
         ``(output_schedule, stats)`` where stats has ``aborted`` and
         ``wait_events``.
     """
-    scheduler = TwoPhaseLockingScheduler(strict=strict)
+    scheduler = TwoPhaseLockingScheduler(strict=strict, tracer=tracer)
     output = scheduler.run(schedule)
     return output, {
         "aborted": set(scheduler.aborted),

@@ -13,6 +13,7 @@ rate explodes while 2PL degrades gracefully — the crossover the
 
 from __future__ import annotations
 
+from ..obs.trace import ensure_tracer
 from .schedule import COMMIT, READ, WRITE, Op, Schedule
 
 
@@ -34,14 +35,26 @@ class OptimisticScheduler:
             never become visible.
         aborted: ids of transactions that failed validation.
         validations: number of validation events.
+
+    A ``tracer`` receives one ``validation`` event per commit attempt
+    (``ok=True/False``) under an ``occ_run`` span per :meth:`run`.
     """
 
-    def __init__(self):
+    def __init__(self, tracer=None):
+        self.tracer = ensure_tracer(tracer)
         self.output = None
         self.aborted = set()
         self.validations = 0
 
     def run(self, schedule):
+        with self.tracer.span("occ_run", ops=len(schedule.ops)) as span:
+            output = self._run(schedule)
+            span.set(
+                validations=self.validations, aborts=len(self.aborted)
+            )
+        return output
+
+    def _run(self, schedule):
         start_event = {}
         read_sets = {}
         write_buffers = {}  # txn -> buffered write ops, in order
@@ -71,6 +84,7 @@ class OptimisticScheduler:
                     and (read_sets[txn] & write_set)
                     for commit_event, write_set in committed
                 )
+                self.tracer.event("validation", txn=txn, ok=not conflict)
                 if conflict:
                     self.aborted.add(txn)
                     executed.append(Op.abort(txn))
@@ -89,9 +103,9 @@ class OptimisticScheduler:
         return self.output
 
 
-def optimistic(schedule):
+def optimistic(schedule, tracer=None):
     """One-shot convenience; returns ``(output, stats)``."""
-    scheduler = OptimisticScheduler()
+    scheduler = OptimisticScheduler(tracer=tracer)
     output = scheduler.run(schedule)
     return output, {
         "aborted": set(scheduler.aborted),

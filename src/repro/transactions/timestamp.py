@@ -11,6 +11,7 @@ aborting), the standard refinement.
 
 from __future__ import annotations
 
+from ..obs.trace import ensure_tracer
 from .schedule import READ, WRITE, Op, Schedule
 
 
@@ -25,15 +26,31 @@ class TimestampScheduler:
         output: executed schedule (with injected aborts).
         aborted: ids of aborted transactions.
         skipped_writes: writes suppressed by the Thomas write rule.
+
+    A ``tracer`` receives a ``timestamp_abort`` event per order
+    violation and a ``thomas_skip`` event per suppressed write, under a
+    ``timestamp_run`` span per :meth:`run`.
     """
 
-    def __init__(self, thomas_write_rule=False):
+    def __init__(self, thomas_write_rule=False, tracer=None):
         self.thomas_write_rule = thomas_write_rule
+        self.tracer = ensure_tracer(tracer)
         self.output = None
         self.aborted = set()
         self.skipped_writes = 0
 
     def run(self, schedule):
+        with self.tracer.span(
+            "timestamp_run", ops=len(schedule.ops),
+            thomas=self.thomas_write_rule,
+        ) as span:
+            output = self._run(schedule)
+            span.set(
+                aborts=len(self.aborted), skipped=self.skipped_writes
+            )
+        return output
+
+    def _run(self, schedule):
         timestamp = {}
         next_ts = 0
         read_ts = {}
@@ -52,19 +69,22 @@ class TimestampScheduler:
             ts = timestamp[txn]
             if op.kind == READ:
                 if ts < write_ts.get(op.item, -1):
-                    self._abort(txn, executed)
+                    self._abort(txn, executed, op)
                     continue
                 read_ts[op.item] = max(read_ts.get(op.item, -1), ts)
                 executed.append(op)
             elif op.kind == WRITE:
                 if ts < read_ts.get(op.item, -1):
-                    self._abort(txn, executed)
+                    self._abort(txn, executed, op)
                     continue
                 if ts < write_ts.get(op.item, -1):
                     if self.thomas_write_rule:
                         self.skipped_writes += 1
+                        self.tracer.event(
+                            "thomas_skip", txn=txn, item=op.item
+                        )
                         continue  # obsolete write: ignore
-                    self._abort(txn, executed)
+                    self._abort(txn, executed, op)
                     continue
                 write_ts[op.item] = ts
                 executed.append(op)
@@ -73,15 +93,20 @@ class TimestampScheduler:
         self.output = Schedule(executed, validate=False)
         return self.output
 
-    def _abort(self, txn, executed):
+    def _abort(self, txn, executed, op):
+        self.tracer.event(
+            "timestamp_abort", txn=txn, item=op.item, kind=op.kind
+        )
         self.aborted.add(txn)
         executed[:] = [op for op in executed if op.txn != txn]
         executed.append(Op.abort(txn))
 
 
-def timestamp_order(schedule, thomas_write_rule=False):
+def timestamp_order(schedule, thomas_write_rule=False, tracer=None):
     """One-shot convenience; returns ``(output, stats)``."""
-    scheduler = TimestampScheduler(thomas_write_rule=thomas_write_rule)
+    scheduler = TimestampScheduler(
+        thomas_write_rule=thomas_write_rule, tracer=tracer
+    )
     output = scheduler.run(schedule)
     return output, {
         "aborted": set(scheduler.aborted),

@@ -1,0 +1,143 @@
+"""Tests for the metrics registry and the EngineStatistics JSON/diff views."""
+
+import json
+
+import pytest
+
+from repro.datalog import EngineStatistics
+from repro.datalog.stats import FIELDS
+from repro.errors import ObservabilityError
+from repro.obs import MetricsRegistry, render_metrics
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        counter.inc()
+        counter.inc(4)
+        assert registry.value("hits") == 5
+
+    def test_counter_rejects_negative_increments(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.counter("hits").inc(-1)
+
+    def test_gauge_sets_and_adds(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(7)
+        gauge.add(-2)
+        assert registry.value("depth") == 5
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency")
+        for value in (2.0, 8.0, 5.0):
+            hist.observe(value)
+        snapshot = hist.snapshot()
+        assert snapshot["count"] == 3
+        assert snapshot["sum"] == 15.0
+        assert snapshot["min"] == 2.0
+        assert snapshot["max"] == 8.0
+        assert snapshot["mean"] == 5.0
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert MetricsRegistry().histogram("h").mean == 0.0
+
+
+class TestSeriesKeying:
+    def test_same_labels_same_series(self):
+        registry = MetricsRegistry()
+        registry.counter("scans", workload="tc", n=10).inc(3)
+        registry.counter("scans", n=10, workload="tc").inc(2)
+        assert registry.value("scans", workload="tc", n=10) == 5
+        assert len(registry) == 1
+
+    def test_different_labels_different_series(self):
+        registry = MetricsRegistry()
+        registry.counter("scans", workload="tc").inc()
+        registry.counter("scans", workload="sg").inc(9)
+        assert registry.value("scans", workload="tc") == 1
+        assert registry.value("scans", workload="sg") == 9
+
+    def test_type_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m", x=1)
+        with pytest.raises(ObservabilityError):
+            registry.gauge("m", x=1)
+        # A different label set is a different series: no clash.
+        registry.gauge("m", x=2)
+
+    def test_missing_series_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            MetricsRegistry().value("absent")
+
+
+class TestDump:
+    def build(self):
+        registry = MetricsRegistry()
+        registry.counter("aborts", scheduler="occ").inc(3)
+        registry.gauge("ratio").set(5.5)
+        registry.histogram("ms").observe(1.0)
+        return registry
+
+    def test_dump_shape_and_order(self):
+        entries = self.build().dump()
+        assert [e["name"] for e in entries] == ["aborts", "ratio", "ms"]
+        assert entries[0] == {
+            "type": "counter",
+            "name": "aborts",
+            "labels": {"scheduler": "occ"},
+            "value": 3,
+        }
+        assert entries[1]["value"] == 5.5
+        assert entries[2]["type"] == "histogram"
+        assert entries[2]["count"] == 1
+
+    def test_as_json_lines_parses(self):
+        lines = self.build().as_json_lines().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["name"] for r in records] == ["aborts", "ratio", "ms"]
+
+    def test_render_metrics_text(self):
+        text = render_metrics(self.build())
+        assert "aborts{scheduler=occ}" in text
+        assert "counter" in text and "gauge" in text and "histogram" in text
+        assert render_metrics(MetricsRegistry()) == ""
+
+    def test_clear(self):
+        registry = self.build()
+        registry.clear()
+        assert len(registry) == 0
+        assert registry.dump() == []
+
+
+class TestEngineStatisticsViews:
+    def test_as_json_agrees_with_as_dict(self):
+        stats = EngineStatistics(facts_scanned=7, index_probes=2)
+        assert json.loads(stats.as_json()) == stats.as_dict()
+        assert list(stats.as_dict()) == list(FIELDS)
+
+    def test_diff_is_per_field_subtraction(self):
+        stats = EngineStatistics(facts_scanned=3)
+        before = stats.copy()
+        stats.facts_scanned += 4
+        stats.rule_firings += 2
+        delta = stats.diff(before)
+        assert delta.facts_scanned == 4
+        assert delta.rule_firings == 2
+        assert delta.index_probes == 0
+        # Snapshot is unaffected; diff returns a fresh instance.
+        assert before.facts_scanned == 3
+        assert delta is not stats
+
+    def test_format_delegates_to_same_field_order(self):
+        stats = EngineStatistics(tuples_materialized=12)
+        lines = stats.format().splitlines()
+        assert [line.split()[0] for line in lines] == list(FIELDS)
+        assert any(line.endswith("12") for line in lines)
+
+    def test_equality_is_by_counters(self):
+        assert EngineStatistics(iterations=1) == EngineStatistics(iterations=1)
+        assert EngineStatistics(iterations=1) != EngineStatistics()

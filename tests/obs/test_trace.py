@@ -1,0 +1,263 @@
+"""Tests for the span tracer: nesting, timing, counters, the null path."""
+
+import pytest
+
+from repro.datalog import EngineStatistics
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    ensure_tracer,
+    render_trace,
+    trace_json_lines,
+)
+
+
+def ticking_clock(step=1.0):
+    """A deterministic clock: 0, step, 2*step, ..."""
+    state = {"now": -step}
+
+    def clock():
+        state["now"] += step
+        return state["now"]
+
+    return clock
+
+
+class TestSpanStructure:
+    def test_nesting_follows_with_blocks(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        assert len(tracer.roots) == 1
+        outer = tracer.roots[0]
+        assert outer.name == "outer"
+        assert [c.name for c in outer.children] == ["inner", "sibling"]
+
+    def test_sequential_roots_form_a_forest(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r.name for r in tracer.roots] == ["first", "second"]
+
+    def test_begin_end_matches_with_usage(self):
+        tracer = Tracer()
+        span = tracer.begin("manual", index=3)
+        assert tracer.current() is span
+        assert span.elapsed is None  # still open
+        tracer.end(span)
+        assert tracer.current() is None
+        assert span.elapsed is not None
+        assert span.attributes == {"index": 3}
+
+    def test_set_annotates_and_chains(self):
+        tracer = Tracer()
+        with tracer.span("s", a=1) as span:
+            assert span.set(b=2) is span
+        assert span.attributes == {"a": 1, "b": 2}
+
+    def test_event_attaches_under_current_span(self):
+        tracer = Tracer()
+        with tracer.span("run"):
+            tracer.event("abort", txn=2)
+        (event,) = tracer.roots[0].children
+        assert event.kind == "event"
+        assert event.elapsed == 0.0
+        assert event.attributes == {"txn": 2}
+
+    def test_event_with_no_open_span_becomes_a_root(self):
+        tracer = Tracer()
+        tracer.event("lonely")
+        assert [r.name for r in tracer.roots] == ["lonely"]
+
+    def test_elapsed_measured_by_injected_clock(self):
+        tracer = Tracer(clock=ticking_clock(step=2.0))
+        with tracer.span("timed") as span:
+            pass
+        assert span.elapsed == 2.0
+
+    def test_exception_still_finishes_span(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        assert tracer.current() is None
+        assert tracer.roots[0].elapsed is not None
+
+
+class TestCounters:
+    def test_span_captures_counter_deltas(self):
+        tracer = Tracer()
+        stats = EngineStatistics(facts_scanned=10)
+        with tracer.span("work", stats=stats) as span:
+            stats.facts_scanned += 3
+            stats.index_probes += 2
+        assert span.counters["facts_scanned"] == 3
+        assert span.counters["index_probes"] == 2
+        assert span.counters["rule_firings"] == 0
+
+    def test_nested_spans_partition_the_work(self):
+        tracer = Tracer()
+        stats = EngineStatistics()
+        with tracer.span("outer", stats=stats) as outer:
+            stats.facts_scanned += 1
+            with tracer.span("inner", stats=stats) as inner:
+                stats.facts_scanned += 5
+        assert inner.counters["facts_scanned"] == 5
+        assert outer.counters["facts_scanned"] == 6  # inclusive
+
+    def test_no_stats_means_no_counters(self):
+        tracer = Tracer()
+        with tracer.span("bare") as span:
+            pass
+        assert span.counters is None
+
+
+class TestTraversal:
+    def build(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                tracer.event("e")
+        with tracer.span("b"):
+            pass
+        return tracer
+
+    def test_walk_is_preorder_with_depths(self):
+        tracer = self.build()
+        assert [(d, s.name) for d, s in tracer.walk()] == [
+            (0, "a"), (1, "b"), (2, "e"), (0, "b"),
+        ]
+
+    def test_spans_filters_by_name_and_kind(self):
+        tracer = self.build()
+        assert len(tracer.spans()) == 4
+        assert len(tracer.spans(name="b")) == 2
+        assert [s.name for s in tracer.spans(kind="event")] == ["e"]
+        assert tracer.spans(name="b", kind="event") == []
+
+    def test_clear_resets_everything(self):
+        tracer = self.build()
+        tracer.clear()
+        assert tracer.roots == []
+        assert tracer.current() is None
+
+
+class TestExport:
+    def test_render_trace_indents_and_annotates(self):
+        tracer = Tracer(clock=ticking_clock())
+        with tracer.span("outer", n=40):
+            with tracer.span("inner"):
+                pass
+            tracer.event("abort", txn=1)
+        text = render_trace(tracer)
+        lines = text.splitlines()
+        assert lines[0].startswith("outer")
+        assert "n=40" in lines[0]
+        assert lines[1].startswith("  inner")
+        assert "[event]" in lines[2] and "txn=1" in lines[2]
+
+    def test_trace_json_lines_round_trips(self):
+        import json
+
+        tracer = Tracer()
+        stats = EngineStatistics()
+        with tracer.span("work", stats=stats, round=0):
+            stats.facts_scanned += 4
+        records = [
+            json.loads(line) for line in trace_json_lines(tracer).splitlines()
+        ]
+        (record,) = records
+        assert record["name"] == "work"
+        assert record["depth"] == 0
+        assert record["attributes"] == {"round": 0}
+        assert record["counters"]["facts_scanned"] == 4
+
+
+class TestNullPath:
+    def test_null_tracer_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert Tracer().enabled is True
+
+    def test_every_call_returns_the_shared_null_span(self):
+        a = NULL_TRACER.span("x", stats=EngineStatistics(), attr=1)
+        b = NULL_TRACER.begin("y")
+        c = NULL_TRACER.event("z")
+        assert a is b is c
+        with a as entered:
+            assert entered is a
+        assert a.set(anything=1) is a
+
+    def test_null_tracer_records_nothing(self):
+        with NULL_TRACER.span("x"):
+            NULL_TRACER.event("e")
+        assert list(NULL_TRACER.walk()) == []
+        assert NULL_TRACER.spans() == []
+        assert NULL_TRACER.current() is None
+        assert render_trace(NULL_TRACER) == ""
+
+    def test_ensure_tracer_idiom(self):
+        assert ensure_tracer(None) is NULL_TRACER
+        tracer = Tracer()
+        assert ensure_tracer(tracer) is tracer
+        assert ensure_tracer(NULL_TRACER) is NULL_TRACER
+
+
+class TestZeroAllocation:
+    def test_default_path_allocates_no_spans(self, monkeypatch):
+        """The tier-1 zero-cost pin: no Span objects on the default path."""
+        allocations = []
+        original = Span.__init__
+
+        def counting(self, *args, **kwargs):
+            allocations.append(self)
+            original(self, *args, **kwargs)
+
+        monkeypatch.setattr(Span, "__init__", counting)
+
+        from repro.core.workbench import MetatheoryWorkbench
+        from repro.datalog import DatalogEngine
+        from repro.transactions import (
+            WorkloadConfig,
+            generate_schedule,
+            optimistic,
+            timestamp_order,
+            two_phase_lock,
+        )
+
+        wb = MetatheoryWorkbench.from_dict(
+            {"r": (("a", "b"), [(1, 2), (2, 3)])}
+        )
+        wb.sql("SELECT r.a FROM r")
+        engine = DatalogEngine.from_source(
+            "path(X, Y) :- edge(X, Y). path(X, Z) :- edge(X, Y), path(Y, Z).",
+            {"edge": [(1, 2), (2, 3)]},
+        )
+        engine.evaluate()
+        schedule = generate_schedule(
+            WorkloadConfig(
+                num_transactions=4,
+                ops_per_transaction=3,
+                num_items=5,
+                seed=0,
+                hot_access_probability=0.9,
+            )
+        )
+        two_phase_lock(schedule)
+        timestamp_order(schedule)
+        optimistic(schedule)
+
+        assert allocations == []
+
+        # Sanity: the counter does fire when a real tracer runs.
+        tracer = Tracer()
+        with tracer.span("real"):
+            pass
+        assert len(allocations) == 1

@@ -130,7 +130,7 @@ class TestPlanCache:
             ra.RelationRef("works"), ra.RelationRef("located")
         )
         wb.algebra(expr)
-        assert wb.plan_cache.stats() == {"hits": 0, "misses": 1, "size": 1}
+        assert wb.plan_cache.stats() == {"hits": 0, "misses": 1, "evictions": 0, "size": 1}
         wb.algebra(
             ra.NaturalJoin(ra.RelationRef("works"), ra.RelationRef("located"))
         )
@@ -150,7 +150,7 @@ class TestPlanCache:
         wb.sql(q)
         wb.db.remove("located")
         wb.sql(q)
-        assert wb.plan_cache.stats() == {"hits": 0, "misses": 1, "size": 1}
+        assert wb.plan_cache.stats() == {"hits": 0, "misses": 1, "evictions": 0, "size": 1}
 
     def test_cache_capacity_evicts_fifo(self):
         from repro.plan import PlanCache

@@ -32,6 +32,12 @@ LANDMARKS = {
     "recursive_queries.py": ["magic", "seminaive", "m~reachable"],
     "transaction_lab.py": ["CSR", "2PL", "recovery"],
     "metatheory_experiments.py": ["CONFIRMED", "randomized trials"],
+    "observability.py": [
+        "EXPLAIN ANALYZE",
+        "plan_cache=hit",
+        "stratum",
+        "lock_wait",
+    ],
 }
 
 
