@@ -1,0 +1,221 @@
+"""Parallel partitioned execution bench: multicore joins and fixpoints.
+
+The tentpole perf claim: hash-partitioning a large equi-join (and the
+per-round deltas of a large semi-naive fixpoint) across ``N`` worker
+processes cuts wall-clock time roughly by the number of *physical
+cores* — ≥2x with 4 workers on a machine with ≥2 cores.  Correctness is
+asserted unconditionally: the parallel answers must equal the serial
+answers tuple for tuple, whatever the hardware.
+
+Honesty note: the speedup assertion is gated on
+``len(os.sched_getaffinity(0)) >= 2``.  On a single-core container
+fork/pickle/IPC overhead makes parallel execution *slower* — there is
+no second core to win on — so the bench records the measured numbers
+(including the CPU count) in the artifacts and skips the speedup
+assertion rather than fake it.  Artifacts land in
+``results/parallel_execution.txt`` + ``_metrics.json`` and, as a
+machine-readable summary, ``BENCH_parallel.json`` at the repo root.
+"""
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.core.random_instances import chain_edges, random_graph_edges
+from repro.core.workbench import MetatheoryWorkbench
+from repro.datalog import FactStore, seminaive_evaluate
+from repro.datalog.parser import parse_program
+from repro.obs import MetricsRegistry
+from repro.parallel import ParallelBackend
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+from .conftest import format_table, write_artifact, write_json, write_metrics
+
+pytestmark = pytest.mark.slow
+
+WORKERS = 4
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def visible_cpus():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def timed(fn, repeats=3):
+    """Best-of-N wall clock (seconds) plus the last result."""
+    best, result = None, None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def join_database(rows=60_000, seed=23):
+    rng = random.Random(seed)
+    db = Database()
+    db.add(Relation(
+        RelationSchema("r", ("a", "b")),
+        [(rng.randrange(2_000), rng.randrange(20_000))
+         for _ in range(rows)],
+        validate=False,
+    ))
+    db.add(Relation(
+        RelationSchema("s", ("b", "c")),
+        [(rng.randrange(20_000), rng.randrange(2_000))
+         for _ in range(rows)],
+        validate=False,
+    ))
+    return db
+
+
+def layered_dag(layers=9, width=70, fan=10, seed=5):
+    """A layered DAG: few, fat semi-naive rounds — the sharding regime."""
+    rng = random.Random(seed)
+    edges = set()
+    for layer in range(layers - 1):
+        for node in range(width):
+            for _ in range(fan):
+                edges.add((
+                    layer * width + node,
+                    (layer + 1) * width + rng.randrange(width),
+                ))
+    return FactStore({"edge": list(edges)})
+
+
+TC = "path(X, Y) :- edge(X, Y). path(X, Z) :- edge(X, Y), path(Y, Z)."
+
+
+def run_join_workload():
+    db = join_database()
+    wb = MetatheoryWorkbench(db)
+    sql = "SELECT a, c FROM r, s WHERE r.b = s.b"
+    try:
+        serial_seconds, serial = timed(lambda: wb.sql(sql))
+        backend = wb.parallel_backend(WORKERS)
+        parallel_seconds, parallel = timed(
+            lambda: wb.run(sql, executor="parallel", workers=WORKERS)
+        )
+        assert backend.parallel_runs > 0, "join must take the parallel path"
+        assert set(parallel.tuples) == set(serial.tuples)
+        return {
+            "rows": len(serial),
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": serial_seconds / parallel_seconds,
+            "serial_retries": backend.pool.serial_retries,
+        }
+    finally:
+        wb.close()
+
+
+def run_fixpoint_workload():
+    program, _ = parse_program(TC)
+    edb = layered_dag()
+    serial_seconds, serial = timed(
+        lambda: seminaive_evaluate(program, edb), repeats=2
+    )
+    backend = ParallelBackend(workers=WORKERS, timeout=600.0)
+    try:
+        parallel_seconds, parallel = timed(
+            lambda: seminaive_evaluate(program, edb, backend=backend),
+            repeats=2,
+        )
+        assert backend.pool.tasks_dispatched > 0, (
+            "fixpoint must shard at least one round"
+        )
+        assert parallel.get("path") == serial.get("path")
+        return {
+            "rows": parallel.count("path"),
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": serial_seconds / parallel_seconds,
+            "serial_retries": backend.pool.serial_retries,
+        }
+    finally:
+        backend.close()
+
+
+def test_parallel_execution_speedup(benchmark):
+    cpus = visible_cpus()
+
+    def run_all():
+        return {
+            "hash join 60k x 60k": run_join_workload(),
+            "tc fixpoint layered-dag": run_fixpoint_workload(),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    registry = MetricsRegistry()
+    registry.gauge("parallel_visible_cpus").set(cpus)
+    registry.gauge("parallel_workers").set(WORKERS)
+    for label, outcome in results.items():
+        for metric, value in (
+            ("parallel_result_rows", outcome["rows"]),
+            ("parallel_serial_seconds", outcome["serial_seconds"]),
+            ("parallel_parallel_seconds", outcome["parallel_seconds"]),
+            ("parallel_speedup", outcome["speedup"]),
+            ("parallel_serial_retries", outcome["serial_retries"]),
+        ):
+            registry.gauge(metric, workload=label).set(value)
+
+    rows = [
+        (
+            label,
+            outcome["rows"],
+            "%.3fs" % outcome["serial_seconds"],
+            "%.3fs" % outcome["parallel_seconds"],
+            "%.2fx" % outcome["speedup"],
+        )
+        for label, outcome in results.items()
+    ]
+    table = format_table(
+        ("workload", "result rows", "serial", "parallel-%d" % WORKERS,
+         "speedup"),
+        rows,
+    )
+    note = (
+        "visible CPUs: %d — %s" % (
+            cpus,
+            "speedup asserted (>=2 cores)" if cpus >= 2 else
+            "single core: IPC overhead only, speedup NOT asserted "
+            "(see EXPERIMENTS.md)",
+        )
+    )
+    write_artifact("parallel_execution.txt", table + "\n\n" + note)
+    write_metrics("parallel_execution_metrics.json", registry)
+
+    summary = {
+        "bench": "parallel_execution",
+        "visible_cpus": cpus,
+        "workers": WORKERS,
+        "speedup_asserted": cpus >= 2,
+        "workloads": results,
+    }
+    with open(os.path.join(ROOT, "BENCH_parallel.json"), "w") as handle:
+        import json
+
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    if cpus >= 2:
+        # The headline claim, on hardware that can exhibit it: 4 workers
+        # on >=2 cores beat serial by >=2x on both workloads.
+        assert results["hash join 60k x 60k"]["speedup"] >= 2.0, results
+        assert results["tc fixpoint layered-dag"]["speedup"] >= 2.0, results
+    else:
+        pytest.skip(
+            "only %d CPU visible: parallel speedup is physically "
+            "unattainable here; correctness asserted, timings recorded in "
+            "BENCH_parallel.json" % cpus
+        )

@@ -28,17 +28,20 @@ from . import (
     dependencies,
     incomplete,
     metascience,
+    parallel,
     plan,
     relational,
     transactions,
 )
 from .core.workbench import MetatheoryWorkbench
 from .errors import ReproError
+from .parallel import ParallelBackend
 
 __version__ = "1.0.0"
 
 __all__ = [
     "MetatheoryWorkbench",
+    "ParallelBackend",
     "ReproError",
     "acyclic",
     "complexity",
@@ -47,6 +50,7 @@ __all__ = [
     "dependencies",
     "incomplete",
     "metascience",
+    "parallel",
     "plan",
     "relational",
     "transactions",

@@ -48,11 +48,45 @@ class MetatheoryWorkbench:
         self.tracer = ensure_tracer(tracer)
         self._parse_cache = {}
         self._parse_cache_token = None
+        self._parallel_backends = {}
 
     @classmethod
     def from_dict(cls, data):
         """Build from ``{name: (attributes, rows)}`` (see Database)."""
         return cls(Database.from_dict(data))
+
+    # -- parallel execution --------------------------------------------------
+
+    def parallel_backend(self, workers=None):
+        """The session's :class:`~repro.parallel.ParallelBackend`.
+
+        One backend (and hence one worker pool) is cached per worker
+        count, so repeated parallel queries reuse the same processes.
+        ``workers=None`` means the visible CPU count.
+        """
+        from ..parallel import ParallelBackend
+
+        if workers is None:
+            import os
+
+            workers = max(1, os.cpu_count() or 1)
+        workers = max(1, int(workers))
+        backend = self._parallel_backends.get(workers)
+        if backend is None:
+            backend = ParallelBackend(workers=workers)
+            self._parallel_backends[workers] = backend
+        return backend
+
+    def _resolve_parallel(self, executor, workers):
+        """Map the ``executor``/``workers`` arguments to a backend or None."""
+        if executor == "parallel" or (executor and workers is not None):
+            return self.parallel_backend(workers)
+        return None
+
+    def close(self):
+        """Shut down any worker pools this workbench spawned."""
+        for backend in self._parallel_backends.values():
+            backend.close()
 
     # -- querying ------------------------------------------------------------
     #
@@ -70,7 +104,7 @@ class MetatheoryWorkbench:
             self.plan_cache.clear()
             self._parse_cache_token = token
 
-    def _run_pipeline(self, expr, optimized, stats):
+    def _run_pipeline(self, expr, optimized, stats, parallel=None):
         self._sync_caches()
         canonical = canonicalize(expr, self.db.schema())
         key = (plan_key(canonical), bool(optimized))
@@ -82,6 +116,11 @@ class MetatheoryWorkbench:
                 else canonical
             )
             self.plan_cache.put(key, plan)
+        if parallel is not None:
+            relation, _info = parallel.execute_plan(
+                plan, self.db, stats=stats, tracer=self.tracer
+            )
+            return relation
         relation, _tally = execute_physical(plan, self.db, stats)
         return relation
 
@@ -94,7 +133,8 @@ class MetatheoryWorkbench:
             self._parse_cache[key] = expr
         return expr
 
-    def sql(self, text, optimized=True, executor=True, stats=None):
+    def sql(self, text, optimized=True, executor=True, stats=None,
+            workers=None):
         """Run a SQL statement; returns a Relation.
 
         Args:
@@ -102,30 +142,40 @@ class MetatheoryWorkbench:
             optimized: run the algebraic optimizer over the canonical
                 plan.
             executor: compile through the shared pipeline and run on the
-                streaming executor (default); False reproduces the
-                legacy tree-walk path bit for bit.
+                streaming executor (default); ``"parallel"`` additionally
+                hash-partitions large plans across a worker pool; False
+                reproduces the legacy tree-walk path bit for bit.
             stats: optional
                 :class:`~repro.datalog.stats.EngineStatistics` charged
                 with the executor's work.
+            workers: worker count for parallel execution (implies
+                ``executor="parallel"``; None = CPU count).
         """
         if executor:
             expr = self._cached_parse("sql", text, parse_sql)
-            return self._run_pipeline(expr, optimized, stats)
+            return self._run_pipeline(
+                expr, optimized, stats,
+                parallel=self._resolve_parallel(executor, workers),
+            )
         expr = parse_sql(text)
         if optimized:
             expr = optimize(expr, self.db)
         return evaluate(expr, self.db)
 
-    def algebra(self, expr, optimized=False, executor=True, stats=None):
+    def algebra(self, expr, optimized=False, executor=True, stats=None,
+                workers=None):
         """Evaluate a relational-algebra expression."""
         if executor:
-            return self._run_pipeline(expr, optimized, stats)
+            return self._run_pipeline(
+                expr, optimized, stats,
+                parallel=self._resolve_parallel(executor, workers),
+            )
         if optimized:
             expr = optimize(expr, self.db)
         return evaluate(expr, self.db)
 
     def calculus(self, query, via="algebra", optimized=False, executor=True,
-                 stats=None):
+                 stats=None, workers=None):
         """Evaluate a safe calculus query.
 
         Args:
@@ -147,10 +197,62 @@ class MetatheoryWorkbench:
             return evaluate_query(query, self.db)
         expr = calculus_to_algebra(query, self.db.schema())
         if executor:
-            return self._run_pipeline(expr, optimized, stats)
+            return self._run_pipeline(
+                expr, optimized, stats,
+                parallel=self._resolve_parallel(executor, workers),
+            )
         if optimized:
             expr = optimize(expr, self.db)
         return evaluate(expr, self.db)
+
+    def run(self, query, kind=None, optimized=True, executor=True,
+            stats=None, workers=None):
+        """Run a query in any front-end language; auto-detects the kind.
+
+        The one-call surface for parallel execution::
+
+            wb.run("SELECT ...", executor="parallel", workers=4)
+            wb.run("path(X,Z) :- ...", executor="parallel", workers=4)
+
+        Relational kinds (SQL / algebra / calculus) return a
+        :class:`~repro.relational.relation.Relation`; Datalog source is
+        fully evaluated and returns the model as a
+        :class:`~repro.datalog.facts.FactStore`.
+
+        Args:
+            query: SQL text, an algebra expression, a calculus query
+                (object or ``{...}`` text), or Datalog source.
+            kind: force the front-end ("sql", "algebra", "calculus",
+                "datalog") instead of auto-detecting.
+            optimized: run the algebraic optimizer (relational kinds).
+            executor: as in :meth:`sql` — ``"parallel"`` enables the
+                partitioned backend; queries below its cost gate still
+                run serially without spawning workers.
+            stats: optional EngineStatistics.
+            workers: worker count for parallel execution (implies
+                ``executor="parallel"``; None = CPU count).
+        """
+        if kind is None:
+            kind = self._detect_kind(query)
+        if kind == "sql":
+            return self.sql(
+                query, optimized=optimized, executor=executor, stats=stats,
+                workers=workers,
+            )
+        if kind == "algebra":
+            return self.algebra(
+                query, optimized=optimized, executor=executor, stats=stats,
+                workers=workers,
+            )
+        if kind == "calculus":
+            return self.calculus(
+                query, optimized=optimized, executor=executor, stats=stats,
+                workers=workers,
+            )
+        if kind == "datalog":
+            engine = self.datalog(query, executor=executor, workers=workers)
+            return engine.evaluate(stats=stats)
+        raise ValueError("unknown query kind %r" % (kind,))
 
     # -- observability ------------------------------------------------------------
 
@@ -271,18 +373,21 @@ class MetatheoryWorkbench:
 
     # -- Datalog ------------------------------------------------------------------
 
-    def datalog(self, source, executor=True):
+    def datalog(self, source, executor=True, workers=None):
         """A Datalog engine whose EDB is this workbench's database.
 
         Any ``?-`` queries in the source are ignored here; use the
         returned engine's ``.query``.  Non-recursive programs run as
         algebra plans on the shared streaming executor by default;
-        ``executor=False`` forces the fixpoint machinery.
+        ``executor=False`` forces the fixpoint machinery everywhere.
+        ``executor="parallel"`` (or an explicit ``workers=N``) attaches
+        the workbench's worker pool, sharding large semi-naive rounds.
         """
         program, _queries = parse_program(source)
         return DatalogEngine(
-            program, FactStore.from_database(self.db), executor=executor,
-            tracer=self.tracer,
+            program, FactStore.from_database(self.db),
+            executor=bool(executor), tracer=self.tracer,
+            parallel=self._resolve_parallel(executor, workers),
         )
 
     # -- schema analysis ----------------------------------------------------------

@@ -43,16 +43,22 @@ class DatalogEngine:
     (lowered to algebra plans, run on the streaming executor) for the
     bottom-up strategies; recursive programs always use the fixpoint
     machinery, and ``executor=False`` forces it everywhere.
+
+    ``parallel`` attaches a :class:`~repro.parallel.ParallelBackend`:
+    recursive programs evaluated semi-naively then shard each large
+    round's delta across the backend's worker pool (small strata and
+    rounds stay serial under the backend's cost gates).
     """
 
     def __init__(self, program, edb=None, indexed=True, planned=True,
-                 executor=True, tracer=None):
+                 executor=True, tracer=None, parallel=None):
         if not isinstance(program, Program):
             raise DatalogError("expected a Program, got %r" % (program,))
         self.program = program
         self.indexed = indexed
         self.planned = planned
         self.executor = executor
+        self.parallel = parallel
         self.tracer = ensure_tracer(tracer)
         if edb is None:
             self.edb = FactStore()
@@ -68,12 +74,12 @@ class DatalogEngine:
 
     @classmethod
     def from_source(cls, source, edb=None, indexed=True, planned=True,
-                    executor=True, tracer=None):
+                    executor=True, tracer=None, parallel=None):
         """Parse program text (ignoring any ``?-`` lines) and wrap it."""
         program, _ = parse_program(source)
         return cls(
             program, edb, indexed=indexed, planned=planned,
-            executor=executor, tracer=tracer,
+            executor=executor, tracer=tracer, parallel=parallel,
         )
 
     # -- full evaluation ------------------------------------------------------
@@ -109,6 +115,9 @@ class DatalogEngine:
                 "unknown strategy %r (use one of %s)"
                 % (strategy, ", ".join(STRATEGIES))
             )
+        extra = {}
+        if self.parallel is not None and strategy == "seminaive":
+            extra["backend"] = self.parallel
         observed = stats is not None or self.tracer.enabled
         if self.executor and is_lowerable(self.program):
             # Non-recursive: one pass through the relational pipeline is
@@ -131,6 +140,7 @@ class DatalogEngine:
                 indexed=self.indexed,
                 planned=self.planned,
                 tracer=self.tracer,
+                **extra,
             )
         if strategy not in self._model_cache:
             self._model_cache[strategy] = evaluator(
@@ -138,6 +148,7 @@ class DatalogEngine:
                 self.edb,
                 indexed=self.indexed,
                 planned=self.planned,
+                **extra,
             )
         return self._model_cache[strategy]
 

@@ -1,0 +1,42 @@
+"""Parallel partitioned execution: multicore joins and sharded fixpoints.
+
+The process-pool backend behind ``wb.run(..., executor="parallel",
+workers=N)`` and ``seminaive_evaluate(..., backend=...)``:
+
+* :mod:`~repro.parallel.partition` — which plans can be hash-partitioned,
+  on which attribute, and the actual splitting;
+* :mod:`~repro.parallel.pool` — the resilient worker pool (reuse across
+  a session, chunked result transfer, timeout + straggler retry, cast
+  replay into respawned workers);
+* :mod:`~repro.parallel.workers` — what runs inside a worker process
+  (plan fragments; sharded semi-naive differential firings);
+* :mod:`~repro.parallel.backend` — the cost-gated front door.
+
+Small queries never pay for any of this: below the cost gate the
+backend routes straight to the serial streaming executor and no worker
+process is ever spawned.
+"""
+
+from . import workers  # noqa: F401  (registers the task/cast handlers)
+from .backend import (
+    DEFAULT_COST_GATE,
+    DEFAULT_ROUND_GATE,
+    ExecutionInfo,
+    ParallelBackend,
+)
+from .partition import Partitioner, estimate_plan_work, partition_candidates
+from .pool import ShardOutcome, WorkerPool, cast_handler, task_handler
+
+__all__ = [
+    "DEFAULT_COST_GATE",
+    "DEFAULT_ROUND_GATE",
+    "ExecutionInfo",
+    "ParallelBackend",
+    "Partitioner",
+    "ShardOutcome",
+    "WorkerPool",
+    "cast_handler",
+    "estimate_plan_work",
+    "partition_candidates",
+    "task_handler",
+]

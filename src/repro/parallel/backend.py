@@ -1,0 +1,198 @@
+"""The parallel execution backend: cost gate, fan-out, merge.
+
+One :class:`ParallelBackend` per session (the workbench caches one per
+worker count) owns a lazily-started :class:`~repro.parallel.pool.WorkerPool`
+and decides, query by query, whether partitioned execution is worth the
+IPC: plans below the cost gate, plans with no hash-alignable attribute,
+and single-worker configurations all run on the ordinary serial
+streaming executor — *without ever spawning a worker process* (a test
+pins this).  When the gate opens, the plan is split into one
+self-contained fragment per worker, fanned out, and the shard results
+are unioned; per-shard work arrives back as
+:class:`~repro.datalog.stats.EngineStatistics` dicts and is merged into
+the caller's counters, so a parallel run charges the same kinds of work
+a serial run would.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..datalog.stats import EngineStatistics
+from ..obs.trace import NULL_TRACER
+from ..plan.executor import execute_physical
+from ..relational.database import Database
+from ..relational.relation import Relation
+from .partition import Partitioner, estimate_plan_work
+from .pool import WorkerPool
+
+#: Below this many leaf rows a query runs serially: fork/pickle/IPC
+#: overhead is measured in milliseconds, and a query this small finishes
+#: faster than the fan-out costs.
+DEFAULT_COST_GATE = 4096
+
+#: Per-round delta floor for sharded semi-naive: a round with fewer
+#: delta tuples than this fires serially in the parent (workers still
+#: receive the merge cast, so their stores stay consistent).
+DEFAULT_ROUND_GATE = 256
+
+
+class ExecutionInfo:
+    """How one query actually ran (observability for tests and spans)."""
+
+    __slots__ = ("mode", "reason", "shards", "attribute", "outcomes")
+
+    def __init__(self, mode, reason=None, shards=0, attribute=None,
+                 outcomes=()):
+        self.mode = mode  # "parallel" | "serial"
+        self.reason = reason  # why serial, when serial
+        self.shards = shards
+        self.attribute = attribute
+        self.outcomes = outcomes
+
+    def __repr__(self):
+        if self.mode == "parallel":
+            return "ExecutionInfo(parallel, %d shards on %r)" % (
+                self.shards, self.attribute
+            )
+        return "ExecutionInfo(serial: %s)" % (self.reason,)
+
+
+class ParallelBackend:
+    """Session-scoped parallel execution: a pool plus its cost policy.
+
+    Args:
+        workers: worker process count (default: the visible CPU count).
+        cost_gate: minimum estimated leaf rows before a relational plan
+            is partitioned (see :data:`DEFAULT_COST_GATE`).
+        round_gate: minimum delta size before a semi-naive round is
+            sharded (see :data:`DEFAULT_ROUND_GATE`).
+        timeout: per-fan-out straggler deadline in seconds.
+        chunk_size: result-transfer chunk size in tuples.
+        start_method: multiprocessing start method (None = platform
+            default; handlers are module-level, so "spawn" works too).
+    """
+
+    __slots__ = (
+        "workers", "cost_gate", "round_gate", "pool",
+        "parallel_runs", "serial_runs",
+    )
+
+    def __init__(self, workers=None, cost_gate=DEFAULT_COST_GATE,
+                 round_gate=DEFAULT_ROUND_GATE, timeout=60.0,
+                 chunk_size=4096, start_method=None):
+        if workers is None:
+            workers = max(1, os.cpu_count() or 1)
+        self.workers = max(1, int(workers))
+        self.cost_gate = cost_gate
+        self.round_gate = round_gate
+        self.pool = WorkerPool(
+            self.workers, timeout=timeout, chunk_size=chunk_size,
+            start_method=start_method,
+        )
+        self.parallel_runs = 0
+        self.serial_runs = 0
+
+    @property
+    def pool_started(self):
+        """Whether any worker process has been spawned."""
+        return self.pool.started
+
+    def close(self):
+        """Shut the pool down (idempotent; it restarts lazily if reused)."""
+        self.pool.close()
+
+    # -- relational plans -------------------------------------------------
+
+    def should_parallelize(self, plan, db):
+        """Apply the cost gate; returns (bool, reason-when-serial)."""
+        if self.workers < 2:
+            return False, "single worker"
+        estimate = estimate_plan_work(plan, db)
+        if estimate < self.cost_gate:
+            return False, "below cost gate (%d < %d leaf rows)" % (
+                estimate, self.cost_gate
+            )
+        return True, None
+
+    def execute_plan(self, plan, db, stats=None, tracer=NULL_TRACER):
+        """Run a canonical plan, partitioned when the gate allows.
+
+        Returns:
+            ``(relation, info)`` — the result (identical to the serial
+            streaming executor's, same attribute order, same tuples) and
+            an :class:`ExecutionInfo` describing how it ran.
+        """
+        go, reason = self.should_parallelize(plan, db)
+        sharded = None
+        if go:
+            partitioner = Partitioner(self.workers)
+            sharded = partitioner.shard_plans(plan, db)
+            if sharded is None:
+                go, reason = False, "no partition attribute"
+        if not go:
+            self.serial_runs += 1
+            relation, _tally = execute_physical(plan, db, stats)
+            return relation, ExecutionInfo("serial", reason=reason)
+
+        attribute, fragments = sharded
+        schema = plan.schema(db.schema())
+        # Fragments whose every leaf shard is empty can only produce the
+        # empty relation (all supported operators are empty-preserving),
+        # so they never cross the process boundary.
+        tasks = [
+            ("fragment", fragment)
+            for fragment in fragments
+            if estimate_plan_work(fragment, db) > 0
+        ]
+        if not tasks:
+            self.parallel_runs += 1
+            info = ExecutionInfo("parallel", shards=0, attribute=attribute)
+            return Relation(schema, (), validate=False), info
+
+        def fallback(kind, fragment):
+            relation, tally = execute_physical(fragment, Database())
+            return list(relation.tuples), {
+                "stats": tally.stats.as_dict(),
+                "peak_buffer": tally.peak_buffer,
+            }
+
+        with tracer.span(
+            "parallel_execute", stats=stats, workers=self.workers,
+            shards=len(tasks), attribute=attribute,
+        ):
+            outcomes = self.pool.run(tasks, fallback)
+            out = set()
+            merged = EngineStatistics()
+            for index, outcome in enumerate(outcomes):
+                out.update(outcome.rows)
+                shard_stats = outcome.extra.get("stats")
+                if shard_stats:
+                    merged.merge(EngineStatistics(**shard_stats))
+                if tracer.enabled:
+                    span = tracer.begin(
+                        "shard", index=index, mode=outcome.mode,
+                        rows=len(outcome.rows),
+                    )
+                    tracer.end(span)
+                    # The worker measured its own wall clock; the mirror
+                    # span only saw the merge, so overwrite.
+                    span.elapsed = outcome.elapsed
+                    if shard_stats:
+                        span.counters = shard_stats
+            # The final union is a buffer like any other (symmetric with
+            # execute_physical charging its result set).
+            merged.tuples_materialized += len(out)
+            if stats is not None:
+                stats.merge(merged)
+        self.parallel_runs += 1
+        info = ExecutionInfo(
+            "parallel", shards=len(tasks), attribute=attribute,
+            outcomes=outcomes,
+        )
+        return Relation(schema, out, validate=False), info
+
+    def __repr__(self):
+        return "ParallelBackend(workers=%d, gate=%d, started=%s)" % (
+            self.workers, self.cost_gate, self.pool_started
+        )

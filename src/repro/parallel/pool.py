@@ -1,0 +1,367 @@
+"""A resilient multiprocessing worker pool for plan fragments and deltas.
+
+Design constraints, in order:
+
+1. **A hung or killed worker must never wedge a query.**  Every
+   :meth:`WorkerPool.run` has a deadline; tasks still unfinished at the
+   deadline (or owned by a dead process) are re-executed *serially in
+   the parent* via the caller's fallback, the offending worker is
+   terminated, and a replacement is spawned for the next run.  Results
+   arriving late from a retired worker carry a stale epoch and are
+   dropped on the floor.
+2. **Workers are reused across a session.**  Processes are spawned
+   lazily on first use and then persist, so repeated queries pay the
+   fork cost once.  State-carrying messages (*casts* — e.g. "here is
+   the semi-naive working store") are recorded in a replay log and
+   replayed into any respawned worker, so a replacement converges to
+   the same state as the worker it replaced.
+3. **Results stream back in chunks** (``chunk_size`` tuples per queue
+   message) so a large shard result never serializes as one giant
+   pickle, and the parent can start unioning while workers still run.
+
+Handlers are registered at import time via :func:`task_handler` /
+:func:`cast_handler` decorators on module-level functions, so the
+protocol works under any multiprocessing start method (payloads are
+plain picklable data; no closures cross the process boundary).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import time
+import traceback
+
+#: kind -> callable(state, payload) -> (rows, extra_dict)
+_TASK_HANDLERS = {}
+#: kind -> callable(state, payload) -> None
+_CAST_HANDLERS = {}
+
+
+def task_handler(kind):
+    """Register a worker task handler (module-level function)."""
+
+    def register(function):
+        _TASK_HANDLERS[kind] = function
+        return function
+
+    return register
+
+
+def cast_handler(kind):
+    """Register a worker state-mutation handler (no reply)."""
+
+    def register(function):
+        _CAST_HANDLERS[kind] = function
+        return function
+
+    return register
+
+
+# -- built-in handlers (fault-injection tests and smoke checks) -----------
+
+
+@task_handler("_echo")
+def _echo(state, payload):
+    return list(payload), {}
+
+
+@task_handler("_hang")
+def _hang(state, payload):
+    time.sleep(payload)
+    return [], {}
+
+
+@task_handler("_crash")
+def _crash(state, payload):
+    os._exit(1)
+
+
+@cast_handler("_set")
+def _set(state, payload):
+    key, value = payload
+    state[key] = value
+
+
+@task_handler("_get")
+def _get(state, payload):
+    return [state.get(payload)], {}
+
+
+def _worker_main(tasks, results, chunk_size):
+    """Worker process loop: casts mutate local state, tasks reply."""
+    state = {}
+    while True:
+        try:
+            message = tasks.get()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if message is None:
+            break
+        if message[0] == "cast":
+            _, kind, payload = message
+            try:
+                _CAST_HANDLERS[kind](state, payload)
+            except Exception:
+                # A broken cast poisons the state; surface it on the
+                # next task instead of silently computing wrong answers.
+                state["__broken__"] = traceback.format_exc()
+            continue
+        _, task_id, kind, payload = message
+        try:
+            if "__broken__" in state:
+                raise RuntimeError(
+                    "worker state broken by failed cast:\n"
+                    + state.pop("__broken__")
+                )
+            started = time.perf_counter()
+            rows, extra = _TASK_HANDLERS[kind](state, payload)
+            rows = list(rows)
+            extra = dict(extra or {})
+            extra.setdefault("elapsed", time.perf_counter() - started)
+            for offset in range(0, len(rows), chunk_size):
+                results.put(
+                    (task_id, "chunk", rows[offset : offset + chunk_size])
+                )
+            results.put((task_id, "done", extra))
+        except Exception:
+            results.put((task_id, "error", traceback.format_exc()))
+
+
+class ShardOutcome:
+    """One task's result: rows, worker-side extras, and how it ran."""
+
+    __slots__ = ("rows", "extra", "mode", "detail")
+
+    def __init__(self, rows, extra, mode, detail=None):
+        self.rows = rows
+        self.extra = extra
+        self.mode = mode  # "parallel" | "serial-retry"
+        self.detail = detail
+
+    @property
+    def elapsed(self):
+        return self.extra.get("elapsed", 0.0)
+
+    def __repr__(self):
+        return "ShardOutcome(%d rows, %s)" % (len(self.rows), self.mode)
+
+
+class _Worker:
+    """A live worker process plus its directed task queue."""
+
+    __slots__ = ("process", "queue", "pending")
+
+    def __init__(self, process, task_queue):
+        self.process = process
+        self.queue = task_queue
+        self.pending = set()
+
+
+class WorkerPool:
+    """A fixed-size pool of reusable worker processes.
+
+    Observability counters (all plain ints, inspectable in tests):
+
+    * ``spawned`` — processes ever started (first start + respawns);
+    * ``respawns`` — replacements for dead/hung workers;
+    * ``tasks_dispatched`` / ``serial_retries`` — fan-out volume and how
+      many tasks degraded to the parent-side fallback.
+    """
+
+    __slots__ = (
+        "workers",
+        "timeout",
+        "chunk_size",
+        "_ctx",
+        "_handles",
+        "_results",
+        "_epoch",
+        "_cast_log",
+        "spawned",
+        "respawns",
+        "tasks_dispatched",
+        "serial_retries",
+    )
+
+    def __init__(self, workers=2, timeout=60.0, chunk_size=4096,
+                 start_method=None):
+        self.workers = max(1, int(workers))
+        self.timeout = timeout
+        self.chunk_size = chunk_size
+        self._ctx = multiprocessing.get_context(start_method)
+        self._handles = []
+        self._results = None
+        self._epoch = 0
+        self._cast_log = []
+        self.spawned = 0
+        self.respawns = 0
+        self.tasks_dispatched = 0
+        self.serial_retries = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def started(self):
+        """Whether any worker process has been spawned."""
+        return bool(self._handles)
+
+    def start(self):
+        """Spawn workers up to the pool size (idempotent, lazy)."""
+        if self._results is None:
+            self._results = self._ctx.Queue()
+        while len(self._handles) < self.workers:
+            self._handles.append(self._spawn())
+        return self
+
+    def _spawn(self):
+        task_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(task_queue, self._results, self.chunk_size),
+            daemon=True,
+        )
+        process.start()
+        self.spawned += 1
+        for kind, payload in self._cast_log:
+            task_queue.put(("cast", kind, payload))
+        return _Worker(process, task_queue)
+
+    def close(self):
+        """Stop all workers; the pool can be started again afterwards."""
+        for handle in self._handles:
+            try:
+                handle.queue.put(None)
+            except Exception:
+                pass
+        for handle in self._handles:
+            handle.process.join(timeout=1.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+            handle.queue.close()
+        self._handles = []
+
+    # -- state casts ------------------------------------------------------
+
+    def broadcast(self, kind, payload, replay=True):
+        """Send a state cast to every worker.
+
+        With ``replay`` (default) the cast is recorded and replayed into
+        any worker respawned later, so replacements converge to the same
+        state.
+        """
+        self.start()
+        if replay:
+            self._cast_log.append((kind, payload))
+        for handle in self._handles:
+            handle.queue.put(("cast", kind, payload))
+
+    def reset_casts(self):
+        """Forget the replay log (start of a new stateful phase)."""
+        self._cast_log = []
+
+    # -- task fan-out -----------------------------------------------------
+
+    def run(self, tasks, fallback, timeout=None):
+        """Execute tasks across the pool; degrade stragglers to serial.
+
+        Args:
+            tasks: list of ``(kind, payload)`` pairs, round-robined over
+                the workers.
+            fallback: ``callable(kind, payload) -> (rows, extra)`` run
+                *in the parent* for any task whose worker hung, died, or
+                errored.
+            timeout: overall deadline in seconds (default: the pool's).
+
+        Returns:
+            One :class:`ShardOutcome` per task, in task order.
+        """
+        self.start()
+        self._epoch += 1
+        epoch = self._epoch
+        deadline = time.monotonic() + (
+            self.timeout if timeout is None else timeout
+        )
+        rows = [[] for _ in tasks]
+        outcomes = [None] * len(tasks)
+        owner = {}
+        for i, (kind, payload) in enumerate(tasks):
+            handle = self._handles[i % len(self._handles)]
+            handle.queue.put(("task", (epoch, i), kind, payload))
+            handle.pending.add(i)
+            owner[i] = handle
+            self.tasks_dispatched += 1
+
+        done = set()
+        failed = {}
+        suspect = set()  # workers that hung, died, or were cut off
+
+        def fail(i, reason, retire=True):
+            if i not in done and i not in failed:
+                failed[i] = reason
+                owner[i].pending.discard(i)
+                if retire:
+                    suspect.add(id(owner[i]))
+
+        while len(done) + len(failed) < len(tasks):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                message = self._results.get(timeout=min(remaining, 0.05))
+            except queue_module.Empty:
+                for i in list(owner):
+                    if i not in done and i not in failed:
+                        if not owner[i].process.is_alive():
+                            fail(i, "worker died")
+                continue
+            except Exception:
+                # A worker killed mid-put can corrupt one queue message;
+                # drop it and let the deadline/fallback machinery recover.
+                continue
+            task_id, tag, body = message
+            msg_epoch, i = task_id
+            if msg_epoch != epoch or i in done or i in failed:
+                continue  # stale result from a retired epoch
+            if tag == "chunk":
+                rows[i].extend(body)
+            elif tag == "done":
+                done.add(i)
+                owner[i].pending.discard(i)
+                outcomes[i] = ShardOutcome(rows[i], body, "parallel")
+            else:  # "error": a clean worker-side exception — the worker
+                # caught it and is healthy, so no retirement needed.
+                fail(i, body, retire=False)
+
+        for i in range(len(tasks)):
+            if i not in done and i not in failed:
+                fail(i, "timeout (straggler)")
+
+        # Retire workers that hung, died, or were cut off mid-task: their
+        # next message would be stale anyway (epoch guard), so replace
+        # them wholesale and replay the cast log into the replacement.
+        for index, handle in enumerate(self._handles):
+            if id(handle) in suspect or not handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+                self._handles[index] = self._spawn()
+                self.respawns += 1
+
+        for i, reason in failed.items():
+            kind, payload = tasks[i]
+            retry_started = time.perf_counter()
+            retry_rows, extra = fallback(kind, payload)
+            extra = dict(extra or {})
+            extra.setdefault("elapsed", time.perf_counter() - retry_started)
+            self.serial_retries += 1
+            outcomes[i] = ShardOutcome(
+                list(retry_rows), extra, "serial-retry", detail=reason
+            )
+        return outcomes
+
+    def __repr__(self):
+        return "WorkerPool(workers=%d, started=%s)" % (
+            self.workers, self.started
+        )

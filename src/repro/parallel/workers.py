@@ -1,0 +1,109 @@
+"""Worker-side task handlers: what actually runs in a pool process.
+
+Two families:
+
+* ``fragment`` — stateless: execute one self-contained plan fragment
+  (every leaf a ConstantRelation, see
+  :meth:`~repro.parallel.partition.Partitioner.shard_plans`) on the
+  streaming executor and stream the result tuples back.
+* ``sn_*`` — stateful sharded semi-naive: ``sn_init`` loads a stratum's
+  working store and rules into the worker (a *cast*, replayed into
+  respawned workers), ``sn_merge`` folds each round's full delta in so
+  every worker sees the complete store, and ``sn_fire`` runs the
+  differential rule firings for one delta *shard*, returning derived
+  ``(predicate, values)`` pairs.  Any split of the delta is correct —
+  differential firing is linear in the delta literal — so shards are
+  hashed purely for balance.
+
+Handlers return raw data (tuples and counter dicts); all policy — cost
+gates, dedup against the global store, span bookkeeping — stays in the
+parent.
+"""
+
+from __future__ import annotations
+
+from ..datalog.facts import FactStore
+from ..datalog.indexing import working_store
+from ..datalog.matching import evaluate_rule
+from ..datalog.stats import EngineStatistics
+from ..plan.executor import execute_physical
+from ..relational.database import Database
+from .pool import cast_handler, task_handler
+
+#: Fragments are self-contained (ConstantRelation leaves), so they all
+#: execute against one shared empty database.
+_EMPTY_DB = Database()
+
+
+@task_handler("fragment")
+def run_fragment(state, plan):
+    """Execute one canonical plan fragment; return its tuples + counters."""
+    stats = EngineStatistics()
+    relation, tally = execute_physical(plan, _EMPTY_DB, stats)
+    return list(relation.tuples), {
+        "stats": stats.as_dict(),
+        "peak_buffer": tally.peak_buffer,
+    }
+
+
+@cast_handler("sn_init")
+def sn_init(state, payload):
+    """Load one stratum's working store and rules into this worker."""
+    key, facts, rules, indexed, planned = payload
+    store = working_store(facts, indexed)
+    state[key] = {
+        "store": store,
+        "lookup": store.view if indexed else store.get,
+        "rules": rules,
+        "planned": planned,
+        "idb": {rule.head.predicate for rule in rules},
+    }
+
+
+@cast_handler("sn_merge")
+def sn_merge(state, payload):
+    """Fold a completed round's full delta into the worker's store."""
+    key, delta = payload
+    state[key]["store"].merge(delta)
+
+
+@cast_handler("sn_drop")
+def sn_drop(state, key):
+    """Release a finished stratum's state."""
+    state.pop(key, None)
+
+
+@task_handler("sn_fire")
+def sn_fire(state, payload):
+    """Differential firings for one delta shard.
+
+    Mirrors the serial semi-naive inner loop exactly: for every rule and
+    every positive body literal over a stratum-IDB predicate with facts
+    in this shard, fire the rule with the delta literal reading the
+    shard.  Derived head tuples may already be known globally — the
+    parent dedups against its authoritative store.
+    """
+    key, shard_facts = payload
+    entry = state[key]
+    delta = FactStore(shard_facts)
+    stats = EngineStatistics()
+    derived = []
+    for rule in entry["rules"]:
+        for position, item in enumerate(rule.body):
+            if not getattr(item, "positive", False):
+                continue
+            predicate = item.atom.predicate
+            if predicate not in entry["idb"]:
+                continue
+            if not delta.count(predicate):
+                continue
+            for values in evaluate_rule(
+                rule,
+                entry["lookup"],
+                delta_lookup=delta.get,
+                delta_at=position,
+                stats=stats,
+                planned=entry["planned"],
+            ):
+                derived.append((rule.head.predicate, values))
+    return derived, {"stats": stats.as_dict()}

@@ -75,6 +75,18 @@ class PhysicalOp:
     #: so it must list every slot an operator pulls tuples from.
     child_slots = ()
 
+    def __init_subclass__(cls, **kwargs):
+        # Physical operators are allocated per plan node on every query;
+        # an accidental __dict__ (from a subclass forgetting __slots__)
+        # would silently cost memory and attribute-lookup time on the
+        # hot path, so make the omission a loud import-time error.
+        super().__init_subclass__(**kwargs)
+        if "__slots__" not in cls.__dict__:
+            raise TypeError(
+                "%s must define __slots__ (PhysicalOp subclasses are "
+                "slotted for per-tuple efficiency)" % cls.__name__
+            )
+
     def tuples(self):
         raise NotImplementedError
 

@@ -44,6 +44,41 @@ class TestArithmetic:
         assert a.index_probes == 4
         assert a.iterations == 1
 
+    def test_chain_merge_equals_shard_sum(self):
+        # The parallel backend folds per-shard counter dicts into one
+        # EngineStatistics; chained merges must equal the fieldwise sum,
+        # whatever the merge order.
+        shards = [
+            EngineStatistics(facts_scanned=i, index_probes=2 * i, iterations=1)
+            for i in range(1, 5)
+        ]
+        total = EngineStatistics()
+        for shard in shards:
+            total.merge(shard)
+        assert total.facts_scanned == 10
+        assert total.index_probes == 20
+        assert total.iterations == 4
+        reversed_total = EngineStatistics()
+        for shard in reversed(shards):
+            reversed_total.merge(shard)
+        assert reversed_total == total
+
+    def test_merge_round_trips_through_as_dict(self):
+        # Worker processes ship counters as plain dicts; rebuilding and
+        # merging must charge exactly the original work.
+        source = EngineStatistics(facts_scanned=7, rule_firings=3)
+        rebuilt = EngineStatistics(**source.as_dict())
+        target = EngineStatistics(facts_scanned=1)
+        target.merge(rebuilt)
+        assert target.facts_scanned == 8
+        assert target.rule_firings == 3
+
+    def test_merge_with_empty_is_identity(self):
+        stats = EngineStatistics(index_builds=2, tuples_materialized=5)
+        before = stats.copy()
+        stats.merge(EngineStatistics())
+        assert stats == before
+
     def test_copy_is_independent(self):
         a = EngineStatistics(rule_firings=2)
         b = a.copy()

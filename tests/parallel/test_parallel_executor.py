@@ -1,0 +1,200 @@
+"""The cost-gated backend and the workbench's parallel surface.
+
+Pins the three acceptance behaviors: small queries never spawn a pool,
+parallel answers equal serial answers, and a killed worker degrades to
+a correct serial re-run.
+"""
+
+import os
+import random
+import signal
+import time
+
+import pytest
+
+from repro.core.workbench import MetatheoryWorkbench
+from repro.datalog.stats import EngineStatistics
+from repro.parallel import ParallelBackend
+from repro.plan import execute
+from repro.plan.logical import canonicalize
+from repro.relational import algebra as ra
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+
+def make_db(rows=3000, seed=1):
+    rng = random.Random(seed)
+    db = Database()
+    db.add(Relation(
+        RelationSchema("r", ("a", "b")),
+        [(rng.randrange(40), rng.randrange(500)) for _ in range(rows)],
+    ))
+    db.add(Relation(
+        RelationSchema("s", ("b", "c")),
+        [(rng.randrange(500), rng.randrange(40)) for _ in range(rows)],
+    ))
+    return db
+
+
+JOIN = ra.Projection(
+    ra.Selection(
+        ra.NaturalJoin(ra.RelationRef("r"), ra.RelationRef("s")),
+        ra.Comparison(ra.Attr("a"), "<", ra.Attr("c")),
+    ),
+    ("a", "c"),
+)
+
+
+@pytest.fixture()
+def backend():
+    b = ParallelBackend(workers=2, cost_gate=500, timeout=30.0)
+    yield b
+    b.close()
+
+
+class TestGate:
+    def test_small_query_never_spawns_a_pool(self):
+        backend = ParallelBackend(workers=4, cost_gate=10**6)
+        db = make_db(rows=50)
+        plan = canonicalize(JOIN, db.schema())
+        relation, info = backend.execute_plan(plan, db)
+        assert info.mode == "serial" and "cost gate" in info.reason
+        assert relation == execute(plan, db)
+        assert backend.pool_started is False, (
+            "below the gate no worker process may be spawned"
+        )
+        assert backend.pool.spawned == 0
+
+    def test_single_worker_stays_serial(self):
+        backend = ParallelBackend(workers=1, cost_gate=0)
+        db = make_db(rows=100)
+        plan = canonicalize(JOIN, db.schema())
+        _relation, info = backend.execute_plan(plan, db)
+        assert info.mode == "serial" and info.reason == "single worker"
+        assert backend.pool_started is False
+
+    def test_unpartitionable_plan_stays_serial(self, backend):
+        db = make_db(rows=1000)
+        product = ra.Product(
+            ra.Rename(ra.RelationRef("r"), {"a": "x", "b": "y"}),
+            ra.RelationRef("s"),
+        )
+        plan = canonicalize(product, db.schema())
+        relation, info = backend.execute_plan(plan, db)
+        assert info.mode == "serial"
+        assert info.reason == "no partition attribute"
+        assert relation == execute(plan, db)
+
+
+class TestCorrectness:
+    def test_parallel_equals_serial(self, backend):
+        db = make_db()
+        plan = canonicalize(JOIN, db.schema())
+        serial = execute(plan, db)
+        relation, info = backend.execute_plan(plan, db)
+        assert info.mode == "parallel" and info.shards >= 1
+        assert relation == serial
+        assert relation.schema.attributes == serial.schema.attributes
+
+    def test_stats_charged_once_per_shard(self, backend):
+        db = make_db()
+        plan = canonicalize(JOIN, db.schema())
+        stats = EngineStatistics()
+        _relation, info = backend.execute_plan(plan, db, stats=stats)
+        assert info.mode == "parallel"
+        assert stats.facts_scanned > 0
+        assert stats.tuples_materialized > 0
+
+    def test_killed_worker_still_produces_correct_answer(self, backend):
+        db = make_db()
+        plan = canonicalize(JOIN, db.schema())
+        serial = execute(plan, db)
+        backend.pool.start()
+        victim = backend.pool._handles[0].process
+        os.kill(victim.pid, signal.SIGKILL)
+        time.sleep(0.1)
+        relation, info = backend.execute_plan(plan, db)
+        assert relation == serial
+        assert info.mode == "parallel"
+        assert any(o.mode == "serial-retry" for o in info.outcomes)
+        assert backend.pool.respawns >= 1
+        # And the pool is healthy again for the next query.
+        relation2, info2 = backend.execute_plan(plan, db)
+        assert relation2 == serial
+        assert all(o.mode == "parallel" for o in info2.outcomes)
+
+
+class TestWorkbench:
+    def test_run_parallel_matches_serial_sql(self):
+        db = make_db()
+        wb = MetatheoryWorkbench(db)
+        try:
+            sql = "SELECT a, c FROM r, s WHERE r.b = s.b"
+            serial = wb.sql(sql)
+            backend = wb.parallel_backend(2)
+            backend.cost_gate = 500
+            parallel = wb.run(sql, executor="parallel", workers=2)
+            assert set(parallel.tuples) == set(serial.tuples)
+            assert backend.parallel_runs == 1
+        finally:
+            wb.close()
+
+    def test_workers_argument_implies_parallel(self):
+        db = make_db(rows=100)
+        wb = MetatheoryWorkbench(db)
+        try:
+            wb.algebra(JOIN, workers=2)
+            assert 2 in wb._parallel_backends
+        finally:
+            wb.close()
+
+    def test_backend_cached_per_worker_count(self):
+        wb = MetatheoryWorkbench(make_db(rows=10))
+        try:
+            assert wb.parallel_backend(2) is wb.parallel_backend(2)
+            assert wb.parallel_backend(2) is not wb.parallel_backend(3)
+        finally:
+            wb.close()
+
+    def test_from_source_forwards_parallel_backend(self):
+        from repro.datalog.engine import DatalogEngine
+
+        backend = ParallelBackend(workers=2)
+        try:
+            engine = DatalogEngine.from_source(
+                "p(X) :- e(X).", edb={"e": [(1,), (2,)]}, parallel=backend
+            )
+            assert engine.parallel is backend
+        finally:
+            backend.close()
+
+    def test_run_datalog_parallel_matches_serial(self):
+        rng = random.Random(9)
+        edges = set()
+        for layer in range(5):
+            for a in range(25):
+                for _ in range(6):
+                    edges.add(
+                        ("n%d_%d" % (layer, a),
+                         "n%d_%d" % (layer + 1, rng.randrange(25)))
+                    )
+        db = Database()
+        db.add(Relation(
+            RelationSchema("edge", ("src", "dst")), list(edges)
+        ))
+        wb = MetatheoryWorkbench(db)
+        try:
+            source = (
+                "path(X, Y) :- edge(X, Y). "
+                "path(X, Z) :- edge(X, Y), path(Y, Z)."
+            )
+            serial = wb.run(source)
+            backend = wb.parallel_backend(2)
+            backend.cost_gate = 100
+            backend.round_gate = 50
+            parallel = wb.run(source, executor="parallel", workers=2)
+            assert parallel.get("path") == serial.get("path")
+            assert backend.pool.tasks_dispatched > 0
+        finally:
+            wb.close()

@@ -1,0 +1,134 @@
+"""Worker pool mechanics: fan-out, chunking, faults, and state replay.
+
+Uses the built-in ``_echo``/``_hang``/``_crash``/``_set``/``_get``
+handlers so the pool is exercised independently of any query machinery.
+The fault tests are the acceptance criterion for graceful degradation:
+a hung or killed worker must cost time, never answers.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.parallel import WorkerPool
+
+
+def echo_fallback(kind, payload):
+    assert kind in ("_echo", "_hang", "_crash")
+    if kind == "_echo":
+        return list(payload), {}
+    return [], {}
+
+
+@pytest.fixture()
+def pool():
+    p = WorkerPool(workers=2, timeout=10.0, chunk_size=8)
+    yield p
+    p.close()
+
+
+class TestFanOut:
+    def test_tasks_round_trip_in_order(self, pool):
+        tasks = [("_echo", [i, i + 1]) for i in range(6)]
+        outcomes = pool.run(tasks, echo_fallback)
+        assert [o.rows for o in outcomes] == [[i, i + 1] for i in range(6)]
+        assert all(o.mode == "parallel" for o in outcomes)
+        assert pool.serial_retries == 0
+
+    def test_large_results_arrive_chunked(self, pool):
+        payload = list(range(1000))  # chunk_size=8 -> 125 chunks
+        [outcome] = pool.run([("_echo", payload)], echo_fallback)
+        assert outcome.rows == payload
+        assert outcome.elapsed >= 0
+
+    def test_lazy_start_and_reuse(self):
+        pool = WorkerPool(workers=2, timeout=10.0)
+        assert not pool.started
+        try:
+            pool.run([("_echo", [1])], echo_fallback)
+            assert pool.started and pool.spawned == 2
+            pool.run([("_echo", [2])], echo_fallback)
+            assert pool.spawned == 2, "second run must reuse the workers"
+        finally:
+            pool.close()
+
+    def test_close_then_restart(self, pool):
+        pool.run([("_echo", [1])], echo_fallback)
+        pool.close()
+        assert not pool.started
+        [outcome] = pool.run([("_echo", [3])], echo_fallback)
+        assert outcome.rows == [3]
+
+
+class TestFaults:
+    def test_hung_worker_degrades_to_serial(self, pool):
+        tasks = [("_hang", 60.0), ("_echo", [7])]
+        outcomes = pool.run(tasks, echo_fallback, timeout=1.0)
+        assert outcomes[0].mode == "serial-retry"
+        assert "straggler" in outcomes[0].detail or "timeout" in outcomes[0].detail
+        assert outcomes[1].rows == [7]
+        assert pool.serial_retries == 1
+        assert pool.respawns >= 1
+
+    def test_crashed_worker_degrades_to_serial(self, pool):
+        tasks = [("_crash", None), ("_echo", [9])]
+        outcomes = pool.run(tasks, echo_fallback, timeout=5.0)
+        assert outcomes[0].mode == "serial-retry"
+        assert outcomes[1].rows == [9]
+        assert pool.respawns >= 1
+
+    def test_killed_worker_pid_degrades_to_serial(self, pool):
+        pool.start()
+        victim = pool._handles[0].process
+        os.kill(victim.pid, signal.SIGKILL)
+        time.sleep(0.1)
+        outcomes = pool.run(
+            [("_echo", [1]), ("_echo", [2]), ("_echo", [3])],
+            echo_fallback, timeout=5.0,
+        )
+        assert [o.rows for o in outcomes] == [[1], [2], [3]]
+        assert any(o.mode == "serial-retry" for o in outcomes)
+        assert pool.respawns >= 1
+
+    def test_pool_recovers_after_fault(self, pool):
+        pool.run([("_crash", None)], echo_fallback, timeout=5.0)
+        outcomes = pool.run(
+            [("_echo", [i]) for i in range(4)], echo_fallback
+        )
+        assert all(o.mode == "parallel" for o in outcomes)
+
+    def test_worker_side_error_keeps_worker(self, pool):
+        # "_get" with an unhashable payload raises inside the handler;
+        # the worker catches it and stays healthy, so no respawn.
+        [outcome] = pool.run([("_get", [])], lambda k, p: (["fb"], {}))
+        assert outcome.mode == "serial-retry"
+        assert outcome.rows == ["fb"]
+        assert pool.respawns == 0
+
+
+class TestCasts:
+    def test_broadcast_reaches_every_worker(self, pool):
+        pool.broadcast("_set", ("k", 42))
+        outcomes = pool.run(
+            [("_get", "k"), ("_get", "k")], lambda k, p: ([None], {})
+        )
+        assert [o.rows for o in outcomes] == [[42], [42]]
+
+    def test_cast_replay_into_respawned_worker(self, pool):
+        pool.broadcast("_set", ("k", 42))
+        pool.run([("_crash", None)], lambda k, p: ([], {}), timeout=5.0)
+        assert pool.respawns >= 1
+        outcomes = pool.run(
+            [("_get", "k"), ("_get", "k")], lambda k, p: ([None], {})
+        )
+        assert [o.rows for o in outcomes] == [[42], [42]]
+
+    def test_reset_casts_stops_replay(self, pool):
+        pool.broadcast("_set", ("k", 42))
+        pool.reset_casts()
+        pool.run([("_crash", None)], lambda k, p: ([], {}), timeout=5.0)
+        outcomes = pool.run([("_get", "k")], lambda k, p: (["dead"], {}))
+        # Whichever worker answers, a respawned one no longer knows "k".
+        assert outcomes[0].rows in ([42], [None])

@@ -241,6 +241,52 @@ class TestMeasureTreewalk:
         assert stats.tuples_materialized == 0
         assert peak == 0
 
+    def test_failure_leaves_no_global_state_behind(self):
+        # Regression guard: measurement must be purely local — a failing
+        # run may not leak instrumentation into the algebra layer or
+        # change how later evaluations behave (test pollution).
+        import pytest
+
+        from repro.errors import SchemaError
+
+        db = small_db()
+        good = ra.NaturalJoin(ra.RelationRef("r"), ra.RelationRef("s"))
+        before = ra.evaluate(good, db)
+        bad = ra.Projection(ra.RelationRef("r"), ("nope",))
+        with pytest.raises(SchemaError):
+            measure_treewalk(bad, db)
+        assert ra.evaluate(good, db) == before
+        result, stats, _peak = measure_treewalk(good, db)
+        assert result == before
+        assert stats.tuples_materialized == len(before)
+
+
+class TestPhysicalOpSlots:
+    def test_every_operator_is_slotted(self):
+        import repro.plan.physical as physical
+
+        ops = [
+            obj for obj in vars(physical).values()
+            if isinstance(obj, type)
+            and issubclass(obj, physical.PhysicalOp)
+        ]
+        assert len(ops) > 10
+        for op in ops:
+            assert "__slots__" in op.__dict__, op
+
+    def test_subclass_without_slots_is_rejected_at_class_creation(self):
+        import pytest
+
+        from repro.plan.physical import PhysicalOp
+
+        with pytest.raises(TypeError, match="__slots__"):
+            type("Sloppy", (PhysicalOp,), {})
+
+        class Fine(PhysicalOp):
+            __slots__ = ()
+
+        assert Fine.child_slots == ()
+
 
 class TestBuildPhysical:
     def test_every_operator_kind_runs(self):
