@@ -1,0 +1,77 @@
+"""Conformance kit: fuzzing, oracles, shrinking, and a corpus.
+
+The paper's metatheorems — Codd's calculus/algebra equivalence, the
+equivalence of the four Datalog strategies, the serializability
+theorems — are executable here as *oracles*: checks that every
+evaluation path in the library agrees on randomly generated workloads.
+The kit has five parts, one module each:
+
+* :mod:`~repro.conformance.workloads` — seeded case generators for
+  every front-end (algebra, SQL, calculus, Datalog, schedules).
+* :mod:`~repro.conformance.coverage` — per-construct coverage tracking
+  and the generator-bias audit.
+* :mod:`~repro.conformance.oracles` — the differential and metamorphic
+  oracle registry.
+* :mod:`~repro.conformance.shrinker` — delta-debugging reduction of
+  failing cases.
+* :mod:`~repro.conformance.corpus` — JSON persistence and replay of
+  found (and hand-written) regression cases.
+
+Entry point: ``python -m repro.conformance --seconds 30 --seed 0``.
+"""
+
+from .corpus import (
+    decode_case,
+    encode_case,
+    load_corpus,
+    replay,
+    save_case,
+)
+from .coverage import (
+    ALGEBRA_UNIVERSE,
+    DATALOG_UNIVERSE,
+    SCHEDULE_UNIVERSE,
+    UNIVERSES,
+    CoverageTracker,
+)
+from .driver import main, run_conformance
+from .oracles import ORACLE_FAMILIES, Oracle, build_oracles
+from .shrinker import (
+    case_size,
+    crash_predicate,
+    ddmin_list,
+    expression_depth,
+    expression_size,
+    oracle_predicate,
+    shrink_case,
+)
+from .workloads import Case, GENERATORS, derive_seed, generate_case
+
+__all__ = [
+    "ALGEBRA_UNIVERSE",
+    "Case",
+    "CoverageTracker",
+    "DATALOG_UNIVERSE",
+    "GENERATORS",
+    "ORACLE_FAMILIES",
+    "Oracle",
+    "SCHEDULE_UNIVERSE",
+    "UNIVERSES",
+    "build_oracles",
+    "case_size",
+    "crash_predicate",
+    "ddmin_list",
+    "decode_case",
+    "derive_seed",
+    "encode_case",
+    "expression_depth",
+    "expression_size",
+    "generate_case",
+    "load_corpus",
+    "main",
+    "oracle_predicate",
+    "replay",
+    "run_conformance",
+    "save_case",
+    "shrink_case",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.conformance`` — run a budgeted conformance sweep."""
+
+import sys
+
+from .driver import main
+
+sys.exit(main())

@@ -1,0 +1,604 @@
+"""The oracle registry: differential and metamorphic correctness checks.
+
+Every oracle consumes a :class:`~repro.conformance.workloads.Case` and
+returns a list of divergence messages (empty = the metatheorems held on
+this case).  Two oracle kinds:
+
+* **Differential** — run one workload through every applicable
+  evaluation path and demand agreement: legacy tree walk vs. streaming
+  executor vs. optimized plan vs. cost-gated parallel backend; direct
+  calculus semantics vs. Codd-translated algebra; all four Datalog
+  strategies under both physical configurations (plus the lowered
+  pipeline and the sharded semi-naive backend); 2PL / timestamp / OCC
+  scheduler outputs against the serializability predicates.
+* **Metamorphic** — apply a semantics-preserving rewrite and demand the
+  result is unchanged: commuting and fusing selections, distributing
+  selections over unions, set-operation and join commutativity,
+  semijoin/antijoin definitional expansions, duplicated and satisfied
+  guard atoms in Datalog rules, rule shuffles, variable renamings, and
+  monotone EDB growth for positive programs.
+
+The checks deliberately route through the *public* entry points the
+rest of the library uses (``evaluate``, ``execute``, ``canonicalize`` +
+``optimize``, the engine evaluators, the scheduler one-shots), so a
+conformance run exercises the same code paths production queries take.
+"""
+
+from __future__ import annotations
+
+from ..datalog.engine import DatalogEngine
+from ..datalog.lowering import is_lowerable, lowered_evaluate
+from ..datalog.magic import magic_evaluate, match_query
+from ..datalog.naive import naive_evaluate
+from ..datalog.seminaive import seminaive_evaluate
+from ..datalog.topdown import topdown_query
+from ..relational import algebra as ra
+from ..relational.algebra import evaluate
+from ..relational.calculus import evaluate_query
+from ..relational.codd import calculus_to_algebra
+from ..relational.optimizer import optimize
+from ..relational.relation import same_content
+from ..relational.sql_frontend import parse_sql
+from ..plan import canonicalize, execute
+from ..transactions import (
+    is_conflict_serializable,
+    is_recoverable,
+    is_strict,
+    is_view_serializable,
+    optimistic,
+    timestamp_order,
+    two_phase_lock,
+)
+from ..transactions.schedule import Op, Schedule
+from .workloads import derive_seed, generate_case
+
+import random
+
+
+class Divergence(Exception):
+    """Raised internally by checks; the oracle turns it into a message."""
+
+
+class Oracle:
+    """Base oracle: a named family with generate/check/close."""
+
+    family = None
+
+    def generate(self, seed):
+        return generate_case(self.family, seed)
+
+    def check(self, case):
+        """Divergence messages for one case (empty list = conformant)."""
+        raise NotImplementedError
+
+    def close(self):
+        """Release any long-lived resources (worker pools)."""
+
+
+def _relation_diff(label, left, right):
+    return "%s: %d vs %d tuples (symmetric difference %d)" % (
+        label,
+        len(left),
+        len(right),
+        len(set(left.tuples) ^ set(right.tuples)),
+    )
+
+
+class _ParallelMixin:
+    """Lazily-built shared parallel backend (2 workers, gate forced open)."""
+
+    _backend = None
+
+    def backend(self):
+        if self._backend is None:
+            from ..parallel import ParallelBackend
+
+            self._backend = ParallelBackend(
+                workers=2, cost_gate=0, round_gate=0, timeout=60.0
+            )
+        return self._backend
+
+    def close(self):
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
+
+
+class RelationalDifferentialOracle(_ParallelMixin, Oracle):
+    """Tree walk ≡ streaming executor ≡ optimized plan (≡ parallel).
+
+    The parallel comparison runs on every fourth case (per seed) so a
+    budgeted fuzz run still spends most of its time on the cheap
+    three-way comparison; the gate-forced backend partitions every plan
+    it structurally can, falling back to serial execution otherwise —
+    both paths must agree with the serial executor.
+    """
+
+    family = "relational-differential"
+
+    def resolve(self, case):
+        """The algebra expression of a relational payload."""
+        payload = case.payload
+        if payload.get("expr") is not None:
+            return payload["expr"]
+        return parse_sql(payload["sql"])
+
+    def check(self, case):
+        payload = case.payload
+        db = payload["db"]
+        expr = self.resolve(case)
+        strict = payload.get("sql") is None  # SQL column order may differ
+        messages = []
+
+        legacy = evaluate(expr, db)
+        canonical = canonicalize(expr, db.schema())
+        streamed = execute(canonical, db)
+        if strict and streamed != legacy:
+            messages.append(
+                _relation_diff("executor vs tree walk", streamed, legacy)
+            )
+        elif not strict and not same_content(streamed, legacy):
+            messages.append(
+                _relation_diff("executor vs tree walk", streamed, legacy)
+            )
+
+        optimized_plan = canonicalize(optimize(canonical, db), db.schema())
+        optimized = execute(optimized_plan, db)
+        if not same_content(optimized, legacy):
+            messages.append(
+                _relation_diff("optimized plan vs tree walk", optimized, legacy)
+            )
+
+        if case.seed % 4 == 0:
+            relation, _info = self.backend().execute_plan(canonical, db)
+            if relation != streamed:
+                messages.append(
+                    _relation_diff(
+                        "parallel backend vs executor", relation, streamed
+                    )
+                )
+        return messages
+
+
+class CalculusDifferentialOracle(Oracle):
+    """Codd's theorem, executable: direct safe-range calculus semantics
+    ≡ translated algebra on the tree walk ≡ the same on the executor."""
+
+    family = "calculus-differential"
+
+    def check(self, case):
+        payload = case.payload
+        db = payload["db"]
+        query = payload["query"]
+        messages = []
+        direct = evaluate_query(query, db)
+        expr = calculus_to_algebra(query, db.schema())
+        translated = evaluate(expr, db)
+        if direct.tuples != translated.tuples or (
+            direct.schema.attributes != translated.schema.attributes
+        ):
+            messages.append(
+                _relation_diff(
+                    "calculus semantics vs translated algebra",
+                    direct,
+                    translated,
+                )
+            )
+        streamed = execute(canonicalize(expr, db.schema()), db)
+        if streamed.tuples != direct.tuples:
+            messages.append(
+                _relation_diff(
+                    "calculus semantics vs executor", streamed, direct
+                )
+            )
+        return messages
+
+
+#: (indexed, planned) physical configurations for the Datalog sweep.
+DATALOG_CONFIGS = ((True, True), (False, False))
+
+
+class DatalogDifferentialOracle(_ParallelMixin, Oracle):
+    """Naive ≡ semi-naive ≡ magic ≡ top-down ≡ lowered (≡ sharded).
+
+    Magic sets and top-down tabling are positive-program strategies, so
+    they join the comparison only when the program has no negation; the
+    lowered relational pipeline joins when the program is non-recursive;
+    the sharded semi-naive backend joins on every fourth positive case.
+    """
+
+    family = "datalog-differential"
+
+    def check(self, case):
+        payload = case.payload
+        program = payload["program"]
+        edb = payload["edb"]
+        queries = payload["queries"]
+        messages = []
+
+        reference = naive_evaluate(program, edb)
+        for indexed, planned in DATALOG_CONFIGS:
+            for name, evaluator in (
+                ("naive", naive_evaluate),
+                ("seminaive", seminaive_evaluate),
+            ):
+                model = evaluator(
+                    program, edb, indexed=indexed, planned=planned
+                )
+                if model != reference:
+                    messages.append(
+                        "%s(indexed=%s, planned=%s) disagrees with naive "
+                        "reference model" % (name, indexed, planned)
+                    )
+
+        if is_lowerable(program):
+            lowered = lowered_evaluate(program, edb)
+            if lowered != reference:
+                messages.append(
+                    "lowered relational pipeline disagrees with naive "
+                    "reference model"
+                )
+
+        positive = not program.has_negation()
+        if positive and case.seed % 4 == 0:
+            sharded = seminaive_evaluate(
+                program, edb, backend=self.backend()
+            )
+            if sharded != reference:
+                messages.append(
+                    "sharded semi-naive disagrees with naive reference model"
+                )
+
+        for query in queries:
+            expected = match_query(reference, query)
+            if positive and query.predicate in program.idb_predicates():
+                for name, runner in (
+                    ("magic", magic_evaluate),
+                    ("topdown", topdown_query),
+                ):
+                    answer = runner(program, edb, query)
+                    if answer != expected:
+                        messages.append(
+                            "%s disagrees on query %s: %d vs %d answers"
+                            % (name, query, len(answer), len(expected))
+                        )
+        return messages
+
+
+class TransactionsDifferentialOracle(Oracle):
+    """Scheduler outputs against the serializability metatheory.
+
+    Every scheduler's output schedule must satisfy the guarantee its
+    correctness theorem states (conflict serializability; strictness
+    and recoverability for strict 2PL), the conflict ⊆ view hierarchy
+    must hold on the input, and every verdict must be invariant under a
+    bijective renaming of the data items.
+    """
+
+    family = "transactions-differential"
+
+    #: View-serializability is checked by permutation; keep it to
+    #: schedules with at most this many committed transactions.
+    VIEW_LIMIT = 5
+
+    def check(self, case):
+        schedule = case.payload["schedule"]
+        messages = []
+
+        out, stats = two_phase_lock(schedule, strict=True)
+        if not is_conflict_serializable(out):
+            messages.append("strict 2PL output is not conflict serializable")
+        if not is_strict(out):
+            messages.append("strict 2PL output is not strict")
+        if not is_recoverable(out):
+            messages.append("strict 2PL output is not recoverable")
+        basic_out, _ = two_phase_lock(schedule, strict=False)
+        if not is_conflict_serializable(basic_out):
+            messages.append("basic 2PL output is not conflict serializable")
+
+        ts_out, ts_stats = timestamp_order(schedule)
+        if not is_conflict_serializable(ts_out):
+            messages.append(
+                "timestamp-ordering output is not conflict serializable"
+            )
+        occ_out, occ_stats = optimistic(schedule)
+        if not is_conflict_serializable(occ_out):
+            messages.append("OCC output is not conflict serializable")
+
+        transactions = set(schedule.transactions())
+        for name, aborted in (
+            ("2PL", stats["aborted"]),
+            ("timestamp", ts_stats["aborted"]),
+            ("OCC", occ_stats["aborted"]),
+        ):
+            if not aborted <= transactions:
+                messages.append(
+                    "%s aborted unknown transactions %r"
+                    % (name, sorted(aborted - transactions))
+                )
+
+        conflict = is_conflict_serializable(schedule)
+        if len(schedule.committed()) <= self.VIEW_LIMIT:
+            view = is_view_serializable(schedule)
+            if conflict and not view:
+                messages.append(
+                    "conflict-serializable input judged not view serializable"
+                )
+
+        renamed = _rename_items(schedule)
+        if is_conflict_serializable(renamed) != conflict:
+            messages.append(
+                "conflict-serializability verdict not invariant under "
+                "item renaming"
+            )
+        for predicate in (is_recoverable, is_strict):
+            if predicate(renamed) != predicate(schedule):
+                messages.append(
+                    "%s verdict not invariant under item renaming"
+                    % predicate.__name__
+                )
+        return messages
+
+
+def _rename_items(schedule):
+    items = sorted({op.item for op in schedule.ops if op.item is not None})
+    mapping = {item: "y%d" % index for index, item in enumerate(items)}
+    return Schedule(
+        [
+            Op(op.kind, op.txn, mapping.get(op.item))
+            for op in schedule.ops
+        ],
+        validate=False,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Metamorphic oracles
+# ---------------------------------------------------------------------------
+
+
+def _random_condition(rng, attrs, domain):
+    left = ra.Attr(rng.choice(attrs))
+    if rng.random() < 0.4 and len(attrs) > 1:
+        right = ra.Attr(rng.choice(attrs))
+    else:
+        right = ra.Const(rng.choice(domain))
+    return ra.Comparison(
+        left, rng.choice(("=", "!=", "<", "<=", ">", ">=")), right
+    )
+
+
+class MetamorphicRelationalOracle(Oracle):
+    """Semantics-preserving rewrites must not change the result.
+
+    Each rewrite builds two expressions from the case's base expression
+    whose equivalence is a (small) theorem of the algebra under set
+    semantics; both run on the streaming executor and must agree up to
+    column order.  Rewrite parameters (the conditions and projections
+    involved) are derived deterministically from the case seed so every
+    case replays bit-for-bit.
+    """
+
+    family = "metamorphic-relational"
+
+    def check(self, case):
+        payload = case.payload
+        db = payload["db"]
+        expr = payload["expr"]
+        rng = random.Random(derive_seed("mm-rel-check", case.seed))
+        schema = db.schema()
+        attrs = list(expr.schema(schema).attributes)
+        domain = sorted(db.active_domain()) or [0, 1]
+        messages = []
+        for rewrite in payload.get("rewrites", ()):
+            pair = self._build(rewrite, expr, attrs, domain, rng, db)
+            if pair is None:
+                continue
+            left_expr, right_expr = pair
+            left = execute(canonicalize(left_expr, schema), db)
+            right = execute(canonicalize(right_expr, schema), db)
+            if not same_content(left, right):
+                messages.append(
+                    "metamorphic rewrite %r changed the result: %s"
+                    % (rewrite, _relation_diff("lhs vs rhs", left, right))
+                )
+        return messages
+
+    def _build(self, rewrite, expr, attrs, domain, rng, db):
+        """The (lhs, rhs) expression pair for one named rewrite."""
+        a = _random_condition(rng, attrs, domain)
+        b = _random_condition(rng, attrs, domain)
+        if rewrite == "commute-selections":
+            return (
+                ra.Selection(ra.Selection(expr, a), b),
+                ra.Selection(ra.Selection(expr, b), a),
+            )
+        if rewrite == "fuse-selections":
+            return (
+                ra.Selection(ra.Selection(expr, a), b),
+                ra.Selection(expr, ra.And(a, b)),
+            )
+        if rewrite == "collapse-projection":
+            keep = [x for x in attrs if rng.random() < 0.7] or attrs[:1]
+            sub = [x for x in keep if rng.random() < 0.7] or keep[:1]
+            return (
+                ra.Projection(ra.Projection(expr, tuple(keep)), tuple(sub)),
+                ra.Projection(expr, tuple(sub)),
+            )
+        if rewrite == "select-union-distribute":
+            other = ra.Selection(expr, b)
+            return (
+                ra.Selection(ra.Union(expr, other), a),
+                ra.Union(
+                    ra.Selection(expr, a), ra.Selection(other, a)
+                ),
+            )
+        if rewrite == "union-commute":
+            other = ra.Selection(expr, a)
+            return (ra.Union(expr, other), ra.Union(other, expr))
+        if rewrite == "intersection-commute":
+            other = ra.Selection(expr, a)
+            return (
+                ra.Intersection(expr, other),
+                ra.Intersection(other, expr),
+            )
+        if rewrite == "join-commute":
+            name = rng.choice(db.names())
+            return (
+                ra.NaturalJoin(expr, ra.RelationRef(name)),
+                ra.NaturalJoin(ra.RelationRef(name), expr),
+            )
+        if rewrite == "difference-complement":
+            # E − (E − σ_a(E)) ≡ σ_a(E): conditions are total predicates.
+            selected = ra.Selection(expr, a)
+            return (
+                ra.Difference(expr, ra.Difference(expr, selected)),
+                selected,
+            )
+        if rewrite == "semijoin-definition":
+            name = rng.choice(db.names())
+            ref = ra.RelationRef(name)
+            return (
+                ra.Semijoin(expr, ref),
+                ra.Projection(ra.NaturalJoin(expr, ref), tuple(attrs)),
+            )
+        if rewrite == "antijoin-definition":
+            name = rng.choice(db.names())
+            ref = ra.RelationRef(name)
+            return (
+                ra.Antijoin(expr, ref),
+                ra.Difference(expr, ra.Semijoin(expr, ref)),
+            )
+        if rewrite == "union-idempotent":
+            return (ra.Union(expr, expr), expr)
+        return None
+
+
+class MetamorphicDatalogOracle(Oracle):
+    """Program mutations that provably preserve the stratified model."""
+
+    family = "metamorphic-datalog"
+
+    def check(self, case):
+        payload = case.payload
+        program = payload["program"]
+        edb = payload["edb"]
+        rng = random.Random(derive_seed("mm-dl-check", case.seed))
+        reference = seminaive_evaluate(program, edb)
+        messages = []
+        for mutation in payload.get("mutations", ()):
+            result = self._apply(
+                mutation, program, edb, payload, rng, reference
+            )
+            if result is not None:
+                messages.append(result)
+        return messages
+
+    def _apply(self, mutation, program, edb, payload, rng, reference):
+        if mutation == "duplicate-literal":
+            rules = list(program.rules)
+            candidates = [
+                i for i, rule in enumerate(rules) if rule.positive_literals()
+            ]
+            if not candidates:
+                return None
+            index = rng.choice(candidates)
+            rule = rules[index]
+            literal = rng.choice(rule.positive_literals())
+            rules[index] = type(rule)(rule.head, list(rule.body) + [literal])
+            model = seminaive_evaluate(type(program)(rules), edb)
+            if model != reference:
+                return "duplicating a body literal changed the model"
+            return None
+        if mutation == "satisfied-guard":
+            # Guard a rule with a fresh unary EDB predicate holding the
+            # whole active domain: every binding satisfies it.
+            rules = list(program.rules)
+            candidates = [
+                i for i, rule in enumerate(rules) if rule.positive_literals()
+            ]
+            if not candidates:
+                return None
+            index = rng.choice(candidates)
+            rule = rules[index]
+            variables = sorted(rule.head.variables())
+            if not variables:
+                return None
+            from ..datalog.ast import Atom, Literal, Variable
+
+            guard = Literal(Atom("guard0", (Variable(rng.choice(variables)),)))
+            rules[index] = type(rule)(rule.head, list(rule.body) + [guard])
+            guarded_edb = edb.copy()
+            domain = set(edb.active_domain())
+            for predicate, values in program.facts():
+                domain.update(values)
+            for value in domain:
+                guarded_edb.add("guard0", (value,))
+            model = seminaive_evaluate(type(program)(rules), guarded_edb)
+            restricted = model.restrict(
+                set(reference.predicates()) - {"guard0"}
+            )
+            if restricted != reference.restrict(
+                set(reference.predicates()) - {"guard0"}
+            ):
+                return "adding a satisfied guard atom changed the model"
+            return None
+        if mutation == "rule-shuffle":
+            rules = list(program.rules)
+            rng.shuffle(rules)
+            model = seminaive_evaluate(type(program)(rules), edb)
+            if model != reference:
+                return "permuting the rules changed the model"
+            return None
+        if mutation == "variable-rename":
+            rules = [
+                rule.rename_variables("_mm") if rule.body else rule
+                for rule in program.rules
+            ]
+            model = seminaive_evaluate(type(program)(rules), edb)
+            if model != reference:
+                return "renaming rule variables changed the model"
+            return None
+        if mutation == "monotone-growth":
+            if program.has_negation():
+                return None
+            grown = edb.copy()
+            for predicate, rows in (payload.get("growth") or {}).items():
+                for row in rows:
+                    grown.add(predicate, tuple(row))
+            model = seminaive_evaluate(program, grown)
+            for predicate in reference.predicates():
+                if not set(reference.get(predicate)) <= set(
+                    model.get(predicate)
+                ):
+                    return (
+                        "positive program lost %s facts under EDB growth"
+                        % predicate
+                    )
+            return None
+        return None
+
+
+#: The registry: family name -> oracle instance.
+def build_oracles(families=None):
+    """Fresh oracle instances (one per family), in registry order."""
+    all_oracles = [
+        RelationalDifferentialOracle(),
+        CalculusDifferentialOracle(),
+        DatalogDifferentialOracle(),
+        TransactionsDifferentialOracle(),
+        MetamorphicRelationalOracle(),
+        MetamorphicDatalogOracle(),
+    ]
+    if families is None:
+        return all_oracles
+    wanted = set(families)
+    unknown = wanted - {oracle.family for oracle in all_oracles}
+    if unknown:
+        raise ValueError(
+            "unknown oracle families: %s" % ", ".join(sorted(unknown))
+        )
+    return [oracle for oracle in all_oracles if oracle.family in wanted]
+
+
+ORACLE_FAMILIES = tuple(oracle.family for oracle in build_oracles())

@@ -1,0 +1,481 @@
+"""Delta-debugging shrinker for conformance cases.
+
+When an oracle reports a divergence, the generated case is usually far
+larger than the bug it witnesses.  This module reduces a failing
+:class:`~repro.conformance.workloads.Case` to a small one that still
+fails, combining two classical techniques:
+
+* **Structural reduction** of the syntactic object — replace any
+  algebra subexpression by one of its children (hoisting), drop Datalog
+  rules and body literals, drop transactions and operations from a
+  schedule.
+* **ddmin fact bisection** — Zeller's greedy chunk-removal minimization
+  over flat element lists: relation tuples, EDB facts, query atoms,
+  metamorphic rewrite lists.
+
+The caller supplies ``still_fails(case) -> bool``.  Candidate cases can
+be structurally invalid (a dropped literal may break rule safety, a
+dropped relation may be referenced by the expression); candidate
+*construction* is guarded here, and the predicate itself is expected to
+treat "the oracle raised" as "does not reproduce" (see
+:func:`oracle_predicate`).
+"""
+
+from __future__ import annotations
+
+from ..datalog.ast import Rule
+from ..datalog.facts import FactStore
+from ..relational import algebra as ra
+from ..relational.relation import Relation
+from ..transactions.schedule import Schedule
+from .workloads import Case
+
+
+def expression_depth(expr):
+    """Height of an algebra expression tree (a leaf has depth 1)."""
+    return 1 + max(
+        (expression_depth(child) for child in expr.children()), default=0
+    )
+
+
+def expression_size(expr):
+    """Node count of an algebra expression tree."""
+    return 1 + sum(expression_size(child) for child in expr.children())
+
+
+def oracle_predicate(oracle):
+    """``still_fails`` from an oracle: divergence messages = still red.
+
+    Any exception from the check counts as "does not reproduce" — the
+    shrinker probes structurally risky candidates on purpose, and an
+    oracle crash on an invalid candidate must not be mistaken for the
+    original divergence.
+    """
+
+    def still_fails(case):
+        try:
+            return bool(oracle.check(case))
+        except Exception:
+            return False
+
+    return still_fails
+
+
+def crash_predicate(oracle):
+    """``still_fails`` for cases whose *check itself* raises.
+
+    The dual of :func:`oracle_predicate`: when the recorded failure is
+    an oracle crash (one evaluation path threw — e.g. an optimizer
+    producing a schema-invalid plan), a candidate reproduces exactly
+    when the check still raises.
+    """
+
+    def still_fails(case):
+        try:
+            oracle.check(case)
+        except Exception:
+            return True
+        return False
+
+    return still_fails
+
+
+def ddmin_list(items, test):
+    """Greedy ddmin: the smallest sublist (in order) with ``test`` true.
+
+    ``test`` receives candidate lists; ``items`` itself is assumed to
+    pass.  Classic chunk-removal schedule: try dropping chunks of half
+    the list, halve the chunk size when stuck, finish with repeated
+    single-element passes until a fixpoint.
+    """
+    items = list(items)
+    chunk = max(1, len(items) // 2)
+    while items:
+        start = 0
+        reduced = False
+        while start < len(items):
+            candidate = items[:start] + items[start + chunk:]
+            if test(candidate):
+                items = candidate
+                reduced = True
+            else:
+                start += chunk
+        if chunk == 1:
+            if not reduced:
+                break
+        else:
+            chunk = max(1, chunk // 2)
+    return items
+
+
+class _Budget:
+    """Caps the number of oracle probes a shrink may spend."""
+
+    __slots__ = ("remaining",)
+
+    def __init__(self, max_checks):
+        self.remaining = max_checks
+
+    def spend(self):
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        return True
+
+
+def _guarded(test, budget):
+    """Wrap a predicate: respect the budget, absorb construction errors."""
+
+    def probe(thunk):
+        if not budget.spend():
+            return None
+        try:
+            candidate = thunk()
+        except Exception:
+            return None
+        return candidate if test(candidate) else None
+
+    return probe
+
+
+def _with_payload(case, **updates):
+    payload = dict(case.payload)
+    payload.update(updates)
+    return Case(
+        case.family,
+        case.seed,
+        payload,
+        case.constructs,
+        note=case.note or "shrunk",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Algebra expression reduction
+# ---------------------------------------------------------------------------
+
+
+def _replace_node(expr, target, replacement):
+    """A copy of ``expr`` with the node ``target`` (by identity) swapped."""
+    if expr is target:
+        return replacement
+    if isinstance(expr, ra.Selection):
+        return ra.Selection(
+            _replace_node(expr.child, target, replacement), expr.condition
+        )
+    if isinstance(expr, ra.Projection):
+        return ra.Projection(
+            _replace_node(expr.child, target, replacement), expr.attributes
+        )
+    if isinstance(expr, ra.Rename):
+        return ra.Rename(
+            _replace_node(expr.child, target, replacement), expr.mapping
+        )
+    if isinstance(expr, ra.ThetaJoin):
+        return ra.ThetaJoin(
+            _replace_node(expr.left, target, replacement),
+            _replace_node(expr.right, target, replacement),
+            expr.condition,
+        )
+    if isinstance(expr, ra._Binary):
+        return type(expr)(
+            _replace_node(expr.left, target, replacement),
+            _replace_node(expr.right, target, replacement),
+        )
+    return expr  # leaves: RelationRef, ConstantRelation
+
+
+def _all_nodes(expr):
+    out = []
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        stack.extend(node.children())
+    return out
+
+
+def _shrink_expression(case, probe):
+    """Hoist children over their parents while the case stays red.
+
+    One pass per round: for every internal node, try replacing it with
+    each of its children (a strict size reduction that preserves
+    well-formedness whenever schemas happen to line up — the probe
+    guards the rest).  Rounds repeat until a fixpoint.
+    """
+    best = case
+    changed = True
+    while changed and best.payload.get("expr") is not None:
+        changed = False
+        expr = best.payload["expr"]
+        for node in _all_nodes(expr):
+            for child in node.children():
+                candidate = probe(
+                    lambda n=node, c=child, e=expr: _with_payload(
+                        best, expr=_replace_node(e, n, c)
+                    )
+                )
+                if candidate is not None:
+                    best = candidate
+                    changed = True
+                    break
+            if changed:
+                break
+    return best
+
+
+def _shrink_database(case, probe):
+    """Drop whole relations, then ddmin each survivor's tuple list."""
+    best = case
+
+    for name in list(best.payload["db"].names()):
+        db = best.payload["db"].copy()
+        db.remove(name)
+        candidate = probe(lambda d=db: _with_payload(best, db=d))
+        if candidate is not None:
+            best = candidate
+
+    for name in best.payload["db"].names():
+        relation = best.payload["db"][name]
+
+        def keeps_failing(tuples, name=name, schema=relation.schema):
+            db = best.payload["db"].copy()
+            db.replace(Relation(schema, tuples))
+            candidate = probe(lambda d=db: _with_payload(best, db=d))
+            return candidate is not None
+
+        kept = ddmin_list(list(relation.tuples), keeps_failing)
+        db = best.payload["db"].copy()
+        db.replace(Relation(relation.schema, kept))
+        candidate = probe(lambda d=db: _with_payload(best, db=d))
+        if candidate is not None:
+            best = candidate
+    return best
+
+
+def _shrink_list_field(case, probe, field):
+    """ddmin a list-valued payload field (rewrites, mutations, queries)."""
+    values = case.payload.get(field)
+    if not values:
+        return case
+    holder = {"best": case}
+
+    def keeps_failing(subset):
+        candidate = probe(
+            lambda s=subset: _with_payload(holder["best"], **{field: list(s)})
+        )
+        if candidate is not None:
+            holder["best"] = candidate
+            return True
+        return False
+
+    ddmin_list(list(values), keeps_failing)
+    return holder["best"]
+
+
+# ---------------------------------------------------------------------------
+# Datalog reduction
+# ---------------------------------------------------------------------------
+
+
+def _facts_list(edb):
+    return [
+        (predicate, values)
+        for predicate in sorted(edb.predicates())
+        for values in sorted(edb.get(predicate))
+    ]
+
+
+def _facts_store(pairs):
+    store = FactStore()
+    for predicate, values in pairs:
+        store.add(predicate, values)
+    return store
+
+
+def _shrink_datalog(case, probe):
+    best = case
+
+    # Rules: ddmin over the program text's rule list.
+    program = best.payload["program"]
+    holder = {"best": best}
+
+    def rules_fail(rules):
+        candidate = probe(
+            lambda r=rules: _with_payload(
+                holder["best"], program=type(program)(list(r))
+            )
+        )
+        if candidate is not None:
+            holder["best"] = candidate
+            return True
+        return False
+
+    ddmin_list(list(program.rules), rules_fail)
+    best = holder["best"]
+
+    # Body literals: try dropping each element of each rule's body (the
+    # probe absorbs the safety errors this can raise).
+    changed = True
+    while changed:
+        changed = False
+        rules = list(best.payload["program"].rules)
+        for i, rule in enumerate(rules):
+            if not rule.body:
+                continue
+            for j in range(len(rule.body)):
+                body = list(rule.body)
+                del body[j]
+
+                def build(i=i, rule=rule, body=body, rules=rules):
+                    slimmed = list(rules)
+                    slimmed[i] = Rule(rule.head, body)
+                    return _with_payload(
+                        best,
+                        program=type(best.payload["program"])(slimmed),
+                    )
+
+                candidate = probe(build)
+                if candidate is not None:
+                    best = candidate
+                    changed = True
+                    break
+            if changed:
+                break
+
+    # Queries: ddmin the query-atom list (keep at least the failing one).
+    best = _shrink_list_field(best, probe, "queries")
+
+    # EDB facts: the greedy fact-set bisection.
+    holder = {"best": best}
+
+    def facts_fail(pairs):
+        candidate = probe(
+            lambda p=pairs: _with_payload(holder["best"], edb=_facts_store(p))
+        )
+        if candidate is not None:
+            holder["best"] = candidate
+            return True
+        return False
+
+    ddmin_list(_facts_list(best.payload["edb"]), facts_fail)
+    best = holder["best"]
+
+    # Metamorphic extras.
+    best = _shrink_list_field(best, probe, "mutations")
+    growth = best.payload.get("growth")
+    if growth:
+        for predicate in sorted(growth):
+            holder = {"best": best}
+
+            def rows_fail(rows, predicate=predicate):
+                new_growth = dict(holder["best"].payload["growth"])
+                new_growth[predicate] = list(rows)
+                candidate = probe(
+                    lambda g=new_growth: _with_payload(
+                        holder["best"], growth=g
+                    )
+                )
+                if candidate is not None:
+                    holder["best"] = candidate
+                    return True
+                return False
+
+            ddmin_list(list(growth[predicate]), rows_fail)
+            best = holder["best"]
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Schedule reduction
+# ---------------------------------------------------------------------------
+
+
+def _shrink_schedule(case, probe):
+    best = case
+    schedule = best.payload["schedule"]
+
+    # First whole transactions (keeps the schedule well-formed), then
+    # individual operations (dropping ops cannot introduce an
+    # op-after-terminal violation, so candidates stay valid).
+    for txn in list(schedule.transactions()):
+        ops = [op for op in best.payload["schedule"].ops if op.txn != txn]
+        candidate = probe(
+            lambda o=ops: _with_payload(best, schedule=Schedule(o))
+        )
+        if candidate is not None:
+            best = candidate
+
+    holder = {"best": best}
+
+    def ops_fail(ops):
+        candidate = probe(
+            lambda o=ops: _with_payload(holder["best"], schedule=Schedule(o))
+        )
+        if candidate is not None:
+            holder["best"] = candidate
+            return True
+        return False
+
+    ddmin_list(list(best.payload["schedule"].ops), ops_fail)
+    return holder["best"]
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def shrink_case(case, still_fails, max_checks=2000):
+    """Reduce a failing case; returns the smallest still-failing case.
+
+    ``still_fails`` must be true for ``case`` itself; if it is not, the
+    case is returned unchanged (nothing to minimize against).  The probe
+    budget ``max_checks`` caps oracle invocations, so shrinking a
+    pathological case degrades to "best effort so far" rather than
+    hanging a fuzz run.
+    """
+    try:
+        if not still_fails(case):
+            return case
+    except Exception:
+        return case
+
+    budget = _Budget(max_checks)
+    probe = _guarded(still_fails, budget)
+    best = case
+    kind = case.payload.get("kind")
+
+    if kind == "relational":
+        if best.payload.get("expr") is not None:
+            best = _shrink_expression(best, probe)
+        best = _shrink_list_field(best, probe, "rewrites")
+        best = _shrink_database(best, probe)
+        # A smaller database sometimes unlocks further tree hoists.
+        if best.payload.get("expr") is not None:
+            best = _shrink_expression(best, probe)
+    elif kind == "calculus":
+        best = _shrink_database(best, probe)
+    elif kind == "datalog":
+        best = _shrink_datalog(best, probe)
+    elif kind == "schedule":
+        best = _shrink_schedule(best, probe)
+    return best
+
+
+def case_size(case):
+    """A scalar size measure (used to report shrink ratios)."""
+    payload = case.payload
+    kind = payload.get("kind")
+    if kind == "relational":
+        size = payload["db"].total_tuples()
+        if payload.get("expr") is not None:
+            size += expression_size(payload["expr"])
+        return size
+    if kind == "calculus":
+        return payload["db"].total_tuples()
+    if kind == "datalog":
+        return len(payload["program"].rules) + payload["edb"].count()
+    if kind == "schedule":
+        return len(payload["schedule"].ops)
+    return 0

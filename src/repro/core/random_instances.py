@@ -227,6 +227,15 @@ def random_algebra_expression(db, seed=0, size=4):
     Deterministic in ``seed``; the differential executor tests sweep
     seeds to compare the streaming executor against the legacy tree
     walk on the results.
+
+    The conformance kit's coverage tracker audits this generator against
+    the full construct universe (see
+    :data:`repro.conformance.coverage.ALGEBRA_UNIVERSE`); it exposed
+    three blind spots the original version could never emit — compound
+    Or/Not selection conditions, theta joins with more than one
+    cross-side conjunct (in particular multi-equi bundles, which are
+    what the executor's equi-conjunct extraction is for), and division
+    by multi-attribute divisors — all now generated.
     """
     rng = random.Random(seed)
     db_schema = db.schema()
@@ -248,13 +257,62 @@ def random_algebra_expression(db, seed=0, size=4):
             mapping[a] for a in db_schema[name].attributes
         )
 
-    def random_condition(attrs):
+    def atomic_condition(attrs):
         left = ra.Attr(rng.choice(attrs))
         if rng.random() < 0.4 and len(attrs) > 1:
             right = ra.Attr(rng.choice(attrs))
         else:
             right = ra.Const(rng.choice(domain))
         return ra.Comparison(left, rng.choice(comparison_ops), right)
+
+    def random_condition(attrs):
+        condition = atomic_condition(attrs)
+        roll = rng.random()
+        if roll < 0.15:
+            condition = ra.And(condition, atomic_condition(attrs))
+        elif roll < 0.30:
+            condition = ra.Or(condition, atomic_condition(attrs))
+        elif roll < 0.40:
+            condition = ra.Not(condition)
+        return condition
+
+    def theta_condition(left_attrs, right_attrs):
+        """1-3 conjuncts; the first always crosses sides, extras are a
+        mix of cross-side equalities (multi-equi bundles exercise the
+        executor's equi-conjunct extraction), cross-side non-equi
+        comparisons, and right-side/constant guards."""
+        conjuncts = [
+            ra.Comparison(
+                ra.Attr(rng.choice(left_attrs)),
+                rng.choice(comparison_ops),
+                ra.Attr(rng.choice(right_attrs)),
+            )
+        ]
+        while len(conjuncts) < 3 and rng.random() < 0.45:
+            roll = rng.random()
+            if roll < 0.4:
+                operator = "="
+            elif roll < 0.7:
+                operator = rng.choice(("!=", "<", "<=", ">", ">="))
+            else:
+                conjuncts.append(
+                    ra.Comparison(
+                        ra.Attr(rng.choice(right_attrs)),
+                        rng.choice(comparison_ops),
+                        ra.Const(rng.choice(domain)),
+                    )
+                )
+                continue
+            conjuncts.append(
+                ra.Comparison(
+                    ra.Attr(rng.choice(left_attrs)),
+                    operator,
+                    ra.Attr(rng.choice(right_attrs)),
+                )
+            )
+        if len(conjuncts) == 1:
+            return conjuncts[0]
+        return ra.And(*conjuncts)
 
     expr = ra.RelationRef(rng.choice(names))
     for _ in range(size):
@@ -291,30 +349,25 @@ def random_algebra_expression(db, seed=0, size=4):
             expr = node(expr, ra.Selection(expr, random_condition(attrs)))
         elif kind == "theta":
             right, right_attrs = fresh_base()
-            condition = ra.Comparison(
-                ra.Attr(rng.choice(attrs)),
-                rng.choice(comparison_ops),
-                ra.Attr(rng.choice(right_attrs)),
+            expr = ra.ThetaJoin(
+                expr, right, theta_condition(attrs, right_attrs)
             )
-            if rng.random() < 0.5:
-                condition = ra.And(
-                    condition,
-                    ra.Comparison(
-                        ra.Attr(rng.choice(right_attrs)),
-                        rng.choice(comparison_ops),
-                        ra.Const(rng.choice(domain)),
-                    ),
-                )
-            expr = ra.ThetaJoin(expr, right, condition)
         elif kind == "product":
             right, _ = fresh_base()
             expr = ra.Product(expr, right)
         else:  # divide
-            divisor_attr = rng.choice(attrs)
-            values = rng.sample(domain, rng.randint(1, min(2, len(domain))))
+            # Divisor attributes must form a proper subset of the
+            # dividend's; multi-attribute divisors (arity 2) exercise
+            # the positional-match path of division.
+            max_arity = min(2, len(attrs) - 1)
+            divisor_arity = rng.randint(1, max_arity)
+            divisor_attrs = tuple(rng.sample(attrs, divisor_arity))
+            rows = {
+                tuple(rng.choice(domain) for _ in divisor_attrs)
+                for _ in range(rng.randint(1, 2))
+            }
             divisor = Relation(
-                RelationSchema("divisor", (divisor_attr,)),
-                [(v,) for v in values],
+                RelationSchema("divisor", divisor_attrs), sorted(rows)
             )
             expr = ra.Division(expr, ra.ConstantRelation(divisor))
     return expr

@@ -255,6 +255,12 @@ def reorder_joins(expr, db):
     Flattens maximal natural-join trees, then repeatedly joins the pair
     with the smallest estimated result — the classical greedy heuristic
     that avoids the NP-hard exact ordering problem.
+
+    A natural join's output lists the left attributes before the right
+    side's new ones, so reordering changes column order; under a set
+    operation that breaks union compatibility (found by the conformance
+    fuzzer).  When the greedy order permutes the columns, a permutation
+    projection restores the original order.
     """
     expr = _rebuild(expr, lambda e: reorder_joins(e, db))
     if not isinstance(expr, ra.NaturalJoin):
@@ -262,6 +268,7 @@ def reorder_joins(expr, db):
     leaves = _flatten_joins(expr)
     if len(leaves) <= 2:
         return expr
+    original = expr.schema(db.schema()).attributes
     parts = list(leaves)
     while len(parts) > 1:
         best = None
@@ -275,7 +282,10 @@ def reorder_joins(expr, db):
         parts = [
             p for k, p in enumerate(parts) if k not in (i, j)
         ] + [candidate]
-    return parts[0]
+    joined = parts[0]
+    if joined.schema(db.schema()).attributes != original:
+        joined = ra.Projection(joined, original)
+    return joined
 
 
 def _flatten_joins(expr):

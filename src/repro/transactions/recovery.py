@@ -33,21 +33,33 @@ def _terminal_position(schedule, txn, kind):
 
 def reads_from_pairs(schedule):
     """Pairs ``(reader, writer, item, read_position)``: reader read
-    writer's (not-yet-overwritten, uncommitted-or-not) write."""
+    writer's (not-yet-overwritten, uncommitted-or-not) write.
+
+    Aborts restore before-images: each item keeps a version stack, and
+    aborting a transaction removes its writes from every stack, so a
+    read *after* the abort is attributed to the restored version's
+    writer, never to the aborted transaction.  Reads that happened
+    before the abort keep their recorded pair (that is the read the
+    classical RC definition quantifies over — see the
+    ``w1(x) r2(x) c2 a1`` golden).  The conformance kit's scheduler
+    oracle caught the earlier flat ``last_writer`` model attributing
+    post-abort reads to deadlock victims, which made strict 2PL outputs
+    look non-recoverable.
+    """
     pairs = []
-    last_writer = {}
+    stacks = {}
     for i, op in enumerate(schedule.ops):
         if op.kind == WRITE:
-            last_writer[op.item] = op.txn
+            stacks.setdefault(op.item, []).append(op.txn)
         elif op.kind == READ:
-            writer = last_writer.get(op.item)
+            stack = stacks.get(op.item)
+            writer = stack[-1] if stack else None
             if writer is not None and writer != op.txn:
                 pairs.append((op.txn, writer, op.item, i))
         elif op.kind == ABORT:
-            # An aborted transaction's writes are undone: restore is not
-            # modeled per-item here; classical definitions quantify over
-            # reads that happened, which is what we record.
-            pass
+            for stack in stacks.values():
+                while op.txn in stack:
+                    stack.remove(op.txn)
     return pairs
 
 
@@ -64,16 +76,26 @@ def is_recoverable(schedule):
 
 
 def avoids_cascading_aborts(schedule):
-    """ACA: reads only from committed transactions."""
+    """ACA: reads only from committed transactions.
+
+    Same version-stack abort model as :func:`reads_from_pairs`: a read
+    after an abort sees the restored version, so it is not a dirty read
+    of the aborted transaction.
+    """
     committed_at = {}
-    last_writer = {}
+    stacks = {}
     for i, op in enumerate(schedule.ops):
         if op.kind == COMMIT:
             committed_at[op.txn] = i
+        elif op.kind == ABORT:
+            for stack in stacks.values():
+                while op.txn in stack:
+                    stack.remove(op.txn)
         elif op.kind == WRITE:
-            last_writer[op.item] = op.txn
+            stacks.setdefault(op.item, []).append(op.txn)
         elif op.kind == READ:
-            writer = last_writer.get(op.item)
+            stack = stacks.get(op.item)
+            writer = stack[-1] if stack else None
             if writer is not None and writer != op.txn:
                 if writer not in committed_at:
                     return False

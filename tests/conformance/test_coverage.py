@@ -1,0 +1,71 @@
+"""CoverageTracker: counting, auditing, deltas, metrics publication."""
+
+from repro.conformance import ALGEBRA_UNIVERSE, CoverageTracker
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestTracking:
+    def test_counts_and_cases(self):
+        tracker = CoverageTracker()
+        tracker.observe("f", ["a", "b"])
+        tracker.observe("f", ["b"])
+        tracker.observe("g", ["c"])
+        assert tracker.cases("f") == 2
+        assert tracker.cases() == 3
+        assert tracker.counts("f") == {"a": 1, "b": 2}
+        assert tracker.families() == ["f", "g"]
+
+    def test_unseen_against_explicit_universe(self):
+        tracker = CoverageTracker()
+        tracker.observe("f", ["a"])
+        assert tracker.unseen("f", universe={"a", "b", "c"}) == ["b", "c"]
+
+    def test_unseen_uses_registered_universe(self):
+        tracker = CoverageTracker()
+        tracker.observe("relational-differential", ["node:selection"])
+        unseen = tracker.unseen("relational-differential")
+        assert "node:selection" not in unseen
+        assert set(unseen) == set(ALGEBRA_UNIVERSE) - {"node:selection"}
+
+    def test_unaudited_family_has_empty_universe(self):
+        tracker = CoverageTracker()
+        tracker.observe("calculus-differential", ["calc:atom"])
+        assert tracker.unseen("calculus-differential") == []
+
+    def test_delta(self):
+        tracker = CoverageTracker()
+        tracker.observe("f", ["a"])
+        before = tracker.snapshot()
+        tracker.observe("f", ["a", "b"])
+        assert tracker.delta(before) == {"f": {"a": 1, "b": 1}}
+        assert tracker.delta(tracker.snapshot()) == {}
+
+    def test_report_shape(self):
+        tracker = CoverageTracker()
+        tracker.observe("transactions-differential", ["op:read"])
+        report = tracker.report()
+        entry = report["transactions-differential"]
+        assert entry["cases"] == 1
+        assert entry["constructs"] == {"op:read": 1}
+        assert "op:write" in entry["unseen"]
+
+
+class TestMetricsPublication:
+    def test_counters_published(self):
+        registry = MetricsRegistry()
+        tracker = CoverageTracker(registry=registry)
+        tracker.observe("f", ["a", "b"])
+        tracker.observe("f", ["a"])
+        assert registry.counter("conformance_cases", family="f").value == 2
+        assert (
+            registry.counter(
+                "conformance_construct", family="f", construct="a"
+            ).value
+            == 2
+        )
+        assert (
+            registry.counter(
+                "conformance_construct", family="f", construct="b"
+            ).value
+            == 1
+        )

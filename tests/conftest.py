@@ -1,0 +1,34 @@
+"""Shared pytest configuration: Hypothesis test profiles.
+
+Two profiles, selected with the ``HYPOTHESIS_PROFILE`` environment
+variable (CI exports ``HYPOTHESIS_PROFILE=ci``):
+
+* ``dev`` (default) — fast local feedback: the stock example budget
+  with a generous deadline so a loaded laptop does not flake.
+* ``ci`` — more examples and no deadline: CI machines have noisy
+  timing, and the extra examples are where rare interleavings and deep
+  expression shapes show up.
+
+Tests that pin their own ``@settings(...)`` keep those values; the
+profile supplies the defaults underneath.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "dev",
+    max_examples=50,
+    deadline=1000,
+    print_blob=True,
+)
+settings.register_profile(
+    "ci",
+    max_examples=200,
+    deadline=None,
+    print_blob=True,
+    suppress_health_check=(HealthCheck.too_slow,),
+)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

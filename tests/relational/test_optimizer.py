@@ -180,6 +180,37 @@ class TestReordering:
 
         assert same_content(evaluate(reordered, db), evaluate(expr, db))
 
+    def test_reordering_preserves_column_order(self, db):
+        # Conformance-fuzzer regression: the greedy order permutes the
+        # natural-join output columns, and under a set operation that
+        # broke union compatibility.  Reordering must restore the
+        # original attribute order (a permutation projection).
+        expr = NaturalJoin(
+            NaturalJoin(RelationRef("big"), RelationRef("small")),
+            RelationRef("tiny"),
+        )
+        reordered = reorder_joins(expr, db)
+        assert (
+            reordered.schema(db.schema()).attributes
+            == expr.schema(db.schema()).attributes
+        )
+        assert evaluate(reordered, db) == evaluate(expr, db)
+
+    def test_reordered_join_stays_union_compatible(self, db):
+        from repro.relational import Difference
+        from repro.plan import canonicalize, execute
+
+        join = NaturalJoin(
+            NaturalJoin(RelationRef("big"), RelationRef("small")),
+            RelationRef("tiny"),
+        )
+        expr = Difference(join, Selection(join, eq("a", 1)))
+        optimized = optimize(expr, db)
+        # The executor enforces identical attribute lists on set
+        # operations; this raised SchemaError before the fix.
+        result = execute(canonicalize(optimized, db.schema()), db)
+        assert result == evaluate(expr, db)
+
 
 class TestPipeline:
     def test_optimize_preserves_semantics(self, db):

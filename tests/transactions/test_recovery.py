@@ -48,6 +48,45 @@ class TestClasses:
         assert not is_recoverable(s)
 
 
+class TestAbortRestoresBeforeImages:
+    """Aborts undo writes: reads *after* an abort see the restored
+    version, not the dead transaction's write.
+
+    Regression for a bug the conformance transactions oracle found: the
+    old flat last-writer model ignored aborts, so strict 2PL outputs
+    containing deadlock-victim aborts were judged non-recoverable.
+    """
+
+    def test_read_after_abort_is_recoverable(self):
+        s = parse_schedule("w1(x) a1 r2(x) c2")
+        assert is_recoverable(s)
+        assert avoids_cascading_aborts(s)
+        assert is_strict(s)
+
+    def test_read_after_abort_sees_prior_committed_writer(self):
+        # t3's read must be attributed to committed t1, not aborted t2.
+        s = parse_schedule("w1(x) c1 w2(x) a2 r3(x) c3")
+        assert is_recoverable(s)
+        assert avoids_cascading_aborts(s)
+
+    def test_read_after_abort_sees_uncommitted_earlier_writer(self):
+        # The restored version is t1's *uncommitted* write: t3 reads
+        # dirty data and commits before t1 — still not recoverable.
+        s = parse_schedule("w1(x) w2(x) a2 r3(x) c3 c1")
+        assert not is_recoverable(s)
+        assert not avoids_cascading_aborts(s)
+
+    def test_read_before_abort_keeps_its_pair(self):
+        # The classical golden: the read happened while t1's write was
+        # live, so t2's early commit is still a violation.
+        s = parse_schedule("w1(x) r2(x) c2 a1")
+        assert not is_recoverable(s)
+
+    def test_abort_only_clears_own_writes(self):
+        s = parse_schedule("w1(x) w2(y) a2 r3(x) c3 c1")
+        assert not is_recoverable(s)  # x still belongs to live t1
+
+
 class TestHierarchy:
     def test_containment_chain_on_random_schedules(self):
         from repro.transactions import WorkloadConfig, generate_schedule
