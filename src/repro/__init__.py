@@ -28,6 +28,7 @@ from . import (
     dependencies,
     incomplete,
     metascience,
+    opt,
     parallel,
     plan,
     relational,
@@ -50,6 +51,7 @@ __all__ = [
     "dependencies",
     "incomplete",
     "metascience",
+    "opt",
     "parallel",
     "plan",
     "relational",

@@ -85,6 +85,7 @@ SCHEDULE_UNIVERSE = frozenset(
 UNIVERSES = {
     "relational-differential": ALGEBRA_UNIVERSE,
     "metamorphic-relational": ALGEBRA_UNIVERSE,
+    "metamorphic-optimizer": ALGEBRA_UNIVERSE,
     "datalog-differential": DATALOG_UNIVERSE,
     "metamorphic-datalog": DATALOG_UNIVERSE,
     "transactions-differential": SCHEDULE_UNIVERSE,

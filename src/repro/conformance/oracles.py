@@ -15,13 +15,16 @@ this case).  Two oracle kinds:
   result is unchanged: commuting and fusing selections, distributing
   selections over unions, set-operation and join commutativity,
   semijoin/antijoin definitional expansions, duplicated and satisfied
-  guard atoms in Datalog rules, rule shuffles, variable renamings, and
-  monotone EDB growth for positive programs.
+  guard atoms in Datalog rules, rule shuffles, variable renamings,
+  monotone EDB growth for positive programs — and single-rule toggles
+  of the unified optimizer (disabling any one rewrite rule must never
+  change a query's answer, only its plan).
 
 The checks deliberately route through the *public* entry points the
-rest of the library uses (``evaluate``, ``execute``, ``canonicalize`` +
-``optimize``, the engine evaluators, the scheduler one-shots), so a
-conformance run exercises the same code paths production queries take.
+rest of the library uses (``evaluate``, ``execute``, ``canonicalize``,
+the :class:`repro.opt.Optimizer`, the engine evaluators, the scheduler
+one-shots), so a conformance run exercises the same code paths
+production queries take.
 """
 
 from __future__ import annotations
@@ -36,7 +39,7 @@ from ..relational import algebra as ra
 from ..relational.algebra import evaluate
 from ..relational.calculus import evaluate_query
 from ..relational.codd import calculus_to_algebra
-from ..relational.optimizer import optimize
+from ..opt import Optimizer
 from ..relational.relation import same_content
 from ..relational.sql_frontend import parse_sql
 from ..plan import canonicalize, execute
@@ -53,6 +56,11 @@ from ..transactions.schedule import Op, Schedule
 from .workloads import derive_seed, generate_case
 
 import random
+
+#: One shared full-pipeline optimizer (the workbench default): catalog
+#: statistics, every rewrite rule, DP/greedy ordering, Yannakakis
+#: routing.  The differential leg runs whatever plans it emits.
+_FULL_PIPELINE = Optimizer()
 
 
 class Divergence(Exception):
@@ -142,7 +150,9 @@ class RelationalDifferentialOracle(_ParallelMixin, Oracle):
                 _relation_diff("executor vs tree walk", streamed, legacy)
             )
 
-        optimized_plan = canonicalize(optimize(canonical, db), db.schema())
+        optimized_plan = canonicalize(
+            _FULL_PIPELINE.optimize(canonical, db), db.schema()
+        )
         optimized = execute(optimized_plan, db)
         if not same_content(optimized, legacy):
             messages.append(
@@ -579,6 +589,47 @@ class MetamorphicDatalogOracle(Oracle):
         return None
 
 
+class MetamorphicOptimizerOracle(Oracle):
+    """Single-rule optimizer toggles must not change any answer.
+
+    The full default pipeline and, for each rule in the case's
+    deterministic toggle set, the pipeline with exactly that rule
+    disabled all optimize the same canonical plan; every optimized
+    plan runs on the streaming executor and must reproduce the
+    unoptimized plan's result *exactly* (the optimizer's permutation
+    projections make even column order an invariant).
+    """
+
+    family = "metamorphic-optimizer"
+
+    def check(self, case):
+        payload = case.payload
+        db = payload["db"]
+        schema = db.schema()
+        canonical = canonicalize(payload["expr"], schema)
+        baseline = execute(canonical, db)
+        messages = []
+        variants = [("full pipeline", _FULL_PIPELINE)]
+        variants.extend(
+            ("without %s" % rule, Optimizer(disable=(rule,)))
+            for rule in payload.get("toggle_rules", ())
+        )
+        for label, optimizer in variants:
+            plan = canonicalize(optimizer.optimize(canonical, db), schema)
+            result = execute(plan, db)
+            if result != baseline:
+                messages.append(
+                    "optimizer (%s) changed the result: %s"
+                    % (
+                        label,
+                        _relation_diff(
+                            "optimized vs unoptimized", result, baseline
+                        ),
+                    )
+                )
+        return messages
+
+
 #: The registry: family name -> oracle instance.
 def build_oracles(families=None):
     """Fresh oracle instances (one per family), in registry order."""
@@ -589,6 +640,7 @@ def build_oracles(families=None):
         TransactionsDifferentialOracle(),
         MetamorphicRelationalOracle(),
         MetamorphicDatalogOracle(),
+        MetamorphicOptimizerOracle(),
     ]
     if families is None:
         return all_oracles

@@ -498,6 +498,26 @@ def metamorphic_relational_case(seed):
     return case
 
 
+def metamorphic_optimizer_case(seed):
+    """A relational case plus single-rule optimizer toggles to apply.
+
+    Each named toggle disables exactly one rewrite rule of the unified
+    optimizer; the oracle demands the answer is invariant.  The subset
+    is seed-derived so a recorded case replays bit-for-bit.
+    """
+    from ..opt import rule_names
+
+    case = relational_case(seed, family="metamorphic-optimizer")
+    rng = random.Random(derive_seed("mm-opt", seed))
+    names = rule_names()
+    toggles = sorted(rng.sample(names, rng.randint(2, min(4, len(names)))))
+    case.payload["toggle_rules"] = toggles
+    case.constructs = sorted(
+        set(case.constructs) | {"mm:no-%s" % rule for rule in toggles}
+    )
+    return case
+
+
 def metamorphic_datalog_case(seed):
     """A Datalog case plus mutations (guards, growth, shuffles)."""
     case = datalog_case(seed, family="metamorphic-datalog")
@@ -536,6 +556,7 @@ GENERATORS = {
     "transactions-differential": schedule_case,
     "metamorphic-relational": metamorphic_relational_case,
     "metamorphic-datalog": metamorphic_datalog_case,
+    "metamorphic-optimizer": metamorphic_optimizer_case,
 }
 
 

@@ -23,9 +23,10 @@ from ..datalog.facts import FactStore
 from ..datalog.parser import parse_program
 from ..dependencies.design import DesignTool
 from ..obs.trace import ensure_tracer
+from ..opt import Optimizer
 from ..plan.cache import PlanCache
 from ..plan.executor import execute_physical
-from ..plan.explain import explain_datalog, run_explained
+from ..plan.explain import annotate_estimates, explain_datalog, run_explained
 from ..plan.logical import canonicalize, plan_key
 from ..relational.algebra import evaluate
 from ..relational.calculus import evaluate_query
@@ -42,10 +43,12 @@ from ..relational.sql_frontend import parse_sql
 class MetatheoryWorkbench:
     """A database plus every classical way of querying and analyzing it."""
 
-    def __init__(self, db=None, plan_cache_size=128, tracer=None):
+    def __init__(self, db=None, plan_cache_size=128, tracer=None,
+                 optimizer=None):
         self.db = db if db is not None else Database()
         self.plan_cache = PlanCache(plan_cache_size)
         self.tracer = ensure_tracer(tracer)
+        self.optimizer = optimizer if optimizer is not None else Optimizer()
         self._parse_cache = {}
         self._parse_cache_token = None
         self._parallel_backends = {}
@@ -104,18 +107,35 @@ class MetatheoryWorkbench:
             self.plan_cache.clear()
             self._parse_cache_token = token
 
+    def _plan_for(self, canonical, optimized):
+        """Resolve the cached physical-ready plan (and optimizer info).
+
+        Cache entries are ``(plan, OptimizationInfo | None)`` keyed on
+        the canonical structure, the optimized flag, *and* the
+        optimizer's configuration token — changing the enabled rule set
+        or cost profile must never serve a stale plan.
+        """
+        key = (
+            plan_key(canonical),
+            bool(optimized),
+            self.optimizer.config_token() if optimized else None,
+        )
+        cached = self.plan_cache.get(key)
+        hit = cached is not None
+        if cached is None:
+            if optimized:
+                plan, info = self.optimizer.optimize_info(canonical, self.db)
+                plan = canonicalize(plan, self.db.schema())
+            else:
+                plan, info = canonical, None
+            cached = (plan, info)
+            self.plan_cache.put(key, cached)
+        return cached[0], cached[1], hit
+
     def _run_pipeline(self, expr, optimized, stats, parallel=None):
         self._sync_caches()
         canonical = canonicalize(expr, self.db.schema())
-        key = (plan_key(canonical), bool(optimized))
-        plan = self.plan_cache.get(key)
-        if plan is None:
-            plan = (
-                canonicalize(optimize(canonical, self.db), self.db.schema())
-                if optimized
-                else canonical
-            )
-            self.plan_cache.put(key, plan)
+        plan, _info, _hit = self._plan_for(canonical, optimized)
         if parallel is not None:
             relation, _info = parallel.execute_plan(
                 plan, self.db, stats=stats, tracer=self.tracer
@@ -339,21 +359,19 @@ class MetatheoryWorkbench:
             raise ValueError("unknown query kind %r" % (kind,))
 
         canonical = canonicalize(expr, self.db.schema())
-        key = (plan_key(canonical), bool(optimized))
-        plan_cache_hit = key in self.plan_cache
-        plan = self.plan_cache.get(key)
-        if plan is None:
-            plan = (
-                canonicalize(optimize(canonical, self.db), self.db.schema())
-                if optimized
-                else canonical
-            )
-            self.plan_cache.put(key, plan)
+        plan, info, plan_cache_hit = self._plan_for(canonical, optimized)
         result = run_explained(
             plan, self.db, stats=stats, tracer=tracer, kind=kind
         )
         result.plan_cache_hit = plan_cache_hit
         result.parse_cache_hit = parse_cache_hit
+        result.optimizer = info
+        annotate_estimates(
+            result.report,
+            plan,
+            self.db,
+            self.optimizer.context(self.db).cost,
+        )
         return result
 
     def codd_check(self, query):

@@ -8,13 +8,19 @@ a body's positive literals greedily:
 
 1. the semi-naive *delta* literal always goes first (it is the
    differential driver and, after the first rounds, the smallest input);
-2. otherwise prefer the literal with the most bound key positions
-   (constants + variables bound so far) — **most-bound first**;
-3. break ties by current relation size — **smallest-relation first**;
-4. break remaining ties by original body position (determinism).
+2. otherwise repeatedly take the literal with the lowest **estimated
+   match count** under the shared optimizer cost surface
+   (:func:`repro.opt.cost.estimate_literal_matches`): live relation
+   size discounted by the classical equality selectivity per bound key
+   position.  This one formula subsumes the old two-level heuristic —
+   more bound positions shrink the estimate (most-bound first) and
+   between equally-bound literals the smaller relation wins
+   (smallest-relation first);
+3. break ties by original body position (determinism).
 
 The plan is computed per firing from live relation sizes (they change
-every fixpoint round), which costs O(k^2) for a k-literal body — noise
+every fixpoint round — the catalog layer never sees them, the sizes
+*are* the statistics), which costs O(k^2) for a k-literal body — noise
 next to the joins it orders.  :func:`has_empty_source` backs the
 planner's early-exit: any positive literal over an empty relation proves
 the rule derives nothing this firing.
@@ -27,6 +33,7 @@ they sat in the body text.
 
 from __future__ import annotations
 
+from ..opt.cost import estimate_literal_matches
 from .ast import Constant, Variable
 
 
@@ -58,7 +65,8 @@ def plan_order(positives, sizes, delta_at=None, bound_vars=()):
 
     Returns:
         The same pairs, reordered: delta literal first, then repeatedly
-        the most-bound / smallest / leftmost remaining literal.
+        the cheapest remaining literal (lowest estimated match count,
+        leftmost on ties).
     """
     remaining = list(positives)
     bound = set(bound_vars)
@@ -79,8 +87,10 @@ def plan_order(positives, sizes, delta_at=None, bound_vars=()):
             min(
                 remaining,
                 key=lambda pair: (
-                    -bound_positions(pair[1].atom, bound),
-                    sizes[pair[0]],
+                    estimate_literal_matches(
+                        sizes[pair[0]],
+                        bound_positions(pair[1].atom, bound),
+                    ),
                     pair[0],
                 ),
             )

@@ -1,0 +1,142 @@
+"""Catalog statistics: per-relation cardinalities and distinct counts.
+
+The unified optimizer's one source of truth about data sizes.  A
+:class:`Catalog` is bound to a :class:`~repro.relational.database.Database`
+and maintains, per relation, a :class:`TableStats`: the row count and a
+per-attribute distinct-value census.  Statistics are computed lazily on
+first request (one scan of the relation) and then kept current two ways:
+
+* **replacement** — rebinding a relation name (``add``/``replace``/
+  ``remove``) drops that name's entry; the next request rescans;
+* **incremental insert** — :meth:`Database.insert` extends a relation
+  in place and calls :meth:`Catalog.observe_insert`, which folds the new
+  rows into the existing census *without* rescanning the old tuples
+  (``rescans`` counts full scans, so tests can pin that inserts are
+  O(new rows), not O(relation)).
+
+The Datalog fixpoint engines need no catalog plumbing: their planner is
+fed *live* relation sizes per firing (they change every round) and runs
+them through the same :mod:`repro.opt.cost` selectivity model.
+"""
+
+from __future__ import annotations
+
+
+class TableStats:
+    """Statistics for one relation: row count + per-attribute censuses.
+
+    Attributes:
+        rows: number of tuples.
+        attributes: the relation's attribute tuple (schema order).
+    """
+
+    __slots__ = ("rows", "attributes", "_values")
+
+    def __init__(self, attributes):
+        self.rows = 0
+        self.attributes = tuple(attributes)
+        self._values = {a: set() for a in self.attributes}
+
+    @classmethod
+    def from_relation(cls, relation):
+        stats = cls(relation.schema.attributes)
+        stats.observe(relation.tuples)
+        return stats
+
+    def observe(self, rows):
+        """Fold an iterable of raw tuples into the census."""
+        values = [self._values[a] for a in self.attributes]
+        count = 0
+        for row in rows:
+            count += 1
+            for position, value in enumerate(row):
+                values[position].add(value)
+        self.rows += count
+
+    def distinct(self, attribute):
+        """Distinct values seen in ``attribute`` (0 for unknown names)."""
+        seen = self._values.get(attribute)
+        return len(seen) if seen is not None else 0
+
+    def distincts(self):
+        """``{attribute: distinct count}`` over all attributes."""
+        return {a: len(v) for a, v in self._values.items()}
+
+    def __repr__(self):
+        return "TableStats(rows=%d, %s)" % (
+            self.rows,
+            ", ".join(
+                "%s:%d" % (a, len(self._values[a])) for a in self.attributes
+            ),
+        )
+
+
+class Catalog:
+    """Lazily-computed, incrementally-maintained statistics for a database.
+
+    Entries validate against the live relation *binding*: relations are
+    immutable, so a cached entry is current exactly while the database
+    still maps the name to the same object it was computed from.
+    """
+
+    __slots__ = ("db", "_entries", "rescans")
+
+    def __init__(self, db):
+        self.db = db
+        self._entries = {}
+        self.rescans = 0
+
+    def stats(self, name):
+        """The :class:`TableStats` for relation ``name`` (scan-on-demand).
+
+        Returns None for names not in the database (the cost model falls
+        back to its classical defaults).
+        """
+        if name not in self.db:
+            return None
+        relation = self.db[name]
+        entry = self._entries.get(name)
+        if entry is not None and entry[0] is relation:
+            return entry[1]
+        stats = TableStats.from_relation(relation)
+        self.rescans += 1
+        self._entries[name] = (relation, stats)
+        return stats
+
+    def rows(self, name):
+        """Row count of ``name`` (0 for unknown names)."""
+        stats = self.stats(name)
+        return stats.rows if stats is not None else 0
+
+    def distinct(self, name, attribute):
+        """Distinct count of ``attribute`` in ``name`` (0 when unknown)."""
+        stats = self.stats(name)
+        return stats.distinct(attribute) if stats is not None else 0
+
+    def invalidate(self, name=None):
+        """Drop one entry (or all); next request rescans."""
+        if name is None:
+            self._entries.clear()
+        else:
+            self._entries.pop(name, None)
+
+    def observe_insert(self, name, relation, added_rows):
+        """Fold freshly-inserted rows into ``name``'s census.
+
+        Called by :meth:`Database.insert` with the *new* relation binding
+        and just the rows that were added, so maintenance cost is
+        proportional to the insert, not the relation.  If no entry
+        exists yet there is nothing to maintain — the first ``stats``
+        call will scan the new binding anyway.
+        """
+        entry = self._entries.get(name)
+        if entry is None:
+            return
+        stats = entry[1]
+        stats.observe(added_rows)
+        self._entries[name] = (relation, stats)
+
+    def __repr__(self):
+        return "Catalog(%d cached, %d rescans)" % (
+            len(self._entries), self.rescans
+        )

@@ -1,0 +1,49 @@
+"""The rewrite engine: run a rule pipeline over a logical plan.
+
+A deliberately simple driver: rules run in registry (pipeline) order,
+each as one full recursive pass; rules marked ``fixpoint`` repeat until
+a pass changes nothing.  Change detection is *object identity* — every
+rule returns its input object untouched when it has nothing to do — so
+the engine needs no hashing and tolerates front-end extension nodes.
+
+There is intentionally **no global fixpoint** over the whole pipeline:
+``split-selections`` and ``merge-selections`` are mutual inverses (as
+are, in spirit, pushdowns and their hoisting duals), so a global loop
+would oscillate.  Pipeline order is the termination argument; the
+per-rule bound (:data:`MAX_PASSES`) is a belt-and-suspenders cap that a
+correct rule never reaches.
+"""
+
+from __future__ import annotations
+
+#: Hard cap on repeated passes of a single fixpoint rule.
+MAX_PASSES = 25
+
+
+class RewriteEngine:
+    """Applies an ordered rule list to a plan, recording what fired."""
+
+    __slots__ = ("rules",)
+
+    def __init__(self, rules):
+        self.rules = tuple(rules)
+
+    def run(self, expr, ctx):
+        """Rewrite ``expr`` under ``ctx``; firing counts land in
+        ``ctx.fired`` and enumeration notes in ``ctx.notes``."""
+        for rule in self.rules:
+            expr = self._apply(rule, expr, ctx)
+        return expr
+
+    def _apply(self, rule, expr, ctx):
+        if not rule.fixpoint:
+            return rule.fn(expr, ctx)
+        for _ in range(MAX_PASSES):
+            rewritten = rule.fn(expr, ctx)
+            if rewritten is expr:
+                return expr
+            expr = rewritten
+        return expr
+
+    def __repr__(self):
+        return "RewriteEngine(%s)" % ", ".join(r.name for r in self.rules)

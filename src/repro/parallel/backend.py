@@ -23,7 +23,8 @@ from ..obs.trace import NULL_TRACER
 from ..plan.executor import execute_physical
 from ..relational.database import Database
 from ..relational.relation import Relation
-from .partition import Partitioner, estimate_plan_work
+from ..opt.cost import estimate_plan_work
+from .partition import Partitioner
 from .pool import WorkerPool
 
 #: Below this many leaf rows a query runs serially: fork/pickle/IPC

@@ -42,6 +42,8 @@ pins this).
 from __future__ import annotations
 
 from ..errors import PlanError
+from ..opt.cost import estimate_plan_work  # noqa: F401  (re-export: the
+# cost gate's estimator lives on the unified optimizer cost surface now)
 from ..relational import algebra as ra
 from ..relational.relation import Relation
 
@@ -166,28 +168,6 @@ def _theta_split(expr, attribute, db):
     )
 
 
-def estimate_plan_work(expr, db):
-    """Cheap work estimate: total rows stored under the plan's leaves.
-
-    Deliberately simple — the gate only needs to separate "trivial"
-    from "worth forking for", and leaf cardinality is known without
-    touching any data.
-    """
-    if isinstance(expr, ra.RelationRef):
-        return len(db[expr.name])
-    if isinstance(expr, ra.ConstantRelation):
-        return len(expr.relation)
-    if isinstance(expr, (ra.Selection, ra.Projection, ra.Rename)):
-        return estimate_plan_work(expr.child, db)
-    left = getattr(expr, "left", None)
-    if left is not None:
-        return estimate_plan_work(left, db) + estimate_plan_work(
-            expr.right, db
-        )
-    child = getattr(expr, "child", None)
-    if child is not None:
-        return estimate_plan_work(child, db)
-    return 0
 
 
 class Partitioner:

@@ -35,7 +35,7 @@ class OpReport:
     """One operator's annotated EXPLAIN node."""
 
     __slots__ = ("label", "rows", "elapsed", "stats", "peak_buffer",
-                 "children")
+                 "children", "est_rows")
 
     def __init__(self, label):
         self.label = label
@@ -44,6 +44,7 @@ class OpReport:
         self.stats = EngineStatistics()
         self.peak_buffer = 0
         self.children = []
+        self.est_rows = None
 
     def walk(self, depth=0):
         """Yield ``(depth, report)`` pairs, pre-order."""
@@ -56,6 +57,7 @@ class OpReport:
         return {
             "operator": self.label,
             "rows": self.rows,
+            "est_rows": self.est_rows,
             "elapsed_ms": self.elapsed * 1e3,
             "peak_buffer": self.peak_buffer,
             "counters": self.stats.as_dict(),
@@ -68,6 +70,8 @@ class OpReport:
             "rows=%d" % self.rows,
             "time=%.3fms" % (self.elapsed * 1e3),
         ]
+        if self.est_rows is not None:
+            parts.insert(2, "est=%.0f" % self.est_rows)
         counters = self.stats.as_dict()
         for field in ("facts_scanned", "index_probes", "index_builds",
                       "tuples_materialized"):
@@ -103,13 +107,16 @@ class ExplainResult:
         plan_cache_hit / parse_cache_hit: workbench cache outcomes for
             this run (None when the cache does not apply, e.g. an
             algebra object needs no parse).
+        optimizer: the :class:`~repro.opt.OptimizationInfo` of the plan
+            that ran — which rules fired, the chosen join method and
+            order (None on unoptimized runs).
     """
 
     __slots__ = ("result", "report", "elapsed", "stats", "kind",
-                 "plan_cache_hit", "parse_cache_hit")
+                 "plan_cache_hit", "parse_cache_hit", "optimizer")
 
     def __init__(self, result, report, elapsed, stats, kind=None,
-                 plan_cache_hit=None, parse_cache_hit=None):
+                 plan_cache_hit=None, parse_cache_hit=None, optimizer=None):
         self.result = result
         self.report = report
         self.elapsed = elapsed
@@ -117,6 +124,7 @@ class ExplainResult:
         self.kind = kind
         self.plan_cache_hit = plan_cache_hit
         self.parse_cache_hit = parse_cache_hit
+        self.optimizer = optimizer
 
     @property
     def relation(self):
@@ -142,6 +150,11 @@ class ExplainResult:
             "elapsed_ms": self.elapsed * 1e3,
             "plan_cache_hit": self.plan_cache_hit,
             "parse_cache_hit": self.parse_cache_hit,
+            "optimizer": (
+                self.optimizer.as_dict()
+                if self.optimizer is not None
+                else None
+            ),
             "totals": self.stats.as_dict(),
             "plan": self.report.as_dict(),
         }
@@ -163,7 +176,12 @@ class ExplainResult:
             self.elapsed * 1e3,
             ("  [%s]" % " ".join(caches)) if caches else "",
         )
-        return "%s\n%s" % (header, self.report.render())
+        lines = [header]
+        if self.optimizer is not None:
+            summary = self.optimizer.summary()
+            lines.append("Optimizer: %s" % (summary or "no rules fired"))
+        lines.append(self.report.render())
+        return "\n".join(lines)
 
     def __repr__(self):
         return "ExplainResult(%s, rows=%d, %.3fms)" % (
@@ -304,6 +322,39 @@ def run_explained(plan, db, stats=None, tracer=NULL_TRACER, kind=None):
     if tracer.enabled:
         emit_spans(tracer, result_report, kind=kind)
     return result
+
+
+def annotate_estimates(report, plan, db, cost_model):
+    """Attach estimated cardinalities (``est=``) to an OpReport tree.
+
+    Pairs the physical report tree with the logical plan it was built
+    from: operator reports list their input reports in the same order
+    the logical node lists its children, with one systematic exception —
+    a hash join probing a base relation's cached index has no report
+    child for the right side (no operator ran there), which the
+    order-preserving prefix zip below handles by simply not annotating
+    it.  Estimates come from the shared :mod:`repro.opt.cost` model, so
+    EXPLAIN shows exactly the numbers the optimizer planned with, next
+    to the actual rows the run produced.
+    """
+    def visit(op_report, expr):
+        try:
+            op_report.est_rows = cost_model.rows(expr, db)
+        except Exception:
+            return
+        for child_report, child_expr in zip(
+            op_report.children, expr.children()
+        ):
+            visit(child_report, child_expr)
+
+    if report.label == "Result" and report.children:
+        try:
+            report.est_rows = cost_model.rows(plan, db)
+        except Exception:
+            pass
+        visit(report.children[0], plan)
+    else:
+        visit(report, plan)
 
 
 def emit_spans(tracer, report, kind=None):

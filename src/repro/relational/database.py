@@ -15,10 +15,11 @@ class Database:
     binding.
     """
 
-    __slots__ = ("_relations",)
+    __slots__ = ("_relations", "_catalog")
 
     def __init__(self, relations=()):
         self._relations = {}
+        self._catalog = None
         for rel in relations:
             self.add(rel)
 
@@ -52,19 +53,54 @@ class Database:
         if name in self._relations:
             raise SchemaError("duplicate relation name %r" % (name,))
         self._relations[name] = relation
+        self._invalidate_stats(name)
         return relation
 
     def replace(self, relation):
         """Register or overwrite the relation named by its schema."""
         self._relations[relation.schema.name] = relation
+        self._invalidate_stats(relation.schema.name)
         return relation
 
     def remove(self, name):
         """Remove and return the relation named ``name``."""
         try:
-            return self._relations.pop(name)
+            relation = self._relations.pop(name)
         except KeyError:
             raise SchemaError("no relation named %r" % (name,)) from None
+        self._invalidate_stats(name)
+        return relation
+
+    def insert(self, name, rows):
+        """Extend relation ``name`` with ``rows``; returns the new binding.
+
+        The *statistics-friendly* mutation path: the catalog (if one has
+        been materialized) folds just the new rows into its census
+        instead of rescanning the relation, so repeated inserts keep
+        optimizer statistics current at cost proportional to the insert.
+        """
+        old = self[name]
+        added = {tuple(row) for row in rows} - old.tuples
+        if not added:
+            return old
+        relation = Relation(old.schema, old.tuples | added)
+        self._relations[name] = relation
+        if self._catalog is not None:
+            self._catalog.observe_insert(name, relation, added)
+        return relation
+
+    def catalog(self):
+        """The optimizer's :class:`~repro.opt.catalog.Catalog` for this
+        database (created lazily, invalidated as bindings change)."""
+        if self._catalog is None:
+            from ..opt.catalog import Catalog
+
+            self._catalog = Catalog(self)
+        return self._catalog
+
+    def _invalidate_stats(self, name):
+        if self._catalog is not None:
+            self._catalog.invalidate(name)
 
     def __getitem__(self, name):
         try:
@@ -127,7 +163,7 @@ class Database:
         """Shallow copy (relations are immutable, so this is enough)."""
         db = Database()
         db._relations = dict(self._relations)
-        return db
+        return db  # statistics are per-instance: the copy starts fresh
 
     def __eq__(self, other):
         return (

@@ -1,352 +1,128 @@
-"""Rule-based algebraic query optimizer.
+"""Deprecated shim over :mod:`repro.opt` — the classical pipeline.
 
-The paper recalls that "the difficulty of query optimization … came as a
-surprise, and necessitated new model development, synthesis, analysis, and
-experiments".  This module implements the classical synthesis response: an
-algebraic rewriter applying the equivalences every textbook optimizer is
-built on, plus a cardinality estimator and a greedy join-order heuristic.
+This module used to *be* the optimizer; the real machinery now lives in
+:mod:`repro.opt` (catalog statistics, a toggleable rule registry, a
+shared cost model, DP join enumeration, Yannakakis routing).  What
+remains here is the historical public surface, each function delegating
+to the corresponding rule or model under the **classic profile**: fixed
+System R selectivities (1/10 equality, 1/3 range), greedy-only join
+reordering, no catalog.  The behavior — down to the exact cardinality
+numbers and tree shapes the original tests pin — is unchanged, and a
+differential test checks classic-profile output matches the legacy
+pipeline on the random-algebra fuzzer.
 
-All rewrites are *semantics preserving* — the test suite checks every rule
-against the evaluator on random databases (the "experiments" half of the
-paper's §2(b)).
-
-Public entry points:
-
-* :func:`optimize` — full pipeline (cascade, pushdown, join formation,
-  greedy join ordering when a database is supplied).
-* :func:`push_selections` — selection cascade + pushdown only.
-* :func:`estimate_cardinality` — the size model used by join ordering.
+Prefer :class:`repro.opt.Optimizer` in new code; this surface is kept
+for compatibility and as the conformance kit's mildly-optimized oracle
+leg.
 """
 
 from __future__ import annotations
 
-from ..errors import AlgebraError
+from ..opt import CLASSIC_RULES, classic_optimizer
+from ..opt.cost import (  # noqa: F401  (re-exported compatibility names)
+    EQUALITY_SELECTIVITY,
+    RANGE_SELECTIVITY,
+    CostModel,
+)
+from ..opt.joins import greedy_order
+from ..opt.rules import (
+    Context,
+    form_joins as _form_joins_rule,
+    push_selections as _push_rule,
+    split_selections as _split_rule,
+)
 from . import algebra as ra
 
-# ---------------------------------------------------------------------------
-# Selection cascade and pushdown
-# ---------------------------------------------------------------------------
+__all__ = [
+    "EQUALITY_SELECTIVITY",
+    "RANGE_SELECTIVITY",
+    "cascade_selections",
+    "estimate_cardinality",
+    "form_joins",
+    "optimize",
+    "push_selections",
+    "reorder_joins",
+]
+
+
+def _classic_context(db=None, db_schema=None):
+    return Context(db=db, db_schema=db_schema, cost=CostModel(None),
+                   dp_threshold=0)
 
 
 def cascade_selections(expr):
-    """Split ``sigma[a AND b](E)`` into ``sigma[a](sigma[b](E))``.
-
-    Conjuncts become independent selections so that pushdown can route each
-    to the smallest subtree mentioning its attributes.
-    """
-    expr = _rebuild(expr, cascade_selections)
-    if isinstance(expr, ra.Selection) and isinstance(expr.condition, ra.And):
-        inner = expr.child
-        for part in reversed(expr.condition.parts):
-            inner = ra.Selection(inner, part)
-        return inner
-    return expr
+    """Split ``sigma[a AND b](E)`` into ``sigma[a](sigma[b](E))``."""
+    return _split_rule(expr, _classic_context())
 
 
 def push_selections(expr, db_schema=None):
-    """Push selections as deep as their attribute footprints allow.
-
-    Selections commute with each other, distribute over union/intersection/
-    difference, move through rename (with attribute rewriting) and through
-    projection when the projected attributes cover the condition, and slide
-    into whichever side of a product/join mentions all their attributes.
-    """
-    expr = cascade_selections(expr)
-    return _push(expr, db_schema)
-
-
-def _push(expr, db_schema):
-    expr = _rebuild(expr, lambda e: _push(e, db_schema))
-    if not isinstance(expr, ra.Selection):
-        return expr
-    child = expr.child
-    condition = expr.condition
-    needed = condition.attributes()
-
-    if isinstance(child, ra.Selection):
-        # Commute: try pushing below the inner selection.
-        pushed = _push(ra.Selection(child.child, condition), db_schema)
-        return ra.Selection(pushed, child.condition)
-    if isinstance(child, (ra.Union, ra.Intersection)):
-        return type(child)(
-            _push(ra.Selection(child.left, condition), db_schema),
-            _push(ra.Selection(child.right, condition), db_schema),
-        )
-    if isinstance(child, ra.Difference):
-        # sigma(A - B) = sigma(A) - B (pushing into B is also sound but
-        # pointless: B only ever removes tuples).
-        return ra.Difference(
-            _push(ra.Selection(child.left, condition), db_schema),
-            child.right,
-        )
-    if isinstance(child, ra.Projection):
-        if needed <= set(child.attributes):
-            return ra.Projection(
-                _push(ra.Selection(child.child, condition), db_schema),
-                child.attributes,
-            )
-        return expr
-    if isinstance(child, ra.Rename):
-        inverse = {new: old for old, new in child.mapping.items()}
-        rewritten = _rewrite_condition(condition, inverse)
-        return ra.Rename(
-            _push(ra.Selection(child.child, rewritten), db_schema),
-            child.mapping,
-        )
-    if isinstance(child, (ra.Product, ra.NaturalJoin)) and db_schema is not None:
-        left_attrs = set(child.left.schema(db_schema).attributes)
-        right_attrs = set(child.right.schema(db_schema).attributes)
-        if needed <= left_attrs:
-            return type(child)(
-                _push(ra.Selection(child.left, condition), db_schema),
-                child.right,
-            )
-        if needed <= right_attrs:
-            return type(child)(
-                child.left,
-                _push(ra.Selection(child.right, condition), db_schema),
-            )
-        return expr
-    return expr
-
-
-def _rewrite_condition(condition, mapping):
-    """Rename the attributes mentioned in a condition via ``mapping``."""
-    if isinstance(condition, ra.Comparison):
-        return ra.Comparison(
-            _rewrite_operand(condition.left, mapping),
-            condition.op,
-            _rewrite_operand(condition.right, mapping),
-        )
-    if isinstance(condition, ra.And):
-        return ra.And(*[_rewrite_condition(p, mapping) for p in condition.parts])
-    if isinstance(condition, ra.Or):
-        return ra.Or(*[_rewrite_condition(p, mapping) for p in condition.parts])
-    if isinstance(condition, ra.Not):
-        return ra.Not(_rewrite_condition(condition.part, mapping))
-    raise AlgebraError("unknown condition %r" % (condition,))
-
-
-def _rewrite_operand(operand, mapping):
-    if isinstance(operand, ra.Attr):
-        return ra.Attr(mapping.get(operand.name, operand.name))
-    return operand
-
-
-# ---------------------------------------------------------------------------
-# Join formation
-# ---------------------------------------------------------------------------
+    """Selection cascade + pushdown (the classical rewrite pair)."""
+    ctx = _classic_context(db_schema=db_schema)
+    return _push_rule(_split_rule(expr, ctx), ctx)
 
 
 def form_joins(expr, db_schema=None):
-    """Turn ``sigma[cross-side equality](A x B)`` into a theta join.
-
-    The physical evaluator has no special theta-join algorithm (it remains
-    filter-over-product), but recognising joins matters for the join-order
-    heuristic and mirrors the logical/physical split of real optimizers.
-    """
-    expr = _rebuild(expr, lambda e: form_joins(e, db_schema))
-    if (
-        isinstance(expr, ra.Selection)
-        and isinstance(expr.child, ra.Product)
-        and db_schema is not None
-        and isinstance(expr.condition, ra.Comparison)
-        and isinstance(expr.condition.left, ra.Attr)
-        and isinstance(expr.condition.right, ra.Attr)
-    ):
-        left_attrs = set(expr.child.left.schema(db_schema).attributes)
-        right_attrs = set(expr.child.right.schema(db_schema).attributes)
-        a = expr.condition.left.name
-        b = expr.condition.right.name
-        crosses = (a in left_attrs and b in right_attrs) or (
-            a in right_attrs and b in left_attrs
-        )
-        if crosses:
-            return ra.ThetaJoin(expr.child.left, expr.child.right, expr.condition)
-    return expr
-
-
-# ---------------------------------------------------------------------------
-# Cardinality estimation
-# ---------------------------------------------------------------------------
-
-#: Default selectivity of an equality predicate (classical System R value).
-EQUALITY_SELECTIVITY = 0.1
-#: Default selectivity of a range predicate.
-RANGE_SELECTIVITY = 1.0 / 3.0
+    """Turn ``sigma[cross-side equality](A x B)`` into a theta join."""
+    return _form_joins_rule(expr, _classic_context(db_schema=db_schema))
 
 
 def estimate_cardinality(expr, db):
     """Estimate the output size of ``expr`` over ``db``.
 
-    A deliberately classical model: base relations use true counts,
-    selections apply fixed selectivities (System R's 1/10 for equality,
-    1/3 for ranges), joins divide the product by the larger side's
-    distinct-count proxy, set operations use the standard bounds.
+    The deliberately classical model (true base counts, fixed
+    selectivities) — now one profile of :class:`repro.opt.CostModel`.
     """
-    if isinstance(expr, ra.RelationRef):
-        return float(len(db[expr.name]))
-    if isinstance(expr, ra.ConstantRelation):
-        return float(len(expr.relation))
-    if isinstance(expr, ra.Selection):
-        return estimate_cardinality(expr.child, db) * _selectivity(
-            expr.condition
-        )
-    if isinstance(expr, (ra.Projection, ra.Rename)):
-        return estimate_cardinality(expr.child, db)
-    if isinstance(expr, ra.Product):
-        return estimate_cardinality(expr.left, db) * estimate_cardinality(
-            expr.right, db
-        )
-    if isinstance(expr, (ra.NaturalJoin, ra.ThetaJoin)):
-        left = estimate_cardinality(expr.left, db)
-        right = estimate_cardinality(expr.right, db)
-        return left * right / max(left, right, 1.0)
-    if isinstance(expr, ra.Union):
-        return estimate_cardinality(expr.left, db) + estimate_cardinality(
-            expr.right, db
-        )
-    if isinstance(expr, (ra.Difference, ra.Semijoin, ra.Antijoin)):
-        return estimate_cardinality(expr.left, db)
-    if isinstance(expr, ra.Intersection):
-        return min(
-            estimate_cardinality(expr.left, db),
-            estimate_cardinality(expr.right, db),
-        )
-    if isinstance(expr, ra.Division):
-        return max(estimate_cardinality(expr.left, db), 1.0)
-    # Unknown/extension nodes: recurse into children pessimistically.
-    children = expr.children()
-    if children:
-        return max(estimate_cardinality(c, db) for c in children)
-    return 1.0
-
-
-def _selectivity(condition):
-    if isinstance(condition, ra.Comparison):
-        if condition.op == "=":
-            return EQUALITY_SELECTIVITY
-        if condition.op == "!=":
-            return 1.0 - EQUALITY_SELECTIVITY
-        return RANGE_SELECTIVITY
-    if isinstance(condition, ra.And):
-        out = 1.0
-        for part in condition.parts:
-            out *= _selectivity(part)
-        return out
-    if isinstance(condition, ra.Or):
-        out = 1.0
-        for part in condition.parts:
-            out *= 1.0 - _selectivity(part)
-        return 1.0 - out
-    if isinstance(condition, ra.Not):
-        return 1.0 - _selectivity(condition.part)
-    return 0.5
-
-
-# ---------------------------------------------------------------------------
-# Greedy join ordering
-# ---------------------------------------------------------------------------
+    return CostModel(None).rows(expr, db)
 
 
 def reorder_joins(expr, db):
     """Greedily reorder chains of natural joins by estimated cardinality.
 
-    Flattens maximal natural-join trees, then repeatedly joins the pair
-    with the smallest estimated result — the classical greedy heuristic
-    that avoids the NP-hard exact ordering problem.
-
-    A natural join's output lists the left attributes before the right
-    side's new ones, so reordering changes column order; under a set
-    operation that breaks union compatibility (found by the conformance
-    fuzzer).  When the greedy order permutes the columns, a permutation
-    projection restores the original order.
+    When the greedy order permutes the output columns, a permutation
+    projection restores the original order (reordering under a set
+    operation must preserve union compatibility).
     """
+    ctx = _classic_context(db=db)
     expr = _rebuild(expr, lambda e: reorder_joins(e, db))
     if not isinstance(expr, ra.NaturalJoin):
         return expr
-    leaves = _flatten_joins(expr)
+    from ..opt.joins import flatten_joins
+
+    leaves = flatten_joins(expr)
     if len(leaves) <= 2:
         return expr
     original = expr.schema(db.schema()).attributes
-    parts = list(leaves)
-    while len(parts) > 1:
-        best = None
-        for i in range(len(parts)):
-            for j in range(i + 1, len(parts)):
-                candidate = ra.NaturalJoin(parts[i], parts[j])
-                cost = estimate_cardinality(candidate, db)
-                if best is None or cost < best[0]:
-                    best = (cost, i, j, candidate)
-        _, i, j, candidate = best
-        parts = [
-            p for k, p in enumerate(parts) if k not in (i, j)
-        ] + [candidate]
-    joined = parts[0]
+    joined = greedy_order(leaves, ctx)
     if joined.schema(db.schema()).attributes != original:
         joined = ra.Projection(joined, original)
     return joined
 
 
-def _flatten_joins(expr):
-    if isinstance(expr, ra.NaturalJoin):
-        return _flatten_joins(expr.left) + _flatten_joins(expr.right)
-    return [expr]
-
-
-# ---------------------------------------------------------------------------
-# Pipeline
-# ---------------------------------------------------------------------------
-
-
 def optimize(expr, db=None):
-    """Run the full rewrite pipeline.
+    """Run the classical rewrite pipeline (cascade, pushdown, join
+    formation, greedy reordering when a database is supplied).
 
-    Args:
-        expr: the algebra expression to optimize.
-        db: optional database; enables schema-aware pushdown through
-            products/joins and cost-based join reordering.
-
-    Returns:
-        A semantically equivalent expression.
+    The full statistics-backed pipeline lives on
+    :class:`repro.opt.Optimizer`; this entry point keeps the historical
+    behavior for callers (and oracles) that want the old semantics.
     """
-    db_schema = db.schema() if db is not None else None
-    expr = push_selections(expr, db_schema)
-    expr = form_joins(expr, db_schema)
-    if db is not None:
-        expr = reorder_joins(expr, db)
-    return expr
+    optimizer = classic_optimizer()
+    if db is None:
+        # Without a database there is no schema: only the schema-free
+        # subset of the classic rules applies (exactly as before).
+        ctx = _classic_context()
+        expr = _split_rule(expr, ctx)
+        expr = _push_rule(expr, ctx)
+        return _form_joins_rule(expr, ctx)
+    return optimizer.optimize(expr, db)
 
 
-# ---------------------------------------------------------------------------
-# Generic tree rebuilding
-# ---------------------------------------------------------------------------
+#: Names re-exported so existing callers can introspect the profile.
+CLASSIC_PROFILE = CLASSIC_RULES
 
 
 def _rebuild(expr, recurse):
-    """Apply ``recurse`` to children and rebuild the node."""
-    if isinstance(expr, ra.Selection):
-        return ra.Selection(recurse(expr.child), expr.condition)
-    if isinstance(expr, ra.Projection):
-        return ra.Projection(recurse(expr.child), expr.attributes)
-    if isinstance(expr, ra.Rename):
-        return ra.Rename(recurse(expr.child), expr.mapping)
-    if isinstance(expr, ra.ThetaJoin):
-        return ra.ThetaJoin(
-            recurse(expr.left), recurse(expr.right), expr.condition
-        )
-    if isinstance(
-        expr,
-        (
-            ra.Product,
-            ra.NaturalJoin,
-            ra.Union,
-            ra.Difference,
-            ra.Intersection,
-            ra.Division,
-            ra.Semijoin,
-            ra.Antijoin,
-        ),
-    ):
-        return type(expr)(recurse(expr.left), recurse(expr.right))
-    return expr
+    """Apply ``recurse`` to children and rebuild the node (legacy helper)."""
+    from ..opt.rules import rebuild
+
+    return rebuild(expr, recurse)

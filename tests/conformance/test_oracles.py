@@ -33,6 +33,7 @@ class TestRegistry:
             "transactions-differential",
             "metamorphic-relational",
             "metamorphic-datalog",
+            "metamorphic-optimizer",
         }
 
     def test_family_subset_selection(self):

@@ -1,0 +1,194 @@
+"""The unified cost model: classical profile, catalog profile, gates.
+
+The estimation-quality suite pins how close the estimates are to the
+truth on workloads where the model's uniformity assumptions hold
+exactly (estimates must be *equal*) and on skewed data (estimates must
+stay within a stated factor) — the same numbers EXPLAIN ANALYZE prints
+as ``est=`` next to actual rows.
+"""
+
+import pytest
+
+from repro.opt import CostModel, EQUALITY_SELECTIVITY, RANGE_SELECTIVITY
+from repro.opt.cost import estimate_literal_matches, estimate_plan_work
+from repro.relational import (
+    Database,
+    NaturalJoin,
+    Product,
+    Projection,
+    RelationRef,
+    Selection,
+    Union,
+    eq,
+    evaluate,
+    gt,
+)
+from repro.relational.algebra import Attr, Comparison, Const
+
+
+@pytest.fixture
+def db():
+    return Database.from_dict(
+        {
+            "big": (("a", "b"), [(i, i % 10) for i in range(50)]),
+            "small": (("b", "c"), [(1, "x"), (2, "y")]),
+        }
+    )
+
+
+def classical():
+    return CostModel(None)
+
+
+class TestClassicalProfile:
+    """The fixed-selectivity model the legacy optimizer pinned."""
+
+    def test_base_and_selection(self, db):
+        model = classical()
+        assert model.rows(RelationRef("big"), db) == 50.0
+        selected = Selection(RelationRef("big"), eq("a", 1))
+        assert model.rows(selected, db) == 50 * EQUALITY_SELECTIVITY
+        ranged = Selection(RelationRef("big"), gt("a", 1))
+        assert model.rows(ranged, db) == 50 * RANGE_SELECTIVITY
+
+    def test_join_divides_by_larger_side(self, db):
+        model = classical()
+        join = NaturalJoin(RelationRef("big"), RelationRef("small"))
+        assert model.rows(join, db) == 50 * 2 / 50
+
+    def test_product_union_projection(self, db):
+        model = classical()
+        product = Product(RelationRef("big"), RelationRef("small"))
+        assert model.rows(product, db) == 100.0
+        union = Union(RelationRef("big"), RelationRef("big"))
+        assert model.rows(union, db) == 100.0
+        projected = Projection(RelationRef("big"), ("a",))
+        assert model.rows(projected, db) == 50.0
+
+    def test_constant_comparison_uses_default(self, db):
+        # No catalog: attr=attr and attr=const are both 1/10.
+        model = classical()
+        selected = Selection(
+            RelationRef("big"),
+            Comparison(Attr("a"), "=", Attr("b")),
+        )
+        assert model.rows(selected, db) == 5.0
+
+
+class TestCatalogProfile:
+    """Distinct-count arithmetic replaces the fixed selectivities."""
+
+    def statistics_model(self, db):
+        return CostModel(db.catalog())
+
+    def test_equality_uses_distinct_count(self, db):
+        model = self.statistics_model(db)
+        selected = Selection(RelationRef("big"), eq("b", 3))
+        # V(big, b) = 10, so est = 50/10 — and the data is uniform, so
+        # the estimate is exact.
+        assert model.rows(selected, db) == 5.0
+        assert len(evaluate(selected, db)) == 5
+
+    def test_attr_attr_equality_uses_larger_distinct(self, db):
+        model = self.statistics_model(db)
+        selected = Selection(
+            RelationRef("big"), Comparison(Attr("a"), "=", Attr("b"))
+        )
+        assert model.rows(selected, db) == 50.0 / 50
+
+    def test_join_divides_by_max_distinct(self):
+        db = Database.from_dict(
+            {
+                "users": (
+                    ("uid", "city"),
+                    [(i, "c%d" % (i % 6)) for i in range(60)],
+                ),
+                "orders": (
+                    ("uid", "item"),
+                    [(i % 60, "i%d" % i) for i in range(120)],
+                ),
+            }
+        )
+        model = CostModel(db.catalog())
+        join = NaturalJoin(RelationRef("users"), RelationRef("orders"))
+        estimate = model.rows(join, db)
+        actual = len(evaluate(join, db))
+        # Uniform keys: 60*120/max(60,60) = 120 = the true size.
+        assert estimate == actual == 120
+
+    def test_distinct_counts_clamped_to_rows(self, db):
+        model = self.statistics_model(db)
+        selected = Selection(RelationRef("big"), eq("b", 3))
+        estimate = model.estimate(selected, db)
+        assert all(d <= estimate.rows for d in estimate.distinct.values())
+
+    def test_skewed_selection_within_factor(self):
+        # 40 rows of one value + 10 spread values: uniformity is wrong
+        # here, but the estimate must stay within a factor of 10 of the
+        # truth for every constant actually present.
+        rows = [(i, "hot") for i in range(40)]
+        rows += [(40 + i, "cold%d" % i) for i in range(10)]
+        db = Database.from_dict({"t": (("k", "v"), rows)})
+        model = CostModel(db.catalog())
+        for value, count in [("hot", 40), ("cold0", 1)]:
+            selected = Selection(RelationRef("t"), eq("v", value))
+            estimate = model.rows(selected, db)
+            assert estimate / count <= 10
+            assert count / estimate <= 10
+
+
+class TestExtensionNodes:
+    def test_unknown_node_estimates_from_children(self, db):
+        class Exotic:
+            def children(self):
+                return [RelationRef("big"), RelationRef("small")]
+
+        assert classical().rows(Exotic(), db) == 50.0
+
+    def test_leaf_unknown_node_defaults_to_one(self, db):
+        class Leaf:
+            def children(self):
+                return []
+
+        assert classical().rows(Leaf(), db) == 1.0
+
+
+class TestLiteralMatches:
+    def test_formula(self):
+        assert estimate_literal_matches(100, 0) == 100
+        assert estimate_literal_matches(100, 1) == pytest.approx(10.0)
+        assert estimate_literal_matches(100, 2) == pytest.approx(1.0)
+
+    def test_orders_most_bound_then_smallest(self):
+        # The old two-level heuristic, derived from the one formula:
+        # more bound positions beat size; equal binding prefers smaller.
+        assert estimate_literal_matches(1000, 2) < estimate_literal_matches(
+            50, 0
+        )
+        assert estimate_literal_matches(50, 1) < estimate_literal_matches(
+            1000, 1
+        )
+
+
+class TestPlanWork:
+    def test_sums_leaf_rows(self, db):
+        join = NaturalJoin(RelationRef("big"), RelationRef("small"))
+        assert estimate_plan_work(join, db) == 52
+        wrapped = Projection(Selection(join, eq("a", 1)), ("a",))
+        assert estimate_plan_work(wrapped, db) == 52
+
+    def test_extension_node_falls_back_to_children(self, db):
+        """Regression: unrecognized fragments used to estimate 0 and
+        slide under the parallel cost gate unconditionally."""
+
+        class Exotic:
+            def children(self):
+                return [RelationRef("big"), RelationRef("small")]
+
+        assert estimate_plan_work(Exotic(), db) == 52
+
+    def test_opaque_node_is_zero(self, db):
+        class Opaque:
+            pass
+
+        assert estimate_plan_work(Opaque(), db) == 0

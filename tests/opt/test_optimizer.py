@@ -1,0 +1,231 @@
+"""The Optimizer front door, the legacy shim, and workbench integration."""
+
+import ast
+import os
+
+import pytest
+
+from repro.core.random_instances import (
+    random_algebra_expression,
+    random_database,
+)
+from repro.core.workbench import MetatheoryWorkbench
+from repro.datalog.stats import EngineStatistics
+from repro.opt import (
+    CLASSIC_RULES,
+    DEFAULT_RULES,
+    Optimizer,
+    classic_optimizer,
+    optimize,
+    rule_names,
+)
+from repro.plan import canonicalize, execute
+from repro.relational import (
+    Database,
+    NaturalJoin,
+    RelationRef,
+    Selection,
+    eq,
+    evaluate,
+)
+from repro.relational import optimizer as legacy
+from repro.relational.relation import same_content
+
+
+@pytest.fixture
+def db():
+    return Database.from_dict(
+        {
+            "r": (("a", "b"), [(i, i % 4) for i in range(20)]),
+            "s": (("b", "c"), [(i % 4, i % 3) for i in range(8)]),
+            "t": (("c", "d"), [(i % 3, i) for i in range(5)]),
+        }
+    )
+
+
+def acyclic_chain():
+    return NaturalJoin(
+        NaturalJoin(RelationRef("r"), RelationRef("s")), RelationRef("t")
+    )
+
+
+class TestFrontDoor:
+    def test_default_enables_every_rule(self):
+        assert Optimizer().rules == DEFAULT_RULES == rule_names()
+
+    def test_explicit_rules_keep_pipeline_order(self):
+        optimizer = Optimizer(rules=("order-joins", "split-selections"))
+        assert optimizer.rules == ("split-selections", "order-joins")
+
+    def test_config_token_distinguishes_profiles(self):
+        tokens = {
+            Optimizer().config_token(),
+            Optimizer(disable=("order-joins",)).config_token(),
+            Optimizer(dp_threshold=3).config_token(),
+            Optimizer(use_catalog=False).config_token(),
+            classic_optimizer().config_token(),
+        }
+        assert len(tokens) == 5
+
+    def test_module_level_optimize(self, db):
+        expr = Selection(acyclic_chain(), eq("d", 1))
+        plan = optimize(expr, db)
+        assert evaluate(plan, db) == evaluate(expr, db)
+
+    def test_optimize_info_reports_firings(self, db):
+        _plan, info = Optimizer().optimize_info(
+            Selection(acyclic_chain(), eq("d", 1)), db
+        )
+        assert info.fired
+        assert "rules_fired" in info.as_dict()
+        assert info.summary()
+
+
+class TestShim:
+    """``relational/optimizer.py`` is now a delegating profile of opt."""
+
+    def test_classic_profile_constant(self):
+        assert legacy.CLASSIC_PROFILE == CLASSIC_RULES
+
+    def test_shim_optimize_equals_classic_engine(self, db):
+        expr = Selection(acyclic_chain(), eq("d", 1))
+        canonical = canonicalize(expr, db.schema())
+        via_shim = legacy.optimize(canonical, db)
+        via_classic = classic_optimizer().optimize(canonical, db)
+        assert evaluate(via_shim, db) == evaluate(via_classic, db)
+
+    def test_differential_fuzz_old_equals_new(self):
+        """The satellite differential: on the random-algebra fuzzer,
+        the classic profile, the full pipeline, and the unoptimized
+        evaluation all agree."""
+        for seed in range(30):
+            fuzz_db = random_database(
+                num_relations=3, arity=2, rows=7, domain_size=5, seed=seed
+            )
+            expr = random_algebra_expression(fuzz_db, seed=seed, size=5)
+            baseline = evaluate(expr, fuzz_db)
+            canonical = canonicalize(expr, fuzz_db.schema())
+            schema = fuzz_db.schema()
+            for optimizer in (classic_optimizer(), Optimizer()):
+                plan = canonicalize(
+                    optimizer.optimize(canonical, fuzz_db), schema
+                )
+                result = execute(plan, fuzz_db)
+                assert same_content(result, baseline), (
+                    seed,
+                    optimizer.config_token(),
+                )
+
+
+class TestWorkbenchIntegration:
+    def test_optimizer_is_a_constructor_knob(self, db):
+        wb = MetatheoryWorkbench(
+            db, optimizer=Optimizer(disable=("route-yannakakis",))
+        )
+        assert "route-yannakakis" not in wb.optimizer.rules
+
+    def test_plan_cache_keys_on_optimizer_config(self, db):
+        wb = MetatheoryWorkbench(db)
+        expr = Selection(acyclic_chain(), eq("d", 1))
+        wb.run(expr)
+        first = wb.plan_cache.stats()
+        wb.run(expr)
+        assert wb.plan_cache.stats()["hits"] == first["hits"] + 1
+        # A different rule set must not be served the old plan.
+        wb.optimizer = Optimizer(disable=("order-joins",))
+        wb.run(expr)
+        stats = wb.plan_cache.stats()
+        assert stats["misses"] > first["misses"]
+
+    def test_run_routes_acyclic_joins_through_yannakakis(self):
+        """The acceptance smoke test: an acyclic multi-join through
+        ``wb.run`` routes through Yannakakis, visibly, and materializes
+        fewer tuples than the unoptimized run.
+
+        The streaming executor only charges *buffered* tuples, so the
+        workload has to make the unoptimized plan buffer: a right-deep
+        tree forces a hash-join build over the derived ``s ⋈ t``, which
+        is mostly dangling with respect to ``r`` — the regime the
+        semijoin reduction exists for.
+        """
+        wb = MetatheoryWorkbench(
+            Database.from_dict(
+                {
+                    "r": (("a", "b"), [(i, i) for i in range(5)]),
+                    "s": (
+                        ("b", "c"),
+                        [(b, c) for b in range(50) for c in range(50)],
+                    ),
+                    "t": (("c", "d"), [(i, i) for i in range(5)]),
+                }
+            )
+        )
+        expr = NaturalJoin(
+            RelationRef("r"),
+            NaturalJoin(RelationRef("s"), RelationRef("t")),
+        )
+
+        explained = wb.explain_analyze(expr)
+        assert explained.optimizer is not None
+        assert explained.optimizer.join_method == "yannakakis"
+        assert "route-yannakakis" in explained.optimizer.fired
+        assert "yannakakis" in explained.render()
+
+        optimized_stats = EngineStatistics()
+        plain_stats = EngineStatistics()
+        optimized = wb.run(expr, stats=optimized_stats)
+        plain = wb.run(expr, optimized=False, stats=plain_stats)
+        assert optimized == plain
+        assert (
+            optimized_stats.tuples_materialized
+            < plain_stats.tuples_materialized
+        )
+
+    def test_optimized_and_unoptimized_agree(self, db):
+        wb = MetatheoryWorkbench(db)
+        expr = Selection(acyclic_chain(), eq("d", 1))
+        assert wb.run(expr) == wb.run(expr, optimized=False)
+
+
+class TestSingleCostSurface:
+    """No private cardinality estimators outside ``repro/opt/``."""
+
+    #: Modules allowed to *define* an ``estimate_*`` callable: the
+    #: legacy shim's public API, which must delegate to repro.opt.
+    ALLOWED = {("relational/optimizer.py", "estimate_cardinality")}
+
+    def test_no_estimators_outside_opt(self):
+        import repro
+
+        src_root = os.path.dirname(repro.__file__)
+        offenders = []
+        for dirpath, _dirnames, filenames in os.walk(src_root):
+            rel_dir = os.path.relpath(dirpath, src_root)
+            if rel_dir == "opt" or rel_dir.startswith("opt" + os.sep):
+                continue
+            for filename in filenames:
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                rel = os.path.relpath(path, src_root).replace(os.sep, "/")
+                with open(path, "r", encoding="utf-8") as handle:
+                    tree = ast.parse(handle.read())
+                for node in ast.walk(tree):
+                    if isinstance(
+                        node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ) and node.name.startswith("estimate_"):
+                        if (rel, node.name) not in self.ALLOWED:
+                            offenders.append((rel, node.name))
+        assert offenders == []
+
+    def test_planner_and_gate_import_from_opt(self):
+        from repro.datalog import planner
+        from repro.parallel import backend, partition
+        from repro.opt import cost
+
+        assert (
+            planner.estimate_literal_matches
+            is cost.estimate_literal_matches
+        )
+        assert partition.estimate_plan_work is cost.estimate_plan_work
+        assert backend.estimate_plan_work is cost.estimate_plan_work

@@ -1,0 +1,229 @@
+"""The rewrite rules: shapes, identity preservation, toggles."""
+
+import pytest
+
+from repro.opt import Optimizer, rule_names
+from repro.opt.rules import (
+    Context,
+    fold_condition,
+    fold_constants,
+    get_rules,
+    merge_selections,
+    prune_projections,
+    push_antijoin,
+    push_selections,
+    split_selections,
+)
+from repro.relational import (
+    Antijoin,
+    ConstantRelation,
+    Database,
+    NaturalJoin,
+    Projection,
+    RelationRef,
+    Selection,
+    Semijoin,
+    eq,
+    evaluate,
+    gt,
+)
+from repro.relational.algebra import And, Attr, Comparison, Const, Not, Or
+
+
+@pytest.fixture
+def db():
+    return Database.from_dict(
+        {
+            "r": (("a", "b"), [(i, i % 3) for i in range(9)]),
+            "s": (("b", "c"), [(0, "x"), (1, "y")]),
+        }
+    )
+
+
+def ctx(db):
+    return Context(db=db)
+
+
+class TestIdentityPreservation:
+    """A pass that changes nothing returns the very same object — the
+    engine's fixpoint detector relies on it."""
+
+    @pytest.mark.parametrize("name", rule_names())
+    def test_no_op_returns_same_object(self, db, name):
+        expr = Selection(RelationRef("r"), eq("a", 1))
+        (rule,) = get_rules([name])
+        assert rule.fn(expr, ctx(db)) is expr
+
+    def test_extension_nodes_pass_through(self, db):
+        class Exotic:
+            pass
+
+        exotic = Exotic()
+        assert split_selections(exotic, ctx(db)) is exotic
+
+
+class TestSplitAndMerge:
+    def test_split(self, db):
+        expr = Selection(RelationRef("r"), And(eq("a", 1), gt("b", 0)))
+        split = split_selections(expr, ctx(db))
+        assert isinstance(split, Selection)
+        assert isinstance(split.child, Selection)
+        assert evaluate(split, db) == evaluate(expr, db)
+
+    def test_merge(self, db):
+        expr = Selection(Selection(RelationRef("r"), gt("b", 0)), eq("a", 1))
+        merged = merge_selections(expr, ctx(db))
+        assert isinstance(merged, Selection)
+        assert isinstance(merged.condition, And)
+        assert isinstance(merged.child, RelationRef)
+        assert evaluate(merged, db) == evaluate(expr, db)
+
+    def test_fired_counter(self, db):
+        context = ctx(db)
+        expr = Selection(RelationRef("r"), And(eq("a", 1), gt("b", 0)))
+        split_selections(expr, context)
+        assert context.fired == {"split-selections": 1}
+
+
+class TestPushAntijoin:
+    @pytest.mark.parametrize("node", [Semijoin, Antijoin])
+    def test_selection_moves_below_probe(self, db, node):
+        expr = Selection(
+            node(RelationRef("r"), RelationRef("s")), eq("a", 1)
+        )
+        pushed = push_antijoin(expr, ctx(db))
+        assert isinstance(pushed, node)
+        assert isinstance(pushed.left, Selection)
+        assert evaluate(pushed, db) == evaluate(expr, db)
+
+
+class TestFoldConstants:
+    def test_true_selection_drops(self, db):
+        expr = Selection(
+            RelationRef("r"), Comparison(Const(1), "<", Const(2))
+        )
+        assert fold_constants(expr, ctx(db)) is expr.child
+
+    def test_false_selection_becomes_empty_constant(self, db):
+        expr = Selection(
+            RelationRef("r"), Comparison(Const(5), "<", Const(2))
+        )
+        folded = fold_constants(expr, ctx(db))
+        assert isinstance(folded, ConstantRelation)
+        assert len(folded.relation) == 0
+        assert folded.relation.schema.attributes == ("a", "b")
+
+    def test_mixed_type_comparison_is_false(self, db):
+        # Mirrors the evaluator's TypeError rule: 1 < "x" keeps nothing.
+        expr = Selection(
+            RelationRef("r"), Comparison(Const(1), "<", Const("x"))
+        )
+        folded = fold_constants(expr, ctx(db))
+        assert isinstance(folded, ConstantRelation)
+        assert evaluate(folded, db) == evaluate(expr, db)
+
+    def test_partial_conjunction_shrinks(self, db):
+        condition = And(Comparison(Const(1), "<", Const(2)), eq("a", 1))
+        expr = Selection(RelationRef("r"), condition)
+        folded = fold_constants(expr, ctx(db))
+        assert isinstance(folded, Selection)
+        assert folded.condition == eq("a", 1)
+        assert evaluate(folded, db) == evaluate(expr, db)
+
+    def test_fold_condition_or_and_not(self):
+        true = Comparison(Const(1), "=", Const(1))
+        false = Comparison(Const(1), "=", Const(2))
+        assert fold_condition(Or(false, true)) is True
+        assert fold_condition(Not(true)) is False
+        live = eq("a", 1)
+        assert fold_condition(Or(false, live)) == live
+
+    def test_without_schema_false_selection_survives(self):
+        expr = Selection(
+            RelationRef("r"), Comparison(Const(5), "<", Const(2))
+        )
+        folded = fold_constants(expr, Context())
+        assert isinstance(folded, Selection)
+
+
+class TestPruneProjections:
+    def test_projection_collapse(self, db):
+        expr = Projection(Projection(RelationRef("r"), ("a", "b")), ("a",))
+        pruned = prune_projections(expr, ctx(db))
+        assert isinstance(pruned, Projection)
+        assert isinstance(pruned.child, RelationRef)
+        assert evaluate(pruned, db) == evaluate(expr, db)
+
+    def test_identity_projection_drops(self, db):
+        expr = Projection(RelationRef("r"), ("a", "b"))
+        assert prune_projections(expr, ctx(db)) is expr.child
+
+    def test_push_into_join_keeps_shared_attributes(self):
+        db = Database.from_dict(
+            {
+                "w": (
+                    ("a", "b", "d"),
+                    [(i, i % 2, i * 10) for i in range(6)],
+                ),
+                "s": (("b", "c"), [(0, "x"), (1, "y")]),
+            }
+        )
+        expr = Projection(
+            NaturalJoin(RelationRef("w"), RelationRef("s")), ("a", "c")
+        )
+        pruned = prune_projections(expr, ctx(db))
+        assert isinstance(pruned, Projection)
+        join = pruned.child
+        assert isinstance(join, NaturalJoin)
+        # The unused d drops below the join; the join attribute b stays
+        # on both sides.
+        assert isinstance(join.left, Projection)
+        assert join.left.attributes == ("a", "b")
+        assert isinstance(join.right, RelationRef)  # nothing to drop
+        assert evaluate(pruned, db) == evaluate(expr, db)
+
+
+class TestPushSelections:
+    def test_into_join_side(self, db):
+        expr = Selection(
+            NaturalJoin(RelationRef("r"), RelationRef("s")), eq("a", 1)
+        )
+        pushed = push_selections(expr, ctx(db))
+        assert isinstance(pushed, NaturalJoin)
+        assert isinstance(pushed.left, Selection)
+        assert evaluate(pushed, db) == evaluate(expr, db)
+
+
+class TestToggles:
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError):
+            get_rules(["bogus"])
+        with pytest.raises(ValueError):
+            Optimizer(disable=("bogus",))
+
+    def test_disable_subtracts(self):
+        optimizer = Optimizer(disable=("order-joins",))
+        assert "order-joins" not in optimizer.rules
+        assert optimizer.config_token() != Optimizer().config_token()
+
+    @pytest.mark.parametrize("name", rule_names())
+    def test_single_rule_toggle_preserves_results(self, db, name):
+        """The metamorphic invariant the conformance oracle fuzzes,
+        pinned here on a workload every rule can fire on."""
+        expr = Selection(
+            Projection(
+                NaturalJoin(
+                    Selection(
+                        NaturalJoin(RelationRef("r"), RelationRef("s")),
+                        And(gt("a", 0), eq("b", 1)),
+                    ),
+                    RelationRef("s"),
+                ),
+                ("a", "b", "c"),
+            ),
+            Comparison(Const(1), "=", Const(1)),
+        )
+        baseline = evaluate(expr, db)
+        for optimizer in (Optimizer(), Optimizer(disable=(name,))):
+            plan = optimizer.optimize(expr, db)
+            assert evaluate(plan, db) == baseline
