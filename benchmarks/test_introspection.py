@@ -1,0 +1,186 @@
+"""Flight-recorder overhead and system-relation materialization cost.
+
+The introspection subsystem's contract (DESIGN.md §4g) is layered: a
+*disabled* recorder costs one attribute check per query; an *enabled*
+recorder costs one bounded record append; an *armed* slow-query
+threshold switches execution to the instrumented twin and pays the
+per-operator accounting price.  This bench measures all three modes on
+the same mixed workload (SQL point lookups, a three-way join, a lowered
+Datalog program) plus the cost of materializing each ``sys_`` table,
+and pins the semantics: identical query results in every mode, one
+record per run, reports only above the threshold.
+
+The whole bench runs inside ``REGISTRY.scoped()``: workbenches default
+their metrics to the process-global registry, so isolation is what
+keeps repeated runs (and neighboring benches) from seeing each other's
+accumulated counters.  Table in results/introspection.txt, raw metrics
+in results/introspection_metrics.json, and the recorder's own tape in
+results/introspection_flight_recorder.json.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.core.workbench import MetatheoryWorkbench
+from repro.obs import QueryHistory, REGISTRY
+from repro.relational import Database, Relation, RelationSchema
+
+from .conftest import format_table, write_artifact, write_json, write_metrics
+
+pytestmark = pytest.mark.slow
+
+QUERIES = (
+    "SELECT f.k, d1.cat FROM fact f, dim1 d1 WHERE f.b = d1.b",
+    "SELECT f.k, d1.cat, d2.reg FROM fact f, dim1 d1, dim2 d2 "
+    "WHERE f.b = d1.b AND f.c = d2.c AND d1.cat = 'cat0'",
+    "SELECT k FROM fact WHERE k < 10",
+    "twin(X, Y) :- fact(X, B, C), fact(Y, B, C), X != Y.",
+)
+ROUNDS = 25
+
+
+def build_database(fact_rows=600, dim_rows=30, seed=0):
+    rng = random.Random(seed)
+    fact = {
+        (rng.randrange(200), rng.randrange(dim_rows), rng.randrange(dim_rows))
+        for _ in range(fact_rows)
+    }
+    return Database(
+        [
+            Relation(RelationSchema("fact", ("k", "b", "c")), fact),
+            Relation(
+                RelationSchema("dim1", ("b", "cat")),
+                {(i, "cat%d" % (i % 6)) for i in range(dim_rows)},
+            ),
+            Relation(
+                RelationSchema("dim2", ("c", "reg")),
+                {(i, "reg%d" % (i % 4)) for i in range(dim_rows)},
+            ),
+        ]
+    )
+
+
+def run_workload(wb):
+    """ROUNDS passes over the mixed workload; returns results + seconds."""
+    results = []
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        results = [wb.run(query) for query in QUERIES]
+    return results, time.perf_counter() - start
+
+
+def cardinalities(results):
+    return [
+        result.count() if hasattr(result, "count") and callable(result.count)
+        else len(result)
+        for result in results
+    ]
+
+
+def test_introspection_overhead(capsys):
+    with REGISTRY.scoped():
+        queries_per_run = ROUNDS * len(QUERIES)
+        modes = []
+        baselines = None
+        recorder = None
+        for mode, kwargs in (
+            ("history off", {"history": None}),
+            (
+                "history on",
+                {"history": QueryHistory(capacity=queries_per_run)},
+            ),
+            (
+                "armed (slow_ms=1e9)",
+                {
+                    "history": QueryHistory(capacity=queries_per_run),
+                    "slow_query_ms": 1e9,
+                },
+            ),
+        ):
+            wb = MetatheoryWorkbench(build_database(), **kwargs)
+            results, elapsed = run_workload(wb)
+            if baselines is None:
+                baselines = cardinalities(results)
+            # The semantics pin: recording never changes answers.
+            assert cardinalities(results) == baselines
+            expected = 0 if not wb.history.enabled else queries_per_run
+            assert len(wb.history) == expected
+            if kwargs.get("slow_query_ms") is not None:
+                assert wb.history.slow_queries() == []  # under threshold
+            if mode == "history on":
+                recorder = wb.history
+            modes.append((mode, elapsed))
+            REGISTRY.gauge(
+                "introspection_wall_us_per_query", mode=mode
+            ).set(elapsed / queries_per_run * 1e6)
+
+        # A recording run with slow_ms=0: every record keeps its report.
+        wb = MetatheoryWorkbench(build_database(), slow_query_ms=0.0)
+        for query in QUERIES[:3]:
+            wb.run(query)
+        assert all(r.report is not None for r in wb.history.records())
+
+        # Materialization cost of each system table, measured by query.
+        sys_rows = []
+        for name in (
+            "sys_metrics", "sys_query_log", "sys_plan_cache",
+            "sys_catalog_stats",
+        ):
+            start = time.perf_counter()
+            relation = wb.sql("SELECT * FROM %s" % name)
+            micros = (time.perf_counter() - start) * 1e6
+            sys_rows.append((name, len(relation)))
+            REGISTRY.gauge(
+                "introspection_materialize_us", table=name
+            ).set(micros)
+            REGISTRY.gauge(
+                "introspection_table_rows", table=name
+            ).set(len(relation))
+
+        base_us = REGISTRY.value(
+            "introspection_wall_us_per_query", mode="history off"
+        )
+        table = format_table(
+            ("mode", "us/query", "vs off"),
+            [
+                (
+                    mode,
+                    "%.1f" % REGISTRY.value(
+                        "introspection_wall_us_per_query", mode=mode
+                    ),
+                    "%.2fx" % (
+                        REGISTRY.value(
+                            "introspection_wall_us_per_query", mode=mode
+                        ) / base_us
+                    ),
+                )
+                for mode, _elapsed in modes
+            ],
+        )
+        sys_table = format_table(
+            ("system table", "rows", "materialize_us"),
+            [
+                (
+                    name,
+                    rows,
+                    "%.1f" % REGISTRY.value(
+                        "introspection_materialize_us", table=name
+                    ),
+                )
+                for name, rows in sys_rows
+            ],
+        )
+        text = (
+            "Flight-recorder overhead on a mixed workload (%d queries)\n"
+            "and on-demand sys_ table materialization cost\n\n%s\n\n%s"
+            % (queries_per_run, table, sys_table)
+        )
+        write_artifact("introspection.txt", text)
+        write_metrics("introspection_metrics.json", REGISTRY)
+        write_json(
+            "introspection_flight_recorder.json", recorder.as_dicts()
+        )
+    with capsys.disabled():
+        print("\n" + text)

@@ -15,13 +15,20 @@ See ``examples/quickstart.py`` for the guided tour.
 
 from __future__ import annotations
 
+import time
+
 from ..acyclic.gyo import is_alpha_acyclic
 from ..acyclic.hypergraph import Hypergraph
 from ..acyclic.yannakakis import naive_join, yannakakis_join
 from ..datalog.engine import DatalogEngine
 from ..datalog.facts import FactStore
+from ..datalog.lowering import is_lowerable
 from ..datalog.parser import parse_program
+from ..datalog.stats import EngineStatistics
 from ..dependencies.design import DesignTool
+from ..obs.history import make_history
+from ..obs.introspect import install_introspection, materialize_system_facts
+from ..obs.metrics import REGISTRY
 from ..obs.trace import ensure_tracer
 from ..opt import Optimizer
 from ..plan.cache import PlanCache
@@ -41,17 +48,40 @@ from ..relational.sql_frontend import parse_sql
 
 
 class MetatheoryWorkbench:
-    """A database plus every classical way of querying and analyzing it."""
+    """A database plus every classical way of querying and analyzing it.
+
+    Observability surfaces (all zero-cost until used):
+
+    * ``tracer`` — span collection (default: the null tracer);
+    * ``metrics`` — a :class:`~repro.obs.metrics.MetricsRegistry`
+      (default: the process-global ``REGISTRY``);
+    * ``history`` — the query-history flight recorder
+      (:class:`~repro.obs.history.QueryHistory`); pass ``history=True``
+      to record every query, and/or ``slow_query_ms=N`` to arm the
+      slow-query threshold (implies recording; slow queries carry their
+      full per-operator OpReport tree);
+    * the ``sys_`` system relations (``sys_metrics``, ``sys_spans``,
+      ``sys_query_log``, ``sys_plan_cache``, ``sys_catalog_stats``,
+      ``sys_workers``) — registered on the database at construction and
+      queryable through every front-end.
+    """
 
     def __init__(self, db=None, plan_cache_size=128, tracer=None,
-                 optimizer=None):
+                 optimizer=None, history=None, slow_query_ms=None,
+                 metrics=None):
         self.db = db if db is not None else Database()
         self.plan_cache = PlanCache(plan_cache_size)
         self.tracer = ensure_tracer(tracer)
         self.optimizer = optimizer if optimizer is not None else Optimizer()
+        self.metrics = metrics if metrics is not None else REGISTRY
+        self.history = make_history(
+            history, slow_query_ms, registry=self.metrics
+        )
+        self._recording = False
         self._parse_cache = {}
         self._parse_cache_token = None
         self._parallel_backends = {}
+        self.system_relations = install_introspection(self)
 
     @classmethod
     def from_dict(cls, data):
@@ -107,13 +137,17 @@ class MetatheoryWorkbench:
             self.plan_cache.clear()
             self._parse_cache_token = token
 
-    def _plan_for(self, canonical, optimized):
+    def _plan_for(self, canonical, optimized, capture=None):
         """Resolve the cached physical-ready plan (and optimizer info).
 
         Cache entries are ``(plan, OptimizationInfo | None)`` keyed on
         the canonical structure, the optimized flag, *and* the
         optimizer's configuration token — changing the enabled rule set
         or cost profile must never serve a stale plan.
+
+        ``capture``, when given, receives the cache outcome, the key's
+        fingerprint (joinable against ``sys_plan_cache``), and the fired
+        optimizer rules — the flight recorder's per-query breadcrumbs.
         """
         key = (
             plan_key(canonical),
@@ -130,24 +164,46 @@ class MetatheoryWorkbench:
                 plan, info = canonical, None
             cached = (plan, info)
             self.plan_cache.put(key, cached)
+        if capture is not None:
+            capture["plan_cache_hit"] = hit
+            capture["plan_fingerprint"] = PlanCache.fingerprint(key)
+            if cached[1] is not None:
+                capture["rules"] = cached[1].fired
         return cached[0], cached[1], hit
 
-    def _run_pipeline(self, expr, optimized, stats, parallel=None):
+    def _run_pipeline(self, expr, optimized, stats, parallel=None,
+                      capture=None):
         self._sync_caches()
         canonical = canonicalize(expr, self.db.schema())
-        plan, _info, _hit = self._plan_for(canonical, optimized)
+        plan, _info, _hit = self._plan_for(canonical, optimized, capture)
         if parallel is not None:
+            if capture is not None:
+                capture["route"] = "parallel"
             relation, _info = parallel.execute_plan(
                 plan, self.db, stats=stats, tracer=self.tracer
             )
             return relation
+        if capture is not None:
+            capture["route"] = "streaming"
+            if capture.get("instrument"):
+                # The flight recorder is armed: run the instrumented
+                # twin (identical answers, pinned by the differential
+                # suite) so a slow query's OpReport already exists.
+                explained = run_explained(
+                    plan, self.db, stats=stats, tracer=self.tracer
+                )
+                capture["report"] = explained.report
+                capture["instrumented"] = True
+                return explained.result
         relation, _tally = execute_physical(plan, self.db, stats)
         return relation
 
-    def _cached_parse(self, kind, text, parse):
+    def _cached_parse(self, kind, text, parse, capture=None):
         self._sync_caches()
         key = (kind, text)
         expr = self._parse_cache.get(key)
+        if capture is not None:
+            capture["parse_cache_hit"] = expr is not None
         if expr is None:
             expr = parse(text)
             self._parse_cache[key] = expr
@@ -171,12 +227,22 @@ class MetatheoryWorkbench:
             workers: worker count for parallel execution (implies
                 ``executor="parallel"``; None = CPU count).
         """
+        if self.history.enabled and not self._recording:
+            return self._recorded(
+                "sql", text, optimized, executor, stats, workers
+            )
+        return self._sql(text, optimized, executor, stats, workers)
+
+    def _sql(self, text, optimized, executor, stats, workers, capture=None):
         if executor:
-            expr = self._cached_parse("sql", text, parse_sql)
+            expr = self._cached_parse("sql", text, parse_sql, capture)
             return self._run_pipeline(
                 expr, optimized, stats,
                 parallel=self._resolve_parallel(executor, workers),
+                capture=capture,
             )
+        if capture is not None:
+            capture["route"] = "treewalk"
         expr = parse_sql(text)
         if optimized:
             expr = optimize(expr, self.db)
@@ -185,11 +251,22 @@ class MetatheoryWorkbench:
     def algebra(self, expr, optimized=False, executor=True, stats=None,
                 workers=None):
         """Evaluate a relational-algebra expression."""
+        if self.history.enabled and not self._recording:
+            return self._recorded(
+                "algebra", expr, optimized, executor, stats, workers
+            )
+        return self._algebra(expr, optimized, executor, stats, workers)
+
+    def _algebra(self, expr, optimized, executor, stats, workers,
+                 capture=None):
         if executor:
             return self._run_pipeline(
                 expr, optimized, stats,
                 parallel=self._resolve_parallel(executor, workers),
+                capture=capture,
             )
+        if capture is not None:
+            capture["route"] = "treewalk"
         if optimized:
             expr = optimize(expr, self.db)
         return evaluate(expr, self.db)
@@ -209,18 +286,32 @@ class MetatheoryWorkbench:
                 (default); False uses the legacy tree walk.
             stats: optional EngineStatistics charged with executor work.
         """
+        if self.history.enabled and not self._recording:
+            return self._recorded(
+                "calculus", query, optimized, executor, stats, workers,
+                via=via,
+            )
+        return self._calculus(query, via, optimized, executor, stats, workers)
+
+    def _calculus(self, query, via, optimized, executor, stats, workers,
+                  capture=None):
         if isinstance(query, str):
             from ..relational.calculus_parser import parse_calculus
 
             query = parse_calculus(query)
         if via == "direct":
+            if capture is not None:
+                capture["route"] = "direct"
             return evaluate_query(query, self.db)
         expr = calculus_to_algebra(query, self.db.schema())
         if executor:
             return self._run_pipeline(
                 expr, optimized, stats,
                 parallel=self._resolve_parallel(executor, workers),
+                capture=capture,
             )
+        if capture is not None:
+            capture["route"] = "treewalk"
         if optimized:
             expr = optimize(expr, self.db)
         return evaluate(expr, self.db)
@@ -270,11 +361,88 @@ class MetatheoryWorkbench:
                 workers=workers,
             )
         if kind == "datalog":
-            engine = self.datalog(query, executor=executor, workers=workers)
-            return engine.evaluate(stats=stats)
+            if self.history.enabled and not self._recording:
+                return self._recorded(
+                    "datalog", query, optimized, executor, stats, workers
+                )
+            return self._datalog_eval(query, executor, workers, stats)
         raise ValueError("unknown query kind %r" % (kind,))
 
+    def _datalog_eval(self, source, executor, workers, stats, capture=None):
+        engine = self.datalog(source, executor=executor, workers=workers)
+        if capture is not None:
+            capture["route"] = (
+                "datalog:lowered"
+                if bool(executor) and is_lowerable(engine.program)
+                else "datalog:fixpoint"
+            )
+        return engine.evaluate(stats=stats)
+
     # -- observability ------------------------------------------------------------
+
+    def _recorded(self, kind, query, optimized, executor, stats, workers,
+                  via="algebra"):
+        """Run one query under the flight recorder.
+
+        The recording path of every public query method: sets the
+        reentrancy guard (``run`` delegating to ``sql`` must leave one
+        record, not two), allocates the capture dict and — when the
+        caller passed none — the statistics object, and appends the
+        record in a ``finally`` so failed queries are captured too.
+        """
+        capture = {}
+        if (
+            self.history.slow_ms is not None
+            and executor is True
+            and workers is None
+            and kind != "datalog"
+            and not (kind == "calculus" and via == "direct")
+        ):
+            # Arm the instrumented executor so a slow query's OpReport
+            # exists without a re-run.  Parallel/tree-walk/fixpoint
+            # routes have no per-operator reports; they record wall
+            # time and counters only.
+            capture["instrument"] = True
+        own_stats = stats if stats is not None else EngineStatistics()
+        self._recording = True
+        start = time.perf_counter()
+        error = None
+        result = None
+        try:
+            result = self._dispatch(
+                kind, query, optimized, executor, own_stats, workers, via,
+                capture,
+            )
+            return result
+        except Exception as exc:
+            error = exc
+            raise
+        finally:
+            self._recording = False
+            elapsed = time.perf_counter() - start
+            self.history.add(
+                kind, query, elapsed, result=result, stats=own_stats,
+                capture=capture, error=error,
+            )
+
+    def _dispatch(self, kind, query, optimized, executor, stats, workers,
+                  via, capture):
+        if kind == "sql":
+            return self._sql(
+                query, optimized, executor, stats, workers, capture
+            )
+        if kind == "algebra":
+            return self._algebra(
+                query, optimized, executor, stats, workers, capture
+            )
+        if kind == "calculus":
+            return self._calculus(
+                query, via, optimized, executor, stats, workers, capture
+            )
+        if kind == "datalog":
+            return self._datalog_eval(query, executor, workers, stats,
+                                      capture)
+        raise ValueError("unknown query kind %r" % (kind,))
 
     def _detect_kind(self, query):
         from ..relational.algebra import AlgebraExpr
@@ -334,9 +502,12 @@ class MetatheoryWorkbench:
 
         if kind == "datalog":
             program, _queries = parse_program(query)
+            edb = materialize_system_facts(
+                self.db, program, FactStore.from_database(self.db)
+            )
             return explain_datalog(
                 program,
-                edb=FactStore.from_database(self.db),
+                edb=edb,
                 stats=stats,
                 tracer=tracer,
             )
@@ -400,10 +571,17 @@ class MetatheoryWorkbench:
         ``executor=False`` forces the fixpoint machinery everywhere.
         ``executor="parallel"`` (or an explicit ``workers=N``) attaches
         the workbench's worker pool, sharding large semi-naive rounds.
+
+        The EDB is the database's *user* relations; any ``sys_`` system
+        relation named in a rule body is snapshotted in as well (and a
+        ``sys_`` rule head raises — the namespace is read-only).
         """
         program, _queries = parse_program(source)
+        store = materialize_system_facts(
+            self.db, program, FactStore.from_database(self.db)
+        )
         return DatalogEngine(
-            program, FactStore.from_database(self.db),
+            program, store,
             executor=bool(executor), tracer=self.tracer,
             parallel=self._resolve_parallel(executor, workers),
         )
@@ -415,8 +593,10 @@ class MetatheoryWorkbench:
         return DesignTool(scheme, fds)
 
     def schema_hypergraph(self):
-        """The database schema as a hypergraph."""
-        return Hypergraph.from_schema(self.db.schema())
+        """The database schema as a hypergraph (user relations only —
+        the ``sys_`` virtual relations are not part of the data's
+        structure)."""
+        return Hypergraph.from_schema(self.db.schema(virtual=False))
 
     def is_acyclic(self):
         """Alpha-acyclicity of the schema."""

@@ -132,7 +132,8 @@ class FactStore:
                 predicate, tuple("c%d" % i for i in range(arity))
             )
             schema = RelationSchema(predicate, attrs)
-            db.add(Relation(schema, tuples, validate=False))
+            # system=True: a store may hold sys_ snapshots (introspect).
+            db.add(Relation(schema, tuples, validate=False), system=True)
         return db
 
     # -- dunder -----------------------------------------------------------------

@@ -264,12 +264,15 @@ def lowered_evaluate(program, edb=None, stats=None, tracer=NULL_TRACER):
 
     db = Database()
     for predicate, arity in sorted(arities.items()):
+        # system=True: the scratch EDB may legitimately hold snapshots
+        # of sys_ relations (see repro.obs.introspect).
         db.add(
             Relation(
                 RelationSchema(predicate, _columns(arity)),
                 store.get(predicate),
                 validate=False,
-            )
+            ),
+            system=True,
         )
 
     db_schema = db.schema()
@@ -286,7 +289,8 @@ def lowered_evaluate(program, edb=None, stats=None, tracer=NULL_TRACER):
             db.replace(
                 Relation(
                     db[predicate].schema, store.get(predicate), validate=False
-                )
+                ),
+                system=True,
             )
         program_span.set(predicates=len(plans))
     return store

@@ -22,6 +22,10 @@ def _format_value(value):
     return str(value)
 
 
+def _format_optional(value):
+    return "-" if value is None else _format_value(value)
+
+
 def _span_line(span):
     parts = [span.name]
     if span.kind == "event":
@@ -89,12 +93,16 @@ def render_metrics(registry):
         )
         name = entry["name"] + ("{%s}" % labels if labels else "")
         if entry["type"] == "histogram":
-            value = "count=%d sum=%s min=%s max=%s mean=%s" % (
-                entry["count"],
-                _format_value(entry["sum"]),
-                _format_value(entry["min"]) if entry["min"] is not None else "-",
-                _format_value(entry["max"]) if entry["max"] is not None else "-",
-                _format_value(entry["mean"]),
+            value = (
+                "count=%d sum=%s min=%s max=%s mean=%s p50=%s p95=%s" % (
+                    entry["count"],
+                    _format_value(entry["sum"]),
+                    _format_optional(entry["min"]),
+                    _format_optional(entry["max"]),
+                    _format_value(entry["mean"]),
+                    _format_optional(entry.get("p50")),
+                    _format_optional(entry.get("p95")),
+                )
             )
         else:
             value = _format_value(entry["value"])

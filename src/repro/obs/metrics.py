@@ -15,6 +15,7 @@ registry is a dictionary you can always inspect, dump, or throw away.
 from __future__ import annotations
 
 import json
+from contextlib import contextmanager
 
 from ..errors import ObservabilityError
 
@@ -70,11 +71,26 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observations: count/sum/min/max/mean."""
+    """Streaming summary of observations: count/sum/min/max/mean plus
+    p50/p95 percentile estimates.
 
-    __slots__ = ("name", "labels", "count", "total", "min", "max")
+    Percentiles come from a bounded, *deterministic* sample: every
+    ``stride``-th observation is retained, and when the buffer exceeds
+    :data:`SAMPLE_CAP` it is decimated (every other sample dropped, the
+    stride doubled).  No randomness — the same observation sequence
+    always yields the same summary, matching the repo's seed-determinism
+    discipline — and memory stays O(SAMPLE_CAP) however long the series
+    runs.  Under decimation the estimate is approximate; count, sum,
+    min, max, and mean remain exact.
+    """
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max",
+                 "_samples", "_stride")
 
     kind = "histogram"
+
+    #: Retained-sample bound before deterministic decimation kicks in.
+    SAMPLE_CAP = 512
 
     def __init__(self, name, labels):
         self.name = name
@@ -83,8 +99,15 @@ class Histogram:
         self.total = 0.0
         self.min = None
         self.max = None
+        self._samples = []
+        self._stride = 1
 
     def observe(self, value):
+        if (self.count % self._stride) == 0:
+            self._samples.append(value)
+            if len(self._samples) > self.SAMPLE_CAP:
+                self._samples = self._samples[::2]
+                self._stride *= 2
         self.count += 1
         self.total += value
         if self.min is None or value < self.min:
@@ -97,6 +120,23 @@ class Histogram:
     def mean(self):
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q):
+        """Nearest-rank percentile over the retained sample (None when
+        empty).  ``q`` is in [0, 100]; p100 is the sample maximum."""
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        rank = int(-(-q * len(ordered) // 100))  # ceil without floats
+        return ordered[min(max(rank - 1, 0), len(ordered) - 1)]
+
+    @property
+    def p50(self):
+        return self.percentile(50)
+
+    @property
+    def p95(self):
+        return self.percentile(95)
+
     def snapshot(self):
         return {
             "count": self.count,
@@ -104,6 +144,8 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
         }
 
 
@@ -167,6 +209,29 @@ class MetricsRegistry:
         return "\n".join(
             json.dumps(entry, sort_keys=True) for entry in self.dump()
         )
+
+    @contextmanager
+    def scoped(self):
+        """Snapshot/restore isolation: a fresh series table for a block.
+
+        On entry the registry's live series table is set aside and
+        replaced with an empty one; on exit (however the block ends) the
+        original table is restored untouched.  Benchmarks and tests that
+        instrument code writing to the process-global :data:`REGISTRY`
+        use this so repeated runs never see each other's accumulated
+        state::
+
+            with REGISTRY.scoped():
+                run_workload()
+                table = REGISTRY.dump()     # this run only
+            # REGISTRY is back to its pre-block contents
+        """
+        saved = self._series
+        self._series = {}
+        try:
+            yield self
+        finally:
+            self._series = saved
 
     def clear(self):
         self._series.clear()

@@ -62,6 +62,20 @@ class TableStats:
         """``{attribute: distinct count}`` over all attributes."""
         return {a: len(v) for a, v in self._values.items()}
 
+    def census_rows(self, name):
+        """The census as ``sys_catalog_stats`` tuples.
+
+        One ``(relation, attribute, rows, distinct_values)`` row per
+        attribute; nullary relations contribute a single row with an
+        empty attribute so their cardinality is still visible.
+        """
+        if not self.attributes:
+            return [(name, "", self.rows, 0)]
+        return [
+            (name, attribute, self.rows, len(self._values[attribute]))
+            for attribute in self.attributes
+        ]
+
     def __repr__(self):
         return "TableStats(rows=%d, %s)" % (
             self.rows,

@@ -103,6 +103,13 @@ class ParallelBackend:
         """Shut the pool down (idempotent; it restarts lazily if reused)."""
         self.pool.close()
 
+    def stats(self):
+        """Pool counters plus the backend's own gate decisions."""
+        stats = self.pool.stats()
+        stats["parallel_runs"] = self.parallel_runs
+        stats["serial_runs"] = self.serial_runs
+        return stats
+
     # -- relational plans -------------------------------------------------
 
     def should_parallelize(self, plan, db):

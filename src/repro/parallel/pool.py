@@ -361,6 +361,17 @@ class WorkerPool:
             )
         return outcomes
 
+    def stats(self):
+        """The pool's observability counters as one flat dict."""
+        return {
+            "workers": self.workers,
+            "started": self.started,
+            "spawned": self.spawned,
+            "respawns": self.respawns,
+            "tasks_dispatched": self.tasks_dispatched,
+            "serial_retries": self.serial_retries,
+        }
+
     def __repr__(self):
         return "WorkerPool(workers=%d, started=%s)" % (
             self.workers, self.started

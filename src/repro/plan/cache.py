@@ -17,9 +17,16 @@ from __future__ import annotations
 
 
 class PlanCache:
-    """A bounded FIFO-evicting mapping with hit/miss/eviction counters."""
+    """A bounded FIFO-evicting mapping with hit/miss/eviction counters.
 
-    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries")
+    Hits are counted both in aggregate and *per entry* (``entries()``),
+    so the ``sys_plan_cache`` system relation can expose which cached
+    plans are actually hot and the query log can join against them by
+    :meth:`fingerprint`.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries",
+                 "_hits_by_key")
 
     def __init__(self, capacity=128):
         self.capacity = capacity
@@ -27,6 +34,7 @@ class PlanCache:
         self.misses = 0
         self.evictions = 0
         self._entries = {}
+        self._hits_by_key = {}
 
     def __len__(self):
         return len(self._entries)
@@ -41,14 +49,33 @@ class PlanCache:
             self.misses += 1
             return None
         self.hits += 1
+        self._hits_by_key[key] += 1
         return entry
 
     def put(self, key, value):
         if key not in self._entries and len(self._entries) >= self.capacity:
             oldest = next(iter(self._entries))
             del self._entries[oldest]
+            del self._hits_by_key[oldest]
             self.evictions += 1
         self._entries[key] = value
+        self._hits_by_key.setdefault(key, 0)
+
+    @staticmethod
+    def fingerprint(key):
+        """A short joinable hash of a cache key.
+
+        Stable within a process (it derives from ``hash()``), which is
+        exactly the lifetime of the cache it names.
+        """
+        return "%012x" % (hash(key) & 0xFFFFFFFFFFFF)
+
+    def entries(self):
+        """``(index, key, hits)`` per live entry, insertion order."""
+        return [
+            (index, key, self._hits_by_key[key])
+            for index, key in enumerate(self._entries)
+        ]
 
     def stats(self):
         """``{"hits", "misses", "evictions", "size"}`` snapshot."""
@@ -68,6 +95,7 @@ class PlanCache:
     def clear(self):
         """Drop all entries and reset every counter (schema changed)."""
         self._entries.clear()
+        self._hits_by_key.clear()
         self.hits = 0
         self.misses = 0
         self.evictions = 0

@@ -419,12 +419,14 @@ def explain_datalog(program, edb=None, stats=None, tracer=NULL_TRACER):
 
     db = Database()
     for predicate, arity in sorted(arities.items()):
+        # system=True: the scratch EDB may hold sys_ snapshots.
         db.add(
             Relation(
                 RelationSchema(predicate, _columns(arity)),
                 store.get(predicate),
                 validate=False,
-            )
+            ),
+            system=True,
         )
 
     root = OpReport("Program")
@@ -448,7 +450,8 @@ def explain_datalog(program, edb=None, stats=None, tracer=NULL_TRACER):
             db.replace(
                 Relation(
                     db[predicate].schema, store.get(predicate), validate=False
-                )
+                ),
+                system=True,
             )
         program_span.set(predicates=len(root.children))
     root.rows = store.count()

@@ -6,6 +6,16 @@ from ..errors import RelationError, SchemaError
 from .relation import Relation
 from .schema import DatabaseSchema, RelationSchema
 
+#: Prefix of the reserved system-relation namespace (queryable runtime
+#: introspection; see :mod:`repro.obs.introspect`).  User relations may
+#: not use it: the system tables must never be shadowed by data.
+SYSTEM_PREFIX = "sys_"
+
+
+def is_system_name(name):
+    """True for names inside the reserved ``sys_`` namespace."""
+    return isinstance(name, str) and name.startswith(SYSTEM_PREFIX)
+
 
 class Database:
     """A mutable collection of named :class:`Relation` instances.
@@ -13,13 +23,24 @@ class Database:
     The algebra/calculus evaluators and the Datalog engines all consume a
     ``Database``.  Relations are immutable; updating a relation replaces the
     binding.
+
+    A database may additionally carry **virtual relations**: reserved
+    ``sys_``-named tables whose tuples are produced by a registered
+    provider at lookup time (:meth:`register_virtual`).  Virtual
+    relations resolve through ``db[name]`` and appear in :meth:`schema`
+    (so every query front-end can reference them) but are deliberately
+    excluded from :meth:`names`, iteration, :meth:`active_domain`, and
+    :meth:`copy` — enumeration-style consumers (schema hypergraphs, full
+    joins, Datalog EDB ingestion, workload generators) see user data
+    only.
     """
 
-    __slots__ = ("_relations", "_catalog")
+    __slots__ = ("_relations", "_catalog", "_virtual")
 
     def __init__(self, relations=()):
         self._relations = {}
         self._catalog = None
+        self._virtual = None
         for rel in relations:
             self.add(rel)
 
@@ -45,19 +66,36 @@ class Database:
 
     # -- access ----------------------------------------------------------------
 
-    def add(self, relation):
-        """Register a relation under its schema name; names must be unique."""
+    def _check_reserved(self, name):
+        if is_system_name(name):
+            raise SchemaError(
+                "relation name %r is in the reserved 'sys_' namespace "
+                "(read-only system relations; see repro.obs.introspect)"
+                % (name,)
+            )
+
+    def add(self, relation, system=False):
+        """Register a relation under its schema name; names must be unique.
+
+        ``system=True`` is the internal escape hatch for scratch
+        databases that legitimately materialize ``sys_`` snapshots
+        (Datalog lowering); user code must not pass it.
+        """
         if not isinstance(relation, Relation):
             raise RelationError("expected Relation, got %r" % (relation,))
         name = relation.schema.name
+        if not system:
+            self._check_reserved(name)
         if name in self._relations:
             raise SchemaError("duplicate relation name %r" % (name,))
         self._relations[name] = relation
         self._invalidate_stats(name)
         return relation
 
-    def replace(self, relation):
+    def replace(self, relation, system=False):
         """Register or overwrite the relation named by its schema."""
+        if not system:
+            self._check_reserved(relation.schema.name)
         self._relations[relation.schema.name] = relation
         self._invalidate_stats(relation.schema.name)
         return relation
@@ -79,6 +117,7 @@ class Database:
         instead of rescanning the relation, so repeated inserts keep
         optimizer statistics current at cost proportional to the insert.
         """
+        self._check_reserved(name)
         old = self[name]
         added = {tuple(row) for row in rows} - old.tuples
         if not added:
@@ -102,17 +141,54 @@ class Database:
         if self._catalog is not None:
             self._catalog.invalidate(name)
 
+    # -- virtual (system) relations -----------------------------------------
+
+    def register_virtual(self, schema, provider):
+        """Register a ``sys_`` relation materialized on demand.
+
+        Args:
+            schema: the relation's :class:`RelationSchema`; its name
+                must carry the reserved :data:`SYSTEM_PREFIX`.
+            provider: zero-argument callable returning the table's raw
+                tuples at lookup time.
+
+        Re-registering a name replaces the provider (the most recent
+        session owns the namespace).
+        """
+        if not isinstance(schema, RelationSchema):
+            raise SchemaError("expected RelationSchema, got %r" % (schema,))
+        if not is_system_name(schema.name):
+            raise SchemaError(
+                "virtual relations live in the 'sys_' namespace; got %r"
+                % (schema.name,)
+            )
+        if self._virtual is None:
+            self._virtual = {}
+        self._virtual[schema.name] = (schema, provider)
+        return schema
+
+    def virtual_names(self):
+        """Registered virtual relation names, sorted."""
+        return sorted(self._virtual) if self._virtual is not None else []
+
     def __getitem__(self, name):
         try:
             return self._relations[name]
         except KeyError:
+            if self._virtual is not None:
+                entry = self._virtual.get(name)
+                if entry is not None:
+                    schema, provider = entry
+                    return Relation(schema, provider())
             raise SchemaError(
                 "no relation named %r in database (has: %s)"
                 % (name, ", ".join(sorted(self._relations)) or "<empty>")
             ) from None
 
     def __contains__(self, name):
-        return name in self._relations
+        return name in self._relations or (
+            self._virtual is not None and name in self._virtual
+        )
 
     def __iter__(self):
         return iter(self._relations)
@@ -128,9 +204,19 @@ class Database:
         """All relations, ordered by name."""
         return [self._relations[n] for n in self.names()]
 
-    def schema(self):
-        """The :class:`DatabaseSchema` of this instance."""
-        return DatabaseSchema(r.schema for r in self.relations())
+    def schema(self, virtual=True):
+        """The :class:`DatabaseSchema` of this instance.
+
+        Includes registered virtual (``sys_``) relation schemas by
+        default so compiled queries can reference them; pass
+        ``virtual=False`` for the user-data-only view (schema
+        hypergraphs, acyclicity analysis, full joins).
+        """
+        schema = DatabaseSchema(r.schema for r in self.relations())
+        if virtual and self._virtual is not None:
+            for name in sorted(self._virtual):
+                schema.add(self._virtual[name][0])
+        return schema
 
     def schema_token(self):
         """A hashable fingerprint of the schema (names and attributes).
@@ -160,7 +246,11 @@ class Database:
         return sum(len(r) for r in self._relations.values())
 
     def copy(self):
-        """Shallow copy (relations are immutable, so this is enough)."""
+        """Shallow copy (relations are immutable, so this is enough).
+
+        Virtual providers are *not* carried over: they are bound to live
+        session objects (tracers, caches, pools); a copy is plain data.
+        """
         db = Database()
         db._relations = dict(self._relations)
         return db  # statistics are per-instance: the copy starts fresh

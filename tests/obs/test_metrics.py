@@ -46,6 +46,100 @@ class TestInstruments:
         assert MetricsRegistry().histogram("h").mean == 0.0
 
 
+class TestHistogramPercentiles:
+    def test_nearest_rank_on_small_samples(self):
+        hist = MetricsRegistry().histogram("ms")
+        for value in (10.0, 20.0, 30.0, 40.0):
+            hist.observe(value)
+        assert hist.p50 == 20.0  # ceil(0.5 * 4) = rank 2
+        assert hist.p95 == 40.0
+        assert hist.percentile(100) == 40.0
+        assert hist.percentile(0) == 10.0
+
+    def test_empty_percentiles_are_none(self):
+        hist = MetricsRegistry().histogram("ms")
+        assert hist.p50 is None
+        assert hist.p95 is None
+        assert hist.snapshot()["p50"] is None
+
+    def test_single_observation(self):
+        hist = MetricsRegistry().histogram("ms").observe(7.0)
+        assert hist.p50 == 7.0
+        assert hist.p95 == 7.0
+
+    def test_order_insensitive(self):
+        a = MetricsRegistry().histogram("ms")
+        b = MetricsRegistry().histogram("ms")
+        values = [float(v) for v in (5, 1, 9, 3, 7, 2, 8, 4, 6)]
+        for value in values:
+            a.observe(value)
+        for value in sorted(values):
+            b.observe(value)
+        assert a.p50 == b.p50 == 5.0
+        assert a.p95 == b.p95 == 9.0
+
+    def test_decimation_is_deterministic_and_bounded(self):
+        cap = MetricsRegistry().histogram("ms").SAMPLE_CAP
+        a = MetricsRegistry().histogram("ms")
+        b = MetricsRegistry().histogram("ms")
+        for value in range(4 * cap):
+            a.observe(float(value))
+            b.observe(float(value))
+        assert len(a._samples) <= cap
+        assert a._stride > 1
+        # Exact stats stay exact under decimation.
+        assert a.count == 4 * cap
+        assert a.min == 0.0 and a.max == float(4 * cap - 1)
+        # Same sequence, same retained sample, same estimates.
+        assert a._samples == b._samples
+        assert a.p50 == b.p50
+        # The estimate stays within one stride of the true median.
+        true_median = (4 * cap - 1) / 2.0
+        assert abs(a.p50 - true_median) <= a._stride
+
+    def test_snapshot_and_dump_carry_percentiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("ms")
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        (entry,) = registry.dump()
+        assert entry["p50"] == 2.0
+        assert entry["p95"] == 3.0
+        assert "p50=2" in render_metrics(registry)
+
+
+class TestScoped:
+    def test_scoped_isolates_and_restores(self):
+        registry = MetricsRegistry()
+        registry.counter("outer").inc(3)
+        with registry.scoped() as scoped:
+            assert scoped is registry
+            assert len(registry) == 0
+            registry.counter("inner").inc()
+            assert registry.value("inner") == 1
+        assert registry.value("outer") == 3
+        with pytest.raises(KeyError):
+            registry.value("inner")
+
+    def test_scoped_restores_on_exception(self):
+        registry = MetricsRegistry()
+        registry.gauge("kept").set(9)
+        with pytest.raises(RuntimeError):
+            with registry.scoped():
+                registry.counter("lost").inc()
+                raise RuntimeError("boom")
+        assert registry.value("kept") == 9
+        assert len(registry) == 1
+
+    def test_scoped_nests(self):
+        registry = MetricsRegistry()
+        with registry.scoped():
+            registry.counter("a").inc()
+            with registry.scoped():
+                assert len(registry) == 0
+            assert registry.value("a") == 1
+
+
 class TestSeriesKeying:
     def test_same_labels_same_series(self):
         registry = MetricsRegistry()

@@ -180,6 +180,85 @@ class TestExport:
         assert record["counters"]["facts_scanned"] == 4
 
 
+class TestJsonSchemaGolden:
+    """The trace export's record schema, pinned field by field.
+
+    External consumers (the CI artifact uploads, notebook tooling) key
+    on these names and types; renaming a field is a breaking change and
+    must show up here, not in a downstream dashboard.
+    """
+
+    #: field -> allowed JSON types, for every span record.
+    REQUIRED = {
+        "name": (str,),
+        "kind": (str,),
+        "depth": (int,),
+        "elapsed_ms": (float, int, type(None)),
+    }
+    #: optional fields (present only when non-empty) -> allowed types.
+    OPTIONAL = {
+        "attributes": (dict,),
+        "counters": (dict,),
+    }
+
+    def build(self):
+        tracer = Tracer(clock=ticking_clock())
+        stats = EngineStatistics()
+        with tracer.span("outer", stats=stats, workload="tc"):
+            stats.facts_scanned += 2
+            with tracer.span("inner"):
+                pass
+            tracer.event("abort", txn=1)
+        return tracer
+
+    def test_every_record_matches_the_golden_schema(self):
+        import json
+
+        records = [
+            json.loads(line)
+            for line in trace_json_lines(self.build()).splitlines()
+        ]
+        assert len(records) == 3
+        for record in records:
+            for field, types in self.REQUIRED.items():
+                assert field in record, "missing %r" % field
+                assert isinstance(record[field], types), (field, record)
+            for field, value in record.items():
+                assert field in self.REQUIRED or field in self.OPTIONAL, (
+                    "unpinned field %r — update the golden schema "
+                    "deliberately" % field
+                )
+                if field in self.OPTIONAL:
+                    assert isinstance(value, self.OPTIONAL[field])
+
+    def test_counters_and_attributes_are_flat_json_values(self):
+        import json
+
+        records = [
+            json.loads(line)
+            for line in trace_json_lines(self.build()).splitlines()
+        ]
+        outer = records[0]
+        assert outer["attributes"] == {"workload": "tc"}
+        assert all(
+            isinstance(v, int) for v in outer["counters"].values()
+        )
+
+    def test_round_trip_preserves_walk_order(self):
+        import json
+
+        tracer = self.build()
+        names = [span.name for _depth, span in tracer.walk()]
+        records = [
+            json.loads(line)
+            for line in trace_json_lines(tracer).splitlines()
+        ]
+        assert [r["name"] for r in records] == names
+        assert [r["depth"] for r in records] == [
+            depth for depth, _span in tracer.walk()
+        ]
+
+
 class TestNullPath:
     def test_null_tracer_is_disabled(self):
         assert NULL_TRACER.enabled is False

@@ -38,6 +38,12 @@ LANDMARKS = {
         "stratum",
         "lock_wait",
     ],
+    "introspection.py": [
+        "sys_query_log",
+        "status=error",
+        "cache_hits",
+        "Scan(sys_plan_cache)",
+    ],
 }
 
 
