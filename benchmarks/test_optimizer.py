@@ -1,11 +1,18 @@
 """Unified optimizer bench: optimized vs unoptimized, measured.
 
-The tentpole claim for ``repro.opt``: on acyclic multi-joins, ``wb.run``
-routes through Yannakakis and materializes fewer tuples than the
-unoptimized run, at equal results.  Three workloads exercise the three
-acyclic shapes the routing handles — a star, a 3-relation chain, and a
-4-relation path — and each records tuples materialized and best-of-N
-wall clock for both runs.
+The claim for ``repro.opt``: on acyclic multi-joins, ``wb.run`` picks a
+plan that materializes fewer tuples than the unoptimized run, at equal
+results.  Three workloads exercise the acyclic shapes — a star, a
+3-relation chain, and a 4-relation path — and each records tuples
+materialized and best-of-N wall clock for both runs.
+
+The Yannakakis routing is cost-gated: the star and chain workloads are
+small enough that the semijoin program's own sweeps would cost more
+wall time than the tuples they save (earlier revisions of
+``BENCH_optimizer.json`` recorded exactly that regression), so the gate
+keeps them on cost-ordered hash joins and only the path-4 workload —
+whose intermediates dwarf its inputs — routes through Yannakakis.  The
+bench pins both sides of that decision.
 
 Honesty note on the metric: the streaming executor charges
 ``tuples_materialized`` only for tuples an operator *buffers* (hash-join
@@ -114,10 +121,11 @@ def path4_workload():
     return db, expr
 
 
+#: (label, builder, expected join methods under the routing cost gate).
 WORKLOADS = (
-    ("star fact 10k", star_workload),
-    ("chain dangling middle", chain_workload),
-    ("path-4 selective ends", path4_workload),
+    ("star fact 10k", star_workload, ("dp", "greedy")),
+    ("chain dangling middle", chain_workload, ("dp", "greedy")),
+    ("path-4 selective ends", path4_workload, ("yannakakis",)),
 )
 
 
@@ -159,7 +167,8 @@ def run_workload(build):
 def test_optimizer_materialization(benchmark):
     results = benchmark.pedantic(
         lambda: {
-            label: run_workload(build) for label, build in WORKLOADS
+            label: run_workload(build)
+            for label, build, _expected in WORKLOADS
         },
         rounds=1,
         iterations=1,
@@ -204,10 +213,16 @@ def test_optimizer_materialization(benchmark):
         json.dump(summary, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
-    # The headline gates: every acyclic workload routes through
-    # Yannakakis and the routed run materializes fewer tuples.
+    # The headline gates: the cost gate keeps the small star/chain on
+    # ordered hash joins, path-4 still routes through Yannakakis, and
+    # the optimized run always materializes fewer tuples.
+    expected_methods = {
+        label: expected for label, _build, expected in WORKLOADS
+    }
     for label, outcome in results.items():
-        assert outcome["join_method"] == "yannakakis", (label, outcome)
+        assert outcome["join_method"] in expected_methods[label], (
+            label, outcome,
+        )
         assert (
             outcome["optimized"]["tuples_materialized"]
             < outcome["unoptimized"]["tuples_materialized"]
@@ -215,11 +230,22 @@ def test_optimizer_materialization(benchmark):
 
 
 def test_yannakakis_routing_smoke():
-    """Fast standalone smoke: routing is visible end to end in EXPLAIN."""
-    db, expr = chain_workload()
+    """Fast standalone smoke: the gated routing is visible end to end.
+
+    The large path-4 workload clears the cost gate and shows up as
+    Yannakakis in EXPLAIN; the small chain stays on ordered hash joins.
+    """
+    db, expr = path4_workload()
     wb = MetatheoryWorkbench(db)
     explained = wb.explain_analyze(expr)
     assert explained.optimizer.join_method == "yannakakis"
     assert "route-yannakakis" in explained.optimizer.fired
     assert "yannakakis" in explained.render()
+    assert explained.result == wb.run(expr, optimized=False)
+
+    db, expr = chain_workload()
+    wb = MetatheoryWorkbench(db)
+    explained = wb.explain_analyze(expr)
+    assert explained.optimizer.join_method in ("dp", "greedy")
+    assert "route-yannakakis" not in explained.optimizer.fired
     assert explained.result == wb.run(expr, optimized=False)

@@ -56,6 +56,16 @@ def main():
     )
     print(grandparents.pretty())
 
+    print("\n=== Compiled execution: the same SQL as a fused kernel ===")
+    compiled = workbench.sql(
+        "SELECT p1.parent AS grandparent, p2.child AS grandchild "
+        "FROM parent p1, parent p2 WHERE p1.child = p2.parent",
+        executor="compiled",
+    )
+    print("compiled kernel agrees with the interpreter:",
+          compiled == grandparents)
+    print("kernel cache:", workbench.kernel_cache.stats())
+
     print("\n=== Relational algebra: the same query ===")
     expr = Projection(
         NaturalJoin(

@@ -1,0 +1,22 @@
+"""Query compilation: fused Python kernels generated from plans.
+
+The produce/consume code generator (:mod:`.codegen`) turns a canonical
+logical plan into one specialized Python function — pipelines fused
+into plain loops, conditions and projections inlined, work counters
+batched — and the :class:`KernelCache` (:mod:`.cache`) compiles each
+(plan, schema) pair exactly once.  The workbench exposes it all as
+``executor="compiled"`` on every front-end, falling back to the
+interpreted streaming executor (and counting it) on any plan shape the
+generator refuses.
+"""
+
+from .cache import KernelCache, execute_compiled
+from .codegen import CompiledKernel, CompileFallback, compile_plan
+
+__all__ = [
+    "CompileFallback",
+    "CompiledKernel",
+    "KernelCache",
+    "compile_plan",
+    "execute_compiled",
+]

@@ -6,7 +6,8 @@ this case).  Two oracle kinds:
 
 * **Differential** — run one workload through every applicable
   evaluation path and demand agreement: legacy tree walk vs. streaming
-  executor vs. optimized plan vs. cost-gated parallel backend; direct
+  executor vs. fused compiled kernels vs. optimized plan vs. cost-gated
+  parallel backend; direct
   calculus semantics vs. Codd-translated algebra; all four Datalog
   strategies under both physical configurations (plus the lowered
   pipeline and the sharded semi-naive backend); 2PL / timestamp / OCC
@@ -42,6 +43,7 @@ from ..relational.codd import calculus_to_algebra
 from ..opt import Optimizer
 from ..relational.relation import same_content
 from ..relational.sql_frontend import parse_sql
+from ..compile import KernelCache
 from ..plan import canonicalize, execute
 from ..transactions import (
     is_conflict_serializable,
@@ -61,6 +63,13 @@ import random
 #: statistics, every rewrite rule, DP/greedy ordering, Yannakakis
 #: routing.  The differential leg runs whatever plans it emits.
 _FULL_PIPELINE = Optimizer()
+
+#: One shared kernel cache for the compiled-execution leg.  Shared
+#: across cases on purpose: repeated plan shapes replay cached kernels
+#: (exercising the reuse path), and every refused plan lands in the
+#: cache's ``fallback_runs`` counter — fallbacks are *counted*, never
+#: silent, so a sweep report can show how much of the corpus compiled.
+_KERNEL_CACHE = KernelCache(capacity=512)
 
 
 class Divergence(Exception):
@@ -113,12 +122,18 @@ class _ParallelMixin:
 
 
 class RelationalDifferentialOracle(_ParallelMixin, Oracle):
-    """Tree walk ≡ streaming executor ≡ optimized plan (≡ parallel).
+    """Tree walk ≡ streaming executor ≡ compiled ≡ optimized (≡ parallel).
+
+    The compiled leg resolves each canonical plan against a shared
+    :class:`~repro.compile.KernelCache` and, when the generator accepts
+    the shape, demands the fused kernel's result be *identical* to the
+    streaming executor's; refused plans run interpreted-only and count
+    in the cache's fallback counters (never silently skipped).
 
     The parallel comparison runs on every fourth case (per seed) so a
     budgeted fuzz run still spends most of its time on the cheap
-    three-way comparison; the gate-forced backend partitions every plan
-    it structurally can, falling back to serial execution otherwise —
+    comparisons; the gate-forced backend partitions every plan it
+    structurally can, falling back to serial execution otherwise —
     both paths must agree with the serial executor.
     """
 
@@ -149,6 +164,16 @@ class RelationalDifferentialOracle(_ParallelMixin, Oracle):
             messages.append(
                 _relation_diff("executor vs tree walk", streamed, legacy)
             )
+
+        kernel, _reason = _KERNEL_CACHE.resolve(canonical, db)
+        if kernel is not None:
+            compiled, _tally = kernel.execute(db)
+            if compiled != streamed:
+                messages.append(
+                    _relation_diff(
+                        "compiled kernel vs executor", compiled, streamed
+                    )
+                )
 
         optimized_plan = canonicalize(
             _FULL_PIPELINE.optimize(canonical, db), db.schema()

@@ -20,6 +20,7 @@ import time
 from ..acyclic.gyo import is_alpha_acyclic
 from ..acyclic.hypergraph import Hypergraph
 from ..acyclic.yannakakis import naive_join, yannakakis_join
+from ..compile import KernelCache
 from ..datalog.engine import DatalogEngine
 from ..datalog.facts import FactStore
 from ..datalog.lowering import is_lowerable
@@ -61,9 +62,9 @@ class MetatheoryWorkbench:
       slow-query threshold (implies recording; slow queries carry their
       full per-operator OpReport tree);
     * the ``sys_`` system relations (``sys_metrics``, ``sys_spans``,
-      ``sys_query_log``, ``sys_plan_cache``, ``sys_catalog_stats``,
-      ``sys_workers``) — registered on the database at construction and
-      queryable through every front-end.
+      ``sys_query_log``, ``sys_plan_cache``, ``sys_kernels``,
+      ``sys_catalog_stats``, ``sys_workers``) — registered on the
+      database at construction and queryable through every front-end.
     """
 
     def __init__(self, db=None, plan_cache_size=128, tracer=None,
@@ -71,6 +72,7 @@ class MetatheoryWorkbench:
                  metrics=None):
         self.db = db if db is not None else Database()
         self.plan_cache = PlanCache(plan_cache_size)
+        self.kernel_cache = KernelCache()
         self.tracer = ensure_tracer(tracer)
         self.optimizer = optimizer if optimizer is not None else Optimizer()
         self.metrics = metrics if metrics is not None else REGISTRY
@@ -112,6 +114,8 @@ class MetatheoryWorkbench:
 
     def _resolve_parallel(self, executor, workers):
         """Map the ``executor``/``workers`` arguments to a backend or None."""
+        if executor == "compiled":
+            return None
         if executor == "parallel" or (executor and workers is not None):
             return self.parallel_backend(workers)
         return None
@@ -135,6 +139,7 @@ class MetatheoryWorkbench:
         if token != self._parse_cache_token:
             self._parse_cache.clear()
             self.plan_cache.clear()
+            self.kernel_cache.clear()
             self._parse_cache_token = token
 
     def _plan_for(self, canonical, optimized, capture=None):
@@ -169,22 +174,40 @@ class MetatheoryWorkbench:
             capture["plan_fingerprint"] = PlanCache.fingerprint(key)
             if cached[1] is not None:
                 capture["rules"] = cached[1].fired
-        return cached[0], cached[1], hit
+        return cached[0], cached[1], hit, key
 
     def _run_pipeline(self, expr, optimized, stats, parallel=None,
-                      capture=None):
+                      capture=None, compiled=False):
         self._sync_caches()
         canonical = canonicalize(expr, self.db.schema())
-        plan, _info, _hit = self._plan_for(canonical, optimized, capture)
+        plan, _info, _hit, key = self._plan_for(canonical, optimized, capture)
+        route = None
+        if compiled:
+            kernel, _reason = self.kernel_cache.resolve(plan, self.db)
+            if kernel is not None:
+                relation, _tally = kernel.execute(self.db, stats)
+                self.plan_cache.note_route(
+                    key, "compiled", kernel=kernel.fingerprint
+                )
+                if capture is not None:
+                    capture["route"] = "compiled"
+                    capture["kernel"] = kernel.fingerprint
+                return relation
+            # Unsupported plan shape: interpret instead, loudly.
+            self.metrics.counter("compile_fallbacks_total").inc()
+            route = "compiled-fallback"
         if parallel is not None:
+            self.plan_cache.note_route(key, "parallel")
             if capture is not None:
                 capture["route"] = "parallel"
             relation, _info = parallel.execute_plan(
                 plan, self.db, stats=stats, tracer=self.tracer
             )
             return relation
+        route = route or "streaming"
+        self.plan_cache.note_route(key, route)
         if capture is not None:
-            capture["route"] = "streaming"
+            capture["route"] = route
             if capture.get("instrument"):
                 # The flight recorder is armed: run the instrumented
                 # twin (identical answers, pinned by the differential
@@ -218,7 +241,10 @@ class MetatheoryWorkbench:
             optimized: run the algebraic optimizer over the canonical
                 plan.
             executor: compile through the shared pipeline and run on the
-                streaming executor (default); ``"parallel"`` additionally
+                streaming executor (default); ``"compiled"`` generates a
+                fused Python kernel for the plan (interpreting, and
+                counting ``compile_fallbacks_total``, when the plan has
+                an unsupported shape); ``"parallel"`` additionally
                 hash-partitions large plans across a worker pool; False
                 reproduces the legacy tree-walk path bit for bit.
             stats: optional
@@ -239,7 +265,7 @@ class MetatheoryWorkbench:
             return self._run_pipeline(
                 expr, optimized, stats,
                 parallel=self._resolve_parallel(executor, workers),
-                capture=capture,
+                capture=capture, compiled=executor == "compiled",
             )
         if capture is not None:
             capture["route"] = "treewalk"
@@ -263,7 +289,7 @@ class MetatheoryWorkbench:
             return self._run_pipeline(
                 expr, optimized, stats,
                 parallel=self._resolve_parallel(executor, workers),
-                capture=capture,
+                capture=capture, compiled=executor == "compiled",
             )
         if capture is not None:
             capture["route"] = "treewalk"
@@ -308,7 +334,7 @@ class MetatheoryWorkbench:
             return self._run_pipeline(
                 expr, optimized, stats,
                 parallel=self._resolve_parallel(executor, workers),
-                capture=capture,
+                capture=capture, compiled=executor == "compiled",
             )
         if capture is not None:
             capture["route"] = "treewalk"
@@ -370,13 +396,23 @@ class MetatheoryWorkbench:
 
     def _datalog_eval(self, source, executor, workers, stats, capture=None):
         engine = self.datalog(source, executor=executor, workers=workers)
+        lowerable = bool(executor) and is_lowerable(engine.program)
         if capture is not None:
-            capture["route"] = (
-                "datalog:lowered"
-                if bool(executor) and is_lowerable(engine.program)
-                else "datalog:fixpoint"
-            )
-        return engine.evaluate(stats=stats)
+            if lowerable:
+                capture["route"] = (
+                    "datalog:compiled"
+                    if engine.kernel_cache is not None
+                    else "datalog:lowered"
+                )
+            else:
+                capture["route"] = "datalog:fixpoint"
+        fallbacks_before = self.kernel_cache.fallback_runs
+        try:
+            return engine.evaluate(stats=stats)
+        finally:
+            fallen = self.kernel_cache.fallback_runs - fallbacks_before
+            if fallen:
+                self.metrics.counter("compile_fallbacks_total").inc(fallen)
 
     # -- observability ------------------------------------------------------------
 
@@ -530,13 +566,14 @@ class MetatheoryWorkbench:
             raise ValueError("unknown query kind %r" % (kind,))
 
         canonical = canonicalize(expr, self.db.schema())
-        plan, info, plan_cache_hit = self._plan_for(canonical, optimized)
+        plan, info, plan_cache_hit, _key = self._plan_for(canonical, optimized)
         result = run_explained(
             plan, self.db, stats=stats, tracer=tracer, kind=kind
         )
         result.plan_cache_hit = plan_cache_hit
         result.parse_cache_hit = parse_cache_hit
         result.optimizer = info
+        result.kernel = self._kernel_status(plan)
         annotate_estimates(
             result.report,
             plan,
@@ -544,6 +581,30 @@ class MetatheoryWorkbench:
             self.optimizer.context(self.db).cost,
         )
         return result
+
+    def _kernel_status(self, plan):
+        """Compiled-kernel status of a plan for EXPLAIN ANALYZE.
+
+        Peeks the kernel cache without compiling: ``status`` is
+        "compiled", "fallback" (with the refusal reason), or "cold"
+        when no ``executor="compiled"`` run has seen this plan yet.
+        """
+        entry, fingerprint = self.kernel_cache.peek(plan, self.db)
+        if entry is None:
+            return {"fingerprint": fingerprint, "status": "cold"}
+        reason = getattr(entry, "reason", None)
+        if reason is not None:
+            return {
+                "fingerprint": fingerprint,
+                "status": "fallback",
+                "reason": reason,
+            }
+        return {
+            "fingerprint": fingerprint,
+            "status": "compiled",
+            "pipelines": entry.pipelines,
+            "hits": entry.hits,
+        }
 
     def codd_check(self, query):
         """Run :func:`~repro.relational.codd.check_codd_equivalence`.
@@ -584,6 +645,9 @@ class MetatheoryWorkbench:
             program, store,
             executor=bool(executor), tracer=self.tracer,
             parallel=self._resolve_parallel(executor, workers),
+            kernel_cache=(
+                self.kernel_cache if executor == "compiled" else None
+            ),
         )
 
     # -- schema analysis ----------------------------------------------------------

@@ -44,6 +44,11 @@ class DatalogEngine:
     bottom-up strategies; recursive programs always use the fixpoint
     machinery, and ``executor=False`` forces it everywhere.
 
+    ``kernel_cache`` attaches a :class:`~repro.compile.KernelCache`:
+    each lowered predicate plan then runs as a fused compiled kernel
+    when the generator supports it, interpreted otherwise (the cache
+    counts the fallbacks).
+
     ``parallel`` attaches a :class:`~repro.parallel.ParallelBackend`:
     recursive programs evaluated semi-naively then shard each large
     round's delta across the backend's worker pool (small strata and
@@ -51,7 +56,8 @@ class DatalogEngine:
     """
 
     def __init__(self, program, edb=None, indexed=True, planned=True,
-                 executor=True, tracer=None, parallel=None):
+                 executor=True, tracer=None, parallel=None,
+                 kernel_cache=None):
         if not isinstance(program, Program):
             raise DatalogError("expected a Program, got %r" % (program,))
         self.program = program
@@ -59,6 +65,7 @@ class DatalogEngine:
         self.planned = planned
         self.executor = executor
         self.parallel = parallel
+        self.kernel_cache = kernel_cache
         self.tracer = ensure_tracer(tracer)
         if edb is None:
             self.edb = FactStore()
@@ -125,11 +132,13 @@ class DatalogEngine:
             # for.  Recursion falls through to the iterating engines.
             if observed:
                 return lowered_evaluate(
-                    self.program, self.edb, stats=stats, tracer=self.tracer
+                    self.program, self.edb, stats=stats, tracer=self.tracer,
+                    kernel_cache=self.kernel_cache,
                 )
             if "plan" not in self._model_cache:
                 self._model_cache["plan"] = lowered_evaluate(
-                    self.program, self.edb
+                    self.program, self.edb,
+                    kernel_cache=self.kernel_cache,
                 )
             return self._model_cache["plan"]
         if observed:

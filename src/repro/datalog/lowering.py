@@ -237,12 +237,17 @@ def _program_arities(program):
     return arities
 
 
-def lowered_evaluate(program, edb=None, stats=None, tracer=NULL_TRACER):
+def lowered_evaluate(program, edb=None, stats=None, tracer=NULL_TRACER,
+                     kernel_cache=None):
     """The minimal model of a non-recursive program, via algebra plans.
 
     Semantics match :func:`~repro.datalog.naive.naive_evaluate`: the
     result holds the EDB, program-text facts, and every derived IDB
     fact.  Work is charged to ``stats`` by the streaming executor.
+
+    With a ``kernel_cache``, each predicate's plan runs as a fused
+    compiled kernel when the generator supports its shape; refused
+    plans run interpreted and count in the cache's fallback counters.
 
     Raises:
         DatalogError: for recursive programs.
@@ -283,7 +288,13 @@ def lowered_evaluate(program, edb=None, stats=None, tracer=NULL_TRACER):
                 "predicate", stats=stats, predicate=predicate
             ) as span:
                 plan = canonicalize(expr, db_schema)
-                result, _tally = execute_physical(plan, db, stats)
+                kernel = None
+                if kernel_cache is not None:
+                    kernel, _reason = kernel_cache.resolve(plan, db)
+                if kernel is not None:
+                    result, _tally = kernel.execute(db, stats)
+                else:
+                    result, _tally = execute_physical(plan, db, stats)
                 span.set(rows=len(result))
             store.add_all(predicate, result.tuples)
             db.replace(

@@ -12,7 +12,7 @@ Datalog — can query the system about itself::
     wb.sql("SELECT name, value FROM sys_metrics WHERE value > 100")
     wb.run("hot(H, N) :- sys_query_log(Q, K, S, H, T, W, N, ...).")
 
-The six system relations:
+The seven system relations:
 
 ==================  =====================================================
 ``sys_metrics``     one row per (series, statistic) from the workbench's
@@ -20,7 +20,11 @@ The six system relations:
 ``sys_spans``       the tracer's span forest, flattened with ids
 ``sys_query_log``   the flight recorder's ring buffer
                     (:mod:`repro.obs.history`)
-``sys_plan_cache``  one row per cached plan, with per-entry hit counts
+``sys_plan_cache``  one row per cached plan, with per-entry hit counts,
+                    the route that last served it, and the fingerprint
+                    of the kernel when that route was compiled
+``sys_kernels``     one row per kernel-cache entry (compiled kernels and
+                    cached fallback verdicts)
 ``sys_catalog_stats``  the optimizer catalog's census, one row per
                     (relation, attribute)
 ``sys_workers``     one row per parallel worker pool
@@ -59,7 +63,7 @@ __all__ = [
 ]
 
 
-#: Schemas of the six system relations (static: one object per process).
+#: Schemas of the seven system relations (static: one object per process).
 SYS_METRICS = RelationSchema(
     "sys_metrics", ("name", "kind", "labels", "stat", "value")
 )
@@ -75,7 +79,13 @@ SYS_QUERY_LOG = RelationSchema(
      "parse_cache_hit", "plan_fingerprint", "route", "slow", "error"),
 )
 SYS_PLAN_CACHE = RelationSchema(
-    "sys_plan_cache", ("entry", "plan_fingerprint", "optimized", "hits")
+    "sys_plan_cache",
+    ("entry", "plan_fingerprint", "optimized", "hits", "last_route",
+     "kernel_fingerprint"),
+)
+SYS_KERNELS = RelationSchema(
+    "sys_kernels", ("entry", "plan_fingerprint", "status", "pipelines",
+                    "hits")
 )
 SYS_CATALOG_STATS = RelationSchema(
     "sys_catalog_stats", ("relation", "attribute", "rows",
@@ -92,6 +102,7 @@ SYSTEM_SCHEMAS = (
     SYS_SPANS,
     SYS_QUERY_LOG,
     SYS_PLAN_CACHE,
+    SYS_KERNELS,
     SYS_CATALOG_STATS,
     SYS_WORKERS,
 )
@@ -124,6 +135,7 @@ class SystemRelations:
         db.register_virtual(SYS_SPANS, self.rows_spans)
         db.register_virtual(SYS_QUERY_LOG, self.rows_query_log)
         db.register_virtual(SYS_PLAN_CACHE, self.rows_plan_cache)
+        db.register_virtual(SYS_KERNELS, self.rows_kernels)
         db.register_virtual(SYS_CATALOG_STATS, self.rows_catalog_stats)
         db.register_virtual(SYS_WORKERS, self.rows_workers)
         return self
@@ -142,6 +154,7 @@ class SystemRelations:
         """
         registry = self.wb.metrics
         self.wb.plan_cache.publish(registry)
+        self.wb.kernel_cache.publish(registry)
         rows = []
         for entry in registry.dump():
             labels = render_labels(entry["labels"])
@@ -191,9 +204,12 @@ class SystemRelations:
         return [record.row() for record in self.wb.history.records()]
 
     def rows_plan_cache(self):
-        """One row per cached plan entry, insertion order, with hits."""
+        """One row per cached plan entry, insertion order, with hits
+        and the executor route that last served it."""
         rows = []
-        for index, key, hits in self.wb.plan_cache.entries():
+        for index, key, hits, route, kernel in (
+            self.wb.plan_cache.entries()
+        ):
             optimized = None
             if isinstance(key, tuple) and len(key) >= 2 and isinstance(
                 key[1], bool
@@ -201,9 +217,15 @@ class SystemRelations:
                 optimized = int(key[1])
             rows.append(
                 (index, self.wb.plan_cache.fingerprint(key), optimized,
-                 hits)
+                 hits, route, kernel)
             )
         return rows
+
+    def rows_kernels(self):
+        """One row per kernel-cache entry: compiled kernels ("compiled",
+        with their fused-pipeline count) and cached fallback verdicts
+        ("fallback", pipelines None)."""
+        return self.wb.kernel_cache.entries()
 
     def rows_catalog_stats(self):
         """The optimizer catalog's census over *user* relations.

@@ -117,15 +117,20 @@ class Optimizer:
         use_catalog: consult :meth:`Database.catalog` statistics for
             selectivities (False reproduces the classical fixed
             selectivity model).
+        yannakakis_threshold: minimum estimated net tuple savings
+            before an acyclic join tree routes through the Yannakakis
+            semijoin program (see ``opt.joins._routing_pays``); None
+            disables the gate and routes every qualifying tree.
 
     Raises:
         ValueError: on unknown rule names.
     """
 
-    __slots__ = ("rules", "dp_threshold", "use_catalog", "_engine")
+    __slots__ = ("rules", "dp_threshold", "use_catalog",
+                 "yannakakis_threshold", "_engine")
 
     def __init__(self, rules=None, disable=(), dp_threshold=DP_THRESHOLD,
-                 use_catalog=True):
+                 use_catalog=True, yannakakis_threshold=0.0):
         wanted = set(rules) if rules is not None else set(DEFAULT_RULES)
         dropped = set(disable)
         unknown = (wanted | dropped) - set(rule_names())
@@ -140,11 +145,13 @@ class Optimizer:
         )
         self.dp_threshold = dp_threshold
         self.use_catalog = bool(use_catalog)
+        self.yannakakis_threshold = yannakakis_threshold
         self._engine = RewriteEngine(get_rules(self.rules))
 
     def config_token(self):
         """Hashable fingerprint for plan-cache keys."""
-        return (self.rules, self.dp_threshold, self.use_catalog)
+        return (self.rules, self.dp_threshold, self.use_catalog,
+                self.yannakakis_threshold)
 
     def context(self, db=None, db_schema=None):
         """A fresh rule :class:`~repro.opt.rules.Context` for one run."""
@@ -156,6 +163,7 @@ class Optimizer:
             db_schema=db_schema,
             cost=CostModel(catalog),
             dp_threshold=self.dp_threshold,
+            yannakakis_threshold=self.yannakakis_threshold,
         )
 
     def optimize(self, expr, db=None):

@@ -139,6 +139,8 @@ def _route_tree(expr, ctx):
     tree = JoinTree.build(hypergraph)
     if len(tree.roots()) != 1:
         return expr
+    if not _routing_pays(expr, leaves, ctx):
+        return expr
     # Leaves may hide join trees of their own (under selections or
     # projections); descend into them now that this tree is claimed.
     leaves = [
@@ -179,6 +181,48 @@ def _route_tree(expr, ctx):
         tuple(_leaf_label(by_name[name]) for name in order),
     )
     return routed
+
+
+#: Estimated per-tuple cost multiplier of the semijoin program itself:
+#: the up and down sweeps each touch every leaf tuple once, on top of
+#: the join phase the plain tree would run anyway.
+_SEMIJOIN_SWEEP_FACTOR = 2.0
+
+
+def _routing_pays(expr, leaves, ctx):
+    """Cost gate: route only when estimated savings clear the threshold.
+
+    The win of a Yannakakis program is the intermediate volume it never
+    materializes: the sum of estimated rows across the tree's internal
+    joins, minus the root's rows (which any plan must produce).  The
+    price is the semijoin sweeps themselves — up and down passes that
+    each touch every leaf tuple.  Small star and chain queries, whose
+    intermediates are barely larger than their result, lose wall time
+    to the extra passes (``BENCH_optimizer.json`` records the
+    regressions), so the rewrite must *pay for its sweeps* in saved
+    tuples first.  A ``yannakakis_threshold`` of None disables the gate
+    (the pre-gate behavior: route whatever qualifies structurally).
+    """
+    threshold = ctx.yannakakis_threshold
+    if threshold is None:
+        return True
+    volume = _join_volume(expr, ctx)
+    root_rows = ctx.cost.rows(expr, ctx.db)
+    sweep_cost = _SEMIJOIN_SWEEP_FACTOR * sum(
+        ctx.cost.rows(leaf, ctx.db) for leaf in leaves
+    )
+    return (volume - root_rows) - sweep_cost > threshold
+
+
+def _join_volume(expr, ctx):
+    """Estimated rows summed over every internal join of a join tree."""
+    if isinstance(expr, ra.NaturalJoin):
+        return (
+            ctx.cost.rows(expr, ctx.db)
+            + _join_volume(expr.left, ctx)
+            + _join_volume(expr.right, ctx)
+        )
+    return 0
 
 
 # ---------------------------------------------------------------------------

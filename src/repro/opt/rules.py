@@ -47,11 +47,16 @@ class Context:
         fired: ``{rule name: application count}`` for this run.
         notes: free-form facts recorded by enumeration passes (e.g. the
             chosen join method and order), surfaced by EXPLAIN.
+        yannakakis_threshold: minimum estimated tuple savings (net of
+            the semijoin sweeps' own cost) before a join tree routes
+            through Yannakakis; None disables the gate (always route).
     """
 
-    __slots__ = ("db", "db_schema", "cost", "fired", "notes", "dp_threshold")
+    __slots__ = ("db", "db_schema", "cost", "fired", "notes", "dp_threshold",
+                 "yannakakis_threshold")
 
-    def __init__(self, db=None, db_schema=None, cost=None, dp_threshold=7):
+    def __init__(self, db=None, db_schema=None, cost=None, dp_threshold=7,
+                 yannakakis_threshold=0.0):
         self.db = db
         self.db_schema = (
             db_schema
@@ -62,6 +67,7 @@ class Context:
         self.fired = {}
         self.notes = {}
         self.dp_threshold = dp_threshold
+        self.yannakakis_threshold = yannakakis_threshold
 
     def fire(self, name):
         self.fired[name] = self.fired.get(name, 0) + 1

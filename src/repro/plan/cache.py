@@ -26,7 +26,7 @@ class PlanCache:
     """
 
     __slots__ = ("capacity", "hits", "misses", "evictions", "_entries",
-                 "_hits_by_key")
+                 "_hits_by_key", "_route_by_key", "_kernel_by_key")
 
     def __init__(self, capacity=128):
         self.capacity = capacity
@@ -35,6 +35,8 @@ class PlanCache:
         self.evictions = 0
         self._entries = {}
         self._hits_by_key = {}
+        self._route_by_key = {}
+        self._kernel_by_key = {}
 
     def __len__(self):
         return len(self._entries)
@@ -57,9 +59,30 @@ class PlanCache:
             oldest = next(iter(self._entries))
             del self._entries[oldest]
             del self._hits_by_key[oldest]
+            self._route_by_key.pop(oldest, None)
+            self._kernel_by_key.pop(oldest, None)
             self.evictions += 1
         self._entries[key] = value
         self._hits_by_key.setdefault(key, 0)
+
+    def note_route(self, key, route, kernel=None):
+        """Record which executor route last served this entry.
+
+        ``sys_plan_cache`` exposes it as ``last_route`` ("streaming",
+        "compiled", "compiled-fallback", "parallel", ...), so wall-time
+        wins are attributable to kernels; ``kernel`` is the serving
+        kernel's fingerprint when the route was compiled, joinable
+        against ``sys_kernels``.  Unknown keys are ignored (the entry
+        may have been evicted between resolve and run).
+        """
+        if key in self._entries:
+            self._route_by_key[key] = route
+            if kernel is not None:
+                self._kernel_by_key[key] = kernel
+
+    def route_for(self, key):
+        """The last recorded route for a key, or None."""
+        return self._route_by_key.get(key)
 
     @staticmethod
     def fingerprint(key):
@@ -71,9 +94,12 @@ class PlanCache:
         return "%012x" % (hash(key) & 0xFFFFFFFFFFFF)
 
     def entries(self):
-        """``(index, key, hits)`` per live entry, insertion order."""
+        """``(index, key, hits, last_route, kernel_fingerprint)`` per
+        live entry, in insertion order.  ``last_route`` is None until a
+        run completes; ``kernel_fingerprint`` until a compiled one does."""
         return [
-            (index, key, self._hits_by_key[key])
+            (index, key, self._hits_by_key[key],
+             self._route_by_key.get(key), self._kernel_by_key.get(key))
             for index, key in enumerate(self._entries)
         ]
 
@@ -96,6 +122,8 @@ class PlanCache:
         """Drop all entries and reset every counter (schema changed)."""
         self._entries.clear()
         self._hits_by_key.clear()
+        self._route_by_key.clear()
+        self._kernel_by_key.clear()
         self.hits = 0
         self.misses = 0
         self.evictions = 0

@@ -110,13 +110,20 @@ class ExplainResult:
         optimizer: the :class:`~repro.opt.OptimizationInfo` of the plan
             that ran — which rules fired, the chosen join method and
             order (None on unoptimized runs).
+        kernel: compiled-kernel status of this plan in the workbench's
+            :class:`~repro.compile.KernelCache` — a dict with
+            ``fingerprint`` and ``status`` ("compiled" with pipeline and
+            hit counts, "fallback" with the refusal reason, or "cold");
+            None outside the workbench (e.g. explained Datalog).
     """
 
     __slots__ = ("result", "report", "elapsed", "stats", "kind",
-                 "plan_cache_hit", "parse_cache_hit", "optimizer")
+                 "plan_cache_hit", "parse_cache_hit", "optimizer",
+                 "kernel")
 
     def __init__(self, result, report, elapsed, stats, kind=None,
-                 plan_cache_hit=None, parse_cache_hit=None, optimizer=None):
+                 plan_cache_hit=None, parse_cache_hit=None, optimizer=None,
+                 kernel=None):
         self.result = result
         self.report = report
         self.elapsed = elapsed
@@ -125,6 +132,7 @@ class ExplainResult:
         self.plan_cache_hit = plan_cache_hit
         self.parse_cache_hit = parse_cache_hit
         self.optimizer = optimizer
+        self.kernel = kernel
 
     @property
     def relation(self):
@@ -155,6 +163,7 @@ class ExplainResult:
                 if self.optimizer is not None
                 else None
             ),
+            "kernel": self.kernel,
             "totals": self.stats.as_dict(),
             "plan": self.report.as_dict(),
         }
@@ -180,6 +189,19 @@ class ExplainResult:
         if self.optimizer is not None:
             summary = self.optimizer.summary()
             lines.append("Optimizer: %s" % (summary or "no rules fired"))
+        if self.kernel is not None:
+            status = self.kernel["status"]
+            if status == "compiled":
+                detail = "compiled %s (%d pipelines, %d hits)" % (
+                    self.kernel["fingerprint"],
+                    self.kernel["pipelines"],
+                    self.kernel["hits"],
+                )
+            elif status == "fallback":
+                detail = "fallback (%s)" % self.kernel["reason"]
+            else:
+                detail = "cold (not compiled yet)"
+            lines.append("Kernel: %s" % detail)
         lines.append(self.report.render())
         return "\n".join(lines)
 

@@ -1,0 +1,198 @@
+"""KernelCache behavior: keying, counters, negative caching, eviction.
+
+The acceptance-critical property lives here: resolving the *same* plan
+against the *same* schema a second time performs **zero** code
+generation — ``codegens`` stays put while ``hits`` advances — and a
+schema change invalidates without poisoning.
+"""
+
+import pytest
+
+from repro.compile import (
+    CompileFallback,
+    KernelCache,
+    compile_plan,
+    execute_compiled,
+)
+from repro.datalog.stats import EngineStatistics
+from repro.plan import canonicalize
+from repro.plan.executor import execute_physical
+from repro.relational import algebra as ra
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+
+def small_db():
+    return Database.from_dict(
+        {
+            "r": (("a", "b"), [(i, i % 3) for i in range(12)]),
+            "s": (("b", "c"), [(i, i * 10) for i in range(3)]),
+        }
+    )
+
+
+def join_plan(db):
+    return canonicalize(
+        ra.Projection(
+            ra.NaturalJoin(ra.RelationRef("r"), ra.RelationRef("s")),
+            ("a", "c"),
+        ),
+        db.schema(),
+    )
+
+
+def fallback_plan(db):
+    # Semijoin with no shared attributes: the interpreted operator's
+    # one-tuple right-side pull is data-dependent control flow the
+    # generator refuses to fuse.
+    return canonicalize(
+        ra.Semijoin(
+            ra.RelationRef("r"),
+            ra.Rename(ra.RelationRef("s"), {"b": "x", "c": "y"}),
+        ),
+        db.schema(),
+    )
+
+
+class TestResolve:
+    def test_second_resolution_does_zero_codegen(self):
+        db = small_db()
+        cache = KernelCache()
+        plan = join_plan(db)
+        first, reason = cache.resolve(plan, db)
+        assert reason is None
+        assert cache.stats()["codegens"] == 1
+        again, _ = cache.resolve(plan, db)
+        assert again is first
+        stats = cache.stats()
+        assert stats["codegens"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_kernel_survives_content_change_same_schema(self):
+        db = small_db()
+        cache = KernelCache()
+        plan = join_plan(db)
+        kernel, _ = cache.resolve(plan, db)
+        db.replace(
+            Relation(RelationSchema("r", ("a", "b")), [(7, 0), (8, 1)])
+        )
+        again, _ = cache.resolve(plan, db)
+        assert again is kernel  # same schema token: cache entry reused
+        result, _tally = kernel.execute(db)
+        expected, _ = execute_physical(plan, db, EngineStatistics())
+        assert result == expected
+
+    def test_schema_change_misses_the_cache(self):
+        db = small_db()
+        cache = KernelCache()
+        plan = join_plan(db)
+        cache.resolve(plan, db)
+        db.add(
+            Relation(RelationSchema("t", ("d",)), [(1,)])
+        )
+        cache.resolve(plan, db)
+        assert cache.stats()["misses"] == 2
+        assert cache.stats()["codegens"] == 2
+
+    def test_fallback_is_negatively_cached_and_counted(self):
+        db = small_db()
+        cache = KernelCache()
+        plan = fallback_plan(db)
+        kernel, reason = cache.resolve(plan, db)
+        assert kernel is None
+        assert "semijoin" in reason
+        kernel, reason_again = cache.resolve(plan, db)
+        assert kernel is None
+        assert reason_again == reason
+        stats = cache.stats()
+        assert stats["fallbacks"] == 1  # one distinct refused plan
+        assert stats["fallback_runs"] == 2  # both resolutions counted
+        assert stats["codegens"] == 0
+
+    def test_fifo_eviction(self):
+        db = small_db()
+        cache = KernelCache(capacity=2)
+        plans = [
+            canonicalize(
+                ra.Selection(
+                    ra.RelationRef("r"),
+                    ra.Comparison(ra.Attr("a"), "=", ra.Const(i)),
+                ),
+                db.schema(),
+            )
+            for i in range(3)
+        ]
+        for plan in plans:
+            cache.resolve(plan, db)
+        assert len(cache) == 2
+        assert cache.stats()["evictions"] == 1
+        # The oldest entry is gone: resolving it again re-generates.
+        cache.resolve(plans[0], db)
+        assert cache.stats()["codegens"] == 4
+
+
+class TestIntrospectionSurface:
+    def test_entries_rows_and_fingerprints(self):
+        db = small_db()
+        cache = KernelCache()
+        kernel, _ = cache.resolve(join_plan(db), db)
+        cache.resolve(fallback_plan(db), db)
+        rows = cache.entries()
+        assert len(rows) == 2
+        index, fingerprint, status, pipelines, hits = rows[0]
+        assert (index, status, hits) == (0, "compiled", 0)
+        assert fingerprint == kernel.fingerprint
+        assert len(fingerprint) == 12
+        assert pipelines == kernel.pipelines
+        assert rows[1][2] == "fallback" and rows[1][3] is None
+
+    def test_peek_never_compiles(self):
+        db = small_db()
+        cache = KernelCache()
+        plan = join_plan(db)
+        entry, fingerprint = cache.peek(plan, db)
+        assert entry is None
+        assert len(fingerprint) == 12
+        assert cache.stats()["codegens"] == 0
+
+    def test_publish_gauges(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        db = small_db()
+        cache = KernelCache()
+        cache.resolve(join_plan(db), db)
+        registry = cache.publish(MetricsRegistry())
+        assert registry.value("kernel_cache_codegens") == 1
+        assert registry.value("kernel_cache_size") == 1
+
+    def test_clear_resets_everything(self):
+        db = small_db()
+        cache = KernelCache()
+        cache.resolve(join_plan(db), db)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["misses"] == 0
+
+
+class TestExecuteCompiled:
+    def test_adhoc_execution_without_cache(self):
+        db = small_db()
+        plan = join_plan(db)
+        result, tally = execute_compiled(plan, db)
+        expected, _ = execute_physical(plan, db, EngineStatistics())
+        assert result == expected
+        assert tally.stats.facts_scanned > 0
+
+    def test_fallback_raises_through_cache(self):
+        db = small_db()
+        with pytest.raises(CompileFallback):
+            execute_compiled(fallback_plan(db), db, cache=KernelCache())
+
+    def test_kernel_source_is_inspectable(self):
+        db = small_db()
+        kernel = compile_plan(join_plan(db), db.schema())
+        assert "def kernel(_db, _tally):" in kernel.source
+        assert kernel.pipelines >= 1
+        assert "pipelines" in repr(kernel)

@@ -307,10 +307,13 @@ class TestSystemTables:
         wb.sql("SELECT name FROM person")
         wb.sql("SELECT what FROM likes")
         rows = sorted(wb.db["sys_plan_cache"].tuples)
-        assert [(entry, hits) for entry, _fp, _opt, hits in rows] == [
-            (0, 1), (1, 0),
-        ]
-        assert all(opt == 1 for _e, _fp, opt, _h in rows)
+        assert [
+            (entry, hits)
+            for entry, _fp, _opt, hits, _route, _kernel in rows
+        ] == [(0, 1), (1, 0)]
+        assert all(opt == 1 for _e, _fp, opt, _h, _r, _k in rows)
+        assert all(row[4] == "streaming" for row in rows)
+        assert all(row[5] is None for row in rows)  # no compiled runs
 
     def test_sys_catalog_stats_census_user_relations_only(self):
         wb = make_wb()

@@ -52,10 +52,13 @@ def info_for(expr, db, **kwargs):
 
 
 class TestYannakakisRouting:
+    # Routing structure tests relax the cost gate (yannakakis_threshold
+    # =None): the fixtures are deliberately tiny, and the gate exists
+    # precisely to keep tiny joins un-routed (see TestRoutingGate).
     def test_acyclic_chain_routes(self):
         db = chain_db()
         expr = chain_join()
-        plan, info = info_for(expr, db)
+        plan, info = info_for(expr, db, yannakakis_threshold=None)
         assert info.join_method == "yannakakis"
         assert info.fired.get("route-yannakakis") == 1
         assert set(info.join_order) == {"r", "s", "t"}
@@ -65,7 +68,7 @@ class TestYannakakisRouting:
 
     def test_routed_plan_contains_semijoins(self):
         db = chain_db()
-        plan, _info = info_for(chain_join(), db)
+        plan, _info = info_for(chain_join(), db, yannakakis_threshold=None)
         def count(node):
             if isinstance(node, Semijoin):
                 return 1 + count(node.left) + count(node.right)
@@ -225,7 +228,7 @@ class TestMaterializationWin:
             }
         )
         expr = chain_join()
-        routed, info = info_for(expr, db)
+        routed, info = info_for(expr, db, yannakakis_threshold=None)
         unrouted, _ = info_for(expr, db, disable=("route-yannakakis",))
         assert info.join_method == "yannakakis"
 
@@ -244,3 +247,84 @@ class TestMaterializationWin:
 
         assert evaluate(routed, db) == evaluate(unrouted, db)
         assert materialized(routed) < materialized(unrouted)
+
+
+class TestRoutingGate:
+    """The cost gate: Yannakakis must pay for its sweeps in savings."""
+
+    def small_star(self):
+        # BENCH_optimizer's star shape in miniature: a 10k-row fact with
+        # tiny dimensions.  The intermediates are barely larger than the
+        # result, so the semijoin sweeps cost more than they save.
+        db = Database.from_dict(
+            {
+                "fact": (
+                    ("k1", "k2"),
+                    [(i % 100, i // 100) for i in range(10000)],
+                ),
+                "dim1": (("k1", "a1"), [(i, i) for i in range(10)]),
+                "dim2": (("k2", "a2"), [(i, i) for i in range(10)]),
+            }
+        )
+        expr = NaturalJoin(
+            NaturalJoin(RelationRef("dim1"), RelationRef("fact")),
+            RelationRef("dim2"),
+        )
+        return db, expr
+
+    def path4(self):
+        # The large path-4 shape: wide middle relations whose
+        # intermediates dwarf both the inputs and the result.
+        db = Database.from_dict(
+            {
+                "r1": (("a", "b"), [(i, i % 10) for i in range(10)]),
+                "r2": (
+                    ("b", "c"),
+                    [(i % 60, i // 60) for i in range(3600)],
+                ),
+                "r3": (
+                    ("c", "d"),
+                    [(i // 60, i % 60) for i in range(3600)],
+                ),
+                "r4": (("d", "e"), [(i % 10, i) for i in range(10)]),
+            }
+        )
+        expr = NaturalJoin(
+            NaturalJoin(
+                NaturalJoin(RelationRef("r1"), RelationRef("r2")),
+                RelationRef("r3"),
+            ),
+            RelationRef("r4"),
+        )
+        return db, expr
+
+    def test_small_star_stays_unrouted(self):
+        db, expr = self.small_star()
+        plan, info = info_for(expr, db)
+        assert "route-yannakakis" not in info.fired
+        assert info.join_method in ("dp", "greedy")
+        assert evaluate(plan, db) == evaluate(expr, db)
+
+    def test_small_chain_stays_unrouted(self):
+        _plan, info = info_for(chain_join(), chain_db())
+        assert "route-yannakakis" not in info.fired
+
+    def test_large_path4_still_routes(self):
+        db, expr = self.path4()
+        plan, info = info_for(expr, db)
+        assert info.fired.get("route-yannakakis") == 1
+        assert info.join_method == "yannakakis"
+        assert evaluate(plan, db) == evaluate(expr, db)
+
+    def test_none_threshold_disables_gate(self):
+        db, expr = self.small_star()
+        _plan, info = info_for(expr, db, yannakakis_threshold=None)
+        assert info.fired.get("route-yannakakis") == 1
+
+    def test_threshold_is_in_config_token(self):
+        # A cached plan keyed without the threshold would survive a
+        # reconfiguration; the token must distinguish the two.
+        assert (
+            Optimizer().config_token()
+            != Optimizer(yannakakis_threshold=None).config_token()
+        )
