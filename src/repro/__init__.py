@@ -32,6 +32,7 @@ from . import (
     parallel,
     plan,
     relational,
+    storage,
     transactions,
 )
 from .core.workbench import MetatheoryWorkbench
@@ -55,6 +56,7 @@ __all__ = [
     "parallel",
     "plan",
     "relational",
+    "storage",
     "transactions",
     "__version__",
 ]

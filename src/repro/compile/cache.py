@@ -1,10 +1,11 @@
 """The kernel cache: compile once per (plan, schema) pair.
 
 Keyed by the canonical :func:`~repro.plan.logical.plan_key` plus the
-database's :meth:`~repro.relational.database.Database.schema_token`, so
-a kernel survives arbitrary *content* changes (it re-fetches relations
-by name at call time) but is invalidated the moment the schema it
-resolved attribute positions against changes.  The 12-hex fingerprint
+schema sub-token of just the relations the plan references, so a kernel
+survives arbitrary *content* changes (it re-fetches relations by name
+at call time) **and** schema changes to relations it never touches; it
+is invalidated the moment a schema it resolved attribute positions
+against changes.  The 12-hex fingerprint
 shown in ``sys_kernels`` and EXPLAIN ANALYZE derives from the plan key
 alone; ``sys_plan_cache`` records it per entry (``kernel_fingerprint``)
 whenever a compiled kernel serves a cached plan, so the two relations
@@ -21,6 +22,7 @@ from __future__ import annotations
 
 from ..plan.cache import PlanCache
 from ..plan.logical import plan_key
+from ..relational.algebra import relation_names
 from .codegen import CompileFallback, compile_plan
 
 
@@ -70,7 +72,22 @@ class KernelCache:
 
     @staticmethod
     def key_for(plan, db):
-        return (plan_key(plan), db.schema_token())
+        """``(plan_key, referenced-relations sub-schema-token)``.
+
+        Narrowing the schema token to the plan's own relations means an
+        unrelated ``add``/``remove``/reshape elsewhere in the database
+        cannot orphan this kernel — mutation-heavy sessions keep their
+        compiled read paths hot.
+        """
+        schema = db.schema()
+        return (
+            plan_key(plan),
+            tuple(
+                (name, schema[name].attributes)
+                for name in sorted(relation_names(plan))
+                if name in schema
+            ),
+        )
 
     @staticmethod
     def fingerprint(key):
@@ -140,6 +157,24 @@ class KernelCache:
                      entry.pipelines, entry.hits)
                 )
         return rows
+
+    def invalidate_relations(self, names):
+        """Drop kernels whose schema sub-token mentions ``names``.
+
+        Content-only changes never call this (kernels re-fetch tuples by
+        name); reshaping or removing a relation does, so ``sys_kernels``
+        never shows a kernel compiled against a dead schema.  Returns
+        the number of entries dropped.
+        """
+        names = set(names)
+        if not names:
+            return 0
+        dropped = 0
+        for key in list(self._entries):
+            if any(name in names for name, _attrs in key[1]):
+                del self._entries[key]
+                dropped += 1
+        return dropped
 
     def stats(self):
         return {

@@ -375,6 +375,14 @@ def encode_case(case):
             }
     elif kind == "schedule":
         encoded = {"kind": kind, "schedule": str(payload["schedule"])}
+    elif kind == "transactions-live":
+        encoded = {
+            "kind": kind,
+            "db": encode_database(payload["db"]),
+            "programs": [list(program) for program in payload["programs"]],
+            "order": list(payload["order"]),
+            "commit_order": list(payload["commit_order"]),
+        }
     else:
         raise TypeError("cannot encode payload kind %r" % (kind,))
     return {
@@ -436,6 +444,14 @@ def decode_case(data):
             }
     elif kind == "schedule":
         payload = {"kind": kind, "schedule": parse_schedule(encoded["schedule"])}
+    elif kind == "transactions-live":
+        payload = {
+            "kind": kind,
+            "db": decode_database(encoded["db"]),
+            "programs": [list(program) for program in encoded["programs"]],
+            "order": list(encoded["order"]),
+            "commit_order": list(encoded["commit_order"]),
+        }
     else:
         raise ValueError("unknown corpus payload kind %r" % (kind,))
     return Case(

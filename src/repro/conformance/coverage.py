@@ -81,6 +81,17 @@ SCHEDULE_UNIVERSE = frozenset(
     ]
 )
 
+#: Live concurrent-transaction workload shapes.
+LIVE_TXN_UNIVERSE = frozenset(
+    [
+        "live:insert",
+        "live:delete",
+        "live:update",
+        "live:select",
+        "live:multi-txn",
+    ]
+)
+
 #: Universe per family name (families without an entry are unaudited).
 UNIVERSES = {
     "relational-differential": ALGEBRA_UNIVERSE,
@@ -89,6 +100,7 @@ UNIVERSES = {
     "datalog-differential": DATALOG_UNIVERSE,
     "metamorphic-datalog": DATALOG_UNIVERSE,
     "transactions-differential": SCHEDULE_UNIVERSE,
+    "transactions-live": LIVE_TXN_UNIVERSE,
 }
 
 

@@ -375,6 +375,142 @@ class TransactionsDifferentialOracle(Oracle):
         return messages
 
 
+class LiveTransactionsOracle(Oracle):
+    """The live transaction runtime against the scheduler metatheory.
+
+    One case is a seeded interleaving of SQL DML across concurrent
+    ``wb.begin()`` transactions.  It runs **twice** — once under no-wait
+    strict 2PL, once under timestamp ordering — and each run must
+    satisfy, with zero divergences:
+
+    * the recorded history's committed projection is conflict
+      serializable and classified strict (``manager.verify()``, i.e.
+      the theory predicates applied to the runtime's own schedule);
+    * the final database state equals a **serial replay** of the
+      committed transactions' programs in commit order on a fresh copy
+      of the initial database — the live interleaving changed nothing
+      observable;
+    * the write journal retains no ``staged`` entries once every
+      transaction is terminal (commit flips them, rollback restores).
+
+    Conflict-aborted transactions are expected under contention; the
+    oracle checks the guarantees the theorems actually state, not that
+    aborts never happen.
+    """
+
+    family = "transactions-live"
+
+    def check(self, case):
+        messages = []
+        for cc in ("2pl", "timestamp"):
+            messages.extend(self._check_cc(case.payload, cc))
+        return messages
+
+    @staticmethod
+    def _fresh_workbench(db):
+        from ..core.workbench import MetatheoryWorkbench
+        from ..obs.metrics import MetricsRegistry
+        from ..relational.database import Database
+
+        copy = Database.from_dict(
+            {
+                name: (
+                    db[name].schema.attributes,
+                    sorted(db[name].tuples),
+                )
+                for name in db.names()
+            }
+        )
+        return MetatheoryWorkbench(copy, metrics=MetricsRegistry())
+
+    def _check_cc(self, payload, cc):
+        from ..errors import TransactionError
+        from ..storage.txn import TransactionConflict
+
+        programs = payload["programs"]
+        messages = []
+        wb = self._fresh_workbench(payload["db"])
+        manager = wb.txns
+        txns = [wb.begin(cc=cc) for _ in programs]
+        cursors = [0] * len(programs)
+        for index in payload["order"]:
+            txn = txns[index]
+            if txn.status != "active":
+                continue
+            statement = programs[index][cursors[index]]
+            cursors[index] += 1
+            try:
+                txn.sql(statement)
+            except TransactionConflict:
+                pass  # aborted; its remaining statements are skipped
+            except TransactionError as exc:
+                # verify_on_commit tripped mid-run: the runtime itself
+                # violated the theory.  That IS the divergence.
+                messages.append(
+                    "[%s] runtime broke the theory mid-run: %s" % (cc, exc)
+                )
+                return messages
+        for index in payload["commit_order"]:
+            if txns[index].status != "active":
+                continue
+            try:
+                txns[index].commit()
+            except TransactionConflict:
+                pass
+            except TransactionError as exc:
+                messages.append(
+                    "[%s] runtime broke the theory at commit: %s"
+                    % (cc, exc)
+                )
+                return messages
+
+        try:
+            report = manager.verify()
+        except Exception as exc:
+            messages.append(
+                "[%s] live history failed theory verification: %s"
+                % (cc, exc)
+            )
+            return messages
+        if not report["conflict_serializable"]:
+            messages.append(
+                "[%s] committed projection not conflict serializable" % cc
+            )
+        if report["recovery_class"] != "ST":
+            messages.append(
+                "[%s] committed history classified %s, expected ST"
+                % (cc, report["recovery_class"])
+            )
+
+        for entry in manager.journal.entries():
+            if entry.status == "staged":
+                messages.append(
+                    "[%s] staged journal entry leaked past terminal: %r"
+                    % (cc, entry)
+                )
+
+        # Serial-replay oracle: committed programs in commit order on a
+        # fresh copy of the initial database must land on the same
+        # final state the interleaved run produced.
+        index_of = {id(txn): i for i, txn in enumerate(txns)}
+        replay = self._fresh_workbench(payload["db"])
+        for txn in manager.finished:
+            if txn.status != "committed":
+                continue
+            for statement in programs[index_of[id(txn)]]:
+                replay.sql(statement)
+        for name in sorted(payload["db"].names()):
+            live, serial = wb.db[name], replay.db[name]
+            if live.tuples != serial.tuples:
+                messages.append(
+                    "[%s] final state of %r diverges from serial replay "
+                    "in commit order: %s"
+                    % (cc, name, _relation_diff("live vs serial", live,
+                                                serial))
+                )
+        return messages
+
+
 def _rename_items(schedule):
     items = sorted({op.item for op in schedule.ops if op.item is not None})
     mapping = {item: "y%d" % index for index, item in enumerate(items)}
@@ -663,6 +799,7 @@ def build_oracles(families=None):
         CalculusDifferentialOracle(),
         DatalogDifferentialOracle(),
         TransactionsDifferentialOracle(),
+        LiveTransactionsOracle(),
         MetamorphicRelationalOracle(),
         MetamorphicDatalogOracle(),
         MetamorphicOptimizerOracle(),

@@ -422,6 +422,82 @@ def _shrink_schedule(case, probe):
 
 
 # ---------------------------------------------------------------------------
+# Live-transaction reduction
+# ---------------------------------------------------------------------------
+
+
+def _shrink_live_txn(case, probe):
+    """Reduce a live-transaction case: whole transactions, then
+    individual statements (the interleaving orders are remapped so the
+    candidate payload stays well-formed)."""
+    best = case
+
+    def without_txn(payload, drop):
+        remap = {}
+        for index in range(len(payload["programs"])):
+            if index != drop:
+                remap[index] = len(remap)
+        return {
+            "programs": [
+                program
+                for index, program in enumerate(payload["programs"])
+                if index != drop
+            ],
+            "order": [remap[i] for i in payload["order"] if i != drop],
+            "commit_order": [
+                remap[i] for i in payload["commit_order"] if i != drop
+            ],
+        }
+
+    def without_statement(payload, txn, position):
+        programs = [list(program) for program in payload["programs"]]
+        del programs[txn][position]
+        order, seen = [], 0
+        for index in payload["order"]:
+            if index == txn:
+                if seen == position:
+                    seen += 1
+                    continue
+                seen += 1
+            order.append(index)
+        return {"programs": programs, "order": order}
+
+    shrinking = True
+    while shrinking:
+        shrinking = False
+        for drop in range(len(best.payload["programs"])):
+            if len(best.payload["programs"]) <= 1:
+                break
+            candidate = probe(
+                lambda d=drop: _with_payload(
+                    best, **without_txn(best.payload, d)
+                )
+            )
+            if candidate is not None:
+                best = candidate
+                shrinking = True
+                break
+        if shrinking:
+            continue
+        for txn, program in enumerate(best.payload["programs"]):
+            if len(program) <= 1:
+                continue
+            for position in range(len(program)):
+                candidate = probe(
+                    lambda t=txn, p=position: _with_payload(
+                        best, **without_statement(best.payload, t, p)
+                    )
+                )
+                if candidate is not None:
+                    best = candidate
+                    shrinking = True
+                    break
+            if shrinking:
+                break
+    return best
+
+
+# ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
 
@@ -460,6 +536,8 @@ def shrink_case(case, still_fails, max_checks=2000):
         best = _shrink_datalog(best, probe)
     elif kind == "schedule":
         best = _shrink_schedule(best, probe)
+    elif kind == "transactions-live":
+        best = _shrink_live_txn(best, probe)
     return best
 
 
@@ -478,4 +556,8 @@ def case_size(case):
         return len(payload["program"].rules) + payload["edb"].count()
     if kind == "schedule":
         return len(payload["schedule"].ops)
+    if kind == "transactions-live":
+        return payload["db"].total_tuples() + sum(
+            len(program) for program in payload["programs"]
+        )
     return 0

@@ -437,6 +437,83 @@ def datalog_case(seed, family="datalog-differential"):
     return Case(family, seed, payload, program_constructs(program, queries))
 
 
+def transactions_live_case(seed, family="transactions-live"):
+    """Random concurrent SQL transaction workload for the live runtime.
+
+    Unlike the ``transactions-differential`` family (abstract schedules
+    fed to scheduler *simulators*), this one drives the real thing: a
+    seeded interleaving of INSERT/DELETE/UPDATE/SELECT statements across
+    several live ``wb.begin()`` transactions over a random database.
+    The payload is pure data (SQL text + orderings), so the same case
+    replays identically under every concurrency control.
+    """
+    rng = random.Random(derive_seed("txn-live", seed))
+    db = random_database(
+        num_relations=rng.randint(2, 3),
+        arity=2,
+        rows=rng.randint(4, 8),
+        domain_size=rng.randint(3, 5),
+        seed=rng.randrange(10**9),
+    )
+    schema = db.schema()
+    names = db.names()
+    domain = 6
+    constructs = []
+
+    def statement():
+        name = rng.choice(names)
+        attrs = schema[name].attributes
+        roll = rng.random()
+        if roll < 0.35:
+            constructs.append("live:insert")
+            values = ", ".join(
+                str(rng.randrange(domain)) for _ in attrs
+            )
+            return "INSERT INTO %s VALUES (%s)" % (name, values)
+        if roll < 0.55:
+            constructs.append("live:delete")
+            return "DELETE FROM %s WHERE %s = %d" % (
+                name, attrs[0], rng.randrange(domain)
+            )
+        if roll < 0.75:
+            constructs.append("live:update")
+            return "UPDATE %s SET %s = %d WHERE %s = %d" % (
+                name, attrs[1], rng.randrange(domain),
+                attrs[0], rng.randrange(domain),
+            )
+        constructs.append("live:select")
+        return "SELECT * FROM %s" % name
+
+    programs = [
+        [statement() for _ in range(rng.randint(1, 3))]
+        for _ in range(rng.randint(2, 4))
+    ]
+    if len(programs) > 2:
+        constructs.append("live:multi-txn")
+
+    # A seeded interleaving: which transaction issues its next
+    # statement at each step.
+    order = []
+    remaining = [len(program) for program in programs]
+    while any(remaining):
+        pick = rng.choice(
+            [i for i, count in enumerate(remaining) if count]
+        )
+        order.append(pick)
+        remaining[pick] -= 1
+    commit_order = list(range(len(programs)))
+    rng.shuffle(commit_order)
+
+    payload = {
+        "kind": "transactions-live",
+        "db": db,
+        "programs": programs,
+        "order": order,
+        "commit_order": commit_order,
+    }
+    return Case(family, seed, payload, constructs)
+
+
 def schedule_case(seed, family="transactions-differential"):
     """Random transaction schedule under a contention-swept workload."""
     rng = random.Random(derive_seed("schedule", seed))
@@ -554,6 +631,7 @@ GENERATORS = {
     "calculus-differential": calculus_case,
     "datalog-differential": datalog_case,
     "transactions-differential": schedule_case,
+    "transactions-live": transactions_live_case,
     "metamorphic-relational": metamorphic_relational_case,
     "metamorphic-datalog": metamorphic_datalog_case,
     "metamorphic-optimizer": metamorphic_optimizer_case,

@@ -36,16 +36,19 @@ from ..plan.cache import PlanCache
 from ..plan.executor import execute_physical
 from ..plan.explain import annotate_estimates, explain_datalog, run_explained
 from ..plan.logical import canonicalize, plan_key
-from ..relational.algebra import evaluate
+from ..relational.algebra import evaluate, relation_names
 from ..relational.calculus import evaluate_query
 from ..relational.codd import (
     algebra_to_calculus,
     calculus_to_algebra,
     check_codd_equivalence,
 )
-from ..relational.database import Database
+from ..relational.database import Database, is_system_name
+from ..relational.dml import DMLResult, DMLStatement
 from ..relational.optimizer import optimize
+from ..relational.relation import Relation
 from ..relational.sql_frontend import parse_sql
+from ..storage.txn import TransactionManager
 
 
 class MetatheoryWorkbench:
@@ -63,8 +66,15 @@ class MetatheoryWorkbench:
       full per-operator OpReport tree);
     * the ``sys_`` system relations (``sys_metrics``, ``sys_spans``,
       ``sys_query_log``, ``sys_plan_cache``, ``sys_kernels``,
-      ``sys_catalog_stats``, ``sys_workers``) — registered on the
-      database at construction and queryable through every front-end.
+      ``sys_catalog_stats``, ``sys_workers``, ``sys_transactions``,
+      ``sys_versions``) — registered on the database at construction
+      and queryable through every front-end.
+
+    Mutation goes through the same machinery: SQL DML statements
+    (:meth:`sql`) plan their relational side on the shared pipeline and
+    commit deltas through the MVCC store; :meth:`begin` opens a live
+    transaction whose interleaved history replays into the scheduler
+    theory; :meth:`snapshot` pins the committed state at O(1) cost.
     """
 
     def __init__(self, db=None, plan_cache_size=128, tracer=None,
@@ -81,8 +91,13 @@ class MetatheoryWorkbench:
         )
         self._recording = False
         self._parse_cache = {}
-        self._parse_cache_token = None
+        self._cache_version = None
+        self._cache_state = None
         self._parallel_backends = {}
+        self.txns = TransactionManager(
+            self.db, workbench=self, tracer=self.tracer,
+            metrics=self.metrics,
+        )
         self.system_relations = install_introspection(self)
 
     @classmethod
@@ -134,13 +149,41 @@ class MetatheoryWorkbench:
     # mirroring the ``indexed=False`` opt-out of the Datalog layer.
 
     def _sync_caches(self):
-        """Flush compiled-plan caches when the database schema changed."""
-        token = self.db.schema_token()
-        if token != self._parse_cache_token:
-            self._parse_cache.clear()
-            self.plan_cache.clear()
-            self.kernel_cache.clear()
-            self._parse_cache_token = token
+        """Surgically invalidate caches for relations that changed.
+
+        The MVCC store's version id is the fast path: unchanged means
+        nothing to do (one int compare per query).  On a bump, the
+        per-relation ``(version, attributes)`` state is diffed against
+        the last sync: plans referencing a changed relation are dropped
+        (their cardinality estimates and rewrites are stale), kernels
+        only when the relation's *schema* changed (they re-fetch tuples
+        by name, so content deltas keep compiled read paths hot).  The
+        parse cache survives everything — parse output is
+        schema-independent by construction (deferred-resolution nodes).
+        """
+        vid = self.db.version_id()
+        if self._cache_state is not None and vid == self._cache_version:
+            return
+        state = self.db.relation_state()
+        old = self._cache_state
+        if old is not None:
+            changed = {
+                name
+                for name in set(old) | set(state)
+                if old.get(name) != state.get(name)
+            }
+            if changed:
+                self.plan_cache.invalidate_relations(changed)
+                reshaped = {
+                    name
+                    for name in changed
+                    if (old.get(name) or (0, None))[1]
+                    != (state.get(name) or (0, None))[1]
+                }
+                if reshaped:
+                    self.kernel_cache.invalidate_relations(reshaped)
+        self._cache_version = vid
+        self._cache_state = state
 
     def _plan_for(self, canonical, optimized, capture=None):
         """Resolve the cached physical-ready plan (and optimizer info).
@@ -177,15 +220,23 @@ class MetatheoryWorkbench:
         return cached[0], cached[1], hit, key
 
     def _run_pipeline(self, expr, optimized, stats, parallel=None,
-                      capture=None, compiled=False):
+                      capture=None, compiled=False, db=None, txn=None):
         self._sync_caches()
-        canonical = canonicalize(expr, self.db.schema())
+        base = self.db if db is None else db
+        canonical = canonicalize(expr, base.schema())
+        if txn is not None:
+            # Declare the statement's read set before executing: the
+            # concurrency-control check and the Op.read record both
+            # happen at relation granularity, first touch per name.
+            for name in sorted(relation_names(canonical)):
+                if not is_system_name(name):
+                    txn.read(name)
         plan, _info, _hit, key = self._plan_for(canonical, optimized, capture)
         route = None
         if compiled:
-            kernel, _reason = self.kernel_cache.resolve(plan, self.db)
+            kernel, _reason = self.kernel_cache.resolve(plan, base)
             if kernel is not None:
-                relation, _tally = kernel.execute(self.db, stats)
+                relation, _tally = kernel.execute(base, stats)
                 self.plan_cache.note_route(
                     key, "compiled", kernel=kernel.fingerprint
                 )
@@ -201,7 +252,7 @@ class MetatheoryWorkbench:
             if capture is not None:
                 capture["route"] = "parallel"
             relation, _info = parallel.execute_plan(
-                plan, self.db, stats=stats, tracer=self.tracer
+                plan, base, stats=stats, tracer=self.tracer
             )
             return relation
         route = route or "streaming"
@@ -213,16 +264,15 @@ class MetatheoryWorkbench:
                 # twin (identical answers, pinned by the differential
                 # suite) so a slow query's OpReport already exists.
                 explained = run_explained(
-                    plan, self.db, stats=stats, tracer=self.tracer
+                    plan, base, stats=stats, tracer=self.tracer
                 )
                 capture["report"] = explained.report
                 capture["instrumented"] = True
                 return explained.result
-        relation, _tally = execute_physical(plan, self.db, stats)
+        relation, _tally = execute_physical(plan, base, stats)
         return relation
 
     def _cached_parse(self, kind, text, parse, capture=None):
-        self._sync_caches()
         key = (kind, text)
         expr = self._parse_cache.get(key)
         if capture is not None:
@@ -233,8 +283,15 @@ class MetatheoryWorkbench:
         return expr
 
     def sql(self, text, optimized=True, executor=True, stats=None,
-            workers=None):
-        """Run a SQL statement; returns a Relation.
+            workers=None, txn=None):
+        """Run a SQL statement; returns a Relation (or a DMLResult).
+
+        ``INSERT``/``DELETE``/``UPDATE`` statements run their relational
+        side (the INSERT source, the matched-row scan of a WHERE) through
+        the same plan pipeline as queries — planned, optimized, cached,
+        and executable on any route including ``executor="compiled"`` —
+        then commit the tuple delta through the versioned store.  They
+        return a :class:`~repro.relational.dml.DMLResult`.
 
         Args:
             text: the SQL text.
@@ -252,27 +309,137 @@ class MetatheoryWorkbench:
                 with the executor's work.
             workers: worker count for parallel execution (implies
                 ``executor="parallel"``; None = CPU count).
+            txn: a live :class:`~repro.storage.txn.Transaction` (from
+                :meth:`begin`); the statement sees the transaction's
+                view and its writes stage in the transaction's overlay.
+                ``txn.sql(...)`` is the usual spelling.
         """
         if self.history.enabled and not self._recording:
             return self._recorded(
-                "sql", text, optimized, executor, stats, workers
+                "sql", text, optimized, executor, stats, workers, txn=txn
             )
-        return self._sql(text, optimized, executor, stats, workers)
+        return self._sql(text, optimized, executor, stats, workers, txn=txn)
 
-    def _sql(self, text, optimized, executor, stats, workers, capture=None):
-        if executor:
+    def _sql(self, text, optimized, executor, stats, workers, capture=None,
+             txn=None):
+        if executor or txn is not None:
             expr = self._cached_parse("sql", text, parse_sql, capture)
+            if isinstance(expr, DMLStatement):
+                return self._dml(
+                    expr, optimized, executor, stats, workers,
+                    capture=capture, txn=txn,
+                )
             return self._run_pipeline(
                 expr, optimized, stats,
                 parallel=self._resolve_parallel(executor, workers),
                 capture=capture, compiled=executor == "compiled",
+                db=txn.view() if txn is not None else None, txn=txn,
             )
         if capture is not None:
             capture["route"] = "treewalk"
         expr = parse_sql(text)
+        if isinstance(expr, DMLStatement):
+            return self._dml(
+                expr, optimized, executor, stats, workers, capture=capture
+            )
         if optimized:
             expr = optimize(expr, self.db)
         return evaluate(expr, self.db)
+
+    def _dml(self, stmt, optimized, executor, stats, workers, capture=None,
+             txn=None):
+        """Run a DML statement: pipeline the relational side, apply the
+        delta.
+
+        Autocommit (no ``txn``) applies through
+        :meth:`~repro.relational.database.Database.apply_delta` — one
+        journaled version, incremental catalog maintenance.  Inside a
+        transaction the delta stages in the overlay instead and commits
+        (or rolls back) with the transaction.  There is no tree-walk
+        twin for mutation; ``executor=False`` still plans through the
+        pipeline.
+        """
+        if not executor:
+            executor = True
+        db = txn.view() if txn is not None else self.db
+        target = stmt.target
+        with self.tracer.span("dml", kind=stmt.kind, target=target) as span:
+            executed = self._run_pipeline(
+                stmt.source_expr(), optimized, stats,
+                parallel=self._resolve_parallel(executor, workers),
+                capture=capture, compiled=executor == "compiled",
+                db=db, txn=txn,
+            )
+            if txn is not None:
+                # The delta is computed against the target's current
+                # content (set semantics: a duplicate INSERT or identity
+                # UPDATE is a no-op), so the target belongs to the
+                # statement's read set even when the source expression
+                # never mentions it — e.g. INSERT ... VALUES.  Without
+                # this the no-op decision is an unrecorded read: no
+                # lock, no timestamp, no Op in the history, and the
+                # final state can diverge from a serial replay.
+                txn.read(target)
+            target_rel = db[target]
+            insert_rows, delete_rows, matched = stmt.delta(
+                executed, target_rel
+            )
+            if txn is not None:
+                old = set(target_rel.tuples)
+                final = (old - set(delete_rows)) | set(insert_rows)
+                added = final - old
+                removed = old - final
+                if added or removed:
+                    txn.stage(
+                        target, Relation(target_rel.schema, final),
+                        inserted=len(added), deleted=len(removed),
+                        kind=stmt.kind,
+                    )
+                relation = txn.binding(target)
+            else:
+                relation, added, removed = self.db.apply_delta(
+                    target, insert_rows=insert_rows,
+                    delete_rows=delete_rows, kind=stmt.kind,
+                )
+            span.set(
+                rows_matched=matched, rows_inserted=len(added),
+                rows_deleted=len(removed),
+            )
+        self.metrics.counter("dml_statements_total", kind=stmt.kind).inc()
+        self.metrics.counter("dml_rows_total").inc(len(added) + len(removed))
+        if capture is not None:
+            capture["route"] = "dml:%s:%s" % (
+                stmt.kind, capture.get("route") or "streaming"
+            )
+        return DMLResult(
+            stmt.kind, target, matched, len(added), len(removed), relation
+        )
+
+    # -- transactions --------------------------------------------------------
+
+    def begin(self, cc="2pl"):
+        """Begin a live transaction (``cc="2pl"`` or ``"timestamp"``).
+
+        Returns a :class:`~repro.storage.txn.Transaction`: use it as a
+        context manager (commit on success, rollback on error) or call
+        ``commit()``/``rollback()`` yourself.  ``txn.sql(...)`` runs
+        queries and DML inside the transaction; every interleaved
+        execution is recorded as a
+        :class:`~repro.transactions.schedule.Schedule` and the committed
+        history is checked against the theory's serializability and
+        recoverability predicates on every commit.
+        """
+        return self.txns.begin(cc=cc)
+
+    def snapshot(self):
+        """An immutable snapshot of the committed state (MVCC pin).
+
+        O(1): copy-on-write versioning means a snapshot is a reference
+        to the current bindings, never a data copy.  The snapshot's
+        ``.db`` answers queries identically no matter what commits
+        afterwards.
+        """
+        return self.db.snapshot()
 
     def algebra(self, expr, optimized=False, executor=True, stats=None,
                 workers=None):
@@ -417,7 +584,7 @@ class MetatheoryWorkbench:
     # -- observability ------------------------------------------------------------
 
     def _recorded(self, kind, query, optimized, executor, stats, workers,
-                  via="algebra"):
+                  via="algebra", txn=None):
         """Run one query under the flight recorder.
 
         The recording path of every public query method: sets the
@@ -447,7 +614,7 @@ class MetatheoryWorkbench:
         try:
             result = self._dispatch(
                 kind, query, optimized, executor, own_stats, workers, via,
-                capture,
+                capture, txn,
             )
             return result
         except Exception as exc:
@@ -462,10 +629,10 @@ class MetatheoryWorkbench:
             )
 
     def _dispatch(self, kind, query, optimized, executor, stats, workers,
-                  via, capture):
+                  via, capture, txn=None):
         if kind == "sql":
             return self._sql(
-                query, optimized, executor, stats, workers, capture
+                query, optimized, executor, stats, workers, capture, txn=txn
             )
         if kind == "algebra":
             return self._algebra(
@@ -553,6 +720,10 @@ class MetatheoryWorkbench:
         if kind == "sql":
             parse_cache_hit = ("sql", query) in self._parse_cache
             expr = self._cached_parse("sql", query, parse_sql)
+            if isinstance(expr, DMLStatement):
+                return self._explain_dml(
+                    expr, optimized, stats, tracer, parse_cache_hit
+                )
         elif kind == "calculus":
             if isinstance(query, str):
                 from ..relational.calculus_parser import parse_calculus
@@ -581,6 +752,45 @@ class MetatheoryWorkbench:
             self.optimizer.context(self.db).cost,
         )
         return result
+
+    def _explain_dml(self, stmt, optimized, stats, tracer, parse_cache_hit):
+        """EXPLAIN ANALYZE for DML.
+
+        ANALYZE executes: the relational side runs instrumented (the
+        OpReport tree covers the INSERT source or the matched-row scan)
+        and the delta **is applied**, so ``result`` is the same
+        :class:`~repro.relational.dml.DMLResult` the plain statement
+        returns, alongside the plan/kernel fingerprints.
+        """
+        source = stmt.source_expr()
+        canonical = canonicalize(source, self.db.schema())
+        plan, info, plan_cache_hit, _key = self._plan_for(canonical, optimized)
+        explained = run_explained(
+            plan, self.db, stats=stats, tracer=tracer,
+            kind="dml:%s" % stmt.kind,
+        )
+        insert_rows, delete_rows, matched = stmt.delta(
+            explained.result, self.db[stmt.target]
+        )
+        relation, added, removed = self.db.apply_delta(
+            stmt.target, insert_rows=insert_rows, delete_rows=delete_rows,
+            kind=stmt.kind,
+        )
+        explained.plan_cache_hit = plan_cache_hit
+        explained.parse_cache_hit = parse_cache_hit
+        explained.optimizer = info
+        explained.kernel = self._kernel_status(plan)
+        annotate_estimates(
+            explained.report,
+            plan,
+            self.db,
+            self.optimizer.context(self.db).cost,
+        )
+        explained.result = DMLResult(
+            stmt.kind, stmt.target, matched, len(added), len(removed),
+            relation,
+        )
+        return explained
 
     def _kernel_status(self, plan):
         """Compiled-kernel status of a plan for EXPLAIN ANALYZE.

@@ -12,7 +12,7 @@ Datalog — can query the system about itself::
     wb.sql("SELECT name, value FROM sys_metrics WHERE value > 100")
     wb.run("hot(H, N) :- sys_query_log(Q, K, S, H, T, W, N, ...).")
 
-The seven system relations:
+The nine system relations:
 
 ==================  =====================================================
 ``sys_metrics``     one row per (series, statistic) from the workbench's
@@ -28,6 +28,10 @@ The seven system relations:
 ``sys_catalog_stats``  the optimizer catalog's census, one row per
                     (relation, attribute)
 ``sys_workers``     one row per parallel worker pool
+``sys_transactions``  one row per live or finished transaction from the
+                    transaction manager (:mod:`repro.storage.txn`)
+``sys_versions``    the MVCC write journal, one row per relation version
+                    (:mod:`repro.storage.journal`)
 ==================  =====================================================
 
 Mechanics: :func:`install_introspection` registers one *virtual
@@ -63,7 +67,7 @@ __all__ = [
 ]
 
 
-#: Schemas of the seven system relations (static: one object per process).
+#: Schemas of the nine system relations (static: one object per process).
 SYS_METRICS = RelationSchema(
     "sys_metrics", ("name", "kind", "labels", "stat", "value")
 )
@@ -96,6 +100,16 @@ SYS_WORKERS = RelationSchema(
     ("pool", "workers", "started", "spawned", "respawns",
      "tasks_dispatched", "serial_retries", "parallel_runs", "serial_runs"),
 )
+SYS_TRANSACTIONS = RelationSchema(
+    "sys_transactions",
+    ("txn", "cc", "status", "reads", "writes", "rows_inserted",
+     "rows_deleted", "statements"),
+)
+SYS_VERSIONS = RelationSchema(
+    "sys_versions",
+    ("seq", "vid", "txn", "kind", "relation", "inserted", "deleted",
+     "status"),
+)
 
 SYSTEM_SCHEMAS = (
     SYS_METRICS,
@@ -105,6 +119,8 @@ SYSTEM_SCHEMAS = (
     SYS_KERNELS,
     SYS_CATALOG_STATS,
     SYS_WORKERS,
+    SYS_TRANSACTIONS,
+    SYS_VERSIONS,
 )
 
 #: The reserved relation names, sorted.
@@ -138,6 +154,8 @@ class SystemRelations:
         db.register_virtual(SYS_KERNELS, self.rows_kernels)
         db.register_virtual(SYS_CATALOG_STATS, self.rows_catalog_stats)
         db.register_virtual(SYS_WORKERS, self.rows_workers)
+        db.register_virtual(SYS_TRANSACTIONS, self.rows_transactions)
+        db.register_virtual(SYS_VERSIONS, self.rows_versions)
         return self
 
     # -- providers --------------------------------------------------------
@@ -267,6 +285,22 @@ class SystemRelations:
         return rows
 
 
+    def rows_transactions(self):
+        """One row per transaction the manager has seen, begin order:
+        live (``active``) and finished (``committed``/``aborted``), with
+        read/write-set sizes and row-delta accounting."""
+        return self.wb.txns.rows()
+
+    def rows_versions(self):
+        """The MVCC write journal's retained ring, one row per relation
+        version: the commit sequence, version id (None while a write is
+        only ``staged``), owning transaction (None for autocommit),
+        mutation kind, and the insert/delete tuple counts."""
+        return [
+            entry.row() for entry in self.wb.db.store().journal.entries()
+        ]
+
+
 def install_introspection(workbench):
     """Register the ``sys_`` relations on a workbench's database."""
     return SystemRelations(workbench).install()
@@ -276,7 +310,7 @@ def materialize_system_facts(db, program, store):
     """Snapshot referenced ``sys_`` relations into a Datalog EDB.
 
     ``FactStore.from_database`` deliberately ignores virtual relations
-    (a Datalog run should not pay to materialize six system tables it
+    (a Datalog run should not pay to materialize eight system tables it
     never mentions); this helper adds exactly the ``sys_`` predicates
     the program's rule bodies reference.  Heads are checked first: the
     namespace is read-only, so deriving *into* it is an error.

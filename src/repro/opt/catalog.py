@@ -8,11 +8,13 @@ first request (one scan of the relation) and then kept current two ways:
 
 * **replacement** — rebinding a relation name (``add``/``replace``/
   ``remove``) drops that name's entry; the next request rescans;
-* **incremental insert** — :meth:`Database.insert` extends a relation
-  in place and calls :meth:`Catalog.observe_insert`, which folds the new
-  rows into the existing census *without* rescanning the old tuples
-  (``rescans`` counts full scans, so tests can pin that inserts are
-  O(new rows), not O(relation)).
+* **incremental delta** — :meth:`Database.insert` / ``apply_delta`` /
+  transaction commits change a relation by a known tuple delta and call
+  :meth:`Catalog.observe_insert` / :meth:`Catalog.observe_delete`, which
+  fold just the delta into the existing census *without* rescanning the
+  old tuples (``rescans`` counts full scans, so tests can pin that
+  mutations are O(delta), not O(relation)).  Distinct-value censuses are
+  value→count maps, so the delete path can decrement exactly.
 
 The Datalog fixpoint engines need no catalog plumbing: their planner is
 fed *live* relation sizes per firing (they change every round) and runs
@@ -35,7 +37,7 @@ class TableStats:
     def __init__(self, attributes):
         self.rows = 0
         self.attributes = tuple(attributes)
-        self._values = {a: set() for a in self.attributes}
+        self._values = {a: {} for a in self.attributes}
 
     @classmethod
     def from_relation(cls, relation):
@@ -50,8 +52,28 @@ class TableStats:
         for row in rows:
             count += 1
             for position, value in enumerate(row):
-                values[position].add(value)
+                census = values[position]
+                census[value] = census.get(value, 0) + 1
         self.rows += count
+
+    def observe_delete(self, rows):
+        """Remove an iterable of raw tuples from the census.
+
+        The value→count maps make deletion exact: a distinct value
+        disappears from the census only when its last occurrence goes.
+        """
+        values = [self._values[a] for a in self.attributes]
+        count = 0
+        for row in rows:
+            count += 1
+            for position, value in enumerate(row):
+                census = values[position]
+                remaining = census.get(value, 0) - 1
+                if remaining > 0:
+                    census[value] = remaining
+                else:
+                    census.pop(value, None)
+        self.rows -= count
 
     def distinct(self, attribute):
         """Distinct values seen in ``attribute`` (0 for unknown names)."""
@@ -148,6 +170,21 @@ class Catalog:
             return
         stats = entry[1]
         stats.observe(added_rows)
+        self._entries[name] = (relation, stats)
+
+    def observe_delete(self, name, relation, removed_rows):
+        """Fold freshly-deleted rows out of ``name``'s census.
+
+        The delete half of incremental maintenance: called by
+        ``Database.apply_delta`` (and transaction commits) with the new
+        binding and just the rows that left, so a delete is O(delta)
+        census work — never a rescan.
+        """
+        entry = self._entries.get(name)
+        if entry is None:
+            return
+        stats = entry[1]
+        stats.observe_delete(removed_rows)
         self._entries[name] = (relation, stats)
 
     def __repr__(self):

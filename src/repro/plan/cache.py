@@ -118,6 +118,30 @@ class PlanCache:
             registry.gauge("%s_%s" % (name, field), **labels).set(value)
         return registry
 
+    def invalidate_relations(self, names):
+        """Drop exactly the entries whose plans reference ``names``.
+
+        The surgical half of cache coherence: a mutation bumps the
+        changed relations' version tokens and the workbench calls this
+        with just those names, so plans over untouched relations keep
+        their entries (and their hit statistics).  Keys are walked for
+        the canonical ``("ref", name)`` leaves of
+        :func:`~repro.plan.logical.plan_key`.  Returns the number of
+        entries dropped.
+        """
+        names = set(names)
+        if not names:
+            return 0
+        dropped = 0
+        for key in list(self._entries):
+            if _references(key, names):
+                del self._entries[key]
+                del self._hits_by_key[key]
+                self._route_by_key.pop(key, None)
+                self._kernel_by_key.pop(key, None)
+                dropped += 1
+        return dropped
+
     def clear(self):
         """Drop all entries and reset every counter (schema changed)."""
         self._entries.clear()
@@ -127,6 +151,25 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+
+def _references(key, names):
+    """True when a nested plan key contains ``("ref", name)`` for any of
+    ``names`` (conditions and other hashables are opaque leaves)."""
+    stack = [key]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, tuple):
+            if (
+                len(node) == 2
+                and node[0] == "ref"
+                and isinstance(node[1], str)
+            ):
+                if node[1] in names:
+                    return True
+            else:
+                stack.extend(node)
+    return False
 
 
 _MISSING = object()

@@ -1,4 +1,15 @@
-"""Database instances: named relations over a database schema."""
+"""Database instances: named relations over a database schema.
+
+Mutation is **versioned**: every change to the bindings map — ``add``,
+``replace``, ``remove``, ``insert``, ``apply_delta``, a transaction
+commit — routes through :meth:`Database._commit_change`, which builds a
+*new* ``{name: Relation}`` dict (copy-on-write; unchanged relations are
+shared by reference) and registers it with the database's
+:class:`~repro.storage.mvcc.MVCCStore`.  The bindings dict is therefore
+never mutated in place, which is what makes :meth:`snapshot` an O(1)
+pinned reference and lets concurrent readers keep repeatable views while
+writers commit.
+"""
 
 from __future__ import annotations
 
@@ -35,12 +46,13 @@ class Database:
     only.
     """
 
-    __slots__ = ("_relations", "_catalog", "_virtual")
+    __slots__ = ("_relations", "_catalog", "_virtual", "_store")
 
     def __init__(self, relations=()):
         self._relations = {}
         self._catalog = None
         self._virtual = None
+        self._store = None
         for rel in relations:
             self.add(rel)
 
@@ -74,6 +86,59 @@ class Database:
                 % (name,)
             )
 
+    def store(self):
+        """The database's :class:`~repro.storage.mvcc.MVCCStore`.
+
+        Created lazily (a read-only database pays nothing); every
+        committed mutation registers its new bindings here.
+        """
+        if self._store is None:
+            from ..storage.mvcc import MVCCStore
+
+            self._store = MVCCStore()
+        return self._store
+
+    def _commit_change(self, changes, removed=(), kind="replace",
+                       txn=None, counts=None, journal=True):
+        """The one mutation gate: commit new bindings copy-on-write.
+
+        Builds a fresh bindings dict (sharing every unchanged Relation),
+        swaps it in, bumps the store's version counters, and journals
+        one entry per changed name with its undo image.  Returns the new
+        version id.
+
+        Args:
+            changes: ``{name: Relation}`` of new/updated bindings.
+            removed: names dropped from the map.
+            kind: the journal entry kind.
+            txn: owning transaction id (None for autocommit).
+            counts: optional ``{name: (inserted, deleted)}`` tuple-count
+                deltas for the journal (0/0 for pure rebinds).
+            journal: pass False when the caller manages journal entries
+                itself (transaction commits flip their staged entries).
+        """
+        from ..storage.journal import ABSENT
+
+        store = self.store()
+        bindings = dict(self._relations)
+        undo = {}
+        for name in removed:
+            undo[name] = bindings.pop(name, ABSENT)
+        for name, relation in changes.items():
+            undo[name] = self._relations.get(name, ABSENT)
+            bindings[name] = relation
+        self._relations = bindings
+        changed = list(changes) + [n for n in removed if n not in changes]
+        vid = store.commit(bindings, changed)
+        if journal:
+            for name in changed:
+                inserted, deleted = (counts or {}).get(name, (0, 0))
+                store.journal.append(
+                    vid, txn, kind, name, inserted=inserted,
+                    deleted=deleted, undo=undo[name],
+                )
+        return vid
+
     def add(self, relation, system=False):
         """Register a relation under its schema name; names must be unique.
 
@@ -88,7 +153,10 @@ class Database:
             self._check_reserved(name)
         if name in self._relations:
             raise SchemaError("duplicate relation name %r" % (name,))
-        self._relations[name] = relation
+        self._commit_change(
+            {name: relation}, kind="add",
+            counts={name: (len(relation), 0)},
+        )
         self._invalidate_stats(name)
         return relation
 
@@ -96,16 +164,19 @@ class Database:
         """Register or overwrite the relation named by its schema."""
         if not system:
             self._check_reserved(relation.schema.name)
-        self._relations[relation.schema.name] = relation
+        self._commit_change({relation.schema.name: relation}, kind="replace")
         self._invalidate_stats(relation.schema.name)
         return relation
 
     def remove(self, name):
         """Remove and return the relation named ``name``."""
-        try:
-            relation = self._relations.pop(name)
-        except KeyError:
-            raise SchemaError("no relation named %r" % (name,)) from None
+        if name not in self._relations:
+            raise SchemaError("no relation named %r" % (name,))
+        relation = self._relations[name]
+        self._commit_change(
+            {}, removed=(name,), kind="remove",
+            counts={name: (0, len(relation))},
+        )
         self._invalidate_stats(name)
         return relation
 
@@ -117,16 +188,124 @@ class Database:
         instead of rescanning the relation, so repeated inserts keep
         optimizer statistics current at cost proportional to the insert.
         """
-        self._check_reserved(name)
-        old = self[name]
-        added = {tuple(row) for row in rows} - old.tuples
-        if not added:
-            return old
-        relation = Relation(old.schema, old.tuples | added)
-        self._relations[name] = relation
-        if self._catalog is not None:
-            self._catalog.observe_insert(name, relation, added)
+        relation, _added, _removed = self.apply_delta(
+            name, insert_rows=rows, kind="insert"
+        )
         return relation
+
+    def apply_delta(self, name, insert_rows=(), delete_rows=(),
+                    kind=None, txn=None):
+        """Apply a tuple-level delta to relation ``name``.
+
+        Deletes apply first, then inserts (so an UPDATE's matched rows
+        can reappear transformed — or unchanged, as a no-op).  The
+        catalog census is maintained **incrementally** on both paths:
+        cost proportional to the delta, never a rescan.
+
+        Returns:
+            ``(relation, added, removed)`` — the new binding plus the
+            tuples actually added and actually removed (both may be
+            empty; the binding is unchanged then).
+        """
+        self._check_reserved(name)
+        if name not in self._relations:
+            raise SchemaError("no relation named %r" % (name,))
+        old = self._relations[name]
+        insert_set = {tuple(row) for row in insert_rows}
+        delete_set = {tuple(row) for row in delete_rows}
+        final = (old.tuples - delete_set) | insert_set
+        added = final - old.tuples
+        removed = old.tuples - final
+        if not added and not removed:
+            return old, added, removed
+        relation = Relation(old.schema, final)
+        if kind is None:
+            kind = "delete" if not insert_set else (
+                "insert" if not delete_set else "update"
+            )
+        self._commit_change(
+            {name: relation}, kind=kind, txn=txn,
+            counts={name: (len(added), len(removed))},
+        )
+        if self._catalog is not None:
+            if added:
+                self._catalog.observe_insert(name, relation, added)
+            if removed:
+                self._catalog.observe_delete(name, relation, removed)
+        return relation, added, removed
+
+    def apply_overlay(self, bindings, txn=None, journal=True):
+        """Commit a transaction's staged bindings atomically.
+
+        One version id covers the whole write set; per-name tuple deltas
+        are computed against the current committed bindings (the
+        concurrency control guarantees those equal the bindings the
+        overlay was staged against) and folded into the catalog
+        incrementally.  Returns the commit version id.
+        """
+        changes = {}
+        counts = {}
+        catalog_deltas = []
+        for name, relation in bindings.items():
+            old = self._relations.get(name)
+            if old is relation:
+                continue
+            old_tuples = old.tuples if old is not None else frozenset()
+            added = relation.tuples - old_tuples
+            removed = old_tuples - relation.tuples
+            changes[name] = relation
+            counts[name] = (len(added), len(removed))
+            catalog_deltas.append((name, relation, added, removed))
+        if not changes:
+            return self.store().vid
+        vid = self._commit_change(
+            changes, kind="update", txn=txn, counts=counts,
+            journal=journal,
+        )
+        if self._catalog is not None:
+            for name, relation, added, removed in catalog_deltas:
+                if added:
+                    self._catalog.observe_insert(name, relation, added)
+                if removed:
+                    self._catalog.observe_delete(name, relation, removed)
+        return vid
+
+    def overlay_view(self, overlay):
+        """A read view: committed bindings shadowed by ``overlay``.
+
+        The dict copy is O(names) of binding *references* (relations are
+        shared); virtual providers are carried so ``sys_`` relations
+        still resolve inside transactions.
+        """
+        view = Database()
+        view._relations = (
+            {**self._relations, **overlay} if overlay
+            else self._relations
+        )
+        if self._virtual is not None:
+            # A copy, not the reference: a session installed on the view
+            # (install_introspection re-registers providers) must not
+            # hijack this database's sys_ namespace.
+            view._virtual = dict(self._virtual)
+        return view
+
+    def snapshot(self):
+        """Pin the current version: an O(1) repeatable-read view.
+
+        Returns a :class:`~repro.storage.mvcc.Snapshot` whose ``db``
+        shares this database's bindings dict by reference — safe because
+        commits swap in fresh dicts (copy-on-write) and never mutate the
+        shared one.  Queries against the snapshot see this exact state
+        regardless of later commits; mutating the snapshot's database
+        forks it.
+        """
+        from ..storage.mvcc import Snapshot
+
+        view = Database()
+        view._relations = self._relations
+        if self._virtual is not None:
+            view._virtual = dict(self._virtual)
+        return Snapshot(self.store().vid, view)
 
     def catalog(self):
         """The optimizer's :class:`~repro.opt.catalog.Catalog` for this
@@ -230,6 +409,29 @@ class Database:
             for name in self.names()
         )
 
+    def version_id(self):
+        """The store's global version id (0 for a never-mutated copy).
+
+        One integer compare tells a cache whether *anything* changed
+        since it last looked; :meth:`relation_state` then names what.
+        """
+        return self._store.vid if self._store is not None else 0
+
+    def relation_state(self):
+        """``{name: (version, attributes)}`` — the surgical-invalidation
+        token.  A cache diffs two of these to find exactly which
+        relations were rebound (version bump) or re-shaped (attribute
+        change) and drops only the entries referencing them.
+        """
+        store = self._store
+        return {
+            name: (
+                store.version_of(name) if store is not None else 0,
+                relation.schema.attributes,
+            )
+            for name, relation in self._relations.items()
+        }
+
     def active_domain(self):
         """All values occurring anywhere in the database.
 
@@ -248,12 +450,15 @@ class Database:
     def copy(self):
         """Shallow copy (relations are immutable, so this is enough).
 
-        Virtual providers are *not* carried over: they are bound to live
-        session objects (tracers, caches, pools); a copy is plain data.
+        Copy-on-write makes even the bindings dict shareable: the copy
+        holds the same dict until its first mutation swaps in a fresh
+        one.  Virtual providers are *not* carried over: they are bound
+        to live session objects (tracers, caches, pools); a copy is
+        plain data.
         """
         db = Database()
-        db._relations = dict(self._relations)
-        return db  # statistics are per-instance: the copy starts fresh
+        db._relations = self._relations
+        return db  # statistics and versions are per-instance: fresh start
 
     def __eq__(self, other):
         return (

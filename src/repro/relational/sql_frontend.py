@@ -28,6 +28,9 @@ import re
 
 from ..errors import ParseError
 from . import algebra as ra
+from .dml import DeleteStatement, InsertStatement, UpdateStatement
+from .relation import Relation
+from .schema import RelationSchema
 
 _TOKEN_RE = re.compile(
     r"""
@@ -53,6 +56,12 @@ _KEYWORDS = {
     "intersect",
     "except",
     "as",
+    "insert",
+    "into",
+    "values",
+    "delete",
+    "update",
+    "set",
 }
 
 
@@ -148,6 +157,30 @@ class _Parser:
     # -- grammar -----------------------------------------------------------
 
     def parse_statement(self):
+        head = self.peek()
+        if head is not None and head.kind == "keyword" and head.value in (
+            "insert", "delete", "update"
+        ):
+            statement = getattr(self, "parse_%s" % head.value)()
+            trailing = self.peek()
+            if trailing is not None:
+                raise ParseError(
+                    "trailing input starting at %r" % (trailing.value,),
+                    position=trailing.position,
+                    text=self.text,
+                )
+            return statement
+        expr = self.parse_query()
+        trailing = self.peek()
+        if trailing is not None:
+            raise ParseError(
+                "trailing input starting at %r" % (trailing.value,),
+                position=trailing.position,
+                text=self.text,
+            )
+        return expr
+
+    def parse_query(self):
         expr = self.parse_select()
         while True:
             if self.accept("keyword", "union"):
@@ -158,14 +191,78 @@ class _Parser:
                 expr = ra.Difference(expr, self.parse_select())
             else:
                 break
-        trailing = self.peek()
-        if trailing is not None:
+        return expr
+
+    # -- DML ---------------------------------------------------------------
+
+    def parse_insert(self):
+        self.expect("keyword", "insert")
+        self.expect("keyword", "into")
+        target = self.expect("name").value
+        if self.accept("keyword", "values"):
+            rows = [self.parse_value_row()]
+            while self.accept("op", ","):
+                rows.append(self.parse_value_row())
+            if len({len(row) for row in rows}) != 1:
+                raise ParseError(
+                    "VALUES rows have inconsistent arities", text=self.text
+                )
+            source = _ValuesSource(target, rows)
+        else:
+            source = self.parse_query()
+        return InsertStatement(target, source)
+
+    def parse_value_row(self):
+        self.expect("op", "(")
+        values = [self.parse_literal()]
+        while self.accept("op", ","):
+            values.append(self.parse_literal())
+        self.expect("op", ")")
+        return tuple(values)
+
+    def parse_literal(self):
+        token = self.next()
+        if token.kind not in ("string", "number"):
             raise ParseError(
-                "trailing input starting at %r" % (trailing.value,),
-                position=trailing.position,
+                "expected a literal in VALUES, got %r" % (token.value,),
+                position=token.position,
                 text=self.text,
             )
-        return expr
+        return token.value
+
+    def parse_delete(self):
+        self.expect("keyword", "delete")
+        self.expect("keyword", "from")
+        target = self.expect("name").value
+        return DeleteStatement(target, self.parse_matched(target))
+
+    def parse_update(self):
+        self.expect("keyword", "update")
+        target = self.expect("name").value
+        self.expect("keyword", "set")
+        assignments = [self.parse_assignment()]
+        while self.accept("op", ","):
+            assignments.append(self.parse_assignment())
+        return UpdateStatement(
+            target, assignments, self.parse_matched(target)
+        )
+
+    def parse_assignment(self):
+        column = self.expect("name").value
+        self.expect("op", "=")
+        return (column, self.parse_operand())
+
+    def parse_matched(self, target):
+        """The matched-row scan: the target filtered by WHERE (or all).
+
+        Compiled through the same :class:`_Block` machinery as a
+        ``SELECT * FROM target WHERE …``, so the predicate side of a
+        DELETE/UPDATE is planned and optimized like any query.
+        """
+        condition = None
+        if self.accept("keyword", "where"):
+            condition = self.parse_or()
+        return _Block(None, [(target, target)], condition).compile()
 
     def parse_select(self):
         self.expect("keyword", "select")
@@ -283,6 +380,47 @@ class _Block:
         if self.condition is not None:
             expr = _DeferredSelection(expr, self.condition, self.aliases)
         return _DeferredProjection(expr, self.columns, self.aliases)
+
+
+class _ValuesSource(ra.AlgebraExpr):
+    """``INSERT … VALUES`` rows as a deferred constant relation.
+
+    The rows' schema is the *target's* (positional assignment), which is
+    only known once a database schema is — so resolution is deferred
+    like the other SQL nodes, and arity mismatches surface as
+    :class:`ParseError` at planning time.
+    """
+
+    __slots__ = ("target", "rows")
+
+    def __init__(self, target, rows):
+        self.target = target
+        self.rows = tuple(rows)
+
+    def _relation(self, db_schema):
+        target = db_schema[self.target]
+        if self.rows and len(self.rows[0]) != target.arity:
+            raise ParseError(
+                "VALUES arity %d does not match %s arity %d"
+                % (len(self.rows[0]), self.target, target.arity)
+            )
+        schema = RelationSchema("values", target.attributes)
+        return Relation(schema, self.rows)
+
+    def schema(self, db_schema):
+        return self._relation(db_schema).schema
+
+    def evaluate_node(self, db, evaluate):
+        return self._relation(db.schema())
+
+    def canonicalize_node(self, db_schema, recurse):
+        return ra.ConstantRelation(self._relation(db_schema))
+
+    def __repr__(self):
+        return "_ValuesSource(%r, %d rows)" % (self.target, len(self.rows))
+
+    def __str__(self):
+        return "VALUES[%d rows]" % len(self.rows)
 
 
 class _QualifyRelation(ra.AlgebraExpr):
@@ -486,7 +624,10 @@ def parse_sql(text):
 
     Returns:
         An :class:`~repro.relational.algebra.AlgebraExpr` evaluable with
-        :func:`~repro.relational.algebra.evaluate`.
+        :func:`~repro.relational.algebra.evaluate` — or, for
+        ``INSERT``/``DELETE``/``UPDATE`` text, a
+        :class:`~repro.relational.dml.DMLStatement` the workbench
+        executes through the shared pipeline (``wb.sql``).
 
     Raises:
         ParseError: on syntax errors; column-resolution errors surface when

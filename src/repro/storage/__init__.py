@@ -1,0 +1,29 @@
+"""MVCC snapshot storage and the live transaction runtime.
+
+The mutation half of the workbench: :mod:`repro.storage.mvcc` versions
+every change to a :class:`~repro.relational.database.Database` under
+copy-on-write bindings (immutable relations shared across versions, so a
+snapshot is a dict reference, not a copy), :mod:`repro.storage.journal`
+keeps the append-only write journal (undo images for rollback plus the
+``sys_versions`` observability feed), and :mod:`repro.storage.txn` runs
+live interleaved transactions under pluggable concurrency control —
+adapting the schedule-theoretic 2PL and timestamp modules of
+:mod:`repro.transactions` to real relation-level conflicts — while
+recording every execution as a
+:class:`~repro.transactions.schedule.Schedule` that the theory's own
+serializability and recoverability predicates check at commit time.
+"""
+
+from .journal import JournalEntry, WriteJournal
+from .mvcc import MVCCStore, Snapshot
+from .txn import Transaction, TransactionConflict, TransactionManager
+
+__all__ = [
+    "JournalEntry",
+    "MVCCStore",
+    "Snapshot",
+    "Transaction",
+    "TransactionConflict",
+    "TransactionManager",
+    "WriteJournal",
+]

@@ -1,0 +1,108 @@
+"""The append-only write journal: every mutation leaves a record.
+
+One :class:`JournalEntry` per relation binding changed by a committed
+(or staged) mutation, carrying the **undo image** — the previous binding
+— so rollback is "restore the reference", exactly the before-image
+recovery the strict schedule class licenses.  The journal itself is a
+bounded ring: it exists for observability (``sys_versions`` joins it,
+the flight recorder cross-references sequence numbers) and for undo of
+*staged* transaction writes; correctness never depends on ring
+retention, because an active transaction keeps direct references to its
+own entries (eviction from the ring cannot strand a rollback).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+#: The sentinel undo image for a binding that did not exist before
+#: (undoing an ``add`` removes the name rather than restoring a value).
+ABSENT = object()
+
+
+class JournalEntry:
+    """One journaled binding change.
+
+    Attributes:
+        seq: global sequence number (monotonic per journal).
+        vid: the store version the change produced (None while staged).
+        txn: owning transaction id, or None for autocommit mutations.
+        kind: "add", "replace", "remove", "insert", "delete", "update".
+        name: the relation whose binding changed.
+        inserted / deleted: tuple-count deltas (0 for pure rebinds).
+        undo: the previous binding (a Relation), or :data:`ABSENT`.
+        status: "committed", "staged", or "rolled-back".
+    """
+
+    __slots__ = ("seq", "vid", "txn", "kind", "name", "inserted",
+                 "deleted", "undo", "status")
+
+    def __init__(self, seq, vid, txn, kind, name, inserted=0, deleted=0,
+                 undo=ABSENT, status="committed"):
+        self.seq = seq
+        self.vid = vid
+        self.txn = txn
+        self.kind = kind
+        self.name = name
+        self.inserted = inserted
+        self.deleted = deleted
+        self.undo = undo
+        self.status = status
+
+    def row(self):
+        """The entry as a ``sys_versions`` tuple."""
+        return (
+            self.seq,
+            self.vid,
+            self.txn,
+            self.kind,
+            self.name,
+            self.inserted,
+            self.deleted,
+            self.status,
+        )
+
+    def __repr__(self):
+        return "JournalEntry(#%d v%s %s %s %r +%d/-%d)" % (
+            self.seq, self.vid, self.status, self.kind, self.name,
+            self.inserted, self.deleted,
+        )
+
+
+class WriteJournal:
+    """A bounded append-only ring of :class:`JournalEntry` records."""
+
+    __slots__ = ("capacity", "_entries", "_seq", "appended")
+
+    def __init__(self, capacity=1024):
+        self.capacity = capacity
+        self._entries = deque(maxlen=capacity)
+        self._seq = 0
+        self.appended = 0
+
+    def append(self, vid, txn, kind, name, inserted=0, deleted=0,
+               undo=ABSENT, status="committed"):
+        """Journal one binding change; returns the entry."""
+        entry = JournalEntry(
+            self._seq, vid, txn, kind, name, inserted=inserted,
+            deleted=deleted, undo=undo, status=status,
+        )
+        self._seq += 1
+        self.appended += 1
+        self._entries.append(entry)
+        return entry
+
+    def entries(self):
+        """The retained entries, oldest first (a list copy)."""
+        return list(self._entries)
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __repr__(self):
+        return "WriteJournal(%d retained, %d appended)" % (
+            len(self._entries), self.appended
+        )

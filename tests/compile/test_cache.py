@@ -84,17 +84,45 @@ class TestResolve:
         expected, _ = execute_physical(plan, db, EngineStatistics())
         assert result == expected
 
-    def test_schema_change_misses_the_cache(self):
+    def test_unrelated_schema_change_keeps_the_kernel(self):
+        # The key narrows to the plan's own relations: adding an
+        # unrelated table must not orphan the compiled kernel.
+        db = small_db()
+        cache = KernelCache()
+        plan = join_plan(db)
+        kernel, _ = cache.resolve(plan, db)
+        db.add(
+            Relation(RelationSchema("t", ("d",)), [(1,)])
+        )
+        again, _ = cache.resolve(plan, db)
+        assert again is kernel
+        assert cache.stats()["codegens"] == 1
+        assert cache.stats()["hits"] == 1
+
+    def test_referenced_schema_change_misses_the_cache(self):
+        # Reshaping a relation the plan reads invalidates: attribute
+        # positions were compiled in.
         db = small_db()
         cache = KernelCache()
         plan = join_plan(db)
         cache.resolve(plan, db)
+        db.remove("r")
         db.add(
-            Relation(RelationSchema("t", ("d",)), [(1,)])
+            Relation(RelationSchema("r", ("a", "b", "extra")),
+                     [(i, i % 3, 0) for i in range(12)])
         )
         cache.resolve(plan, db)
         assert cache.stats()["misses"] == 2
         assert cache.stats()["codegens"] == 2
+
+    def test_invalidate_relations_is_surgical(self):
+        db = small_db()
+        cache = KernelCache()
+        cache.resolve(join_plan(db), db)
+        assert cache.invalidate_relations({"unrelated"}) == 0
+        assert len(cache) == 1
+        assert cache.invalidate_relations({"r"}) == 1
+        assert len(cache) == 0
 
     def test_fallback_is_negatively_cached_and_counted(self):
         db = small_db()

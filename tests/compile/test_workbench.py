@@ -97,15 +97,34 @@ class TestKernelReuse:
         assert stats["codegens"] == codegens
         assert stats["hits"] >= 1
 
-    def test_schema_change_clears_kernels(self):
+    def test_unrelated_schema_change_keeps_kernels(self):
+        # Surgical coherence: adding a relation the query never reads
+        # leaves its compiled kernel hot.
         wb = make_wb()
         wb.sql(SQL, executor="compiled")
+        codegens = wb.kernel_cache.stats()["codegens"]
         assert len(wb.kernel_cache) >= 1
         wb.db.add(Relation(RelationSchema("extra", ("x",)), [(1,)]))
-        wb.sql(SQL, executor="compiled")  # _sync_caches dropped the old one
+        wb.sql(SQL, executor="compiled")
         stats = wb.kernel_cache.stats()
-        assert stats["hits"] == 0
-        assert len(wb.kernel_cache) >= 1
+        assert stats["codegens"] == codegens
+        assert stats["hits"] >= 1
+
+    def test_reshaping_referenced_relation_invalidates_kernels(self):
+        # ... but reshaping a relation the query reads drops the kernel
+        # (attribute positions were compiled in) and recompiles.
+        wb = make_wb()
+        wb.sql(SQL, executor="compiled")
+        codegens = wb.kernel_cache.stats()["codegens"]
+        wb.db.remove("likes")
+        wb.db.add(
+            Relation(
+                RelationSchema("likes", ("pid", "item", "weight")),
+                [(i % 30, "i%d" % (i % 7), i) for i in range(60)],
+            )
+        )
+        wb.sql(SQL, executor="compiled")
+        assert wb.kernel_cache.stats()["codegens"] > codegens
 
 
 class TestFallback:

@@ -31,6 +31,7 @@ class TestRegistry:
             "calculus-differential",
             "datalog-differential",
             "transactions-differential",
+            "transactions-live",
             "metamorphic-relational",
             "metamorphic-datalog",
             "metamorphic-optimizer",

@@ -144,13 +144,26 @@ class TestPlanCache:
         wb.sql(q, optimized=False)
         assert wb.plan_cache.stats()["size"] == 2
 
-    def test_schema_change_flushes_caches(self):
+    def test_unrelated_change_keeps_plan_cached(self):
+        # Surgical invalidation: removing a relation the plan never
+        # references keeps its cache entry (and scores a hit).
         wb = company_workbench()
         q = "SELECT w.emp FROM works w"
         wb.sql(q)
         wb.db.remove("located")
         wb.sql(q)
-        assert wb.plan_cache.stats() == {"hits": 0, "misses": 1, "evictions": 0, "size": 1}
+        assert wb.plan_cache.stats() == {"hits": 1, "misses": 1, "evictions": 0, "size": 1}
+
+    def test_referenced_change_flushes_plan(self):
+        # Any version bump of a referenced relation drops the plan:
+        # its rewrites and estimates were built from stale statistics.
+        wb = company_workbench()
+        q = "SELECT w.emp FROM works w"
+        wb.sql(q)
+        wb.db.insert("works", [("dee", "toys")])
+        wb.sql(q)
+        assert wb.plan_cache.stats()["hits"] == 0
+        assert wb.plan_cache.stats()["misses"] == 2
 
     def test_cache_capacity_evicts_fifo(self):
         from repro.plan import PlanCache

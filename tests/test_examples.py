@@ -44,6 +44,13 @@ LANDMARKS = {
         "cache_hits",
         "Scan(sys_plan_cache)",
     ],
+    "transactions_live.py": [
+        "strict 2PL",
+        "first committer wins",
+        "conflict_serializable",
+        "recovery_class",
+        "Rollback restores",
+    ],
 }
 
 

@@ -1,0 +1,119 @@
+"""Property test: the recoverability hierarchy on random workloads.
+
+The paper's recovery taxonomy is a strict chain — ST ⊂ ACA ⊂ RC — and
+the predicates implementing it must respect the containments on *every*
+schedule, not just the textbook examples.  Hypothesis drives the
+workload generator (with injected aborts, since abort-free schedules
+never stress the definitions) and checks the implications plus the
+consistency of :func:`recovery_class` with the individual predicates.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transactions.recovery import (
+    avoids_cascading_aborts,
+    is_recoverable,
+    is_strict,
+    recovery_class,
+)
+from repro.transactions.schedule import Op, Schedule
+from repro.transactions.workload import WorkloadConfig, generate_schedule
+
+
+@st.composite
+def workload_schedules(draw):
+    """A generated workload schedule with some commits flipped to aborts."""
+    config = WorkloadConfig(
+        num_transactions=draw(st.integers(min_value=2, max_value=5)),
+        ops_per_transaction=draw(st.integers(min_value=1, max_value=4)),
+        num_items=draw(st.integers(min_value=1, max_value=4)),
+        write_ratio=draw(st.floats(min_value=0.2, max_value=0.9)),
+        hot_fraction=0.5,
+        hot_access_probability=draw(
+            st.sampled_from([0.0, 0.5, 0.9])
+        ),
+        seed=draw(st.integers(min_value=0, max_value=10**6)),
+    )
+    schedule = generate_schedule(
+        config,
+        interleave_seed=draw(st.integers(min_value=0, max_value=10**6)),
+    )
+    doomed = {
+        txn
+        for txn in schedule.transactions()
+        if draw(st.booleans())
+    }
+    ops = [
+        Op.abort(op.txn)
+        if op.is_terminal() and op.txn in doomed
+        else op
+        for op in schedule
+    ]
+    return Schedule(ops)
+
+
+@given(workload_schedules())
+@settings(max_examples=150, deadline=None)
+def test_strict_implies_aca_implies_recoverable(schedule):
+    if is_strict(schedule):
+        assert avoids_cascading_aborts(schedule)
+    if avoids_cascading_aborts(schedule):
+        assert is_recoverable(schedule)
+
+
+@given(workload_schedules())
+@settings(max_examples=150, deadline=None)
+def test_recovery_class_agrees_with_the_predicates(schedule):
+    label = recovery_class(schedule)
+    expectations = {
+        "ST": (True, True, True),
+        "ACA": (False, True, True),
+        "RC": (False, False, True),
+        "none": (False, False, False),
+    }
+    assert label in expectations
+    assert expectations[label] == (
+        is_strict(schedule),
+        avoids_cascading_aborts(schedule),
+        is_recoverable(schedule),
+    )
+
+
+def test_the_containments_are_strict():
+    """Witnesses that each level of the chain is genuinely larger."""
+    # ACA but not ST: t2 overwrites t1's dirty write (no dirty read).
+    aca_only = Schedule(
+        [
+            Op.write(1, "x"),
+            Op.write(2, "x"),
+            Op.commit(1),
+            Op.commit(2),
+        ]
+    )
+    assert not is_strict(aca_only)
+    assert avoids_cascading_aborts(aca_only)
+
+    # RC but not ACA: t2 reads t1's dirty write, commits after t1.
+    rc_only = Schedule(
+        [
+            Op.write(1, "x"),
+            Op.read(2, "x"),
+            Op.commit(1),
+            Op.commit(2),
+        ]
+    )
+    assert not avoids_cascading_aborts(rc_only)
+    assert is_recoverable(rc_only)
+
+    # Not even RC: the reader commits before its writer.
+    unrecoverable = Schedule(
+        [
+            Op.write(1, "x"),
+            Op.read(2, "x"),
+            Op.commit(2),
+            Op.commit(1),
+        ]
+    )
+    assert not is_recoverable(unrecoverable)
+    assert recovery_class(unrecoverable) == "none"
